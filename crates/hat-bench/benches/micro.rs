@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks for the substrates: storage engine,
+//! version stamps, history checker, latency sampling and workload
+//! generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use hat_core::{OpRecord, Timestamp, TxnOutcome, TxnRecord};
+use hat_history::{check, IsolationLevel};
+use hat_sim::latency::LinkClass;
+use hat_sim::LatencyModel;
+use hat_storage::{Key, MemStore, Record, Store, VersionStamp};
+use hat_workloads::{YcsbConfig, YcsbSource};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_storage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage");
+    g.bench_function("memstore_put", |b| {
+        b.iter_batched(
+            MemStore::new,
+            |mut store| {
+                for i in 0..1000u64 {
+                    let key = Key::from(format!("user{:08}", i % 128));
+                    store
+                        .put(key, Record::new(VersionStamp::new(i + 1, 1), "value"))
+                        .unwrap();
+                }
+                store
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut store = MemStore::new();
+    for i in 0..10_000u64 {
+        store
+            .put(
+                Key::from(format!("user{:08}", i % 1000)),
+                Record::new(VersionStamp::new(i + 1, 1), "value"),
+            )
+            .unwrap();
+    }
+    g.bench_function("memstore_get_latest", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 1000;
+            black_box(store.latest(format!("user{i:08}").as_bytes()))
+        })
+    });
+    g.bench_function("memstore_snapshot_read", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 1000;
+            black_box(store.latest_at_or_below(
+                format!("user{i:08}").as_bytes(),
+                VersionStamp::new(5000, 0),
+            ))
+        })
+    });
+    g.bench_function("memstore_scan_prefix", |b| {
+        b.iter(|| black_box(store.scan_prefix(b"user0000001")))
+    });
+    g.finish();
+}
+
+fn bench_latency_model(c: &mut Criterion) {
+    let model = LatencyModel::default();
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("latency_sample_wan", |b| {
+        b.iter(|| {
+            black_box(model.sample_rtt_ms(
+                LinkClass::CrossRegion(hat_sim::latency::RegionPair(
+                    hat_sim::Region::Virginia,
+                    hat_sim::Region::Oregon,
+                )),
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_ycsb_generation(c: &mut Criterion) {
+    let mut src = YcsbSource::new(YcsbConfig::default());
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("ycsb_next_txn", |b| {
+        b.iter(|| black_box(hat_core::client::TxnSource::next_txn(&mut src, &mut rng)))
+    });
+}
+
+fn history_fixture(txns: usize) -> Vec<TxnRecord> {
+    let mut records = Vec::with_capacity(txns);
+    for i in 0..txns as u64 {
+        let id = Timestamp::new(i + 1, (i % 8) as u32 + 1);
+        let prev = Timestamp::new(i, ((i + 7) % 8) as u32 + 1);
+        records.push(TxnRecord {
+            id,
+            session: (i % 8) as u32 + 1,
+            session_seq: i / 8,
+            ops: vec![
+                OpRecord::Read {
+                    key: Key::from(format!("k{}", i % 64)),
+                    observed: if i == 0 { Timestamp::INITIAL } else { prev },
+                    value: bytes::Bytes::from("v"),
+                },
+                OpRecord::Write {
+                    key: Key::from(format!("k{}", i % 64)),
+                    value: bytes::Bytes::from("v"),
+                },
+            ],
+            outcome: TxnOutcome::Committed,
+        });
+    }
+    records
+}
+
+fn bench_history_checker(c: &mut Criterion) {
+    let records = history_fixture(500);
+    c.bench_function("dsg_check_500_txns_serializable", |b| {
+        b.iter_batched(
+            || records.clone(),
+            |r| black_box(check(r, IsolationLevel::Serializable)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("dsg_check_500_txns_rc", |b| {
+        b.iter_batched(
+            || records.clone(),
+            |r| black_box(check(r, IsolationLevel::ReadCommitted)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_storage, bench_latency_model, bench_ycsb_generation, bench_history_checker
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks over whole simulated protocol runs: how many
+//! simulated transactions per wall-clock second each protocol sustains,
+//! plus ablations for the design choices called out in DESIGN.md
+//! (service-time model on/off, WAN latency on/off).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hat_bench::{run_ycsb, YcsbRunConfig};
+use hat_core::{ClusterSpec, ProtocolKind, ServiceModel, SimulationBuilder, SystemConfig};
+use hat_sim::{LatencyModel, SimDuration};
+use hat_workloads::YcsbConfig;
+
+fn point(protocol: ProtocolKind) -> YcsbRunConfig {
+    YcsbRunConfig {
+        protocol,
+        spec: ClusterSpec::single_dc(2, 2),
+        clients: 8,
+        ycsb: YcsbConfig {
+            num_keys: 1000,
+            value_size: 64,
+            ..YcsbConfig::small()
+        },
+        duration: SimDuration::from_millis(250),
+        seed: 3,
+    }
+}
+
+fn bench_protocol_sims(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_250ms_window");
+    for protocol in [
+        ProtocolKind::Eventual,
+        ProtocolKind::ReadCommitted,
+        ProtocolKind::Mav,
+        ProtocolKind::Master,
+        ProtocolKind::TwoPhaseLocking,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label()),
+            &protocol,
+            |b, &p| b.iter(|| black_box(run_ycsb(&point(p)))),
+        );
+    }
+    g.finish();
+}
+
+/// Ablation: zero service time isolates protocol/network effects from the
+/// queueing model (DESIGN.md "Deterministic simulation vs real network").
+fn bench_ablation_service_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.bench_function("facade_txns_default_model", |b| {
+        b.iter(|| {
+            let mut sim = SimulationBuilder::new(ProtocolKind::Mav)
+                .seed(4)
+                .clusters(ClusterSpec::single_dc(2, 2))
+                .build();
+            let c0 = sim.client(0);
+            for i in 0..20 {
+                let k = format!("k{i}");
+                sim.txn(c0, |t| t.put(&k, "v"));
+            }
+            black_box(sim.now())
+        })
+    });
+    g.bench_function("facade_txns_zero_cost_model", |b| {
+        b.iter(|| {
+            let mut cfg = SystemConfig::new(ProtocolKind::Mav);
+            cfg.service = ServiceModel::zero();
+            let mut sim = SimulationBuilder::new(ProtocolKind::Mav)
+                .seed(4)
+                .clusters(ClusterSpec::single_dc(2, 2))
+                .config(cfg)
+                .latency(LatencyModel::zero())
+                .build();
+            let c0 = sim.client(0);
+            for i in 0..20 {
+                let k = format!("k{i}");
+                sim.txn(c0, |t| t.put(&k, "v"));
+            }
+            black_box(sim.now())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_protocol_sims, bench_ablation_service_model
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Figure 3: YCSB latency and throughput vs number of clients for the
+//! three deployments of §6.3:
+//!
+//! * **A** — two clusters of five servers within a single datacenter
+//! * **B** — clusters in us-east (VA) and us-west-2 (OR)
+//! * **C** — five clusters across five regions
+//!
+//! Run: `cargo run -p hat-bench --release --bin exp_fig3 [a|b|c|all] [--quick]`
+
+use hat_bench::{header, row, run_ycsb, YcsbRunConfig};
+use hat_core::{ClusterSpec, ProtocolKind};
+use hat_sim::latency::FIG3C_REGIONS;
+use hat_sim::SimDuration;
+
+fn scenario(name: &str) -> (String, ClusterSpec, Vec<usize>) {
+    match name {
+        "a" => (
+            "A: two clusters, single datacenter (us-east)".into(),
+            ClusterSpec::single_dc(2, 5),
+            vec![8, 32, 128, 256, 512],
+        ),
+        "b" => (
+            "B: clusters in us-east (VA) and us-west-2 (OR)".into(),
+            ClusterSpec::va_or(5),
+            vec![8, 32, 128, 256, 512],
+        ),
+        "c" => (
+            "C: five clusters across VA, CA, OR, IR, TO".into(),
+            ClusterSpec::regions(&FIG3C_REGIONS, 5),
+            vec![25, 100, 400, 800],
+        ),
+        other => panic!("unknown scenario {other:?} (use a, b, c or all)"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
+    let names: Vec<&str> = if which == "all" {
+        vec!["a", "b", "c"]
+    } else {
+        vec![which.as_str()]
+    };
+    let protocols = [
+        ProtocolKind::Eventual,
+        ProtocolKind::ReadCommitted,
+        ProtocolKind::Mav,
+        ProtocolKind::Master,
+    ];
+    for name in names {
+        let (title, spec, mut client_steps) = scenario(name);
+        if quick {
+            client_steps.truncate(2);
+        }
+        println!("== Figure 3{} — {title}", name.to_uppercase());
+        println!("{}", header());
+        for &clients in &client_steps {
+            for protocol in protocols {
+                let mut cfg = YcsbRunConfig::paper_defaults(protocol, spec.clone(), clients);
+                if quick {
+                    cfg.duration = SimDuration::from_millis(500);
+                    cfg.ycsb.num_keys = 10_000;
+                }
+                let r = run_ycsb(&cfg);
+                println!("{}", row(&r));
+            }
+        }
+        println!();
+    }
+    println!("# paper shape: within one DC master ~ half the throughput of eventual;");
+    println!("# across regions master latency grows to ~300ms (B) and ~800ms (C)");
+    println!("# while eventual/RC/MAV stay at single-DC latency; RC ~ eventual;");
+    println!("# MAV ~75% of eventual (2 clusters) and ~half (5 clusters).");
+}

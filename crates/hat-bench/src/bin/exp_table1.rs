@@ -1,0 +1,69 @@
+//! Table 1: mean RTTs on EC2 — intra-AZ (a), cross-AZ (b), cross-region
+//! (c) — regenerated from the calibrated latency models.
+//!
+//! Run: `cargo run -p hat-bench --release --bin exp_table1`
+
+use hat_sim::latency::{LinkClass, RegionPair};
+use hat_sim::{LatencyModel, ALL_REGIONS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sampled_mean(model: &LatencyModel, class: LinkClass, rng: &mut StdRng, n: usize) -> f64 {
+    (0..n).map(|_| model.sample_rtt_ms(class, rng)).sum::<f64>() / n as f64
+}
+
+fn main() {
+    let model = LatencyModel::default();
+    let mut rng = StdRng::seed_from_u64(0xEC2);
+    let n = 10_000;
+
+    println!("Table 1a: within one availability zone (paper: 0.50-0.56 ms)");
+    println!(
+        "  sampled mean RTT: {:.2} ms  (model mean {:.2} ms)",
+        sampled_mean(&model, LinkClass::IntraAz, &mut rng, n),
+        model.mean_rtt_ms(LinkClass::IntraAz)
+    );
+    println!();
+    println!("Table 1b: across availability zones (paper: 1.08-3.57 ms)");
+    println!(
+        "  sampled mean RTT: {:.2} ms  (model mean {:.2} ms)",
+        sampled_mean(&model, LinkClass::CrossAz, &mut rng, n),
+        model.mean_rtt_ms(LinkClass::CrossAz)
+    );
+    println!();
+    println!("Table 1c: cross-region mean RTTs, ms (sampled / paper)");
+    print!("{:>6}", "");
+    for b in &ALL_REGIONS[1..] {
+        print!("{:>14}", b.code());
+    }
+    println!();
+    for (i, &a) in ALL_REGIONS.iter().enumerate() {
+        if i == ALL_REGIONS.len() - 1 {
+            break;
+        }
+        print!("{:>6}", a.code());
+        for &b in &ALL_REGIONS[1..] {
+            if b.index() <= i {
+                print!("{:>14}", "");
+                continue;
+            }
+            let class = LinkClass::CrossRegion(RegionPair(a, b));
+            let sampled = sampled_mean(&model, class, &mut rng, n);
+            let paper = model.mean_rtt_ms(class);
+            print!("{:>7.1}/{:<6.1}", sampled, paper);
+        }
+        println!();
+    }
+    println!();
+    let intra = model.mean_rtt_ms(LinkClass::IntraAz);
+    let az = model.mean_rtt_ms(LinkClass::CrossAz);
+    let wan_min = 22.5;
+    let wan_max = 362.8;
+    println!(
+        "ratios: cross-AZ/intra = {:.1}x; cross-region/intra = {:.0}x-{:.0}x",
+        az / intra,
+        wan_min / intra,
+        wan_max / intra
+    );
+    println!("(paper: 1.82-6.38x and 40-647x)");
+}

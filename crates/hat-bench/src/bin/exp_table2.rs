@@ -1,0 +1,25 @@
+//! Table 2: default and maximum isolation levels of 18 ACID/NewSQL
+//! databases (January 2013 survey, reproduced verbatim).
+//!
+//! Run: `cargo run -p hat-bench --release --bin exp_table2`
+
+use hat_core::survey::{stats, SURVEY};
+
+fn main() {
+    println!("{:<26} {:>10} {:>10}", "Database", "Default", "Maximum");
+    println!("{}", "-".repeat(48));
+    for e in SURVEY {
+        println!(
+            "{:<26} {:>10} {:>10}",
+            e.database,
+            e.default.code(),
+            e.maximum.code()
+        );
+    }
+    println!("{}", "-".repeat(48));
+    let s = stats();
+    println!("databases surveyed:              {}", s.total);
+    println!("serializable by default:         {} (paper: 3)", s.serializable_by_default);
+    println!("no serializability option:       {} (paper: 8)", s.no_serializability_option);
+    println!("weak (RC/CS/CR) default:         {}", s.weak_default);
+}

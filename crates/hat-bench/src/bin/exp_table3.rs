@@ -1,0 +1,41 @@
+//! Table 3: summary of highly available, sticky available, and
+//! unavailable models, with unavailability causes (†: lost update,
+//! ‡: write skew, ⊕: recency).
+//!
+//! Run: `cargo run -p hat-bench --release --bin exp_table3`
+
+use hat_core::taxonomy::{Availability, Model};
+
+fn main() {
+    let mut ha = Vec::new();
+    let mut sticky = Vec::new();
+    let mut unavailable = Vec::new();
+    for m in Model::ALL {
+        match m.availability() {
+            Availability::HighlyAvailable => ha.push(m.acronym().to_string()),
+            Availability::Sticky => sticky.push(m.acronym().to_string()),
+            Availability::Unavailable(u) => {
+                let mut marks = String::new();
+                if u.prevents_lost_update {
+                    marks.push('†');
+                }
+                if u.prevents_write_skew {
+                    marks.push('‡');
+                }
+                if u.requires_recency {
+                    marks.push('⊕');
+                }
+                unavailable.push(format!("{}{}", m.acronym(), marks));
+            }
+        }
+    }
+    println!("HA          {}", ha.join(", "));
+    println!("Sticky      {}", sticky.join(", "));
+    println!("Unavailable {}", unavailable.join(", "));
+    println!();
+    println!("legend: † prevents lost update, ‡ prevents write skew, ⊕ requires recency");
+    println!(
+        "paper Table 3: HA = RU, RC, MAV, I-CI, P-CI, WFR, MR, MW; Sticky = RYW, PRAM, causal;"
+    );
+    println!("Unavailable = CS†, SI†, RR†‡, 1SR†‡, recency⊕, safe⊕, regular⊕, linearizable⊕, Strong-1SR†‡⊕");
+}

@@ -1,0 +1,10 @@
+//! # hat-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/exp_*.rs`) plus
+//! criterion micro-benchmarks (`benches/`). This library holds shared
+//! experiment plumbing: YCSB-style closed-loop runs over simulated
+//! deployments and row formatting.
+
+pub mod runner;
+
+pub use runner::{header, row, run_ycsb, YcsbRunConfig, YcsbRunResult};

@@ -1,0 +1,152 @@
+//! Shared closed-loop YCSB experiment runner (§6.3 methodology).
+//!
+//! Each run builds a simulated deployment, attaches `clients` closed-loop
+//! YCSB drivers, runs for a simulated duration, and reports throughput
+//! and latency aggregates — the series plotted in Figures 3–6.
+
+use hat_core::client::TxnSource;
+use hat_core::{ClusterSpec, ProtocolKind, SimulationBuilder, SystemConfig};
+use hat_sim::SimDuration;
+use hat_workloads::{YcsbConfig, YcsbSource};
+
+/// One experiment point.
+#[derive(Debug, Clone)]
+pub struct YcsbRunConfig {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Cluster deployment.
+    pub spec: ClusterSpec,
+    /// Total closed-loop clients (spread round-robin over clusters).
+    pub clients: usize,
+    /// Workload shape.
+    pub ycsb: YcsbConfig,
+    /// Simulated measurement window.
+    pub duration: SimDuration,
+    /// Engine seed.
+    pub seed: u64,
+}
+
+impl YcsbRunConfig {
+    /// The paper's §6.3 defaults on a given deployment: 100k keys, 1 KB
+    /// values, 8 ops/txn, 50% reads.
+    pub fn paper_defaults(protocol: ProtocolKind, spec: ClusterSpec, clients: usize) -> Self {
+        YcsbRunConfig {
+            protocol,
+            spec,
+            clients,
+            ycsb: YcsbConfig::default(),
+            duration: SimDuration::from_secs(2),
+            seed: 0xEC2,
+        }
+    }
+}
+
+/// Aggregated result of one run.
+#[derive(Debug, Clone)]
+pub struct YcsbRunResult {
+    /// Protocol measured.
+    pub protocol: ProtocolKind,
+    /// Client count.
+    pub clients: usize,
+    /// Committed transactions per simulated second.
+    pub throughput_tps: f64,
+    /// Committed operations per simulated second.
+    pub throughput_ops: f64,
+    /// Mean transaction latency, ms.
+    pub mean_latency_ms: f64,
+    /// 95th percentile transaction latency, ms.
+    pub p95_latency_ms: f64,
+    /// Transactions committed in the window.
+    pub committed: u64,
+}
+
+/// Runs one experiment point.
+pub fn run_ycsb(cfg: &YcsbRunConfig) -> YcsbRunResult {
+    let drivers: Vec<Box<dyn TxnSource>> = (0..cfg.clients)
+        .map(|_| Box::new(YcsbSource::new(cfg.ycsb.clone())) as Box<dyn TxnSource>)
+        .collect();
+    let mut system = SystemConfig::new(cfg.protocol);
+    system.record_history = false; // throughput runs skip history capture
+    let mut sim = SimulationBuilder::new(cfg.protocol)
+        .seed(cfg.seed)
+        .clusters(cfg.spec.clone())
+        .config(system)
+        .drivers(drivers)
+        .build();
+    sim.run_for(cfg.duration);
+    let ops_per_txn = cfg.ycsb.ops_per_txn as f64;
+    let m = sim.aggregate_metrics();
+    let secs = cfg.duration.as_secs_f64();
+    YcsbRunResult {
+        protocol: cfg.protocol,
+        clients: cfg.clients,
+        throughput_tps: m.committed as f64 / secs,
+        throughput_ops: m.committed as f64 * ops_per_txn / secs,
+        mean_latency_ms: m.txn_latency_ms.mean(),
+        p95_latency_ms: m.txn_latency_ms.quantile(0.95),
+        committed: m.committed,
+    }
+}
+
+/// Formats a result as an aligned table row.
+pub fn row(r: &YcsbRunResult) -> String {
+    format!(
+        "{:10} {:>8} {:>12.0} {:>12.0} {:>12.2} {:>12.2}",
+        r.protocol.label(),
+        r.clients,
+        r.throughput_tps,
+        r.throughput_ops,
+        r.mean_latency_ms,
+        r.p95_latency_ms
+    )
+}
+
+/// Table header matching [`row`].
+pub fn header() -> String {
+    format!(
+        "{:10} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "protocol", "clients", "txn/s", "ops/s", "mean ms", "p95 ms"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_produces_sane_numbers() {
+        let cfg = YcsbRunConfig {
+            protocol: ProtocolKind::Eventual,
+            spec: ClusterSpec::single_dc(2, 2),
+            clients: 4,
+            ycsb: YcsbConfig::small(),
+            duration: SimDuration::from_millis(500),
+            seed: 1,
+        };
+        let r = run_ycsb(&cfg);
+        assert!(r.committed > 0, "{r:?}");
+        assert!(r.throughput_tps > 0.0);
+        assert!(r.mean_latency_ms > 0.0);
+        assert!(r.p95_latency_ms >= r.mean_latency_ms * 0.3);
+    }
+
+    #[test]
+    fn master_slower_than_eventual_over_wan() {
+        let mk = |p| YcsbRunConfig {
+            protocol: p,
+            spec: ClusterSpec::va_or(2),
+            clients: 8,
+            ycsb: YcsbConfig::small(),
+            duration: SimDuration::from_secs(2),
+            seed: 2,
+        };
+        let ev = run_ycsb(&mk(ProtocolKind::Eventual));
+        let ma = run_ycsb(&mk(ProtocolKind::Master));
+        assert!(
+            ma.mean_latency_ms > ev.mean_latency_ms * 5.0,
+            "master {:.1}ms vs eventual {:.1}ms",
+            ma.mean_latency_ms,
+            ev.mean_latency_ms
+        );
+    }
+}

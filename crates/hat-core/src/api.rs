@@ -1,0 +1,525 @@
+//! High-level simulation facade: build a deployment, run transactions.
+//!
+//! [`SimulationBuilder`] assembles clusters, clients, latency and
+//! partition schedules into a [`Sim`]. Transactions run synchronously
+//! from the caller's point of view: each operation injects work into the
+//! client actor and steps the simulation until the response arrives (or
+//! the operation deadline passes — which is how unavailability surfaces,
+//! as [`HatError::Unavailable`]).
+
+use crate::client::{Client, SessionOptions, TxnSource};
+use crate::cluster::{ClusterLayout, ClusterSpec};
+use crate::config::{ProtocolKind, SystemConfig};
+use crate::error::HatError;
+use crate::metrics::ClientMetrics;
+use crate::node::Node;
+use crate::server::Server;
+use crate::txn::{OpRecord, TxnOutcome, TxnRecord};
+use bytes::Bytes;
+use hat_sim::{
+    Engine, EngineConfig, LatencyModel, NodeId, PartitionSchedule, SimDuration, SimTime, Topology,
+};
+use hat_storage::{Key, MemStore};
+use std::sync::Arc;
+
+/// Builder for a simulated HAT deployment.
+pub struct SimulationBuilder {
+    protocol: ProtocolKind,
+    seed: u64,
+    spec: ClusterSpec,
+    clients_per_cluster: usize,
+    session: SessionOptions,
+    config: SystemConfig,
+    latency: LatencyModel,
+    partitions: PartitionSchedule,
+    drivers: Vec<Box<dyn TxnSource>>,
+}
+
+impl SimulationBuilder {
+    /// Starts a builder for `protocol` with a default two-cluster,
+    /// single-datacenter deployment.
+    pub fn new(protocol: ProtocolKind) -> Self {
+        SimulationBuilder {
+            protocol,
+            seed: DEFAULT_SEED,
+            spec: ClusterSpec::single_dc(2, 1),
+            clients_per_cluster: 1,
+            session: SessionOptions::default(),
+            config: SystemConfig::new(protocol),
+            latency: LatencyModel::default(),
+            partitions: PartitionSchedule::none(),
+            drivers: Vec::new(),
+        }
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the cluster deployment.
+    pub fn clusters(mut self, spec: ClusterSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Number of clients attached to each cluster (facade mode).
+    pub fn clients_per_cluster(mut self, n: usize) -> Self {
+        self.clients_per_cluster = n;
+        self
+    }
+
+    /// Session options for every client.
+    pub fn session(mut self, session: SessionOptions) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// Overrides the system configuration (service model, intervals).
+    /// The protocol field is forced to the builder's protocol.
+    pub fn config(mut self, mut config: SystemConfig) -> Self {
+        config.protocol = self.protocol;
+        self.config = config;
+        self
+    }
+
+    /// Overrides the latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Installs a partition schedule.
+    pub fn partitions(mut self, partitions: PartitionSchedule) -> Self {
+        self.partitions = partitions;
+        self
+    }
+
+    /// Closed-loop mode: one driver per client. The number of clients
+    /// becomes `drivers.len()`, assigned to clusters round-robin.
+    pub fn drivers(mut self, drivers: Vec<Box<dyn TxnSource>>) -> Self {
+        self.drivers = drivers;
+        self
+    }
+
+    /// Builds the [`Sim`].
+    ///
+    /// # Panics
+    /// Panics if clusters have unequal sizes (positional anti-entropy
+    /// peering requires equal partition counts) or no servers/clients.
+    pub fn build(self) -> Sim {
+        let (engine_config, topology, actors, layout, config) = self.build_parts();
+        let engine = Engine::new(engine_config, topology, actors);
+        Sim {
+            engine,
+            layout,
+            config,
+        }
+    }
+
+    /// Builds the deployment pieces without an engine — used by external
+    /// runtimes (e.g. `hat-runtime`'s threaded executor) that drive the
+    /// same actors themselves.
+    #[allow(clippy::type_complexity)]
+    pub fn build_parts(
+        self,
+    ) -> (
+        EngineConfig,
+        Topology,
+        Vec<Node>,
+        Arc<ClusterLayout>,
+        Arc<SystemConfig>,
+    ) {
+        let sizes: Vec<usize> = self.spec.clusters.iter().map(|(_, n)| *n).collect();
+        assert!(!sizes.is_empty(), "need at least one cluster");
+        assert!(
+            sizes.iter().all(|&n| n == sizes[0] && n > 0),
+            "clusters must be equal-sized and non-empty, got {sizes:?}"
+        );
+        let n_clusters = sizes.len();
+
+        let mut topology = Topology::new();
+        let mut servers: Vec<Vec<NodeId>> = Vec::with_capacity(n_clusters);
+        for (site, n) in &self.spec.clusters {
+            servers.push(topology.add_nodes(*site, *n));
+        }
+        let n_clients = if self.drivers.is_empty() {
+            self.clients_per_cluster * n_clusters
+        } else {
+            self.drivers.len()
+        };
+        assert!(n_clients > 0, "need at least one client");
+        let mut clients = Vec::with_capacity(n_clients);
+        let mut client_home = Vec::with_capacity(n_clients);
+        for i in 0..n_clients {
+            let home = i % n_clusters;
+            let site = self.spec.clusters[home].0;
+            clients.push(topology.add_node(site));
+            client_home.push(home);
+        }
+        let layout = Arc::new(ClusterLayout {
+            servers,
+            clients: clients.clone(),
+            client_home,
+        });
+        let config = Arc::new(self.config);
+
+        let mut drivers: Vec<Option<Box<dyn TxnSource>>> =
+            self.drivers.into_iter().map(Some).collect();
+        drivers.resize_with(n_clients, || None);
+
+        let mut actors: Vec<Node> = Vec::with_capacity(topology.len());
+        for cluster in 0..n_clusters {
+            for &id in &layout.servers[cluster] {
+                actors.push(Node::Server(Server::new(
+                    id,
+                    cluster,
+                    Arc::clone(&layout),
+                    Arc::clone(&config),
+                    Box::new(MemStore::new()),
+                )));
+            }
+        }
+        for (i, &id) in clients.iter().enumerate() {
+            // writer id 0 is reserved for the initial version's writer
+            let mut c = Client::new(
+                id,
+                i as u32 + 1,
+                layout.client_home[i],
+                Arc::clone(&layout),
+                Arc::clone(&config),
+                self.session,
+            );
+            if let Some(d) = drivers[i].take() {
+                c = c.with_driver(d);
+            }
+            actors.push(Node::Client(c));
+        }
+
+        (
+            EngineConfig {
+                seed: self.seed,
+                latency: self.latency,
+                partitions: self.partitions,
+            },
+            topology,
+            actors,
+            layout,
+            config,
+        )
+    }
+}
+
+/// Default engine seed when the builder is not given one.
+const DEFAULT_SEED: u64 = 0x4A7_5EED;
+
+/// A running simulated deployment.
+pub struct Sim {
+    engine: Engine<Node>,
+    layout: Arc<ClusterLayout>,
+    config: Arc<SystemConfig>,
+}
+
+impl Sim {
+    /// The node id of client number `idx` (0-based).
+    pub fn client(&self, idx: usize) -> NodeId {
+        self.layout.clients[idx]
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.layout.clients.len()
+    }
+
+    /// The cluster layout.
+    pub fn layout(&self) -> &ClusterLayout {
+        &self.layout
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Advances simulated time by `d`, processing due events.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.engine.run_for(d);
+    }
+
+    /// Lets replication quiesce: runs long enough for anti-entropy and
+    /// WAN propagation (2 simulated seconds).
+    pub fn settle(&mut self) {
+        self.run_for(SimDuration::from_secs(2));
+    }
+
+    /// Direct engine access (tests, experiments).
+    pub fn engine_mut(&mut self) -> &mut Engine<Node> {
+        &mut self.engine
+    }
+
+    /// Immutable engine access.
+    pub fn engine(&self) -> &Engine<Node> {
+        &self.engine
+    }
+
+    /// Metrics of client `node` (cloned snapshot).
+    pub fn metrics(&self, client: NodeId) -> ClientMetrics {
+        self.engine
+            .actor(client)
+            .as_client()
+            .expect("not a client")
+            .metrics
+            .clone()
+    }
+
+    /// Aggregated metrics across all clients.
+    pub fn aggregate_metrics(&self) -> ClientMetrics {
+        let mut total = ClientMetrics::default();
+        for &c in &self.layout.clients {
+            total.merge(&self.engine.actor(c).as_client().unwrap().metrics);
+        }
+        total
+    }
+
+    /// Drains recorded transaction histories from every client.
+    pub fn take_records(&mut self) -> Vec<TxnRecord> {
+        let mut all = Vec::new();
+        for &c in &self.layout.clients.clone() {
+            let client = self
+                .engine
+                .actor_mut(c)
+                .as_client_mut()
+                .expect("not a client");
+            all.extend(client.take_records());
+        }
+        all.sort_by_key(|r| (r.session, r.session_seq));
+        all
+    }
+
+    /// Total MAV `required` misses across servers (0 in a correct run).
+    pub fn mav_required_misses(&self) -> u64 {
+        self.layout
+            .servers
+            .iter()
+            .flatten()
+            .map(|&s| {
+                self.engine
+                    .actor(s)
+                    .as_server()
+                    .map(|srv| srv.mav_required_misses())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Runs a transaction on `client`, panicking on unavailability or
+    /// system aborts (use [`Sim::try_txn`] to observe those).
+    pub fn txn<R>(&mut self, client: NodeId, f: impl FnOnce(&mut TxnCtx<'_>) -> R) -> R {
+        match self.try_txn(client, f) {
+            Ok(r) => r,
+            Err(e) => panic!("transaction failed: {e}"),
+        }
+    }
+
+    /// Runs a transaction on `client`, reporting unavailability and
+    /// aborts as errors. Operations after a failure become no-ops
+    /// (reads return `None`).
+    pub fn try_txn<R>(
+        &mut self,
+        client: NodeId,
+        f: impl FnOnce(&mut TxnCtx<'_>) -> R,
+    ) -> Result<R, HatError> {
+        self.engine.with_actor_ctx(client, |node, ctx| {
+            let c = node.as_client_mut().expect("not a client");
+            c.clear_finished();
+            c.begin(ctx.now());
+        });
+        let mut tc = TxnCtx {
+            sim: self,
+            client,
+            failed: None,
+            aborted: false,
+        };
+        let result = f(&mut tc);
+        let failed = tc.failed.take();
+        let aborted = tc.aborted;
+        if let Some(e) = failed {
+            self.abandon(client);
+            return Err(e);
+        }
+        if aborted {
+            return Err(HatError::InternalAbort {
+                reason: "aborted by transaction".into(),
+            });
+        }
+        self.engine.with_actor_ctx(client, |node, ctx| {
+            node.as_client_mut().unwrap().start_commit(ctx)
+        });
+        if let Err(e) = self.wait_idle(client) {
+            self.abandon(client);
+            return Err(e);
+        }
+        let outcome = self
+            .engine
+            .actor(client)
+            .as_client()
+            .unwrap()
+            .txn_outcome();
+        match outcome {
+            Some(TxnOutcome::Committed) => Ok(result),
+            Some(TxnOutcome::AbortedExternal) => Err(HatError::ExternalAbort {
+                reason: "system abort during commit".into(),
+            }),
+            Some(TxnOutcome::AbortedInternal) => Err(HatError::InternalAbort {
+                reason: "transaction aborted".into(),
+            }),
+            None => Err(HatError::Unavailable { key: None }),
+        }
+    }
+
+    fn abandon(&mut self, client: NodeId) {
+        if let Some(c) = self.engine.actor_mut(client).as_client_mut() {
+            c.abandon();
+        }
+    }
+
+    /// Steps the engine until `client` has no outstanding network round,
+    /// or the operation deadline passes.
+    fn wait_idle(&mut self, client: NodeId) -> Result<(), HatError> {
+        let deadline = self.engine.now() + self.config.op_deadline;
+        loop {
+            let busy = self
+                .engine
+                .actor(client)
+                .as_client()
+                .expect("not a client")
+                .busy();
+            if !busy {
+                return Ok(());
+            }
+            match self.engine.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.engine.step();
+                }
+                _ => return Err(HatError::Unavailable { key: None }),
+            }
+        }
+    }
+}
+
+/// Handle passed to transaction closures.
+pub struct TxnCtx<'a> {
+    sim: &'a mut Sim,
+    client: NodeId,
+    failed: Option<HatError>,
+    aborted: bool,
+}
+
+impl TxnCtx<'_> {
+    /// Reads `key` as a UTF-8 string. Returns `None` for the initial `⊥`
+    /// value, non-UTF-8 data, or after a failure.
+    pub fn get(&mut self, key: &str) -> Option<String> {
+        self.get_bytes(key)
+            .and_then(|b| String::from_utf8(b.to_vec()).ok())
+    }
+
+    /// Reads `key` raw. Returns `None` for `⊥` or after a failure.
+    pub fn get_bytes(&mut self, key: &str) -> Option<Bytes> {
+        if self.failed.is_some() || self.aborted {
+            return None;
+        }
+        let k = Key::from(key.to_owned());
+        self.sim.engine.with_actor_ctx(self.client, |node, ctx| {
+            node.as_client_mut().unwrap().issue_read(ctx, k)
+        });
+        if let Err(e) = self.sim.wait_idle(self.client) {
+            self.failed = Some(e);
+            return None;
+        }
+        match self
+            .sim
+            .engine
+            .actor(self.client)
+            .as_client()
+            .unwrap()
+            .last_op()
+        {
+            Some(OpRecord::Read {
+                observed, value, ..
+            }) => {
+                if observed.is_initial() {
+                    None
+                } else {
+                    Some(value.clone())
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Writes a UTF-8 value.
+    pub fn put(&mut self, key: &str, value: &str) {
+        self.put_bytes(key, Bytes::from(value.to_owned()));
+    }
+
+    /// Writes raw bytes.
+    pub fn put_bytes(&mut self, key: &str, value: Bytes) {
+        if self.failed.is_some() || self.aborted {
+            return;
+        }
+        let k = Key::from(key.to_owned());
+        self.sim.engine.with_actor_ctx(self.client, |node, ctx| {
+            node.as_client_mut().unwrap().issue_write(ctx, k, value)
+        });
+        if let Err(e) = self.sim.wait_idle(self.client) {
+            self.failed = Some(e);
+        }
+    }
+
+    /// Predicate read: all `(key, value)` pairs under `prefix`, as UTF-8.
+    pub fn scan(&mut self, prefix: &str) -> Vec<(String, String)> {
+        if self.failed.is_some() || self.aborted {
+            return Vec::new();
+        }
+        let p = Key::from(prefix.to_owned());
+        self.sim.engine.with_actor_ctx(self.client, |node, ctx| {
+            node.as_client_mut().unwrap().issue_scan(ctx, p)
+        });
+        if let Err(e) = self.sim.wait_idle(self.client) {
+            self.failed = Some(e);
+            return Vec::new();
+        }
+        self.sim
+            .engine
+            .actor(self.client)
+            .as_client()
+            .unwrap()
+            .last_scan()
+            .iter()
+            .filter_map(|(k, v)| {
+                let ks = String::from_utf8(k.to_vec()).ok()?;
+                let vs = String::from_utf8(v.to_vec()).ok()?;
+                Some((ks, vs))
+            })
+            .collect()
+    }
+
+    /// Marks the transaction internally aborted; subsequent ops are
+    /// no-ops and [`Sim::try_txn`] returns
+    /// [`HatError::InternalAbort`].
+    pub fn abort(&mut self) {
+        if self.aborted || self.failed.is_some() {
+            return;
+        }
+        self.aborted = true;
+        self.sim.engine.with_actor_ctx(self.client, |node, ctx| {
+            node.as_client_mut().unwrap().abort(ctx)
+        });
+    }
+
+    /// The error recorded so far, if any (inspection before txn end).
+    pub fn error(&self) -> Option<&HatError> {
+        self.failed.as_ref()
+    }
+}

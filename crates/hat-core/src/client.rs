@@ -1,0 +1,1243 @@
+//! The HAT client: transaction execution, session guarantees, buffering.
+//!
+//! Clients implement the client-side algorithms of §5.1 and Appendix B:
+//!
+//! * **Write buffering** (Read Committed, §5.1.1): writes stay in a
+//!   client-side buffer until commit, so no transaction ever reads
+//!   another's uncommitted data.
+//! * **Item cut isolation** (§5.1.1): a per-transaction read cache makes
+//!   repeated reads of an item return the same value.
+//! * **MAV `required` vectors** (§5.1.2): reads collect sibling
+//!   timestamps and attach them as lower bounds on subsequent reads.
+//! * **Session guarantees** (§5.1.3): a cross-transaction read/write
+//!   cache plus stickiness yield read-your-writes and monotonic reads;
+//!   with the MAV substrate this extends to causal-style sessions.
+//! * **Stickiness** (§4.1): sticky clients always contact their home
+//!   cluster's replica; non-sticky clients pick a random cluster per
+//!   attempt (and retry elsewhere on failure — which is exactly how the
+//!   read-your-writes impossibility of §5.1.3 manifests).
+//!
+//! A client is either driven externally (the [`crate::Sim`] facade) or by
+//! a [`TxnSource`] in a closed loop (one transaction completes, the next
+//! begins — the YCSB harness of §6.3).
+
+use crate::cluster::ClusterLayout;
+use crate::config::{ProtocolKind, SystemConfig};
+use crate::messages::Msg;
+use crate::metrics::ClientMetrics;
+use crate::timestamp::{Timestamp, TimestampGen};
+use crate::txn::{Op, OpRecord, TxnOutcome, TxnRecord, TxnSpec};
+use bytes::Bytes;
+use hat_sim::{Ctx, NodeId, SimTime};
+use hat_storage::{Key, Record};
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Supplies transaction plans to a closed-loop client.
+pub trait TxnSource: Send {
+    /// The next transaction to run, or `None` to stop.
+    fn next_txn(&mut self, rng: &mut rand::rngs::StdRng) -> Option<TxnSpec>;
+}
+
+/// Client-side session guarantee level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SessionLevel {
+    /// No client-side caching beyond per-transaction read-your-writes.
+    #[default]
+    None,
+    /// Item cut isolation: repeated reads in a transaction return the
+    /// same value (per-transaction cache, discarded at commit).
+    ItemCut,
+    /// Monotonic sessions: a cross-transaction cache of the newest
+    /// version observed or written per item gives monotonic reads and
+    /// read-your-writes (the client "acts as a server itself", §4.1).
+    Monotonic,
+    /// Causal sessions: [`SessionLevel::Monotonic`] plus a cross-
+    /// transaction `required` vector over the MAV substrate; requires a
+    /// sticky configuration (§5.1.3 proves stickiness is necessary).
+    Causal,
+}
+
+/// Session configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionOptions {
+    /// Client-side guarantee level.
+    pub level: SessionLevel,
+    /// Sticky (home-cluster) routing vs any-replica routing.
+    pub sticky: bool,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            level: SessionLevel::None,
+            sticky: true,
+        }
+    }
+}
+
+/// What the single outstanding network round is waiting for.
+#[derive(Debug, Clone, PartialEq)]
+enum PendingKind {
+    /// A `Get` for an item read.
+    Read { key: Key },
+    /// A `Scan` for a predicate read. Scans scatter-gather: data is
+    /// hash-partitioned within a cluster, so every server of the target
+    /// cluster is queried and the responses merged.
+    Scan {
+        prefix: Key,
+        /// Servers that have not responded yet.
+        waiting: Vec<NodeId>,
+        /// Accumulated matches from servers that responded.
+        acc: Vec<(Key, Record)>,
+    },
+    /// A `Put` issued at operation time (eventual / master / 2PL data
+    /// writes at commit are tracked via `commit_waiting` instead).
+    WriteNow { key: Key, value: Bytes },
+    /// A 2PL `Lock`; on grant, `then` decides the follow-up.
+    Lock { key: Key, exclusive: bool, then: LockFollowup },
+}
+
+/// What to do once a 2PL lock is granted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LockFollowup {
+    /// Issue the read at the lock master.
+    Read,
+    /// Just buffer the write (data moves at commit).
+    BufferWrite,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct PendingOp {
+    kind: PendingKind,
+    op: u32,
+    target: NodeId,
+    issued: SimTime,
+    issue_id: u64,
+    /// Retries so far (drives exponential backoff).
+    attempts: u32,
+    /// Value carried for `Lock{then: BufferWrite}`.
+    write_value: Option<Bytes>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Executing,
+    Committing,
+    Done(TxnOutcome),
+}
+
+#[derive(Debug)]
+struct ActiveTxn {
+    id: Timestamp,
+    /// Stamp all of this transaction's writes carry. Assigned lazily at
+    /// the first write so it Lamport-dominates every version the
+    /// transaction has read by then (under locking this makes the
+    /// last-writer-wins order agree with the serial order).
+    write_stamp: Option<Timestamp>,
+    started: SimTime,
+    ops_done: Vec<OpRecord>,
+    /// Buffered writes in program order (last write per key wins).
+    write_buffer: Vec<(Key, Bytes)>,
+    /// Per-transaction read cache (item cut isolation + per-txn RYW).
+    txn_cache: HashMap<Key, Record>,
+    /// MAV `required` vector (Appendix B).
+    required: HashMap<Key, Timestamp>,
+    phase: Phase,
+    /// Remaining plan when driver-driven: `(spec, next_op_index)`.
+    plan: Option<(TxnSpec, usize)>,
+    op_seq: u32,
+    pending: Option<PendingOp>,
+    /// Commit phase: op ids of unacknowledged `Put`s and their payloads
+    /// for retry.
+    commit_waiting: HashMap<u32, (Key, Record, NodeId)>,
+    /// Commit-phase retries so far (drives exponential backoff).
+    commit_attempts: u32,
+    /// Issue id of the live commit retry timer (stale timers are
+    /// ignored).
+    commit_issue: u64,
+    /// 2PL: lock masters holding our locks (for unlock).
+    locks_held: Vec<(Key, NodeId)>,
+}
+
+/// The client actor.
+pub struct Client {
+    id: NodeId,
+    client_idx: u32,
+    home: usize,
+    layout: Arc<ClusterLayout>,
+    config: Arc<SystemConfig>,
+    session: SessionOptions,
+    tsgen: TimestampGen,
+    session_seq: u64,
+    /// Cross-transaction cache for Monotonic/Causal sessions.
+    session_cache: HashMap<Key, Record>,
+    /// Cross-transaction `required` floor for Causal sessions.
+    causal_required: HashMap<Key, Timestamp>,
+    current: Option<ActiveTxn>,
+    /// Key/value pairs of the most recent scan response (facade access).
+    last_scan: Vec<(Key, Bytes)>,
+    /// Performance counters.
+    pub metrics: ClientMetrics,
+    records: Vec<TxnRecord>,
+    driver: Option<Box<dyn TxnSource>>,
+    issue_counter: u64,
+}
+
+/// Timer tag bit marking a 2PL lock timeout (vs a retry timer).
+const LOCK_TIMEOUT_BIT: u64 = 1 << 63;
+
+impl Client {
+    /// Builds a client. `client_idx` is the unique writer id used in
+    /// timestamps; `home` is the sticky home cluster.
+    pub fn new(
+        id: NodeId,
+        client_idx: u32,
+        home: usize,
+        layout: Arc<ClusterLayout>,
+        config: Arc<SystemConfig>,
+        session: SessionOptions,
+    ) -> Self {
+        Client {
+            id,
+            client_idx,
+            home,
+            layout,
+            config,
+            session,
+            tsgen: TimestampGen::new(client_idx),
+            session_seq: 0,
+            session_cache: HashMap::new(),
+            causal_required: HashMap::new(),
+            current: None,
+            last_scan: Vec::new(),
+            metrics: ClientMetrics::default(),
+            records: Vec::new(),
+            driver: None,
+            issue_counter: 0,
+        }
+    }
+
+    /// Installs a closed-loop transaction source (driver mode).
+    pub fn with_driver(mut self, driver: Box<dyn TxnSource>) -> Self {
+        self.driver = Some(driver);
+        self
+    }
+
+    /// The node id of this client.
+    pub fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The writer id used in this client's timestamps.
+    pub fn client_idx(&self) -> u32 {
+        self.client_idx
+    }
+
+    /// Recorded transaction histories (empty unless
+    /// `config.record_history`).
+    pub fn records(&self) -> &[TxnRecord] {
+        &self.records
+    }
+
+    /// Takes the recorded histories out of the client.
+    pub fn take_records(&mut self) -> Vec<TxnRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    // ---------------------------------------------------------------
+    // Facade-facing state inspection
+    // ---------------------------------------------------------------
+
+    /// True while a network round (or commit) is outstanding.
+    pub fn busy(&self) -> bool {
+        match &self.current {
+            None => false,
+            Some(t) => t.pending.is_some() || !t.commit_waiting.is_empty(),
+        }
+    }
+
+    /// The outcome of the current transaction once it finished.
+    pub fn txn_outcome(&self) -> Option<TxnOutcome> {
+        match &self.current {
+            Some(ActiveTxn {
+                phase: Phase::Done(o),
+                ..
+            }) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// The result of the last completed read/scan, as recorded ops.
+    pub fn last_op(&self) -> Option<&OpRecord> {
+        self.current.as_ref().and_then(|t| t.ops_done.last())
+    }
+
+    /// Key/value pairs of the most recent scan response.
+    pub fn last_scan(&self) -> &[(Key, Bytes)] {
+        &self.last_scan
+    }
+
+    // ---------------------------------------------------------------
+    // Transaction lifecycle (called by the facade or the driver loop)
+    // ---------------------------------------------------------------
+
+    /// Begins a transaction.
+    ///
+    /// # Panics
+    /// Panics if one is already active.
+    pub fn begin(&mut self, now: SimTime) -> Timestamp {
+        assert!(
+            self.current.is_none(),
+            "client {} already has an active transaction",
+            self.id
+        );
+        let id = self.tsgen.next();
+        self.current = Some(ActiveTxn {
+            id,
+            write_stamp: None,
+            started: now,
+            ops_done: Vec::new(),
+            write_buffer: Vec::new(),
+            txn_cache: HashMap::new(),
+            required: HashMap::new(),
+            phase: Phase::Executing,
+            plan: None,
+            op_seq: 0,
+            pending: None,
+            commit_waiting: HashMap::new(),
+            commit_attempts: 0,
+            commit_issue: 0,
+            locks_held: Vec::new(),
+        });
+        id
+    }
+
+    /// Issues an item read. May complete immediately (buffered write /
+    /// cache hit), in which case no network round happens.
+    pub fn issue_read(&mut self, ctx: &mut Ctx<'_, Msg>, key: Key) {
+        let txn = self.current.as_mut().expect("no active txn");
+        assert!(txn.pending.is_none(), "one op at a time");
+        // Per-transaction read-your-writes from the write buffer
+        // (Appendix B client GET pseudocode).
+        if let Some((_, v)) = txn.write_buffer.iter().rev().find(|(k, _)| *k == key) {
+            let rec = OpRecord::Read {
+                key,
+                observed: txn.id,
+                value: v.clone(),
+            };
+            txn.ops_done.push(rec);
+            return;
+        }
+        // Item cut isolation: same-transaction repeat reads hit the cache.
+        if matches!(
+            self.session.level,
+            SessionLevel::ItemCut | SessionLevel::Monotonic | SessionLevel::Causal
+        ) {
+            if let Some(cached) = txn.txn_cache.get(&key) {
+                let rec = OpRecord::Read {
+                    key,
+                    observed: cached.stamp,
+                    value: cached.value.clone(),
+                };
+                txn.ops_done.push(rec);
+                return;
+            }
+        }
+        if self.config.protocol == ProtocolKind::TwoPhaseLocking {
+            self.issue_lock(ctx, key, false, LockFollowup::Read, None);
+            return;
+        }
+        self.send_get(ctx, key);
+    }
+
+    /// Issues a predicate read over `prefix`, scatter-gathered over all
+    /// servers of the chosen cluster (the keyspace is hash-partitioned,
+    /// so any server holds only part of the prefix).
+    pub fn issue_scan(&mut self, ctx: &mut Ctx<'_, Msg>, prefix: Key) {
+        let txn = self.current.as_mut().expect("no active txn");
+        assert!(txn.pending.is_none(), "one op at a time");
+        let op = txn.op_seq;
+        txn.op_seq += 1;
+        let cluster = if self.session.sticky
+            || !self.config.protocol.is_hat()
+        {
+            self.home
+        } else {
+            ctx.rng().gen_range(0..self.layout.num_clusters())
+        };
+        let servers: Vec<NodeId> = self.layout.servers[cluster].clone();
+        let issue_id = self.next_issue(ctx, 0);
+        let txn_state = self.current.as_mut().unwrap();
+        txn_state.pending = Some(PendingOp {
+            kind: PendingKind::Scan {
+                prefix: prefix.clone(),
+                waiting: servers.clone(),
+                acc: Vec::new(),
+            },
+            op,
+            target: servers[0],
+            issued: ctx.now(),
+            issue_id,
+            attempts: 0,
+            write_value: None,
+        });
+        let id = txn_state.id;
+        for s in servers {
+            ctx.send(
+                s,
+                Msg::Scan {
+                    txn: id,
+                    op,
+                    prefix: prefix.clone(),
+                },
+            );
+        }
+    }
+
+    /// Issues a write. Buffering protocols complete immediately;
+    /// eventual/master send the write now; 2PL acquires the lock first.
+    pub fn issue_write(&mut self, ctx: &mut Ctx<'_, Msg>, key: Key, value: Bytes) {
+        let txn = self.current.as_mut().expect("no active txn");
+        assert!(txn.pending.is_none(), "one op at a time");
+        match self.config.protocol {
+            ProtocolKind::ReadCommitted | ProtocolKind::Mav => {
+                // Buffer until commit (Read Committed write buffering).
+                Self::buffer_write(txn, key, value);
+            }
+            ProtocolKind::Eventual | ProtocolKind::Master => {
+                // Visible before commit: Read Uncommitted semantics for
+                // `eventual`; master applies at the key's master.
+                let op = txn.op_seq;
+                txn.op_seq += 1;
+                let stamp = self.write_stamp();
+                let record = Record::new(stamp, value.clone());
+                let target = if self.config.protocol == ProtocolKind::Master {
+                    self.layout.master(&key)
+                } else {
+                    self.pick_replica(ctx, &key)
+                };
+                let issue_id = self.next_issue(ctx, 0);
+                let txn = self.current.as_mut().unwrap();
+                Self::buffer_write(txn, key.clone(), value.clone());
+                txn.pending = Some(PendingOp {
+                    kind: PendingKind::WriteNow {
+                        key: key.clone(),
+                        value,
+                    },
+                    op,
+                    target,
+                    issued: ctx.now(),
+                    issue_id,
+                    attempts: 0,
+                    write_value: None,
+                });
+                ctx.send(
+                    target,
+                    Msg::Put {
+                        txn: txn.id,
+                        op,
+                        key,
+                        record,
+                    },
+                );
+            }
+            ProtocolKind::TwoPhaseLocking => {
+                self.issue_lock(ctx, key, true, LockFollowup::BufferWrite, Some(value));
+            }
+        }
+    }
+
+    /// Starts commit. Buffering protocols flush the write buffer; 2PL
+    /// flushes then unlocks; others finish immediately.
+    pub fn start_commit(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let txn = self.current.as_mut().expect("no active txn");
+        assert!(txn.pending.is_none(), "outstanding op at commit");
+        txn.phase = Phase::Committing;
+        match self.config.protocol {
+            ProtocolKind::Eventual | ProtocolKind::Master => {
+                self.finish_txn(ctx, TxnOutcome::Committed);
+            }
+            ProtocolKind::ReadCommitted | ProtocolKind::Mav => {
+                let is_mav = self.config.protocol == ProtocolKind::Mav;
+                let txn = self.current.as_mut().unwrap();
+                if txn.write_buffer.is_empty() {
+                    self.finish_txn(ctx, TxnOutcome::Committed);
+                    return;
+                }
+                // Deduplicate: last value per key, preserving first-write
+                // order; attach the sibling list for MAV.
+                let mut keys: Vec<Key> = Vec::new();
+                let mut values: HashMap<Key, Bytes> = HashMap::new();
+                for (k, v) in &txn.write_buffer {
+                    if !keys.contains(k) {
+                        keys.push(k.clone());
+                    }
+                    values.insert(k.clone(), v.clone());
+                }
+                let siblings = if is_mav { keys.clone() } else { Vec::new() };
+                let id = self.write_stamp();
+                let txn = self.current.as_mut().unwrap();
+                let mut to_send = Vec::new();
+                for k in &keys {
+                    let record = Record::with_siblings(
+                        id,
+                        values.remove(k).unwrap(),
+                        siblings.clone(),
+                    );
+                    let op = txn.op_seq;
+                    txn.op_seq += 1;
+                    to_send.push((op, k.clone(), record));
+                }
+                let issue_id = self.next_issue(ctx, 0);
+                self.current.as_mut().unwrap().commit_issue = issue_id;
+                for (op, k, record) in to_send {
+                    let target = self.pick_replica(ctx, &k);
+                    let txn = self.current.as_mut().unwrap();
+                    txn.commit_waiting.insert(op, (k.clone(), record.clone(), target));
+                    ctx.send(
+                        target,
+                        Msg::Put {
+                            txn: txn.id,
+                            op,
+                            key: k,
+                            record,
+                        },
+                    );
+                }
+                let _ = issue_id;
+            }
+            ProtocolKind::TwoPhaseLocking => {
+                let txn = self.current.as_mut().unwrap();
+                if txn.write_buffer.is_empty() {
+                    self.unlock_and_finish(ctx, TxnOutcome::Committed);
+                    return;
+                }
+                let id = self.write_stamp();
+                let txn = self.current.as_mut().unwrap();
+                let mut to_send = Vec::new();
+                let mut keys: Vec<Key> = Vec::new();
+                let mut values: HashMap<Key, Bytes> = HashMap::new();
+                for (k, v) in &txn.write_buffer {
+                    if !keys.contains(k) {
+                        keys.push(k.clone());
+                    }
+                    values.insert(k.clone(), v.clone());
+                }
+                for k in &keys {
+                    let record = Record::new(id, values.remove(k).unwrap());
+                    let op = txn.op_seq;
+                    txn.op_seq += 1;
+                    to_send.push((op, k.clone(), record));
+                }
+                let issue_id = self.next_issue(ctx, 0);
+                self.current.as_mut().unwrap().commit_issue = issue_id;
+                for (op, k, record) in to_send {
+                    let target = self.layout.master(&k);
+                    let txn = self.current.as_mut().unwrap();
+                    txn.commit_waiting.insert(op, (k.clone(), record.clone(), target));
+                    ctx.send(
+                        target,
+                        Msg::Put {
+                            txn: txn.id,
+                            op,
+                            key: k,
+                            record,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Aborts the current transaction (internal abort): drops the buffer,
+    /// releases any 2PL locks.
+    pub fn abort(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let txn = self.current.as_mut().expect("no active txn");
+        txn.pending = None;
+        txn.commit_waiting.clear();
+        self.release_locks(ctx);
+        self.finish_txn(ctx, TxnOutcome::AbortedInternal);
+    }
+
+    // ---------------------------------------------------------------
+    // Internals
+    // ---------------------------------------------------------------
+
+    fn buffer_write(txn: &mut ActiveTxn, key: Key, value: Bytes) {
+        txn.write_buffer.push((key.clone(), value.clone()));
+        txn.ops_done.push(OpRecord::Write { key, value });
+    }
+
+    /// The stamp this transaction's writes carry, assigned on first use
+    /// from the Lamport-advancing generator.
+    fn write_stamp(&mut self) -> Timestamp {
+        let txn = self.current.as_mut().expect("no active txn");
+        if let Some(ts) = txn.write_stamp {
+            return ts;
+        }
+        let ts = self.tsgen.next();
+        self.current.as_mut().unwrap().write_stamp = Some(ts);
+        ts
+    }
+
+    /// Allocates an issue id and schedules its retry timer with
+    /// exponential backoff in `attempts` (1x, 2x, 4x, 8x, then capped at
+    /// 16x the base retry interval) — without backoff, a saturated
+    /// server turns slow commits into a retry storm.
+    fn next_issue(&mut self, ctx: &mut Ctx<'_, Msg>, attempts: u32) -> u64 {
+        self.issue_counter += 1;
+        let id = self.issue_counter;
+        let delay = self
+            .config
+            .retry_interval
+            .saturating_mul(1u64 << attempts.min(4));
+        ctx.set_timer(delay, id);
+        id
+    }
+
+    /// Chooses the replica to contact for `key`.
+    fn pick_replica(&mut self, ctx: &mut Ctx<'_, Msg>, key: &Key) -> NodeId {
+        match self.config.protocol {
+            ProtocolKind::Master => self.layout.master(key),
+            ProtocolKind::TwoPhaseLocking => self.layout.master(key),
+            _ if self.session.sticky => self.layout.replica_in_cluster(key, self.home),
+            _ => {
+                let c = ctx.rng().gen_range(0..self.layout.num_clusters());
+                self.layout.replica_in_cluster(key, c)
+            }
+        }
+    }
+
+    fn send_get(&mut self, ctx: &mut Ctx<'_, Msg>, key: Key) {
+        let target = self.pick_replica(ctx, &key);
+        let issue_id = self.next_issue(ctx, 0);
+        let txn = self.current.as_mut().unwrap();
+        let op = txn.op_seq;
+        txn.op_seq += 1;
+        let mut required = *txn.required.get(&key).unwrap_or(&Timestamp::INITIAL);
+        if self.session.level == SessionLevel::Causal {
+            if let Some(&floor) = self.causal_required.get(&key) {
+                required = required.max(floor);
+            }
+        }
+        txn.pending = Some(PendingOp {
+            kind: PendingKind::Read { key: key.clone() },
+            op,
+            target,
+            issued: ctx.now(),
+            issue_id,
+            attempts: 0,
+            write_value: None,
+        });
+        ctx.send(
+            target,
+            Msg::Get {
+                txn: txn.id,
+                op,
+                key,
+                required,
+            },
+        );
+    }
+
+    fn issue_lock(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        key: Key,
+        exclusive: bool,
+        then: LockFollowup,
+        value: Option<Bytes>,
+    ) {
+        let target = self.layout.master(&key);
+        let issue_id = self.next_issue(ctx, 0);
+        // Lock timeout (deadlock breaker / unavailability bound).
+        ctx.set_timer(self.config.lock_timeout, issue_id | LOCK_TIMEOUT_BIT);
+        let txn = self.current.as_mut().unwrap();
+        let op = txn.op_seq;
+        txn.op_seq += 1;
+        txn.pending = Some(PendingOp {
+            kind: PendingKind::Lock {
+                key: key.clone(),
+                exclusive,
+                then,
+            },
+            op,
+            target,
+            issued: ctx.now(),
+            issue_id,
+            attempts: 0,
+            write_value: value,
+        });
+        ctx.send(
+            target,
+            Msg::Lock {
+                txn: txn.id,
+                op,
+                key,
+                exclusive,
+            },
+        );
+    }
+
+    fn release_locks(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some(txn) = self.current.as_mut() else {
+            return;
+        };
+        if txn.locks_held.is_empty() {
+            return;
+        }
+        // Group keys per lock master.
+        let mut per_master: HashMap<NodeId, Vec<Key>> = HashMap::new();
+        for (k, master) in txn.locks_held.drain(..) {
+            per_master.entry(master).or_default().push(k);
+        }
+        let id = txn.id;
+        for (master, keys) in per_master {
+            ctx.send(master, Msg::Unlock { txn: id, keys });
+        }
+    }
+
+    /// Completes the transaction: metrics, history, session state, and —
+    /// in driver mode — the next plan.
+    fn finish_txn(&mut self, ctx: &mut Ctx<'_, Msg>, outcome: TxnOutcome) {
+        let mut txn = self.current.take().expect("no active txn");
+        txn.phase = Phase::Done(outcome);
+        // The stamp this txn's writes actually carried (read-only txns
+        // keep their begin-time id).
+        let stamp = txn.write_stamp.unwrap_or(txn.id);
+        match outcome {
+            TxnOutcome::Committed => {
+                self.metrics.record_commit(txn.started, ctx.now());
+                // Fold the transaction's observations into session state.
+                if matches!(
+                    self.session.level,
+                    SessionLevel::Monotonic | SessionLevel::Causal
+                ) {
+                    for (k, r) in txn.txn_cache.drain() {
+                        let newer = self
+                            .session_cache
+                            .get(&k)
+                            .map(|old| r.stamp > old.stamp)
+                            .unwrap_or(true);
+                        if newer {
+                            self.session_cache.insert(k, r);
+                        }
+                    }
+                    // Own writes become cached reads (read-your-writes).
+                    for (k, v) in &txn.write_buffer {
+                        self.session_cache
+                            .insert(k.clone(), Record::new(stamp, v.clone()));
+                    }
+                }
+                if self.session.level == SessionLevel::Causal {
+                    for (k, ts) in txn.required.drain() {
+                        let e = self.causal_required.entry(k).or_insert(ts);
+                        *e = (*e).max(ts);
+                    }
+                    for (k, _) in &txn.write_buffer {
+                        let e = self.causal_required.entry(k.clone()).or_insert(stamp);
+                        *e = (*e).max(stamp);
+                    }
+                }
+            }
+            TxnOutcome::AbortedExternal => self.metrics.aborted_external += 1,
+            TxnOutcome::AbortedInternal => self.metrics.aborted_internal += 1,
+        }
+        if self.config.record_history {
+            // Reads served from the write buffer were recorded with the
+            // begin-time id; rewrite them to the actual write stamp.
+            for op in &mut txn.ops_done {
+                if let OpRecord::Read { observed, .. } = op {
+                    if *observed == txn.id {
+                        *observed = stamp;
+                    }
+                }
+            }
+            self.records.push(TxnRecord {
+                id: stamp,
+                session: self.client_idx,
+                session_seq: self.session_seq,
+                ops: std::mem::take(&mut txn.ops_done),
+                outcome,
+            });
+        }
+        self.session_seq += 1;
+        // Keep the finished txn visible to the facade via txn_outcome();
+        // driver mode immediately moves on.
+        self.current = Some(txn);
+        if self.driver.is_some() {
+            self.current = None;
+            self.drive_next(ctx);
+        }
+    }
+
+    /// Clears a finished transaction (facade calls this after reading the
+    /// outcome).
+    pub fn clear_finished(&mut self) {
+        if matches!(
+            self.current.as_ref().map(|t| t.phase),
+            Some(Phase::Done(_))
+        ) {
+            self.current = None;
+        }
+    }
+
+    /// Force-abandons the current transaction after the facade observed
+    /// unavailability: outstanding requests are forgotten and the
+    /// transaction counts as externally aborted. Responses that straggle
+    /// in later are ignored (they no longer match a pending op).
+    pub fn abandon(&mut self) {
+        let Some(mut txn) = self.current.take() else {
+            return;
+        };
+        if matches!(txn.phase, Phase::Done(_)) {
+            return; // already finished; nothing to record
+        }
+        txn.pending = None;
+        txn.commit_waiting.clear();
+        self.metrics.aborted_external += 1;
+        if self.config.record_history {
+            self.records.push(TxnRecord {
+                id: txn.write_stamp.unwrap_or(txn.id),
+                session: self.client_idx,
+                session_seq: self.session_seq,
+                ops: std::mem::take(&mut txn.ops_done),
+                outcome: TxnOutcome::AbortedExternal,
+            });
+        }
+        self.session_seq += 1;
+    }
+
+    // ---------------------------------------------------------------
+    // Driver (closed-loop) mode
+    // ---------------------------------------------------------------
+
+    /// Starts the closed loop (no-op unless a driver is installed).
+    pub fn drive_next(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some(driver) = self.driver.as_mut() else {
+            return;
+        };
+        let Some(spec) = driver.next_txn(ctx.rng()) else {
+            return;
+        };
+        self.begin(ctx.now());
+        self.current.as_mut().unwrap().plan = Some((spec, 0));
+        self.step_plan(ctx);
+    }
+
+    /// Executes plan operations until one goes async or the plan ends.
+    fn step_plan(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        loop {
+            let Some(txn) = self.current.as_mut() else {
+                return;
+            };
+            if txn.pending.is_some() || !txn.commit_waiting.is_empty() {
+                return;
+            }
+            let Some((spec, idx)) = txn.plan.as_mut() else {
+                return;
+            };
+            if *idx >= spec.ops.len() {
+                if txn.phase == Phase::Executing {
+                    self.start_commit(ctx);
+                    // eventual/master finish synchronously; others wait
+                    if self.current.is_none()
+                        || self.current.as_ref().unwrap().phase == Phase::Executing
+                    {
+                        continue;
+                    }
+                }
+                return;
+            }
+            let op = spec.ops[*idx].clone();
+            *idx += 1;
+            match op {
+                Op::Read(k) => self.issue_read(ctx, k),
+                Op::Write(k, v) => self.issue_write(ctx, k, v),
+                Op::PredicateRead(p) => self.issue_scan(ctx, p),
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Message handling
+    // ---------------------------------------------------------------
+
+    /// Handles a message addressed to this client.
+    pub fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::GetResp { txn, op, found } => self.on_get_resp(ctx, txn, op, found),
+            Msg::ScanResp { txn, op, matches } => self.on_scan_resp(ctx, from, txn, op, matches),
+            Msg::PutResp { txn, op } => self.on_put_resp(ctx, txn, op),
+            Msg::LockResp { txn, op } => self.on_lock_resp(ctx, txn, op),
+            _ => {} // stray server traffic: ignore
+        }
+    }
+
+    fn matches_pending(&self, txn: Timestamp, op: u32) -> bool {
+        self.current
+            .as_ref()
+            .and_then(|t| t.pending.as_ref().map(|p| (t.id, p.op)))
+            .map(|(id, pop)| id == txn && pop == op)
+            .unwrap_or(false)
+    }
+
+    fn on_get_resp(&mut self, ctx: &mut Ctx<'_, Msg>, txn_id: Timestamp, op: u32, found: Option<Record>) {
+        if !self.matches_pending(txn_id, op) {
+            return; // stale (retried or finished)
+        }
+        let level = self.session.level;
+        let txn = self.current.as_mut().unwrap();
+        let pending = txn.pending.take().unwrap();
+        let PendingKind::Read { key } = pending.kind else {
+            txn.pending = Some(pending);
+            return;
+        };
+        self.metrics.record_op(ctx.now().since(pending.issued));
+        let txn = self.current.as_mut().unwrap();
+
+        let mut record =
+            found.unwrap_or_else(|| Record::new(Timestamp::INITIAL, Bytes::new()));
+        // Lamport: later writes must dominate what we observed.
+        self.tsgen.observe(record.stamp);
+        // Monotonic/Causal sessions: never observe something older than
+        // the session cache (the client "acts as a server itself").
+        if matches!(level, SessionLevel::Monotonic | SessionLevel::Causal) {
+            if let Some(cached) = self.session_cache.get(&key) {
+                if cached.stamp > record.stamp {
+                    record = cached.clone();
+                }
+            }
+        }
+        // MAV: fold the response's sibling list into the required vector
+        // (Appendix B client GET).
+        if self.config.protocol == ProtocolKind::Mav {
+            for sib in &record.siblings {
+                let e = txn
+                    .required
+                    .entry(sib.clone())
+                    .or_insert(record.stamp);
+                *e = (*e).max(record.stamp);
+            }
+        }
+        txn.txn_cache.insert(key.clone(), record.clone());
+        txn.ops_done.push(OpRecord::Read {
+            key,
+            observed: record.stamp,
+            value: record.value,
+        });
+        self.step_plan(ctx);
+    }
+
+    fn on_scan_resp(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn_id: Timestamp,
+        op: u32,
+        matches: Vec<(Key, Record)>,
+    ) {
+        if !self.matches_pending(txn_id, op) {
+            return;
+        }
+        let txn = self.current.as_mut().unwrap();
+        let pending = txn.pending.as_mut().unwrap();
+        let PendingKind::Scan {
+            waiting, acc, ..
+        } = &mut pending.kind
+        else {
+            return;
+        };
+        // One response per server; ignore duplicates from retries.
+        let Some(pos) = waiting.iter().position(|&s| s == from) else {
+            return;
+        };
+        waiting.swap_remove(pos);
+        acc.extend(matches);
+        if !waiting.is_empty() {
+            return; // gather continues
+        }
+        let pending = txn.pending.take().unwrap();
+        let PendingKind::Scan {
+            prefix, mut acc, ..
+        } = pending.kind
+        else {
+            unreachable!("checked above");
+        };
+        acc.sort_by(|a, b| a.0.cmp(&b.0));
+        self.metrics.record_op(ctx.now().since(pending.issued));
+        for (_, r) in &acc {
+            self.tsgen.observe(r.stamp);
+        }
+        self.last_scan = acc
+            .iter()
+            .map(|(k, r)| (k.clone(), r.value.clone()))
+            .collect();
+        let txn = self.current.as_mut().unwrap();
+        for (k, r) in &acc {
+            txn.txn_cache.insert(k.clone(), r.clone());
+        }
+        txn.ops_done.push(OpRecord::PredicateRead {
+            prefix,
+            matches: acc.iter().map(|(k, r)| (k.clone(), r.stamp)).collect(),
+        });
+        self.step_plan(ctx);
+    }
+
+    fn on_put_resp(&mut self, ctx: &mut Ctx<'_, Msg>, txn_id: Timestamp, op: u32) {
+        // Commit-phase ack?
+        let is_commit_ack = self
+            .current
+            .as_ref()
+            .map(|t| t.id == txn_id && t.commit_waiting.contains_key(&op))
+            .unwrap_or(false);
+        if is_commit_ack {
+            let txn = self.current.as_mut().unwrap();
+            txn.commit_waiting.remove(&op);
+            if txn.commit_waiting.is_empty() {
+                if self.config.protocol == ProtocolKind::TwoPhaseLocking {
+                    self.unlock_and_finish(ctx, TxnOutcome::Committed);
+                } else {
+                    self.finish_txn(ctx, TxnOutcome::Committed);
+                }
+                // driver mode continues inside finish_txn
+            }
+            return;
+        }
+        // Operation-time write ack (eventual / master).
+        if self.matches_pending(txn_id, op) {
+            let txn = self.current.as_mut().unwrap();
+            let pending = txn.pending.take().unwrap();
+            if !matches!(pending.kind, PendingKind::WriteNow { .. }) {
+                txn.pending = Some(pending);
+                return;
+            }
+            self.metrics.record_op(ctx.now().since(pending.issued));
+            self.step_plan(ctx);
+        }
+    }
+
+    fn on_lock_resp(&mut self, ctx: &mut Ctx<'_, Msg>, txn_id: Timestamp, op: u32) {
+        if !self.matches_pending(txn_id, op) {
+            return;
+        }
+        let txn = self.current.as_mut().unwrap();
+        let pending = txn.pending.take().unwrap();
+        let PendingKind::Lock {
+            key,
+            exclusive: _,
+            then,
+        } = pending.kind.clone()
+        else {
+            txn.pending = Some(pending);
+            return;
+        };
+        txn.locks_held.push((key.clone(), pending.target));
+        match then {
+            LockFollowup::Read => {
+                // Read at the lock master (it has the authoritative copy).
+                let issue_id = self.next_issue(ctx, 0);
+                let txn = self.current.as_mut().unwrap();
+                let op = txn.op_seq;
+                txn.op_seq += 1;
+                txn.pending = Some(PendingOp {
+                    kind: PendingKind::Read { key: key.clone() },
+                    op,
+                    target: pending.target,
+                    issued: ctx.now(),
+                    issue_id,
+                    attempts: 0,
+                    write_value: None,
+                });
+                ctx.send(
+                    pending.target,
+                    Msg::Get {
+                        txn: txn.id,
+                        op,
+                        key,
+                        required: Timestamp::INITIAL,
+                    },
+                );
+            }
+            LockFollowup::BufferWrite => {
+                let value = pending.write_value.clone().expect("write lock carries value");
+                let txn = self.current.as_mut().unwrap();
+                Self::buffer_write(txn, key, value);
+                self.metrics.record_op(ctx.now().since(pending.issued));
+                self.step_plan(ctx);
+            }
+        }
+    }
+
+    fn unlock_and_finish(&mut self, ctx: &mut Ctx<'_, Msg>, outcome: TxnOutcome) {
+        self.release_locks(ctx);
+        self.finish_txn(ctx, outcome);
+    }
+
+    // ---------------------------------------------------------------
+    // Timers: retries, lock timeouts
+    // ---------------------------------------------------------------
+
+    /// Handles a timer (retry or lock timeout).
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        if tag & LOCK_TIMEOUT_BIT != 0 {
+            self.on_lock_timeout(ctx, tag & !LOCK_TIMEOUT_BIT);
+        } else {
+            self.on_retry_timer(ctx, tag);
+        }
+    }
+
+    fn on_lock_timeout(&mut self, ctx: &mut Ctx<'_, Msg>, issue_id: u64) {
+        let waiting = self
+            .current
+            .as_ref()
+            .and_then(|t| t.pending.as_ref())
+            .map(|p| p.issue_id == issue_id && matches!(p.kind, PendingKind::Lock { .. }))
+            .unwrap_or(false);
+        if !waiting {
+            return;
+        }
+        // External abort: give up the transaction, release held locks.
+        let txn = self.current.as_mut().unwrap();
+        txn.pending = None;
+        self.release_locks(ctx);
+        self.finish_txn(ctx, TxnOutcome::AbortedExternal);
+    }
+
+    fn on_retry_timer(&mut self, ctx: &mut Ctx<'_, Msg>, issue_id: u64) {
+        let Some(txn) = self.current.as_mut() else {
+            return;
+        };
+        // Retry the single pending op if it matches.
+        let retry_pending = txn
+            .pending
+            .as_ref()
+            .map(|p| p.issue_id == issue_id)
+            .unwrap_or(false);
+        if retry_pending {
+            self.metrics.retries += 1;
+            let txn = self.current.as_mut().unwrap();
+            let mut pending = txn.pending.take().unwrap();
+            let id = txn.id;
+            // Scan retry: re-poll the servers that have not responded.
+            if let PendingKind::Scan {
+                prefix, waiting, ..
+            } = &pending.kind
+            {
+                pending.attempts += 1;
+                let issue_id = self.next_issue(ctx, pending.attempts);
+                let (prefix, waiting) = (prefix.clone(), waiting.clone());
+                let op = pending.op;
+                let txn = self.current.as_mut().unwrap();
+                pending.issue_id = issue_id;
+                txn.pending = Some(pending);
+                for s in waiting {
+                    ctx.send(
+                        s,
+                        Msg::Scan {
+                            txn: id,
+                            op,
+                            prefix: prefix.clone(),
+                        },
+                    );
+                }
+                return;
+            }
+            // Non-sticky HAT clients retry elsewhere; sticky/master/2PL
+            // retry the same target (and block under partition — §5.2).
+            let key_for_routing = match &pending.kind {
+                PendingKind::Read { key }
+                | PendingKind::WriteNow { key, .. }
+                | PendingKind::Lock { key, .. } => key.clone(),
+                PendingKind::Scan { prefix, .. } => prefix.clone(),
+            };
+            if self.config.protocol.is_hat() && !self.session.sticky {
+                pending.target = self.pick_replica(ctx, &key_for_routing);
+            }
+            pending.attempts += 1;
+            let issue_id = self.next_issue(ctx, pending.attempts);
+            let target = pending.target;
+            let txn = self.current.as_mut().unwrap();
+            pending.issue_id = issue_id;
+            let msg = match &pending.kind {
+                PendingKind::Read { key } => Msg::Get {
+                    txn: id,
+                    op: pending.op,
+                    key: key.clone(),
+                    required: *txn.required.get(key).unwrap_or(&Timestamp::INITIAL),
+                },
+                PendingKind::Scan { .. } => unreachable!("handled above"),
+                PendingKind::WriteNow { key, value } => Msg::Put {
+                    txn: id,
+                    op: pending.op,
+                    key: key.clone(),
+                    record: Record::new(txn.write_stamp.unwrap_or(id), value.clone()),
+                },
+                PendingKind::Lock { key, exclusive, .. } => Msg::Lock {
+                    txn: id,
+                    op: pending.op,
+                    key: key.clone(),
+                    exclusive: *exclusive,
+                },
+            };
+            txn.pending = Some(pending);
+            ctx.send(target, msg);
+            return;
+        }
+        // Commit-phase retry: resend all unacknowledged puts. Only the
+        // live commit timer triggers this (stale per-op timers firing
+        // during commit must not).
+        if !txn.commit_waiting.is_empty() && txn.commit_issue == issue_id {
+            self.metrics.retries += 1;
+            let id = txn.id;
+            txn.commit_attempts += 1;
+            let attempts = txn.commit_attempts;
+            let resend: Vec<(u32, Key, Record, NodeId)> = txn
+                .commit_waiting
+                .iter()
+                .map(|(op, (k, r, target))| (*op, k.clone(), r.clone(), *target))
+                .collect();
+            let new_issue = self.next_issue(ctx, attempts);
+            self.current.as_mut().unwrap().commit_issue = new_issue;
+            for (op, key, record, mut target) in resend {
+                if self.config.protocol.is_hat() && !self.session.sticky {
+                    target = self.pick_replica(ctx, &key);
+                    self.current
+                        .as_mut()
+                        .unwrap()
+                        .commit_waiting
+                        .insert(op, (key.clone(), record.clone(), target));
+                }
+                ctx.send(
+                    target,
+                    Msg::Put {
+                        txn: id,
+                        op,
+                        key,
+                        record,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Driver-mode bootstrap, called by the node wrapper's `on_start`.
+    pub fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.driver.is_some() {
+            self.drive_next(ctx);
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("id", &self.id)
+            .field("client_idx", &self.client_idx)
+            .field("home", &self.home)
+            .field("session", &self.session)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,252 @@
+//! Cluster layout: partitioning, replica placement and master assignment.
+//!
+//! §6.3: "We deploy the database in clusters — disjoint sets of database
+//! servers that each contain a single, fully replicated copy of the data
+//! — typically across datacenters and stick all clients within a
+//! datacenter to their respective cluster." Within a cluster, data is
+//! hash-partitioned across servers. So every key has exactly one replica
+//! per cluster, and its replica set has one server in each cluster.
+
+use hat_sim::{NodeId, Region, Site};
+use hat_storage::Key;
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a 64-bit hash — the deterministic key partitioner.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Declarative deployment: one entry per cluster, giving its site and
+/// server count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// `(site, servers)` per cluster.
+    pub clusters: Vec<(Site, usize)>,
+}
+
+impl ClusterSpec {
+    /// `n_clusters` clusters of `servers_each` servers, all in one
+    /// datacenter (distinct AZ indices would model Figure 3A exactly;
+    /// the paper's 3A deployment keeps both clusters within us-east, so
+    /// we place each cluster in its own AZ of Virginia).
+    pub fn single_dc(n_clusters: usize, servers_each: usize) -> Self {
+        ClusterSpec {
+            clusters: (0..n_clusters)
+                .map(|i| (Site::new(Region::Virginia, i as u8), servers_each))
+                .collect(),
+        }
+    }
+
+    /// One cluster per region, `servers_each` servers each (Figures
+    /// 3B/3C: clusters in distinct regions).
+    pub fn regions(regions: &[Region], servers_each: usize) -> Self {
+        ClusterSpec {
+            clusters: regions
+                .iter()
+                .map(|&r| (Site::new(r, 0), servers_each))
+                .collect(),
+        }
+    }
+
+    /// The Virginia + Oregon deployment used by Figures 3B, 4, 5 and 6.
+    pub fn va_or(servers_each: usize) -> Self {
+        Self::regions(&[Region::Virginia, Region::Oregon], servers_each)
+    }
+
+    /// Total servers across clusters.
+    pub fn total_servers(&self) -> usize {
+        self.clusters.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Concrete node placement: which node ids are servers of which cluster,
+/// which are clients, and how keys map to replicas.
+#[derive(Debug, Clone)]
+pub struct ClusterLayout {
+    /// Server node ids, per cluster.
+    pub servers: Vec<Vec<NodeId>>,
+    /// Client node ids (dense, after all servers).
+    pub clients: Vec<NodeId>,
+    /// Home cluster index of each client (parallel to `clients`).
+    pub client_home: Vec<usize>,
+}
+
+impl ClusterLayout {
+    /// Number of clusters (= replicas per key).
+    pub fn num_clusters(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Total number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.servers.iter().map(|c| c.len()).sum()
+    }
+
+    /// The replica of `key` within `cluster` (hash partitioning).
+    pub fn replica_in_cluster(&self, key: &Key, cluster: usize) -> NodeId {
+        let servers = &self.servers[cluster];
+        servers[(fnv1a(key) % servers.len() as u64) as usize]
+    }
+
+    /// All replicas of `key`: one server per cluster.
+    pub fn replicas(&self, key: &Key) -> Vec<NodeId> {
+        (0..self.num_clusters())
+            .map(|c| self.replica_in_cluster(key, c))
+            .collect()
+    }
+
+    /// The designated master replica of `key` (deterministic
+    /// pseudo-random cluster choice, as in the prototype's "randomly
+    /// designated master replica for each key").
+    pub fn master(&self, key: &Key) -> NodeId {
+        // A second, independent hash picks the master cluster so masters
+        // spread across clusters rather than all landing in cluster 0.
+        let h = fnv1a(key).rotate_left(17) ^ 0x9E37_79B9_7F4A_7C15;
+        let cluster = (h % self.num_clusters() as u64) as usize;
+        self.replica_in_cluster(key, cluster)
+    }
+
+    /// Cluster index of server `id`, if it is a server.
+    pub fn cluster_of(&self, id: NodeId) -> Option<usize> {
+        self.servers
+            .iter()
+            .position(|servers| servers.contains(&id))
+    }
+
+    /// The home cluster of client node `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a client node.
+    pub fn home_of(&self, id: NodeId) -> usize {
+        let idx = self
+            .clients
+            .iter()
+            .position(|&c| c == id)
+            .expect("not a client node");
+        self.client_home[idx]
+    }
+
+    /// Sibling replicas of the partition that `server` owns in its
+    /// cluster — the anti-entropy peers. Returns the same-partition
+    /// server in every *other* cluster, given a representative key is not
+    /// needed: peers are positional (server index within cluster).
+    pub fn anti_entropy_peers(&self, server: NodeId) -> Vec<NodeId> {
+        let Some(cluster) = self.cluster_of(server) else {
+            return Vec::new();
+        };
+        let pos = self.servers[cluster]
+            .iter()
+            .position(|&s| s == server)
+            .unwrap();
+        self.servers
+            .iter()
+            .enumerate()
+            .filter(|(c, _)| *c != cluster)
+            .filter_map(|(_, servers)| servers.get(pos).copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(clusters: usize, servers_each: usize) -> ClusterLayout {
+        let mut next = 0u32;
+        let servers: Vec<Vec<NodeId>> = (0..clusters)
+            .map(|_| {
+                (0..servers_each)
+                    .map(|_| {
+                        let id = next;
+                        next += 1;
+                        id
+                    })
+                    .collect()
+            })
+            .collect();
+        ClusterLayout {
+            servers,
+            clients: vec![next, next + 1],
+            client_home: vec![0, 1 % clusters],
+        }
+    }
+
+    #[test]
+    fn one_replica_per_cluster() {
+        let l = layout(3, 5);
+        let key = Key::from("some-key");
+        let reps = l.replicas(&key);
+        assert_eq!(reps.len(), 3);
+        for (c, &r) in reps.iter().enumerate() {
+            assert!(l.servers[c].contains(&r));
+        }
+    }
+
+    #[test]
+    fn replica_choice_is_deterministic_and_spread() {
+        let l = layout(2, 5);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100 {
+            let key = Key::from(format!("key-{i}"));
+            assert_eq!(l.replica_in_cluster(&key, 0), l.replica_in_cluster(&key, 0));
+            seen.insert(l.replica_in_cluster(&key, 0));
+        }
+        assert_eq!(seen.len(), 5, "hash partitioning should use all servers");
+    }
+
+    #[test]
+    fn masters_spread_across_clusters() {
+        let l = layout(2, 5);
+        let mut per_cluster = [0usize; 2];
+        for i in 0..200 {
+            let key = Key::from(format!("key-{i}"));
+            let m = l.master(&key);
+            per_cluster[l.cluster_of(m).unwrap()] += 1;
+        }
+        assert!(per_cluster[0] > 50 && per_cluster[1] > 50, "{per_cluster:?}");
+    }
+
+    #[test]
+    fn master_is_one_of_the_replicas() {
+        let l = layout(3, 4);
+        for i in 0..50 {
+            let key = Key::from(format!("k{i}"));
+            assert!(l.replicas(&key).contains(&l.master(&key)));
+        }
+    }
+
+    #[test]
+    fn anti_entropy_peers_are_positional() {
+        let l = layout(3, 4);
+        let server = l.servers[1][2];
+        let peers = l.anti_entropy_peers(server);
+        assert_eq!(peers, vec![l.servers[0][2], l.servers[2][2]]);
+        // a client has no peers
+        assert!(l.anti_entropy_peers(l.clients[0]).is_empty());
+    }
+
+    #[test]
+    fn home_of_clients() {
+        let l = layout(2, 2);
+        assert_eq!(l.home_of(l.clients[0]), 0);
+        assert_eq!(l.home_of(l.clients[1]), 1);
+    }
+
+    #[test]
+    fn spec_totals() {
+        assert_eq!(ClusterSpec::single_dc(2, 5).total_servers(), 10);
+        assert_eq!(ClusterSpec::va_or(5).clusters.len(), 2);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // lock in the hash so partitioning never silently changes
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

@@ -1,0 +1,226 @@
+//! System configuration: protocol choice and the server service-time
+//! model.
+
+use hat_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Which concurrency-control / replication protocol the deployment runs.
+///
+/// The first three are the HAT configurations of §6.3; the last two are
+/// the unavailable baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Last-writer-wins Read Uncommitted with all-to-all anti-entropy —
+    /// the paper's `eventual`.
+    Eventual,
+    /// `eventual` plus client-side write buffering until commit — the
+    /// paper's `RC` ("essentially eventual with buffering").
+    ReadCommitted,
+    /// The efficient Monotonic Atomic View algorithm of §5.1.2 /
+    /// Appendix B (pending/good sets, sibling notifications, `required`
+    /// vectors).
+    Mav,
+    /// All operations for a key routed to a designated master replica,
+    /// guaranteeing single-key linearizability (as in the CAP proof and
+    /// PNUTS "read latest") — the paper's `master`.
+    Master,
+    /// Distributed two-phase locking: per-key exclusive/shared locks at
+    /// the key's master, held until commit. One-copy serializable and
+    /// thoroughly unavailable.
+    TwoPhaseLocking,
+}
+
+impl ProtocolKind {
+    /// True for protocols that are highly available (HAT-compliant).
+    pub fn is_hat(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::Eventual | ProtocolKind::ReadCommitted | ProtocolKind::Mav
+        )
+    }
+
+    /// Short label used in experiment output (matches the paper's legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::Eventual => "eventual",
+            ProtocolKind::ReadCommitted => "RC",
+            ProtocolKind::Mav => "MAV",
+            ProtocolKind::Master => "master",
+            ProtocolKind::TwoPhaseLocking => "2PL",
+        }
+    }
+
+    /// All protocol kinds, HAT first (the order used in experiment
+    /// tables).
+    pub const ALL: [ProtocolKind; 5] = [
+        ProtocolKind::Eventual,
+        ProtocolKind::ReadCommitted,
+        ProtocolKind::Mav,
+        ProtocolKind::Master,
+        ProtocolKind::TwoPhaseLocking,
+    ];
+}
+
+/// Server-side service-time model.
+///
+/// The simulator charges each request a service duration at the replica
+/// that handles it; a replica is a single queue (requests are serialized),
+/// which is what produces the saturation and contention shapes of
+/// Figures 3–6. Defaults are calibrated so the *ratios* the paper reports
+/// hold: writes ≈ 4× reads (LevelDB write + synchronous WAL, Figure 5's
+/// all-read vs all-write gap), MAV writes ≈ 1.5× plain writes plus a
+/// per-metadata-byte cost (Figure 4) plus a per-sibling-replica
+/// notification cost (the five-cluster fan-in effect of Figure 3C).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceModel {
+    /// Service time of a read, µs.
+    pub read_us: f64,
+    /// Service time of a write (WAL + storage), µs.
+    pub write_us: f64,
+    /// MAV write amplification factor ("two writes for every client-side
+    /// write": WAL/pending put then good promotion).
+    pub mav_write_factor: f64,
+    /// Cost per byte of MAV sibling metadata, µs/byte.
+    pub meta_byte_us: f64,
+    /// Cost of processing one MAV sibling notification, µs.
+    pub notify_us: f64,
+    /// Cost of applying one anti-entropy record, µs.
+    pub replicate_record_us: f64,
+    /// Cost of a lock-table operation (grant/enqueue/release), µs.
+    pub lock_us: f64,
+    /// Cost of a predicate scan per matched record, µs.
+    pub scan_record_us: f64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        ServiceModel {
+            read_us: 100.0,
+            write_us: 400.0,
+            mav_write_factor: 1.5,
+            meta_byte_us: 0.15,
+            notify_us: 40.0,
+            replicate_record_us: 120.0,
+            lock_us: 20.0,
+            scan_record_us: 20.0,
+        }
+    }
+}
+
+impl ServiceModel {
+    /// A free service model (all costs zero) for ablations that isolate
+    /// pure network effects.
+    pub fn zero() -> Self {
+        ServiceModel {
+            read_us: 0.0,
+            write_us: 0.0,
+            mav_write_factor: 1.0,
+            meta_byte_us: 0.0,
+            notify_us: 0.0,
+            replicate_record_us: 0.0,
+            lock_us: 0.0,
+            scan_record_us: 0.0,
+        }
+    }
+
+    /// Service duration of a MAV write carrying `meta_bytes` of sibling
+    /// metadata.
+    pub fn mav_write(&self, meta_bytes: usize) -> SimDuration {
+        SimDuration::from_micros(
+            (self.write_us * self.mav_write_factor + self.meta_byte_us * meta_bytes as f64) as u64,
+        )
+    }
+
+    /// Plain write service duration.
+    pub fn write(&self) -> SimDuration {
+        SimDuration::from_micros(self.write_us as u64)
+    }
+
+    /// Read service duration.
+    pub fn read(&self) -> SimDuration {
+        SimDuration::from_micros(self.read_us as u64)
+    }
+}
+
+/// Full deployment configuration shared by servers and clients.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Protocol the deployment runs.
+    pub protocol: ProtocolKind,
+    /// Server service-time model.
+    pub service: ServiceModel,
+    /// Anti-entropy gossip period between sibling replicas.
+    pub anti_entropy_interval: SimDuration,
+    /// Client retry interval for outstanding requests.
+    pub retry_interval: SimDuration,
+    /// Per-operation deadline after which the facade reports
+    /// unavailability.
+    pub op_deadline: SimDuration,
+    /// 2PL: how long a lock request may wait before the system aborts the
+    /// transaction (external abort; also the deadlock breaker).
+    pub lock_timeout: SimDuration,
+    /// Whether clients record full [`crate::TxnRecord`] histories (turn
+    /// off for throughput runs).
+    pub record_history: bool,
+}
+
+impl SystemConfig {
+    /// Defaults for `protocol`.
+    pub fn new(protocol: ProtocolKind) -> Self {
+        SystemConfig {
+            protocol,
+            service: ServiceModel::default(),
+            anti_entropy_interval: SimDuration::from_millis(10),
+            retry_interval: SimDuration::from_millis(1000),
+            op_deadline: SimDuration::from_secs(30),
+            lock_timeout: SimDuration::from_secs(10),
+            record_history: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hat_classification() {
+        assert!(ProtocolKind::Eventual.is_hat());
+        assert!(ProtocolKind::ReadCommitted.is_hat());
+        assert!(ProtocolKind::Mav.is_hat());
+        assert!(!ProtocolKind::Master.is_hat());
+        assert!(!ProtocolKind::TwoPhaseLocking.is_hat());
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        let labels: Vec<_> = ProtocolKind::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["eventual", "RC", "MAV", "master", "2PL"]);
+    }
+
+    #[test]
+    fn writes_cost_about_4x_reads() {
+        let m = ServiceModel::default();
+        let ratio = m.write_us / m.read_us;
+        assert!(
+            (3.0..=5.0).contains(&ratio),
+            "Figure 5's all-read/all-write gap needs writes ~4x reads, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn mav_write_grows_with_metadata() {
+        let m = ServiceModel::default();
+        let short = m.mav_write(34); // 1-op txn overhead (paper, Fig 4)
+        let long = m.mav_write(1898); // 128-op txn overhead
+        assert!(long > short);
+        assert!(long.as_micros() > m.write().as_micros());
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = ServiceModel::zero();
+        assert_eq!(m.read().as_micros(), 0);
+        assert_eq!(m.mav_write(10_000).as_micros(), 0);
+    }
+}

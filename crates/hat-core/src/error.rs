@@ -1,0 +1,84 @@
+//! Error and abort classification.
+//!
+//! §4.2 distinguishes *internal* aborts (the transaction's own choosing —
+//! an explicit abort operation or an integrity-constraint violation) from
+//! *external* aborts (system-induced). Transactional availability demands
+//! that, given replica availability, transactions eventually commit or
+//! internally abort — a system may not externally abort forever.
+
+use std::fmt;
+
+/// Errors surfaced by the transaction layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HatError {
+    /// No replica for some accessed item responded before the deadline —
+    /// the operation is blocked on an unreachable server. Under the
+    /// paper's definitions the *system* is unavailable for this
+    /// transaction (this is what master/2PL exhibit under partition).
+    Unavailable {
+        /// The key whose replicas were unreachable, if attributable.
+        key: Option<String>,
+    },
+    /// The system aborted the transaction (external abort): lock timeout,
+    /// deadlock victim, failed validation.
+    ExternalAbort {
+        /// Why the system aborted.
+        reason: String,
+    },
+    /// The transaction aborted itself (internal abort): explicit abort or
+    /// declared integrity-constraint violation.
+    InternalAbort {
+        /// The application-provided reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for HatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HatError::Unavailable { key: Some(k) } => {
+                write!(f, "unavailable: no reachable replica for key {k:?}")
+            }
+            HatError::Unavailable { key: None } => write!(f, "unavailable: operation timed out"),
+            HatError::ExternalAbort { reason } => write!(f, "external abort: {reason}"),
+            HatError::InternalAbort { reason } => write!(f, "internal abort: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for HatError {}
+
+impl HatError {
+    /// True if this abort counts against transactional availability
+    /// (§4.2): unavailability and external aborts do; internal aborts are
+    /// the transaction's own doing.
+    pub fn violates_availability(&self) -> bool {
+        !matches!(self, HatError::InternalAbort { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_aborts_do_not_violate_availability() {
+        assert!(!HatError::InternalAbort {
+            reason: "balance too low".into()
+        }
+        .violates_availability());
+        assert!(HatError::ExternalAbort {
+            reason: "lock timeout".into()
+        }
+        .violates_availability());
+        assert!(HatError::Unavailable { key: None }.violates_availability());
+    }
+
+    #[test]
+    fn display_mentions_key() {
+        let e = HatError::Unavailable {
+            key: Some("x".into()),
+        };
+        assert!(e.to_string().contains("\"x\""));
+    }
+}

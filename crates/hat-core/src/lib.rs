@@ -1,0 +1,68 @@
+//! # hat-core — Highly Available Transactions
+//!
+//! The primary contribution of the paper, as a library: protocol state
+//! machines for the HAT and non-HAT systems evaluated in §6.3, the client
+//! session machinery of §5.1, the isolation/consistency taxonomy of
+//! Table 3 / Figure 2, and the ACID-in-the-wild survey of Table 2.
+//!
+//! ## Protocols
+//!
+//! | Kind | Availability | Guarantees (with the right session options) |
+//! |---|---|---|
+//! | [`ProtocolKind::Eventual`] | highly available | Read Uncommitted, eventual convergence |
+//! | [`ProtocolKind::ReadCommitted`] | highly available | Read Committed (write buffering) |
+//! | [`ProtocolKind::Mav`] | highly available | Monotonic Atomic View (Appendix B algorithm) |
+//! | [`ProtocolKind::Master`] | unavailable | per-key linearizability (reads/writes at a master) |
+//! | [`ProtocolKind::TwoPhaseLocking`] | unavailable | one-copy serializability (distributed 2PL) |
+//!
+//! Servers and clients are deterministic [`hat_sim::Actor`]s; the same
+//! state machines run under the discrete-event simulator and the threaded
+//! runtime.
+//!
+//! ## High-level API
+//!
+//! [`SimulationBuilder`] assembles a cluster deployment and exposes a
+//! synchronous transaction facade:
+//!
+//! ```
+//! use hat_core::{ClusterSpec, ProtocolKind, SimulationBuilder};
+//!
+//! let mut sim = SimulationBuilder::new(ProtocolKind::ReadCommitted)
+//!     .seed(7)
+//!     .clusters(ClusterSpec::single_dc(2, 3))
+//!     .build();
+//! let c = sim.client(0);
+//! sim.txn(c, |t| {
+//!     t.put("greeting", "hello");
+//! });
+//! sim.settle();
+//! let v = sim.txn(c, |t| t.get("greeting"));
+//! assert_eq!(v.as_deref(), Some("hello"));
+//! ```
+
+pub mod api;
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod error;
+pub mod messages;
+pub mod metrics;
+pub mod node;
+pub mod protocol;
+pub mod server;
+pub mod survey;
+pub mod taxonomy;
+pub mod timestamp;
+pub mod txn;
+
+pub use api::{Sim, SimulationBuilder, TxnCtx};
+pub use client::{Client, SessionLevel, SessionOptions};
+pub use cluster::{ClusterLayout, ClusterSpec};
+pub use config::{ProtocolKind, ServiceModel, SystemConfig};
+pub use error::HatError;
+pub use messages::Msg;
+pub use metrics::ClientMetrics;
+pub use node::Node;
+pub use server::Server;
+pub use timestamp::{Timestamp, TimestampGen};
+pub use txn::{Op, OpRecord, TxnOutcome, TxnRecord, TxnSpec};

@@ -1,0 +1,175 @@
+//! The wire protocol: every message exchanged between clients and
+//! servers, across all five protocol kinds.
+
+use crate::timestamp::Timestamp;
+use hat_storage::{Key, Record};
+use serde::{Deserialize, Serialize};
+
+/// Messages of the HAT deployment. One enum covers all protocols; servers
+/// ignore variants their protocol never receives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    // ---- client → server ----
+    /// Read `key`. `required` is the MAV lower bound (Appendix B's
+    /// `ts_required`); `Timestamp::INITIAL` means "no bound, give me the
+    /// latest".
+    Get {
+        /// Transaction issuing the read.
+        txn: Timestamp,
+        /// Op index within the transaction (correlates the response).
+        op: u32,
+        /// Key to read.
+        key: Key,
+        /// MAV `required` lower bound (INITIAL = none).
+        required: Timestamp,
+    },
+    /// Predicate read: all keys under `prefix`.
+    Scan {
+        /// Transaction issuing the scan.
+        txn: Timestamp,
+        /// Op index within the transaction.
+        op: u32,
+        /// Key prefix to scan.
+        prefix: Key,
+    },
+    /// Install a write. The record carries the transaction timestamp and
+    /// (for MAV) the sibling key list.
+    Put {
+        /// Transaction issuing the write.
+        txn: Timestamp,
+        /// Op index within the transaction.
+        op: u32,
+        /// Key to write.
+        key: Key,
+        /// The version to install.
+        record: Record,
+    },
+    /// 2PL: acquire a lock on `key` at its lock master.
+    Lock {
+        /// Requesting transaction.
+        txn: Timestamp,
+        /// Op index (correlates the grant).
+        op: u32,
+        /// Key to lock.
+        key: Key,
+        /// Exclusive (write) or shared (read) mode.
+        exclusive: bool,
+    },
+    /// 2PL: release this transaction's locks on `keys`.
+    Unlock {
+        /// Transaction releasing.
+        txn: Timestamp,
+        /// Keys to release.
+        keys: Vec<Key>,
+    },
+
+    // ---- server → client ----
+    /// Response to [`Msg::Get`].
+    GetResp {
+        /// Transaction the read belongs to.
+        txn: Timestamp,
+        /// Op index echoed from the request.
+        op: u32,
+        /// The version read, or `None` for the initial `⊥` value.
+        found: Option<Record>,
+    },
+    /// Response to [`Msg::Scan`].
+    ScanResp {
+        /// Transaction the scan belongs to.
+        txn: Timestamp,
+        /// Op index echoed from the request.
+        op: u32,
+        /// Matched `(key, version)` pairs in key order.
+        matches: Vec<(Key, Record)>,
+    },
+    /// Acknowledgement of [`Msg::Put`].
+    PutResp {
+        /// Transaction the write belongs to.
+        txn: Timestamp,
+        /// Op index echoed from the request.
+        op: u32,
+    },
+    /// 2PL: the lock on `key` was granted to `txn`.
+    LockResp {
+        /// Transaction the grant is for.
+        txn: Timestamp,
+        /// Op index echoed from the request.
+        op: u32,
+    },
+
+    // ---- server → server ----
+    /// Anti-entropy: a batch of versions for the receiving replica's
+    /// partition, starting at the sender's log index `from_index`.
+    Replicate {
+        /// Absolute index of the first record in the sender's log.
+        from_index: u64,
+        /// `(key, version)` pairs to install.
+        writes: Vec<(Key, Record)>,
+    },
+    /// Anti-entropy acknowledgement: the receiver has applied the
+    /// sender's log up to `upto` (exclusive).
+    ReplicateAck {
+        /// Acknowledged log position.
+        upto: u64,
+    },
+    /// MAV: a replica announces it has received transaction `ts`'s write
+    /// of `key` (Appendix B's `notify(w.ts)`, keyed so retransmissions
+    /// count once).
+    Notify {
+        /// The transaction whose write was received.
+        ts: Timestamp,
+        /// The key whose write the sender received.
+        key: Key,
+    },
+}
+
+impl Msg {
+    /// True for messages a client sends to a server.
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            Msg::Get { .. }
+                | Msg::Scan { .. }
+                | Msg::Put { .. }
+                | Msg::Lock { .. }
+                | Msg::Unlock { .. }
+        )
+    }
+
+    /// True for server-to-server traffic.
+    pub fn is_replication(&self) -> bool {
+        matches!(
+            self,
+            Msg::Replicate { .. } | Msg::ReplicateAck { .. } | Msg::Notify { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let get = Msg::Get {
+            txn: Timestamp::new(1, 1),
+            op: 0,
+            key: Key::from("x"),
+            required: Timestamp::INITIAL,
+        };
+        assert!(get.is_request());
+        assert!(!get.is_replication());
+        let n = Msg::Notify {
+            ts: Timestamp::new(1, 1),
+            key: Key::from("x"),
+        };
+        assert!(n.is_replication());
+        assert!(!n.is_request());
+        let resp = Msg::PutResp {
+            txn: Timestamp::new(1, 1),
+            op: 0,
+        };
+        assert!(!resp.is_request());
+        assert!(!resp.is_replication());
+    }
+}

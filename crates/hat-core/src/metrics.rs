@@ -1,0 +1,104 @@
+//! Per-client performance metrics.
+
+use hat_sim::{Histogram, SimDuration, SimTime};
+
+/// Latency/throughput counters maintained by each client.
+#[derive(Debug, Clone)]
+pub struct ClientMetrics {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Externally aborted transactions (system-induced).
+    pub aborted_external: u64,
+    /// Internally aborted transactions (application-induced).
+    pub aborted_internal: u64,
+    /// Individual operations completed (reads + writes acked).
+    pub ops_completed: u64,
+    /// Request retries (resends after the retry interval elapsed).
+    pub retries: u64,
+    /// Transaction commit latency, milliseconds.
+    pub txn_latency_ms: Histogram,
+    /// Per-operation latency, milliseconds.
+    pub op_latency_ms: Histogram,
+}
+
+impl Default for ClientMetrics {
+    fn default() -> Self {
+        ClientMetrics {
+            committed: 0,
+            aborted_external: 0,
+            aborted_internal: 0,
+            ops_completed: 0,
+            retries: 0,
+            txn_latency_ms: Histogram::for_latency_ms(),
+            op_latency_ms: Histogram::for_latency_ms(),
+        }
+    }
+}
+
+impl ClientMetrics {
+    /// Records a committed transaction that started at `started` and
+    /// finished at `finished`.
+    pub fn record_commit(&mut self, started: SimTime, finished: SimTime) {
+        self.committed += 1;
+        self.txn_latency_ms
+            .record(finished.since(started).as_millis_f64());
+    }
+
+    /// Records one completed operation taking `latency`.
+    pub fn record_op(&mut self, latency: SimDuration) {
+        self.ops_completed += 1;
+        self.op_latency_ms.record(latency.as_millis_f64());
+    }
+
+    /// Merges another client's metrics into this one (for aggregate
+    /// reporting).
+    pub fn merge(&mut self, other: &ClientMetrics) {
+        self.committed += other.committed;
+        self.aborted_external += other.aborted_external;
+        self.aborted_internal += other.aborted_internal;
+        self.ops_completed += other.ops_completed;
+        self.retries += other.retries;
+        self.txn_latency_ms.merge(&other.txn_latency_ms);
+        self.op_latency_ms.merge(&other.op_latency_ms);
+    }
+
+    /// Committed transactions per second over a window of `elapsed`.
+    pub fn throughput_tps(&self, elapsed: SimDuration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_and_throughput() {
+        let mut m = ClientMetrics::default();
+        m.record_commit(SimTime::ZERO, SimTime::from_millis(10));
+        m.record_commit(SimTime::from_millis(10), SimTime::from_millis(30));
+        assert_eq!(m.committed, 2);
+        assert!((m.txn_latency_ms.mean() - 15.0).abs() < 0.5);
+        assert!((m.throughput_tps(SimDuration::from_secs(2)) - 1.0).abs() < 1e-9);
+        assert_eq!(m.throughput_tps(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ClientMetrics::default();
+        let mut b = ClientMetrics::default();
+        a.record_commit(SimTime::ZERO, SimTime::from_millis(5));
+        b.record_commit(SimTime::ZERO, SimTime::from_millis(5));
+        b.record_op(SimDuration::from_millis(1));
+        b.retries = 3;
+        a.merge(&b);
+        assert_eq!(a.committed, 2);
+        assert_eq!(a.ops_completed, 1);
+        assert_eq!(a.retries, 3);
+    }
+}

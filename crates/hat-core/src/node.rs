@@ -1,0 +1,66 @@
+//! Node wrapper: a simulated node is either a server or a client.
+
+use crate::client::Client;
+use crate::messages::Msg;
+use crate::server::Server;
+use hat_sim::{Actor, Ctx, NodeId, TimerId};
+
+/// A deployment node.
+#[derive(Debug)]
+pub enum Node {
+    /// A replica server.
+    Server(Server),
+    /// A client session.
+    Client(Client),
+}
+
+impl Node {
+    /// The server inside, if this is a server node.
+    pub fn as_server(&self) -> Option<&Server> {
+        match self {
+            Node::Server(s) => Some(s),
+            Node::Client(_) => None,
+        }
+    }
+
+    /// The client inside, if this is a client node.
+    pub fn as_client(&self) -> Option<&Client> {
+        match self {
+            Node::Client(c) => Some(c),
+            Node::Server(_) => None,
+        }
+    }
+
+    /// Mutable client access.
+    pub fn as_client_mut(&mut self) -> Option<&mut Client> {
+        match self {
+            Node::Client(c) => Some(c),
+            Node::Server(_) => None,
+        }
+    }
+}
+
+impl Actor for Node {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        match self {
+            Node::Server(s) => s.on_start(ctx),
+            Node::Client(c) => c.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match self {
+            Node::Server(s) => s.on_message(ctx, from, msg),
+            Node::Client(c) => c.on_message(ctx, from, msg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: TimerId) {
+        match self {
+            Node::Server(s) => s.on_timer(ctx, timer),
+            Node::Client(c) => c.on_timer(ctx, timer),
+        }
+    }
+}

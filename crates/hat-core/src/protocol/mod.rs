@@ -1,0 +1,12 @@
+//! Protocol-specific server state machines.
+//!
+//! * [`replication`] — the anti-entropy buffer shared by all highly
+//!   available configurations (§5.1.4 convergence).
+//! * [`mav`] — the two-phase Monotonic Atomic View algorithm of §5.1.2 /
+//!   Appendix B (pending/good sets, sibling acknowledgements).
+//! * [`twopl`] — the distributed two-phase-locking lock table (the
+//!   unavailable serializable baseline of §6.1/§6.3).
+
+pub mod mav;
+pub mod replication;
+pub mod twopl;

@@ -1,0 +1,173 @@
+//! Anti-entropy replication buffer.
+//!
+//! §5.1.4: "Under arbitrary (but not infinite delays), HAT systems can
+//! ensure convergence ... typically accomplished by any number of
+//! anti-entropy protocols, which periodically update neighboring servers
+//! with the latest value for each data item." Each server buffers the
+//! writes it accepts in an append-only log; on a timer it pushes the
+//! un-acknowledged suffix to its positional peer replica in every other
+//! cluster. Peers acknowledge the log position they have applied, and a
+//! peer's cursor only advances on acknowledgement — so a partition
+//! (dropped batches *and* dropped acks) simply leaves the cursor in
+//! place and the suffix is re-sent after healing. Delivery is therefore
+//! at-least-once; receivers apply writes idempotently.
+
+use hat_storage::{Key, Record};
+
+/// Largest number of records shipped in one anti-entropy batch.
+pub const MAX_BATCH: usize = 1024;
+
+/// Buffer of writes awaiting gossip, with acknowledged per-peer cursors.
+#[derive(Debug, Clone)]
+pub struct ReplicationLog {
+    log: Vec<(Key, Record)>,
+    /// Index of the first log slot (everything below was compacted).
+    base: u64,
+    /// Per-peer acknowledged position (absolute index).
+    acked: Vec<u64>,
+}
+
+impl ReplicationLog {
+    /// A log gossiping to `peers` peers.
+    pub fn new(peers: usize) -> Self {
+        ReplicationLog {
+            log: Vec::new(),
+            base: 0,
+            acked: vec![0; peers],
+        }
+    }
+
+    /// Records an accepted write for future gossip.
+    pub fn push(&mut self, key: Key, record: Record) {
+        self.log.push((key, record));
+    }
+
+    /// The batch to send to `peer` right now: everything past its
+    /// acknowledged position, capped at [`MAX_BATCH`]. Returns
+    /// `(start_index, records)`; empty when the peer is caught up.
+    /// Does *not* advance the cursor — only [`ReplicationLog::ack`] does.
+    pub fn batch_for(&self, peer: usize) -> (u64, Vec<(Key, Record)>) {
+        let start = self.acked[peer].max(self.base);
+        let offset = (start - self.base) as usize;
+        let end = (offset + MAX_BATCH).min(self.log.len());
+        (start, self.log[offset..end].to_vec())
+    }
+
+    /// Acknowledges that `peer` has applied records up to absolute index
+    /// `upto` (exclusive). Stale acks are ignored.
+    pub fn ack(&mut self, peer: usize, upto: u64) {
+        if upto > self.acked[peer] {
+            self.acked[peer] = upto.min(self.base + self.log.len() as u64);
+        }
+    }
+
+    /// Absolute index one past the newest record.
+    pub fn head(&self) -> u64 {
+        self.base + self.log.len() as u64
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// True if nothing has ever been pushed (or all was compacted).
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Drops records acknowledged by *every* peer, keeping at most
+    /// `keep` of them for safety. Never drops unacknowledged records —
+    /// a partitioned peer pins the log (the honest memory cost of
+    /// convergence).
+    pub fn compact(&mut self, keep: usize) {
+        let min_acked = self.acked.iter().copied().min().unwrap_or(self.head());
+        let cut_abs = min_acked.saturating_sub(keep as u64).max(self.base);
+        let cut = (cut_abs - self.base) as usize;
+        if cut > 0 {
+            self.log.drain(..cut);
+            self.base = cut_abs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timestamp::Timestamp;
+    use bytes::Bytes;
+
+    fn rec(seq: u64) -> Record {
+        Record::new(Timestamp::new(seq, 1), Bytes::from("v"))
+    }
+
+    #[test]
+    fn unacked_batches_are_resent() {
+        let mut log = ReplicationLog::new(1);
+        log.push(Key::from("a"), rec(1));
+        log.push(Key::from("b"), rec(2));
+        let (start, batch) = log.batch_for(0);
+        assert_eq!((start, batch.len()), (0, 2));
+        // no ack (partition dropped it): the same batch comes back
+        let (start2, batch2) = log.batch_for(0);
+        assert_eq!((start2, batch2.len()), (0, 2));
+        // ack advances the cursor
+        log.ack(0, 2);
+        let (_, batch3) = log.batch_for(0);
+        assert!(batch3.is_empty());
+    }
+
+    #[test]
+    fn new_writes_after_ack_form_the_next_batch() {
+        let mut log = ReplicationLog::new(2);
+        log.push(Key::from("a"), rec(1));
+        log.ack(0, 1);
+        log.push(Key::from("b"), rec(2));
+        let (start, batch) = log.batch_for(0);
+        assert_eq!(start, 1);
+        assert_eq!(batch.len(), 1);
+        // peer 1 never acked: gets everything
+        let (start1, batch1) = log.batch_for(1);
+        assert_eq!((start1, batch1.len()), (0, 2));
+    }
+
+    #[test]
+    fn stale_and_overshooting_acks_are_clamped() {
+        let mut log = ReplicationLog::new(1);
+        log.push(Key::from("a"), rec(1));
+        log.ack(0, 1);
+        log.ack(0, 0); // stale: ignored
+        assert_eq!(log.batch_for(0).1.len(), 0);
+        log.ack(0, 99); // overshoot: clamped to head
+        assert_eq!(log.batch_for(0).0, 1);
+    }
+
+    #[test]
+    fn batches_are_capped() {
+        let mut log = ReplicationLog::new(1);
+        for i in 0..(MAX_BATCH + 10) {
+            log.push(Key::from(format!("k{i}")), rec(i as u64 + 1));
+        }
+        let (_, batch) = log.batch_for(0);
+        assert_eq!(batch.len(), MAX_BATCH);
+    }
+
+    #[test]
+    fn compact_respects_unacked_peers() {
+        let mut log = ReplicationLog::new(2);
+        for i in 0..100 {
+            log.push(Key::from(format!("k{i}")), rec(i as u64 + 1));
+        }
+        log.ack(0, 100);
+        // peer 1 has acked nothing: compaction must keep everything
+        log.compact(0);
+        assert_eq!(log.len(), 100);
+        log.ack(1, 100);
+        log.compact(10);
+        assert_eq!(log.len(), 10, "keeps `keep` records below min ack");
+        // batches still consistent after compaction
+        let (start, batch) = log.batch_for(0);
+        assert_eq!(start, 100);
+        assert!(batch.is_empty());
+    }
+}

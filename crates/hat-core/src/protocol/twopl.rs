@@ -1,0 +1,294 @@
+//! Distributed two-phase locking (the unavailable baseline).
+//!
+//! §6.1: "traditional two-phase locking for a transaction of length T may
+//! require T lock operations and will require at least one lock and one
+//! unlock operation. In a distributed environment, each of these lock
+//! operations requires coordination ... If this coordination mechanism is
+//! unavailable, transactions cannot safely commit."
+//!
+//! Each key's lock lives at its master replica. Locks are shared (reads)
+//! or exclusive (writes), granted FIFO with the standard compatibility
+//! matrix plus upgrade of a solely-held shared lock. Deadlocks are broken
+//! by client-side lock timeouts (external aborts).
+
+use crate::timestamp::Timestamp;
+use hat_sim::NodeId;
+use hat_storage::Key;
+use std::collections::{HashMap, VecDeque};
+
+/// A lock grant to report back to a waiting client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// Client node to notify.
+    pub client: NodeId,
+    /// Transaction granted.
+    pub txn: Timestamp,
+    /// Op index echoed back.
+    pub op: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Waiter {
+    client: NodeId,
+    txn: Timestamp,
+    op: u32,
+    exclusive: bool,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Current holders; if any holder is exclusive it is the only one.
+    holders: Vec<(Timestamp, bool)>,
+    /// FIFO wait queue.
+    queue: VecDeque<Waiter>,
+}
+
+impl LockState {
+    fn holds(&self, txn: Timestamp) -> Option<bool> {
+        self.holders
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|(_, x)| *x)
+    }
+
+    fn compatible(&self, exclusive: bool) -> bool {
+        if exclusive {
+            self.holders.is_empty()
+        } else {
+            self.holders.iter().all(|(_, x)| !x)
+        }
+    }
+}
+
+/// Outcome of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// Granted immediately — reply now.
+    Granted,
+    /// Queued behind incompatible holders — reply when granted.
+    Queued,
+}
+
+/// The per-server lock table.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    locks: HashMap<Key, LockState>,
+    /// Keys held per transaction (for release-all on abort).
+    held: HashMap<Timestamp, Vec<Key>>,
+}
+
+impl LockTable {
+    /// Fresh table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a lock on `key` for `txn`.
+    pub fn acquire(
+        &mut self,
+        key: Key,
+        txn: Timestamp,
+        op: u32,
+        exclusive: bool,
+        client: NodeId,
+    ) -> Acquire {
+        let state = self.locks.entry(key.clone()).or_default();
+        match state.holds(txn) {
+            // Re-entrant: already exclusive, or shared request on a held
+            // lock — grant.
+            Some(true) => return Acquire::Granted,
+            Some(false) if !exclusive => return Acquire::Granted,
+            // Upgrade shared→exclusive: allowed when sole holder.
+            Some(false) => {
+                if state.holders.len() == 1 {
+                    state.holders[0].1 = true;
+                    return Acquire::Granted;
+                }
+                // Wait for other sharers to drain.
+                state.queue.push_back(Waiter {
+                    client,
+                    txn,
+                    op,
+                    exclusive,
+                });
+                return Acquire::Queued;
+            }
+            None => {}
+        }
+        if state.compatible(exclusive) && state.queue.is_empty() {
+            state.holders.push((txn, exclusive));
+            self.held.entry(txn).or_default().push(key);
+            Acquire::Granted
+        } else {
+            state.queue.push_back(Waiter {
+                client,
+                txn,
+                op,
+                exclusive,
+            });
+            Acquire::Queued
+        }
+    }
+
+    /// Releases `txn`'s locks on `keys`, returning the grants to send.
+    pub fn release(&mut self, txn: Timestamp, keys: &[Key]) -> Vec<Grant> {
+        let mut grants = Vec::new();
+        for key in keys {
+            grants.extend(self.release_one(txn, key));
+        }
+        if let Some(held) = self.held.get_mut(&txn) {
+            held.retain(|k| !keys.contains(k));
+            if held.is_empty() {
+                self.held.remove(&txn);
+            }
+        }
+        grants
+    }
+
+    /// Releases everything `txn` holds (abort path).
+    pub fn release_all(&mut self, txn: Timestamp) -> Vec<Grant> {
+        let keys = self.held.remove(&txn).unwrap_or_default();
+        let mut grants = Vec::new();
+        for key in &keys {
+            grants.extend(self.release_one(txn, key));
+        }
+        // The txn may also be sitting in wait queues; purge it.
+        for state in self.locks.values_mut() {
+            state.queue.retain(|w| w.txn != txn);
+        }
+        grants
+    }
+
+    fn release_one(&mut self, txn: Timestamp, key: &Key) -> Vec<Grant> {
+        let Some(state) = self.locks.get_mut(key) else {
+            return Vec::new();
+        };
+        state.holders.retain(|(t, _)| *t != txn);
+        let mut grants = Vec::new();
+        // Promote waiters FIFO while compatible.
+        while let Some(front) = state.queue.front() {
+            // Upgrade case: waiter already holds shared and wants exclusive.
+            let is_upgrade =
+                front.exclusive && state.holders == vec![(front.txn, false)];
+            if is_upgrade {
+                state.holders[0].1 = true;
+            } else if state.compatible(front.exclusive) {
+                state.holders.push((front.txn, front.exclusive));
+                self.held
+                    .entry(front.txn)
+                    .or_default()
+                    .push(key.clone());
+            } else {
+                break;
+            }
+            let w = state.queue.pop_front().unwrap();
+            grants.push(Grant {
+                client: w.client,
+                txn: w.txn,
+                op: w.op,
+            });
+            if w.exclusive {
+                break;
+            }
+        }
+        if state.holders.is_empty() && state.queue.is_empty() {
+            self.locks.remove(key);
+        }
+        grants
+    }
+
+    /// Number of keys with active lock state.
+    pub fn active_locks(&self) -> usize {
+        self.locks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(n: u64) -> Timestamp {
+        Timestamp::new(n, 1)
+    }
+    fn k(s: &str) -> Key {
+        Key::from(s.to_owned())
+    }
+
+    #[test]
+    fn shared_locks_coexist_exclusive_does_not() {
+        let mut t = LockTable::new();
+        assert_eq!(t.acquire(k("x"), ts(1), 0, false, 10), Acquire::Granted);
+        assert_eq!(t.acquire(k("x"), ts(2), 0, false, 11), Acquire::Granted);
+        assert_eq!(t.acquire(k("x"), ts(3), 0, true, 12), Acquire::Queued);
+    }
+
+    #[test]
+    fn exclusive_blocks_everyone() {
+        let mut t = LockTable::new();
+        assert_eq!(t.acquire(k("x"), ts(1), 0, true, 10), Acquire::Granted);
+        assert_eq!(t.acquire(k("x"), ts(2), 0, false, 11), Acquire::Queued);
+        assert_eq!(t.acquire(k("x"), ts(3), 0, true, 12), Acquire::Queued);
+        let grants = t.release(ts(1), &[k("x")]);
+        // FIFO: the shared waiter is granted first, then stops at the
+        // exclusive waiter.
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].txn, ts(2));
+        let grants = t.release(ts(2), &[k("x")]);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].txn, ts(3));
+    }
+
+    #[test]
+    fn reentrant_grants() {
+        let mut t = LockTable::new();
+        assert_eq!(t.acquire(k("x"), ts(1), 0, true, 10), Acquire::Granted);
+        assert_eq!(t.acquire(k("x"), ts(1), 1, true, 10), Acquire::Granted);
+        assert_eq!(t.acquire(k("x"), ts(1), 2, false, 10), Acquire::Granted);
+    }
+
+    #[test]
+    fn upgrade_when_sole_holder() {
+        let mut t = LockTable::new();
+        assert_eq!(t.acquire(k("x"), ts(1), 0, false, 10), Acquire::Granted);
+        assert_eq!(t.acquire(k("x"), ts(1), 1, true, 10), Acquire::Granted);
+        // now exclusive: others queue
+        assert_eq!(t.acquire(k("x"), ts(2), 0, false, 11), Acquire::Queued);
+    }
+
+    #[test]
+    fn upgrade_waits_for_other_sharers() {
+        let mut t = LockTable::new();
+        t.acquire(k("x"), ts(1), 0, false, 10);
+        t.acquire(k("x"), ts(2), 0, false, 11);
+        assert_eq!(t.acquire(k("x"), ts(1), 1, true, 10), Acquire::Queued);
+        let grants = t.release(ts(2), &[k("x")]);
+        assert_eq!(grants.len(), 1, "upgrade granted once sharers drain");
+        assert_eq!(grants[0].txn, ts(1));
+    }
+
+    #[test]
+    fn release_all_purges_queue_entries() {
+        let mut t = LockTable::new();
+        t.acquire(k("x"), ts(1), 0, true, 10);
+        t.acquire(k("x"), ts(2), 0, true, 11); // queued
+        t.acquire(k("y"), ts(2), 1, true, 11); // granted
+        let grants = t.release_all(ts(2));
+        assert!(grants.is_empty(), "nobody waits on y");
+        // ts(2) no longer queued on x
+        let grants = t.release_all(ts(1));
+        assert!(grants.is_empty());
+        assert_eq!(t.active_locks(), 0);
+    }
+
+    #[test]
+    fn fifo_prevents_writer_starvation() {
+        let mut t = LockTable::new();
+        t.acquire(k("x"), ts(1), 0, false, 10);
+        assert_eq!(t.acquire(k("x"), ts(2), 0, true, 11), Acquire::Queued);
+        // a later shared request queues behind the exclusive waiter
+        assert_eq!(t.acquire(k("x"), ts(3), 0, false, 12), Acquire::Queued);
+        let grants = t.release(ts(1), &[k("x")]);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].txn, ts(2), "writer first (FIFO)");
+    }
+}

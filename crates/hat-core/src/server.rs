@@ -1,0 +1,429 @@
+//! The HAT server (replica) actor.
+//!
+//! A server owns one hash partition of the keyspace within its cluster.
+//! It is a single service queue: each request is charged a service time
+//! from the [`crate::ServiceModel`] and the reply leaves once the queue
+//! drains — this is what produces the latency-vs-load and saturation
+//! shapes of Figures 3–6.
+//!
+//! Protocol behaviour:
+//! * **Eventual / RC / master / 2PL data ops** — last-writer-wins puts
+//!   into the store, gets of the latest version.
+//! * **MAV** — the Appendix B algorithm via [`crate::protocol::mav`]: a
+//!   `Put` lands in `pending`; on *first receipt* the server notifies
+//!   every distinct server hosting a replica of any sibling key (itself
+//!   included); `pending → good` promotion happens at
+//!   `|siblings| × |clusters|` notifications.
+//! * **2PL locks** — a lock table at each key's master replica.
+//!
+//! All accepted writes are buffered in a [`ReplicationLog`] and gossiped
+//! to the positional peer replica in every other cluster on an
+//! anti-entropy timer (§5.1.4 convergence).
+
+use crate::cluster::ClusterLayout;
+use crate::config::{ProtocolKind, SystemConfig};
+use crate::messages::Msg;
+use crate::protocol::mav::MavState;
+use crate::protocol::replication::ReplicationLog;
+use crate::protocol::twopl::{Acquire, LockTable};
+use crate::timestamp::Timestamp;
+use hat_sim::{Ctx, NodeId, SimDuration, SimTime, TimerId};
+use hat_storage::{Key, Record, Store};
+use std::sync::Arc;
+
+/// Timer tag for the anti-entropy tick.
+const TIMER_ANTI_ENTROPY: TimerId = 1;
+
+/// A replica server.
+pub struct Server {
+    id: NodeId,
+    cluster: usize,
+    layout: Arc<ClusterLayout>,
+    config: Arc<SystemConfig>,
+    store: Box<dyn Store + Send>,
+    busy_until: SimTime,
+    repl: ReplicationLog,
+    peers: Vec<NodeId>,
+    mav: MavState,
+    locks: LockTable,
+    /// Requests served (for load accounting in experiments).
+    pub requests_served: u64,
+}
+
+impl Server {
+    /// Builds a server for `cluster` backed by `store`.
+    pub fn new(
+        id: NodeId,
+        cluster: usize,
+        layout: Arc<ClusterLayout>,
+        config: Arc<SystemConfig>,
+        store: Box<dyn Store + Send>,
+    ) -> Self {
+        let peers = layout.anti_entropy_peers(id);
+        Server {
+            id,
+            cluster,
+            layout,
+            config,
+            store,
+            busy_until: SimTime::ZERO,
+            repl: ReplicationLog::new(peers.len()),
+            peers,
+            mav: MavState::new(),
+            locks: LockTable::new(),
+            requests_served: 0,
+        }
+    }
+
+    /// The node id.
+    pub fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The cluster index.
+    pub fn cluster(&self) -> usize {
+        self.cluster
+    }
+
+    /// Read access to the backing store (tests, invariant checks).
+    pub fn store(&self) -> &dyn Store {
+        self.store.as_ref()
+    }
+
+    /// MAV reads that missed their `required` bound (must be 0 in a
+    /// correct run).
+    pub fn mav_required_misses(&self) -> u64 {
+        self.mav.required_misses
+    }
+
+    /// Charges `cost` of service time and returns how long the caller's
+    /// reply is held (queueing + service).
+    fn service(&mut self, now: SimTime, cost: SimDuration) -> SimDuration {
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
+        self.busy_until = start + cost;
+        self.busy_until - now
+    }
+
+    /// Invoked once at simulation start.
+    pub fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Stagger anti-entropy ticks so servers do not gossip in
+        // lock-step.
+        let jitter = ctx.rng().gen_range(0..self.config.anti_entropy_interval.as_micros().max(1));
+        ctx.set_timer(
+            self.config.anti_entropy_interval + SimDuration::from_micros(jitter),
+            TIMER_ANTI_ENTROPY,
+        );
+    }
+
+    /// Invoked when a timer fires.
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: TimerId) {
+        if timer == TIMER_ANTI_ENTROPY {
+            for (i, &peer) in self.peers.clone().iter().enumerate() {
+                let (from_index, writes) = self.repl.batch_for(i);
+                if !writes.is_empty() {
+                    ctx.send(peer, Msg::Replicate { from_index, writes });
+                }
+            }
+            self.repl.compact(1024);
+            // MAV liveness: notifications lost to partitions are
+            // replayed for writes still pending (keyed notifications
+            // make the replay idempotent). Bounded per tick.
+            if self.config.protocol == ProtocolKind::Mav {
+                for (ts, key, siblings) in
+                    self.mav.pending_writes().into_iter().take(256)
+                {
+                    let mut targets: Vec<NodeId> = siblings
+                        .iter()
+                        .flat_map(|s| self.layout.replicas(s))
+                        .collect();
+                    if targets.is_empty() {
+                        targets = self.layout.replicas(&key);
+                    }
+                    targets.sort_unstable();
+                    targets.dedup();
+                    for t in targets {
+                        ctx.send(
+                            t,
+                            Msg::Notify {
+                                ts,
+                                key: key.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            ctx.set_timer(self.config.anti_entropy_interval, TIMER_ANTI_ENTROPY);
+        }
+    }
+
+    /// Invoked when a message arrives.
+    pub fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Get {
+                txn,
+                op,
+                key,
+                required,
+            } => self.handle_get(ctx, from, txn, op, key, required),
+            Msg::Scan { txn, op, prefix } => self.handle_scan(ctx, from, txn, op, prefix),
+            Msg::Put {
+                txn,
+                op,
+                key,
+                record,
+            } => self.handle_put(ctx, from, txn, op, key, record),
+            Msg::Lock {
+                txn,
+                op,
+                key,
+                exclusive,
+            } => self.handle_lock(ctx, from, txn, op, key, exclusive),
+            Msg::Unlock { txn, keys } => self.handle_unlock(ctx, txn, keys),
+            Msg::Replicate { from_index, writes } => {
+                self.handle_replicate(ctx, from, from_index, writes)
+            }
+            Msg::ReplicateAck { upto } => {
+                if let Some(i) = self.peers.iter().position(|&p| p == from) {
+                    self.repl.ack(i, upto);
+                }
+            }
+            Msg::Notify { ts, key } => self.handle_notify(ctx, from, ts, key),
+            // Responses are never addressed to servers.
+            _ => {}
+        }
+    }
+
+    fn handle_get(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: Timestamp,
+        op: u32,
+        key: Key,
+        required: Timestamp,
+    ) {
+        self.requests_served += 1;
+        let cost = self.config.service.read();
+        let found = match self.config.protocol {
+            ProtocolKind::Mav => self.mav.read(self.store.as_ref(), &key, required),
+            _ => self.store.latest(&key),
+        };
+        let hold = self.service(ctx.now(), cost);
+        ctx.send_after(hold, from, Msg::GetResp { txn, op, found });
+    }
+
+    fn handle_scan(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: Timestamp,
+        op: u32,
+        prefix: Key,
+    ) {
+        self.requests_served += 1;
+        let matches = self.store.scan_prefix(&prefix);
+        let cost = SimDuration::from_micros(
+            (self.config.service.read_us
+                + self.config.service.scan_record_us * matches.len() as f64) as u64,
+        );
+        let hold = self.service(ctx.now(), cost);
+        ctx.send_after(hold, from, Msg::ScanResp { txn, op, matches });
+    }
+
+    fn handle_put(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: Timestamp,
+        op: u32,
+        key: Key,
+        record: Record,
+    ) {
+        self.requests_served += 1;
+        let cost = match self.config.protocol {
+            ProtocolKind::Mav => {
+                let meta_bytes = record.encoded_len().saturating_sub(4 + record.value.len());
+                self.config.service.mav_write(meta_bytes)
+            }
+            _ => self.config.service.write(),
+        };
+        self.apply_write(ctx, key, record);
+        let hold = self.service(ctx.now(), cost);
+        ctx.send_after(hold, from, Msg::PutResp { txn, op });
+    }
+
+    /// Installs a write locally (client put or anti-entropy copy),
+    /// running protocol-specific machinery.
+    fn apply_write(&mut self, ctx: &mut Ctx<'_, Msg>, key: Key, record: Record) {
+        match self.config.protocol {
+            ProtocolKind::Mav => {
+                let ts = record.stamp;
+                let siblings = record.siblings.clone();
+                let outcome = self.mav.receive_write(
+                    self.store.as_mut(),
+                    key.clone(),
+                    record.clone(),
+                    self.layout.num_clusters() as u32,
+                );
+                if outcome.first_receipt {
+                    // Notify every distinct server hosting a replica of
+                    // any sibling key — exactly once per receipt, so the
+                    // expected count (|sibs| × |clusters|) is matched by
+                    // the |sibs × clusters| receipt events.
+                    let mut targets: Vec<NodeId> = siblings
+                        .iter()
+                        .flat_map(|s| self.layout.replicas(s))
+                        .collect();
+                    if targets.is_empty() {
+                        targets = self.layout.replicas(&key);
+                    }
+                    targets.sort_unstable();
+                    targets.dedup();
+                    for t in targets {
+                        ctx.send(
+                            t,
+                            Msg::Notify {
+                                ts,
+                                key: key.clone(),
+                            },
+                        );
+                    }
+                    self.repl.push(key, record);
+                }
+            }
+            _ => {
+                // Gossip when the version is new *or* its value changed
+                // (a transaction's later write of the same key carries
+                // the same stamp but supersedes the value).
+                let changed = self
+                    .store
+                    .exact(&key, record.stamp)
+                    .map(|prior| prior.value != record.value)
+                    .unwrap_or(true);
+                self.store
+                    .put(key.clone(), record.clone())
+                    .expect("in-memory put cannot fail");
+                if changed {
+                    self.repl.push(key, record);
+                }
+            }
+        }
+    }
+
+    fn handle_replicate(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        from_index: u64,
+        writes: Vec<(Key, Record)>,
+    ) {
+        let cost = SimDuration::from_micros(
+            (self.config.service.replicate_record_us * writes.len() as f64) as u64,
+        );
+        let hold = self.service(ctx.now(), cost);
+        let upto = from_index + writes.len() as u64;
+        for (key, record) in writes {
+            match self.config.protocol {
+                ProtocolKind::Mav => {
+                    let ts = record.stamp;
+                    let siblings = record.siblings.clone();
+                    let outcome = self.mav.receive_write(
+                        self.store.as_mut(),
+                        key.clone(),
+                        record,
+                        self.layout.num_clusters() as u32,
+                    );
+                    if outcome.first_receipt {
+                        let mut targets: Vec<NodeId> = siblings
+                            .iter()
+                            .flat_map(|s| self.layout.replicas(s))
+                            .collect();
+                        if targets.is_empty() {
+                            targets = self.layout.replicas(&key);
+                        }
+                        targets.sort_unstable();
+                        targets.dedup();
+                        for t in targets {
+                            ctx.send(
+                                t,
+                                Msg::Notify {
+                                    ts,
+                                    key: key.clone(),
+                                },
+                            );
+                        }
+                        // do not re-gossip: peers form a clique, the
+                        // origin gossips to everyone.
+                    }
+                }
+                _ => {
+                    let _ = self.store.put(key, record);
+                }
+            }
+        }
+        // Acknowledge once applied: the sender's cursor advances and the
+        // batch is never re-sent (unless this ack is lost — then the
+        // receiver just applies the duplicates idempotently).
+        ctx.send_after(hold, from, Msg::ReplicateAck { upto });
+    }
+
+    fn handle_notify(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, ts: Timestamp, key: Key) {
+        let cost = SimDuration::from_micros(self.config.service.notify_us as u64);
+        let _ = self.service(ctx.now(), cost);
+        let _promoted = self.mav.receive_notify(self.store.as_mut(), ts, from, key);
+    }
+
+    fn handle_lock(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: Timestamp,
+        op: u32,
+        key: Key,
+        exclusive: bool,
+    ) {
+        self.requests_served += 1;
+        let cost = SimDuration::from_micros(self.config.service.lock_us as u64);
+        let hold = self.service(ctx.now(), cost);
+        match self.locks.acquire(key, txn, op, exclusive, from) {
+            Acquire::Granted => ctx.send_after(hold, from, Msg::LockResp { txn, op }),
+            Acquire::Queued => {} // reply comes at grant time
+        }
+    }
+
+    fn handle_unlock(&mut self, ctx: &mut Ctx<'_, Msg>, txn: Timestamp, keys: Vec<Key>) {
+        let cost = SimDuration::from_micros(self.config.service.lock_us as u64);
+        let hold = self.service(ctx.now(), cost);
+        let grants = if keys.is_empty() {
+            self.locks.release_all(txn)
+        } else {
+            self.locks.release(txn, &keys)
+        };
+        for g in grants {
+            ctx.send_after(
+                hold,
+                g.client,
+                Msg::LockResp {
+                    txn: g.txn,
+                    op: g.op,
+                },
+            );
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("id", &self.id)
+            .field("cluster", &self.cluster)
+            .field("protocol", &self.config.protocol)
+            .finish_non_exhaustive()
+    }
+}
+
+use rand::Rng as _;

@@ -1,0 +1,229 @@
+//! Isolation levels as sets of prohibited phenomena (Appendix A.3).
+
+use crate::dsg::{Dsg, History};
+use crate::phenomena::{self, Phenomenon, Violation};
+use hat_core::TxnRecord;
+use std::fmt;
+
+/// Named isolation / consistency levels with formal phenomenon-based
+/// definitions (Definitions 17, 21, 23, 25, 27, 29, 31, 33, 35, 36, 37,
+/// 40, 41).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsolationLevel {
+    /// PL-1: prohibits G0.
+    ReadUncommitted,
+    /// PL-2: prohibits G0, G1a, G1b, G1c.
+    ReadCommitted,
+    /// Prohibits IMP.
+    ItemCutIsolation,
+    /// Prohibits PMP (and IMP).
+    PredicateCutIsolation,
+    /// Read Committed + OTV prohibited.
+    MonotonicAtomicView,
+    /// Prohibits N-MR.
+    MonotonicReads,
+    /// Prohibits N-MW.
+    MonotonicWrites,
+    /// Prohibits MYR.
+    ReadYourWrites,
+    /// Prohibits MRWD.
+    WritesFollowReads,
+    /// N-MR + N-MW + MYR prohibited.
+    Pram,
+    /// PRAM + MRWD prohibited.
+    Causal,
+    /// G0, G1, PMP, OTV, Lost Update prohibited (Definition 40).
+    SnapshotIsolation,
+    /// G0, G1, Write Skew prohibited (Definition 41).
+    RepeatableRead,
+    /// Everything above.
+    Serializable,
+}
+
+impl IsolationLevel {
+    /// The phenomena this level prohibits.
+    pub fn prohibited(self) -> Vec<Phenomenon> {
+        use Phenomenon::*;
+        match self {
+            IsolationLevel::ReadUncommitted => vec![G0],
+            IsolationLevel::ReadCommitted => vec![G0, G1a, G1b, G1c],
+            IsolationLevel::ItemCutIsolation => vec![Imp],
+            IsolationLevel::PredicateCutIsolation => vec![Imp, Pmp],
+            IsolationLevel::MonotonicAtomicView => vec![G0, G1a, G1b, G1c, Otv],
+            IsolationLevel::MonotonicReads => vec![NonMonotonicReads],
+            IsolationLevel::MonotonicWrites => vec![NonMonotonicWrites],
+            IsolationLevel::ReadYourWrites => vec![MissingYourWrites],
+            IsolationLevel::WritesFollowReads => vec![Mrwd],
+            IsolationLevel::Pram => {
+                vec![NonMonotonicReads, NonMonotonicWrites, MissingYourWrites]
+            }
+            IsolationLevel::Causal => vec![
+                NonMonotonicReads,
+                NonMonotonicWrites,
+                MissingYourWrites,
+                Mrwd,
+            ],
+            IsolationLevel::SnapshotIsolation => {
+                vec![G0, G1a, G1b, G1c, Pmp, Otv, LostUpdate]
+            }
+            IsolationLevel::RepeatableRead => vec![G0, G1a, G1b, G1c, WriteSkew],
+            IsolationLevel::Serializable => vec![
+                G0,
+                G1a,
+                G1b,
+                G1c,
+                Imp,
+                Pmp,
+                Otv,
+                NonMonotonicReads,
+                NonMonotonicWrites,
+                MissingYourWrites,
+                Mrwd,
+                LostUpdate,
+                WriteSkew,
+            ],
+        }
+    }
+}
+
+/// Result of checking a history.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The level checked.
+    pub level: IsolationLevel,
+    /// Committed transactions examined.
+    pub txns_checked: usize,
+    /// Violations of the level's prohibited phenomena.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// True if the history satisfies the level.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:?}: {} txns, {} violations",
+            self.level,
+            self.txns_checked,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Detects a single phenomenon over a prepared history.
+pub fn detect(phenomenon: Phenomenon, history: &History, dsg: &Dsg) -> Vec<Violation> {
+    match phenomenon {
+        Phenomenon::G0 => phenomena::g0(history, dsg),
+        Phenomenon::G1a => phenomena::g1a(history),
+        Phenomenon::G1b => phenomena::g1b(history),
+        Phenomenon::G1c => phenomena::g1c(history, dsg),
+        Phenomenon::Imp => phenomena::imp(history),
+        Phenomenon::Pmp => phenomena::pmp(history),
+        Phenomenon::Otv => phenomena::otv(history),
+        Phenomenon::NonMonotonicReads => phenomena::non_monotonic_reads(history),
+        Phenomenon::NonMonotonicWrites => phenomena::non_monotonic_writes(history),
+        Phenomenon::MissingYourWrites => phenomena::missing_your_writes(history),
+        Phenomenon::Mrwd => phenomena::mrwd(history),
+        Phenomenon::LostUpdate => phenomena::lost_update(history, dsg),
+        Phenomenon::WriteSkew => phenomena::write_skew(history, dsg),
+    }
+}
+
+/// Checks `records` against `level`.
+pub fn check(records: Vec<TxnRecord>, level: IsolationLevel) -> Report {
+    let history = History::new(records);
+    let dsg = Dsg::build(&history);
+    let mut violations = Vec::new();
+    for p in level.prohibited() {
+        violations.extend(detect(p, &history, &dsg));
+    }
+    Report {
+        level,
+        txns_checked: history.len(),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use hat_core::{OpRecord, Timestamp, TxnOutcome};
+    use hat_storage::Key;
+
+    fn lost_update_history() -> Vec<TxnRecord> {
+        let read = |k: &str, o| OpRecord::Read {
+            key: Key::from(k.to_owned()),
+            observed: o,
+            value: Bytes::new(),
+        };
+        let write = |k: &str, v: &str| OpRecord::Write {
+            key: Key::from(k.to_owned()),
+            value: Bytes::from(v.to_owned()),
+        };
+        vec![
+            TxnRecord {
+                id: Timestamp::new(1, 1),
+                session: 1,
+                session_seq: 0,
+                ops: vec![read("x", Timestamp::INITIAL), write("x", "120")],
+                outcome: TxnOutcome::Committed,
+            },
+            TxnRecord {
+                id: Timestamp::new(1, 2),
+                session: 2,
+                session_seq: 0,
+                ops: vec![read("x", Timestamp::INITIAL), write("x", "130")],
+                outcome: TxnOutcome::Committed,
+            },
+        ]
+    }
+
+    #[test]
+    fn si_catches_lost_update_but_rc_does_not() {
+        let rc = check(lost_update_history(), IsolationLevel::ReadCommitted);
+        assert!(rc.ok(), "RC permits lost update: {rc}");
+        let si = check(lost_update_history(), IsolationLevel::SnapshotIsolation);
+        assert!(!si.ok(), "SI prohibits lost update");
+        assert!(si
+            .violations
+            .iter()
+            .any(|v| v.phenomenon == Phenomenon::LostUpdate));
+    }
+
+    #[test]
+    fn serializable_prohibits_everything() {
+        let p = IsolationLevel::Serializable.prohibited();
+        assert_eq!(p.len(), 13);
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let r = check(lost_update_history(), IsolationLevel::SnapshotIsolation);
+        let s = r.to_string();
+        assert!(s.contains("Lost Update"), "{s}");
+    }
+
+    #[test]
+    fn empty_history_is_clean_everywhere() {
+        for level in [
+            IsolationLevel::ReadUncommitted,
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::MonotonicAtomicView,
+            IsolationLevel::Causal,
+            IsolationLevel::Serializable,
+        ] {
+            assert!(check(Vec::new(), level).ok());
+        }
+    }
+}

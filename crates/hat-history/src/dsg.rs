@@ -1,0 +1,444 @@
+//! History preparation and the Direct Serialization Graph (Appendix A.2).
+
+use hat_core::{OpRecord, Timestamp, TxnOutcome, TxnRecord};
+use hat_storage::Key;
+use std::collections::{BTreeSet, HashMap};
+
+/// Edge kinds of the DSG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Write-dependency: the target installs the item's next version
+    /// after the source's version (Definition 13).
+    Ww,
+    /// Read-dependency: the target read a version the source installed
+    /// (Definition 4).
+    Wr,
+    /// Item-anti-dependency: the source read a version and the target
+    /// installed the item's next version (Definition 9).
+    Rw,
+    /// Session-dependency: same session, source precedes target
+    /// (Definition 15).
+    Session,
+}
+
+/// A directed labeled edge between committed transactions (by index into
+/// [`History::committed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Source transaction index.
+    pub from: usize,
+    /// Target transaction index.
+    pub to: usize,
+    /// Dependency kind.
+    pub kind: EdgeKind,
+    /// The item the dependency is *by* (None for session edges).
+    pub item: Option<Key>,
+}
+
+/// A prepared history: committed transactions, per-item version orders,
+/// and final writes.
+#[derive(Debug, Clone)]
+pub struct History {
+    /// All records, committed and aborted, in input order.
+    pub all: Vec<TxnRecord>,
+    /// Indices (into `all`) of committed transactions.
+    pub committed: Vec<usize>,
+    /// Version order per item: the initial version then committed
+    /// installed versions, ascending by stamp (the LWW order every
+    /// replica applies).
+    pub version_order: HashMap<Key, Vec<Timestamp>>,
+    /// Committed transaction index by its write stamp.
+    pub writer_of: HashMap<Timestamp, usize>,
+    /// Final written value per (committed transaction, key).
+    pub final_write: HashMap<(Timestamp, Key), bytes::Bytes>,
+}
+
+impl History {
+    /// Prepares a history from client records.
+    pub fn new(records: Vec<TxnRecord>) -> Self {
+        let committed: Vec<usize> = records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.outcome == TxnOutcome::Committed)
+            .map(|(i, _)| i)
+            .collect();
+        let mut version_sets: HashMap<Key, BTreeSet<Timestamp>> = HashMap::new();
+        let mut writer_of = HashMap::new();
+        let mut final_write = HashMap::new();
+        for &i in &committed {
+            let r = &records[i];
+            writer_of.insert(r.id, i);
+            for op in &r.ops {
+                if let OpRecord::Write { key, value } = op {
+                    version_sets.entry(key.clone()).or_default().insert(r.id);
+                    final_write.insert((r.id, key.clone()), value.clone());
+                }
+            }
+        }
+        let version_order = version_sets
+            .into_iter()
+            .map(|(k, set)| {
+                let mut v: Vec<Timestamp> = vec![Timestamp::INITIAL];
+                v.extend(set);
+                (k, v)
+            })
+            .collect();
+        History {
+            all: records,
+            committed,
+            version_order,
+            writer_of,
+            final_write,
+        }
+    }
+
+    /// The committed transaction record at committed-index `ci`.
+    pub fn txn(&self, ci: usize) -> &TxnRecord {
+        &self.all[self.committed[ci]]
+    }
+
+    /// Number of committed transactions.
+    pub fn len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// True if the history has no committed transactions.
+    pub fn is_empty(&self) -> bool {
+        self.committed.is_empty()
+    }
+
+    /// The version following `v` in `key`'s version order, if any.
+    pub fn next_version(&self, key: &Key, v: Timestamp) -> Option<Timestamp> {
+        let order = self.version_order.get(key)?;
+        let pos = order.iter().position(|&x| x == v)?;
+        order.get(pos + 1).copied()
+    }
+}
+
+/// The Direct Serialization Graph over committed transactions.
+#[derive(Debug, Clone)]
+pub struct Dsg {
+    /// All labeled edges (self-edges excluded, as in Adya).
+    pub edges: Vec<Edge>,
+    /// Number of nodes (committed transactions).
+    pub nodes: usize,
+}
+
+impl Dsg {
+    /// Builds the DSG of `history`.
+    pub fn build(history: &History) -> Self {
+        let mut edges = Vec::new();
+        let nodes = history.len();
+        // index of committed txn by record index
+        let ci_of: HashMap<usize, usize> = history
+            .committed
+            .iter()
+            .enumerate()
+            .map(|(ci, &ri)| (ri, ci))
+            .collect();
+
+        // ww edges: successive committed versions of each item.
+        for (key, order) in &history.version_order {
+            for w in order.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if a == Timestamp::INITIAL {
+                    continue; // the init txn is virtual
+                }
+                let (fa, fb) = (history.writer_of[&a], history.writer_of[&b]);
+                if fa != fb {
+                    edges.push(Edge {
+                        from: ci_of[&fa],
+                        to: ci_of[&fb],
+                        kind: EdgeKind::Ww,
+                        item: Some(key.clone()),
+                    });
+                }
+            }
+        }
+
+        // wr and rw edges from reads.
+        for (ci, &ri) in history.committed.iter().enumerate() {
+            let reader = &history.all[ri];
+            for op in &reader.ops {
+                let (key, observed) = match op {
+                    OpRecord::Read { key, observed, .. } => (key, *observed),
+                    _ => continue,
+                };
+                // wr: writer(observed) -> reader
+                if !observed.is_initial() {
+                    if let Some(&wri) = history.writer_of.get(&observed) {
+                        if wri != ri {
+                            edges.push(Edge {
+                                from: ci_of[&wri],
+                                to: ci,
+                                kind: EdgeKind::Wr,
+                                item: Some(key.clone()),
+                            });
+                        }
+                    }
+                }
+                // rw: reader -> writer(next version after observed)
+                if let Some(next) = history.next_version(key, observed) {
+                    if let Some(&nwri) = history.writer_of.get(&next) {
+                        if nwri != ri {
+                            edges.push(Edge {
+                                from: ci,
+                                to: ci_of[&nwri],
+                                kind: EdgeKind::Rw,
+                                item: Some(key.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // session edges: successive committed txns of each session.
+        let mut by_session: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (ci, &ri) in history.committed.iter().enumerate() {
+            by_session
+                .entry(history.all[ri].session)
+                .or_default()
+                .push(ci);
+        }
+        for seq in by_session.values_mut() {
+            seq.sort_by_key(|&ci| history.txn(ci).session_seq);
+            for w in seq.windows(2) {
+                edges.push(Edge {
+                    from: w[0],
+                    to: w[1],
+                    kind: EdgeKind::Session,
+                    item: None,
+                });
+            }
+        }
+
+        edges.sort_by_key(|e| (e.from, e.to));
+        edges.dedup();
+        Dsg { edges, nodes }
+    }
+
+    /// Strongly connected components of the subgraph whose edges satisfy
+    /// `keep`. Returns components with more than one node (cycles); each
+    /// is a sorted list of node indices.
+    pub fn cycles(&self, keep: impl Fn(&Edge) -> bool) -> Vec<Vec<usize>> {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.nodes];
+        for e in &self.edges {
+            if keep(e) {
+                adj[e.from].push(e.to);
+            }
+        }
+        let sccs = tarjan(&adj);
+        sccs.into_iter()
+            .filter(|c| c.len() > 1)
+            .map(|mut c| {
+                c.sort_unstable();
+                c
+            })
+            .collect()
+    }
+
+    /// Edges inside a node set, filtered.
+    pub fn edges_within<'a>(
+        &'a self,
+        nodes: &'a [usize],
+        keep: impl Fn(&Edge) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a Edge> + 'a {
+        self.edges
+            .iter()
+            .filter(move |e| keep(e) && nodes.contains(&e.from) && nodes.contains(&e.to))
+    }
+}
+
+/// Iterative Tarjan SCC.
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs = Vec::new();
+
+    // explicit DFS stack: (node, child-iterator position)
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn write(key: &str, val: &str) -> OpRecord {
+        OpRecord::Write {
+            key: Key::from(key.to_owned()),
+            value: Bytes::from(val.to_owned()),
+        }
+    }
+    fn read(key: &str, observed: Timestamp) -> OpRecord {
+        OpRecord::Read {
+            key: Key::from(key.to_owned()),
+            observed,
+            value: Bytes::new(),
+        }
+    }
+    fn txn(id: Timestamp, session: u32, seq: u64, ops: Vec<OpRecord>) -> TxnRecord {
+        TxnRecord {
+            id,
+            session,
+            session_seq: seq,
+            ops,
+            outcome: TxnOutcome::Committed,
+        }
+    }
+    fn ts(s: u64, w: u32) -> Timestamp {
+        Timestamp::new(s, w)
+    }
+
+    #[test]
+    fn version_order_includes_initial() {
+        let h = History::new(vec![
+            txn(ts(2, 1), 1, 0, vec![write("x", "a")]),
+            txn(ts(1, 2), 2, 0, vec![write("x", "b")]),
+        ]);
+        let order = &h.version_order[&Key::from("x")];
+        assert_eq!(order, &vec![Timestamp::INITIAL, ts(1, 2), ts(2, 1)]);
+        assert_eq!(h.next_version(&Key::from("x"), ts(1, 2)), Some(ts(2, 1)));
+        assert_eq!(h.next_version(&Key::from("x"), ts(2, 1)), None);
+    }
+
+    #[test]
+    fn aborted_txns_are_not_writers() {
+        let mut aborted = txn(ts(1, 1), 1, 0, vec![write("x", "a")]);
+        aborted.outcome = TxnOutcome::AbortedExternal;
+        let h = History::new(vec![aborted, txn(ts(2, 2), 2, 0, vec![write("x", "b")])]);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.version_order[&Key::from("x")].len(), 2);
+    }
+
+    #[test]
+    fn wr_and_rw_edges() {
+        // T1 writes x; T2 reads T1's x (wr); T3 wrote x after T1 (ww),
+        // so T2 also anti-depends on T3 (rw).
+        let h = History::new(vec![
+            txn(ts(1, 1), 1, 0, vec![write("x", "a")]),
+            txn(ts(5, 2), 2, 0, vec![read("x", ts(1, 1))]),
+            txn(ts(9, 3), 3, 0, vec![write("x", "c")]),
+        ]);
+        let g = Dsg::build(&h);
+        let kinds: Vec<(usize, usize, EdgeKind)> =
+            g.edges.iter().map(|e| (e.from, e.to, e.kind)).collect();
+        assert!(kinds.contains(&(0, 1, EdgeKind::Wr)), "{kinds:?}");
+        assert!(kinds.contains(&(1, 2, EdgeKind::Rw)), "{kinds:?}");
+        assert!(kinds.contains(&(0, 2, EdgeKind::Ww)), "{kinds:?}");
+    }
+
+    #[test]
+    fn read_of_initial_antidepends_on_first_writer() {
+        let h = History::new(vec![
+            txn(ts(1, 1), 1, 0, vec![read("x", Timestamp::INITIAL)]),
+            txn(ts(2, 2), 2, 0, vec![write("x", "a")]),
+        ]);
+        let g = Dsg::build(&h);
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 0 && e.to == 1 && e.kind == EdgeKind::Rw));
+    }
+
+    #[test]
+    fn session_edges_follow_session_seq() {
+        let h = History::new(vec![
+            txn(ts(1, 7), 7, 0, vec![write("a", "1")]),
+            txn(ts(2, 7), 7, 1, vec![write("b", "1")]),
+            txn(ts(1, 8), 8, 0, vec![write("c", "1")]),
+        ]);
+        let g = Dsg::build(&h);
+        let sess: Vec<(usize, usize)> = g
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Session)
+            .map(|e| (e.from, e.to))
+            .collect();
+        assert_eq!(sess, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn cycle_detection_finds_ww_cycle() {
+        // classic G0: T1 and T2 interleave writes to x and y such that
+        // version orders disagree.
+        let h = History::new(vec![
+            txn(ts(1, 1), 1, 0, vec![write("x", "1"), write("y", "1")]),
+            txn(ts(2, 2), 2, 0, vec![write("x", "2"), write("y", "2")]),
+        ]);
+        // force disagreement: y's order says T2 before T1
+        let mut h = h;
+        h.version_order
+            .insert(Key::from("y"), vec![Timestamp::INITIAL, ts(2, 2), ts(1, 1)]);
+        let g = Dsg::build(&h);
+        let cycles = g.cycles(|e| e.kind == EdgeKind::Ww);
+        assert_eq!(cycles, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn no_false_cycles_on_clean_history() {
+        let h = History::new(vec![
+            txn(ts(1, 1), 1, 0, vec![write("x", "1")]),
+            txn(ts(2, 2), 2, 0, vec![read("x", ts(1, 1)), write("y", "1")]),
+            txn(ts(3, 3), 3, 0, vec![read("y", ts(2, 2))]),
+        ]);
+        let g = Dsg::build(&h);
+        assert!(g.cycles(|_| true).is_empty());
+    }
+
+    #[test]
+    fn tarjan_handles_diamonds_and_big_cycles() {
+        // 0->1->2->0 cycle plus 3 hanging off
+        let adj = vec![vec![1], vec![2], vec![0, 3], vec![]];
+        let mut sccs = tarjan(&adj);
+        sccs.iter_mut().for_each(|c| c.sort_unstable());
+        sccs.sort();
+        assert!(sccs.contains(&vec![0, 1, 2]));
+        assert!(sccs.contains(&vec![3]));
+    }
+}

@@ -1,0 +1,802 @@
+//! Phenomenon detectors (Appendix A.3, Definitions 16–39).
+
+use crate::dsg::{Dsg, EdgeKind, History};
+use hat_core::{OpRecord, Timestamp, TxnOutcome};
+use hat_storage::Key;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The phenomena of Appendix A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phenomenon {
+    /// G0 — write cycles ("dirty writes").
+    G0,
+    /// G1a — aborted reads.
+    G1a,
+    /// G1b — intermediate reads.
+    G1b,
+    /// G1c — circular information flow.
+    G1c,
+    /// IMP — item-many-preceders (item cut isolation violation).
+    Imp,
+    /// PMP — predicate-many-preceders (predicate cut isolation violation).
+    Pmp,
+    /// OTV — observed transaction vanishes (MAV violation).
+    Otv,
+    /// N-MR — non-monotonic reads.
+    NonMonotonicReads,
+    /// N-MW — non-monotonic writes.
+    NonMonotonicWrites,
+    /// MYR — missing your writes (read-your-writes violation).
+    MissingYourWrites,
+    /// MRWD — missing read-write dependency (writes-follow-reads
+    /// violation).
+    Mrwd,
+    /// Lost Update.
+    LostUpdate,
+    /// Write Skew (Adya G2-item).
+    WriteSkew,
+}
+
+impl fmt::Display for Phenomenon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phenomenon::G0 => "G0 (dirty write)",
+            Phenomenon::G1a => "G1a (aborted read)",
+            Phenomenon::G1b => "G1b (intermediate read)",
+            Phenomenon::G1c => "G1c (circular information flow)",
+            Phenomenon::Imp => "IMP (item-many-preceders)",
+            Phenomenon::Pmp => "PMP (predicate-many-preceders)",
+            Phenomenon::Otv => "OTV (observed transaction vanishes)",
+            Phenomenon::NonMonotonicReads => "N-MR (non-monotonic reads)",
+            Phenomenon::NonMonotonicWrites => "N-MW (non-monotonic writes)",
+            Phenomenon::MissingYourWrites => "MYR (missing your writes)",
+            Phenomenon::Mrwd => "MRWD (missing read-write dependency)",
+            Phenomenon::LostUpdate => "Lost Update",
+            Phenomenon::WriteSkew => "Write Skew (G2-item)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which phenomenon.
+    pub phenomenon: Phenomenon,
+    /// Transactions involved (write stamps).
+    pub txns: Vec<Timestamp>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} [", self.phenomenon, self.detail)?;
+        for (i, t) in self.txns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+fn cycle_violation(history: &History, phenomenon: Phenomenon, nodes: &[usize]) -> Violation {
+    Violation {
+        phenomenon,
+        txns: nodes.iter().map(|&ci| history.txn(ci).id).collect(),
+        detail: format!("cycle over {} transactions", nodes.len()),
+    }
+}
+
+/// G0: a cycle of write-dependency edges only (Definition 16).
+pub fn g0(history: &History, dsg: &Dsg) -> Vec<Violation> {
+    dsg.cycles(|e| e.kind == EdgeKind::Ww)
+        .iter()
+        .map(|c| cycle_violation(history, Phenomenon::G0, c))
+        .collect()
+}
+
+/// G1a: a committed transaction read a version written by an aborted
+/// transaction (Definition 18).
+pub fn g1a(history: &History) -> Vec<Violation> {
+    let aborted: HashMap<Timestamp, ()> = history
+        .all
+        .iter()
+        .filter(|r| r.outcome != TxnOutcome::Committed)
+        .map(|r| (r.id, ()))
+        .collect();
+    let mut out = Vec::new();
+    for &ri in &history.committed {
+        let r = &history.all[ri];
+        for op in &r.ops {
+            if let OpRecord::Read { key, observed, .. } = op {
+                if aborted.contains_key(observed) {
+                    out.push(Violation {
+                        phenomenon: Phenomenon::G1a,
+                        txns: vec![r.id, *observed],
+                        detail: format!("read of aborted write to {key:?}"),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// G1b: a committed transaction read a version that was not the writer's
+/// final modification of the item (Definition 19). Detected by value:
+/// the observed value differs from the writer's final write of the item.
+pub fn g1b(history: &History) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &ri in &history.committed {
+        let r = &history.all[ri];
+        for op in &r.ops {
+            if let OpRecord::Read {
+                key,
+                observed,
+                value,
+            } = op
+            {
+                if observed.is_initial() || history.writer_of.get(observed) == Some(&ri) {
+                    continue;
+                }
+                if let Some(final_value) = history.final_write.get(&(*observed, key.clone())) {
+                    if final_value != value {
+                        out.push(Violation {
+                            phenomenon: Phenomenon::G1b,
+                            txns: vec![r.id, *observed],
+                            detail: format!("read intermediate version of {key:?}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// G1c: a cycle of dependency edges (ww ∪ wr) only (Definition 20).
+pub fn g1c(history: &History, dsg: &Dsg) -> Vec<Violation> {
+    dsg.cycles(|e| matches!(e.kind, EdgeKind::Ww | EdgeKind::Wr))
+        .iter()
+        .map(|c| cycle_violation(history, Phenomenon::G1c, c))
+        .collect()
+}
+
+/// IMP: a transaction item-read-depends by the same item on more than
+/// one other transaction (Definition 22) — i.e. two reads of one item
+/// observed different transactions' writes.
+pub fn imp(history: &History) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &ri in &history.committed {
+        let r = &history.all[ri];
+        let mut seen: HashMap<&Key, Timestamp> = HashMap::new();
+        for op in &r.ops {
+            if let OpRecord::Read { key, observed, .. } = op {
+                if let Some(&first) = seen.get(key) {
+                    if first != *observed {
+                        out.push(Violation {
+                            phenomenon: Phenomenon::Imp,
+                            txns: vec![r.id, first, *observed],
+                            detail: format!("two reads of {key:?} observed different versions"),
+                        });
+                    }
+                } else {
+                    seen.insert(key, *observed);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// PMP: two overlapping predicate reads in one transaction whose
+/// version sets were changed by different transaction sets
+/// (Definition 24). Detected for identical prefixes: differing match
+/// sets.
+pub fn pmp(history: &History) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &ri in &history.committed {
+        let r = &history.all[ri];
+        let mut seen: HashMap<&Key, &Vec<(Key, Timestamp)>> = HashMap::new();
+        for op in &r.ops {
+            if let OpRecord::PredicateRead { prefix, matches } = op {
+                if let Some(first) = seen.get(prefix) {
+                    if *first != matches {
+                        out.push(Violation {
+                            phenomenon: Phenomenon::Pmp,
+                            txns: vec![r.id],
+                            detail: format!("predicate read over {prefix:?} changed mid-txn"),
+                        });
+                    }
+                } else {
+                    seen.insert(prefix, matches);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// OTV: having observed some effect of transaction `Ti`, a later read in
+/// the same transaction observes an *earlier* version of an item `Ti`
+/// also wrote — the observed transaction "vanishes" (Definition 26).
+pub fn otv(history: &History) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &ri in &history.committed {
+        let r = &history.all[ri];
+        // Observed transactions so far (by any read in program order).
+        let mut observed_txns: Vec<Timestamp> = Vec::new();
+        for op in &r.ops {
+            let (key, observed) = match op {
+                OpRecord::Read { key, observed, .. } => (key, *observed),
+                _ => continue,
+            };
+            // For each previously observed transaction that wrote `key`:
+            // this read must not return a version older than that write.
+            for &prev in &observed_txns {
+                if prev == observed || history.writer_of.get(&prev).is_none() {
+                    continue;
+                }
+                if history
+                    .final_write
+                    .contains_key(&(prev, key.clone()))
+                    && observed < prev
+                {
+                    out.push(Violation {
+                        phenomenon: Phenomenon::Otv,
+                        txns: vec![r.id, prev],
+                        detail: format!(
+                            "observed txn's write to {key:?} vanished (read older version)"
+                        ),
+                    });
+                }
+            }
+            if !observed.is_initial() && !observed_txns.contains(&observed) {
+                observed_txns.push(observed);
+            }
+        }
+    }
+    out
+}
+
+/// N-MR: within a session, a later transaction read an older version of
+/// an item than an earlier transaction observed (Definition 28).
+pub fn non_monotonic_reads(history: &History) -> Vec<Violation> {
+    per_session_scan(history, |r, high_read, _high_write, out| {
+        for op in &r.ops {
+            if let OpRecord::Read { key, observed, .. } = op {
+                if let Some(&prev) = high_read.get(key) {
+                    if *observed < prev {
+                        out.push(Violation {
+                            phenomenon: Phenomenon::NonMonotonicReads,
+                            txns: vec![r.id],
+                            detail: format!("session read of {key:?} went backwards"),
+                        });
+                    }
+                }
+                let e = high_read.entry(key.clone()).or_insert(*observed);
+                *e = (*e).max(*observed);
+            }
+        }
+    })
+}
+
+/// MYR: a session read an item it previously wrote and observed a
+/// version older than its own write (Definition 34).
+pub fn missing_your_writes(history: &History) -> Vec<Violation> {
+    per_session_scan(history, |r, _high_read, high_write, out| {
+        for op in &r.ops {
+            match op {
+                OpRecord::Read { key, observed, .. } => {
+                    if let Some(&mine) = high_write.get(key) {
+                        if *observed < mine {
+                            out.push(Violation {
+                                phenomenon: Phenomenon::MissingYourWrites,
+                                txns: vec![r.id],
+                                detail: format!("own write to {key:?} not read back"),
+                            });
+                        }
+                    }
+                }
+                OpRecord::Write { key, .. } => {
+                    let e = high_write.entry(key.clone()).or_insert(r.id);
+                    *e = (*e).max(r.id);
+                }
+                _ => {}
+            }
+        }
+    })
+}
+
+/// N-MW: a session's writes to an item must enter the version order in
+/// session order (Definition 30, same-item case).
+pub fn non_monotonic_writes(history: &History) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut by_session: HashMap<u32, Vec<usize>> = HashMap::new();
+    for &ri in &history.committed {
+        by_session.entry(history.all[ri].session).or_default().push(ri);
+    }
+    for (_, mut txns) in by_session {
+        txns.sort_by_key(|&ri| history.all[ri].session_seq);
+        let mut last_write: HashMap<Key, Timestamp> = HashMap::new();
+        for ri in txns {
+            let r = &history.all[ri];
+            for op in &r.ops {
+                if let OpRecord::Write { key, .. } = op {
+                    if let Some(&prev) = last_write.get(key) {
+                        // later session write must sort above the earlier
+                        if r.id < prev {
+                            out.push(Violation {
+                                phenomenon: Phenomenon::NonMonotonicWrites,
+                                txns: vec![prev, r.id],
+                                detail: format!(
+                                    "session writes to {key:?} install out of order"
+                                ),
+                            });
+                        }
+                    }
+                    last_write.insert(key.clone(), r.id);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// MRWD (writes-follow-reads violation): a session observed `T1`'s write
+/// to `x` and then wrote `y` in `T2`; another committed transaction
+/// observed `T2`'s `y` but read a version of `x` older than `T1`'s
+/// (Definition 32, operational form).
+pub fn mrwd(history: &History) -> Vec<Violation> {
+    // collect (read x@>=t1, then wrote y in t2) per session
+    struct Dep {
+        x: Key,
+        x_version: Timestamp,
+        t2: Timestamp,
+        y: Key,
+    }
+    let mut deps: Vec<Dep> = Vec::new();
+    let mut by_session: HashMap<u32, Vec<usize>> = HashMap::new();
+    for &ri in &history.committed {
+        by_session.entry(history.all[ri].session).or_default().push(ri);
+    }
+    for (_, mut txns) in by_session {
+        txns.sort_by_key(|&ri| history.all[ri].session_seq);
+        let mut observed: Vec<(Key, Timestamp)> = Vec::new();
+        for ri in txns {
+            let r = &history.all[ri];
+            for op in &r.ops {
+                match op {
+                    OpRecord::Read { key, observed: o, .. } if !o.is_initial() => {
+                        observed.push((key.clone(), *o));
+                    }
+                    OpRecord::Write { key, .. } => {
+                        for (x, xv) in &observed {
+                            deps.push(Dep {
+                                x: x.clone(),
+                                x_version: *xv,
+                                t2: r.id,
+                                y: key.clone(),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    // check all other committed txns
+    let mut out = Vec::new();
+    for &ri in &history.committed {
+        let r = &history.all[ri];
+        let mut saw_t2_y: Vec<&Dep> = Vec::new();
+        for op in &r.ops {
+            if let OpRecord::Read { key, observed, .. } = op {
+                for d in &deps {
+                    if d.t2 == *observed && d.y == *key && d.t2 != r.id {
+                        saw_t2_y.push(d);
+                    }
+                }
+            }
+        }
+        if saw_t2_y.is_empty() {
+            continue;
+        }
+        for op in &r.ops {
+            if let OpRecord::Read { key, observed, .. } = op {
+                for d in &saw_t2_y {
+                    if d.x == *key && *observed < d.x_version && r.id != d.t2 {
+                        out.push(Violation {
+                            phenomenon: Phenomenon::Mrwd,
+                            txns: vec![r.id, d.t2],
+                            detail: format!(
+                                "saw {:?} from dependent txn but older {:?}",
+                                d.y, d.x
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lost Update: a DSG cycle containing an anti-dependency with all edges
+/// by the same item (Definition 38). The classic instance: two
+/// transactions read the same version of `x` and both installed new
+/// versions of `x`.
+pub fn lost_update(history: &History, dsg: &Dsg) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let items: std::collections::HashSet<&Key> = dsg
+        .edges
+        .iter()
+        .filter_map(|e| e.item.as_ref())
+        .collect();
+    for item in items {
+        let cycles = dsg.cycles(|e| e.item.as_ref() == Some(item));
+        for c in cycles {
+            let has_rw = dsg
+                .edges_within(&c, |e| e.kind == EdgeKind::Rw && e.item.as_ref() == Some(item))
+                .next()
+                .is_some();
+            if has_rw {
+                let mut v = cycle_violation(history, Phenomenon::LostUpdate, &c);
+                v.detail = format!("lost update cycle on {item:?}");
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Write Skew (G2-item): a DSG cycle with at least one anti-dependency
+/// edge (Definition 39).
+pub fn write_skew(history: &History, dsg: &Dsg) -> Vec<Violation> {
+    dsg.cycles(|e| e.kind != EdgeKind::Session)
+        .into_iter()
+        .filter(|c| {
+            dsg.edges_within(c, |e| e.kind == EdgeKind::Rw)
+                .next()
+                .is_some()
+        })
+        .map(|c| cycle_violation(history, Phenomenon::WriteSkew, &c))
+        .collect()
+}
+
+/// Helper: runs `f` over each session's committed transactions in
+/// session order with running per-key high-water marks.
+fn per_session_scan(
+    history: &History,
+    mut f: impl FnMut(
+        &hat_core::TxnRecord,
+        &mut HashMap<Key, Timestamp>,
+        &mut HashMap<Key, Timestamp>,
+        &mut Vec<Violation>,
+    ),
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut by_session: HashMap<u32, Vec<usize>> = HashMap::new();
+    for &ri in &history.committed {
+        by_session.entry(history.all[ri].session).or_default().push(ri);
+    }
+    for (_, mut txns) in by_session {
+        txns.sort_by_key(|&ri| history.all[ri].session_seq);
+        let mut high_read: HashMap<Key, Timestamp> = HashMap::new();
+        let mut high_write: HashMap<Key, Timestamp> = HashMap::new();
+        for ri in txns {
+            f(&history.all[ri], &mut high_read, &mut high_write, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use hat_core::TxnRecord;
+
+    fn write(key: &str, val: &str) -> OpRecord {
+        OpRecord::Write {
+            key: Key::from(key.to_owned()),
+            value: Bytes::from(val.to_owned()),
+        }
+    }
+    fn read_v(key: &str, observed: Timestamp, val: &str) -> OpRecord {
+        OpRecord::Read {
+            key: Key::from(key.to_owned()),
+            observed,
+            value: Bytes::from(val.to_owned()),
+        }
+    }
+    fn read(key: &str, observed: Timestamp) -> OpRecord {
+        read_v(key, observed, "")
+    }
+    fn txn(id: Timestamp, session: u32, seq: u64, ops: Vec<OpRecord>) -> TxnRecord {
+        TxnRecord {
+            id,
+            session,
+            session_seq: seq,
+            ops,
+            outcome: TxnOutcome::Committed,
+        }
+    }
+    fn ts(s: u64, w: u32) -> Timestamp {
+        Timestamp::new(s, w)
+    }
+
+    #[test]
+    fn g1a_detects_aborted_reads() {
+        let mut t1 = txn(ts(1, 1), 1, 0, vec![write("x", "dirty")]);
+        t1.outcome = TxnOutcome::AbortedInternal;
+        let t2 = txn(ts(2, 2), 2, 0, vec![read("x", ts(1, 1))]);
+        let h = History::new(vec![t1, t2]);
+        let v = g1a(&h);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].phenomenon, Phenomenon::G1a);
+    }
+
+    #[test]
+    fn g1b_detects_intermediate_reads() {
+        // T1's final write of x is "2"; T2 observed "1".
+        let t1 = txn(ts(1, 1), 1, 0, vec![write("x", "1"), write("x", "2")]);
+        let t2 = txn(ts(2, 2), 2, 0, vec![read_v("x", ts(1, 1), "1")]);
+        let h = History::new(vec![t1, t2]);
+        assert_eq!(g1b(&h).len(), 1);
+        // reading the final value is fine
+        let t3 = txn(ts(3, 3), 3, 0, vec![read_v("x", ts(1, 1), "2")]);
+        let h2 = History::new(vec![
+            txn(ts(1, 1), 1, 0, vec![write("x", "1"), write("x", "2")]),
+            t3,
+        ]);
+        assert!(g1b(&h2).is_empty());
+    }
+
+    #[test]
+    fn g1c_detects_circular_information_flow() {
+        // T1 reads T2's y; T2 reads T1's x — wr cycle.
+        let t1 = txn(ts(1, 1), 1, 0, vec![write("x", "1"), read("y", ts(2, 2))]);
+        let t2 = txn(ts(2, 2), 2, 0, vec![write("y", "1"), read("x", ts(1, 1))]);
+        let h = History::new(vec![t1, t2]);
+        let g = Dsg::build(&h);
+        assert_eq!(g1c(&h, &g).len(), 1);
+    }
+
+    #[test]
+    fn imp_detects_fuzzy_reads() {
+        // Figure 7 of the paper: T3 reads x twice, seeing T1 then T2.
+        let t1 = txn(ts(1, 1), 1, 0, vec![write("x", "1")]);
+        let t2 = txn(ts(2, 2), 2, 0, vec![write("x", "2")]);
+        let t3 = txn(
+            ts(3, 3),
+            3,
+            0,
+            vec![read("x", ts(1, 1)), read("x", ts(2, 2))],
+        );
+        let h = History::new(vec![t1, t2, t3]);
+        assert_eq!(imp(&h).len(), 1);
+        // consistent repeats are fine
+        let t4 = txn(
+            ts(4, 4),
+            4,
+            0,
+            vec![read("x", ts(1, 1)), read("x", ts(1, 1))],
+        );
+        let h2 = History::new(vec![
+            txn(ts(1, 1), 1, 0, vec![write("x", "1")]),
+            t4,
+        ]);
+        assert!(imp(&h2).is_empty());
+    }
+
+    #[test]
+    fn pmp_detects_phantoms() {
+        let t1 = txn(
+            ts(1, 1),
+            1,
+            0,
+            vec![
+                OpRecord::PredicateRead {
+                    prefix: Key::from("p/"),
+                    matches: vec![(Key::from("p/a"), ts(5, 5))],
+                },
+                OpRecord::PredicateRead {
+                    prefix: Key::from("p/"),
+                    matches: vec![
+                        (Key::from("p/a"), ts(5, 5)),
+                        (Key::from("p/b"), ts(6, 6)),
+                    ],
+                },
+            ],
+        );
+        let h = History::new(vec![t1]);
+        assert_eq!(pmp(&h).len(), 1);
+    }
+
+    #[test]
+    fn otv_matches_figure_9() {
+        // Paper's Figure 9: T3 reads x from T2 then y from T1, but T2
+        // also wrote y (T2's write to y "vanished").
+        let t1 = txn(ts(1, 1), 1, 0, vec![write("x", "1"), write("y", "1")]);
+        let t2 = txn(ts(2, 2), 2, 0, vec![write("x", "2"), write("y", "2")]);
+        let t3 = txn(
+            ts(3, 3),
+            3,
+            0,
+            vec![read("x", ts(2, 2)), read("y", ts(1, 1))],
+        );
+        let h = History::new(vec![t1, t2, t3]);
+        let v = otv(&h);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].phenomenon, Phenomenon::Otv);
+        // reading y from T2 as well is MAV-clean
+        let t3ok = txn(
+            ts(4, 4),
+            4,
+            0,
+            vec![read("x", ts(2, 2)), read("y", ts(2, 2))],
+        );
+        let h2 = History::new(vec![
+            txn(ts(1, 1), 1, 0, vec![write("x", "1"), write("y", "1")]),
+            txn(ts(2, 2), 2, 0, vec![write("x", "2"), write("y", "2")]),
+            t3ok,
+        ]);
+        assert!(otv(&h2).is_empty());
+    }
+
+    #[test]
+    fn nmr_matches_figure_11() {
+        // session reads x=2 then a later txn reads x=1 (older).
+        let t1 = txn(ts(1, 1), 1, 0, vec![write("x", "1")]);
+        let t2 = txn(ts(2, 2), 2, 0, vec![write("x", "2")]);
+        let t3 = txn(ts(3, 9), 9, 0, vec![read("x", ts(2, 2))]);
+        let t4 = txn(ts(4, 9), 9, 1, vec![read("x", ts(1, 1))]);
+        let h = History::new(vec![t1, t2, t3, t4]);
+        assert_eq!(non_monotonic_reads(&h).len(), 1);
+    }
+
+    #[test]
+    fn myr_matches_figure_17() {
+        // session writes x then reads the initial version.
+        let t1 = txn(ts(5, 9), 9, 0, vec![write("x", "1")]);
+        let t2 = txn(ts(6, 9), 9, 1, vec![read("x", Timestamp::INITIAL)]);
+        let h = History::new(vec![t1, t2]);
+        assert_eq!(missing_your_writes(&h).len(), 1);
+        // reading own write is fine
+        let h2 = History::new(vec![
+            txn(ts(5, 9), 9, 0, vec![write("x", "1")]),
+            txn(ts(6, 9), 9, 1, vec![read("x", ts(5, 9))]),
+        ]);
+        assert!(missing_your_writes(&h2).is_empty());
+    }
+
+    #[test]
+    fn nmw_detects_out_of_order_installs() {
+        // session writes x twice but the second write got a smaller stamp
+        let t1 = txn(ts(9, 9), 9, 0, vec![write("x", "first")]);
+        let t2 = txn(ts(3, 9), 9, 1, vec![write("x", "second")]);
+        let h = History::new(vec![t1, t2]);
+        assert_eq!(non_monotonic_writes(&h).len(), 1);
+    }
+
+    #[test]
+    fn mrwd_matches_figure_15() {
+        // T1 writes x; session S reads x then writes y (T2);
+        // T3 reads y from T2 but x older than T1's version.
+        let t1 = txn(ts(1, 1), 1, 0, vec![write("x", "1")]);
+        let t2 = txn(
+            ts(2, 2),
+            2,
+            0,
+            vec![read("x", ts(1, 1)), write("y", "1")],
+        );
+        let t3 = txn(
+            ts(3, 3),
+            3,
+            0,
+            vec![read("y", ts(2, 2)), read("x", Timestamp::INITIAL)],
+        );
+        let h = History::new(vec![t1, t2, t3]);
+        let v = mrwd(&h);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].phenomenon, Phenomenon::Mrwd);
+    }
+
+    #[test]
+    fn lost_update_detects_concurrent_increments() {
+        // both read x@init and both wrote x.
+        let t1 = txn(
+            ts(1, 1),
+            1,
+            0,
+            vec![read("x", Timestamp::INITIAL), write("x", "120")],
+        );
+        let t2 = txn(
+            ts(1, 2),
+            2,
+            0,
+            vec![read("x", Timestamp::INITIAL), write("x", "130")],
+        );
+        let h = History::new(vec![t1, t2]);
+        let g = Dsg::build(&h);
+        let v = lost_update(&h, &g);
+        assert!(!v.is_empty(), "expected lost update");
+        // serial increments are fine
+        let s1 = txn(
+            ts(1, 1),
+            1,
+            0,
+            vec![read("x", Timestamp::INITIAL), write("x", "120")],
+        );
+        let s2 = txn(
+            ts(2, 2),
+            2,
+            0,
+            vec![read("x", ts(1, 1)), write("x", "150")],
+        );
+        let h2 = History::new(vec![s1, s2]);
+        let g2 = Dsg::build(&h2);
+        assert!(lost_update(&h2, &g2).is_empty());
+    }
+
+    #[test]
+    fn write_skew_matches_section_521() {
+        // T1: ry(0) wx(1); T2: rx(0) wy(1)
+        let t1 = txn(
+            ts(1, 1),
+            1,
+            0,
+            vec![read("y", Timestamp::INITIAL), write("x", "1")],
+        );
+        let t2 = txn(
+            ts(1, 2),
+            2,
+            0,
+            vec![read("x", Timestamp::INITIAL), write("y", "1")],
+        );
+        let h = History::new(vec![t1, t2]);
+        let g = Dsg::build(&h);
+        let v = write_skew(&h, &g);
+        assert!(!v.is_empty(), "expected write skew");
+    }
+
+    #[test]
+    fn clean_serial_history_has_no_phenomena() {
+        let t1 = txn(ts(1, 1), 1, 0, vec![write("x", "1"), write("y", "1")]);
+        let t2 = txn(
+            ts(2, 2),
+            2,
+            0,
+            vec![
+                read_v("x", ts(1, 1), "1"),
+                read_v("y", ts(1, 1), "1"),
+                write("x", "2"),
+            ],
+        );
+        let t3 = txn(
+            ts(3, 1),
+            1,
+            1,
+            vec![read_v("x", ts(2, 2), "2"), read_v("y", ts(1, 1), "1")],
+        );
+        let h = History::new(vec![t1, t2, t3]);
+        let g = Dsg::build(&h);
+        assert!(g0(&h, &g).is_empty());
+        assert!(g1a(&h).is_empty());
+        assert!(g1b(&h).is_empty());
+        assert!(g1c(&h, &g).is_empty());
+        assert!(imp(&h).is_empty());
+        assert!(otv(&h).is_empty());
+        assert!(non_monotonic_reads(&h).is_empty());
+        assert!(missing_your_writes(&h).is_empty());
+        assert!(non_monotonic_writes(&h).is_empty());
+        assert!(mrwd(&h).is_empty());
+        assert!(lost_update(&h, &g).is_empty());
+        assert!(write_skew(&h, &g).is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! # hat-runtime — threaded runtime for HAT deployments
+//!
+//! The discrete-event simulator (`hat-sim`) gives determinism; this crate
+//! gives *concurrency*: every node (server or client) runs on its own OS
+//! thread, exchanging messages over crossbeam channels. The protocol
+//! state machines are exactly the ones the simulator drives —
+//! [`hat_core::Node`] — so anything verified deterministically also runs
+//! for real. Service-time holds and modelled network latency become
+//! actual delays on the delivery schedule.
+//!
+//! The runtime runs closed-loop (driver-mode) clients; metrics and
+//! recorded histories are collected at shutdown. It is used by the
+//! examples and by tests that exercise the protocols under true
+//! parallelism (the simulator interleaves; threads genuinely race).
+
+pub mod node_loop;
+pub mod runtime;
+
+pub use runtime::{Runtime, RuntimeConfig};

@@ -1,0 +1,174 @@
+//! Per-node event loop: a thread owning one [`Node`].
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use hat_core::{Msg, Node};
+use hat_sim::{Actor, Ctx, NodeId, SimTime, TimerId};
+use rand::rngs::StdRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A message in flight: deliver `msg` from `from` at `at`.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Wall-clock delivery deadline.
+    pub at: Instant,
+    /// Sender node.
+    pub from: NodeId,
+    /// Payload.
+    pub msg: Msg,
+}
+
+#[derive(Debug)]
+enum Due {
+    Deliver { from: NodeId, msg: Msg },
+    Timer(TimerId),
+}
+
+struct Scheduled {
+    at: Instant,
+    seq: u64,
+    due: Due,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Routing information shared by all node threads.
+pub struct Router {
+    /// Per-node inboxes.
+    pub inboxes: Vec<Sender<Envelope>>,
+    /// One-way delivery delay applied to `(from, to)` sends, in
+    /// microseconds (precomputed from the latency model means — the
+    /// threaded runtime uses deterministic means, not sampled tails).
+    pub delay_us: Vec<Vec<u64>>,
+}
+
+impl Router {
+    /// Delay for a send.
+    pub fn delay(&self, from: NodeId, to: NodeId) -> Duration {
+        Duration::from_micros(self.delay_us[from as usize][to as usize])
+    }
+}
+
+/// Runs one node until `stop` is set. Returns the node (with its final
+/// state, metrics and histories).
+pub fn run_node(
+    mut node: Node,
+    id: NodeId,
+    rx: Receiver<Envelope>,
+    router: Arc<Router>,
+    stop: Arc<AtomicBool>,
+    mut rng: StdRng,
+    epoch: Instant,
+) -> Node {
+    let mut heap: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
+    let mut seq = 0u64;
+
+    let now_sim = |epoch: Instant| SimTime(epoch.elapsed().as_micros() as u64);
+
+    // on_start
+    {
+        let mut ctx = Ctx::detached(id, now_sim(epoch), &mut rng);
+        node.on_start(&mut ctx);
+        let (sends, timers) = ctx.into_outputs();
+        dispatch_outputs(id, sends, timers, &router, &mut heap, &mut seq);
+    }
+
+    loop {
+        // deliver everything due
+        let now = Instant::now();
+        while heap
+            .peek()
+            .map(|Reverse(s)| s.at <= now)
+            .unwrap_or(false)
+        {
+            let Reverse(s) = heap.pop().unwrap();
+            let mut ctx = Ctx::detached(id, now_sim(epoch), &mut rng);
+            match s.due {
+                Due::Deliver { from, msg } => node.on_message(&mut ctx, from, msg),
+                Due::Timer(tag) => node.on_timer(&mut ctx, tag),
+            }
+            let (sends, timers) = ctx.into_outputs();
+            dispatch_outputs(id, sends, timers, &router, &mut heap, &mut seq);
+        }
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        // wait for the next due event or an incoming envelope
+        let timeout = heap
+            .peek()
+            .map(|Reverse(s)| s.at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(5))
+            .min(Duration::from_millis(5));
+        match rx.recv_timeout(timeout) {
+            Ok(env) => {
+                seq += 1;
+                heap.push(Reverse(Scheduled {
+                    at: env.at,
+                    seq,
+                    due: Due::Deliver {
+                        from: env.from,
+                        msg: env.msg,
+                    },
+                }));
+                // drain whatever else is queued without blocking
+                while let Ok(env) = rx.try_recv() {
+                    seq += 1;
+                    heap.push(Reverse(Scheduled {
+                        at: env.at,
+                        seq,
+                        due: Due::Deliver {
+                            from: env.from,
+                            msg: env.msg,
+                        },
+                    }));
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    node
+}
+
+fn dispatch_outputs(
+    id: NodeId,
+    sends: Vec<(hat_sim::SimDuration, NodeId, Msg)>,
+    timers: Vec<(hat_sim::SimDuration, TimerId)>,
+    router: &Router,
+    heap: &mut BinaryHeap<Reverse<Scheduled>>,
+    seq: &mut u64,
+) {
+    let now = Instant::now();
+    for (hold, to, msg) in sends {
+        let at = now + Duration::from_micros(hold.as_micros()) + router.delay(id, to);
+        // A full inbox or a disconnected peer behaves like a lossy
+        // network — HAT protocols tolerate both.
+        let _ = router.inboxes[to as usize].send(Envelope { at, from: id, msg });
+    }
+    for (delay, tag) in timers {
+        *seq += 1;
+        heap.push(Reverse(Scheduled {
+            at: now + Duration::from_micros(delay.as_micros()),
+            seq: *seq,
+            due: Due::Timer(tag),
+        }));
+    }
+}

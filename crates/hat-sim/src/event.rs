@@ -1,0 +1,158 @@
+//! The simulation event queue.
+//!
+//! Events are totally ordered by `(time, sequence number)`: ties in
+//! simulated time are broken by insertion order, which keeps runs
+//! deterministic regardless of heap internals.
+
+use crate::time::SimTime;
+use crate::topology::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of a pending timer, unique within a run.
+pub type TimerSeq = u64;
+
+/// A scheduled simulation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<M> {
+    /// Delivery of message `msg` from node `from` to node `to`.
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    /// A timer set by `node` fires; `timer` is the id returned at set time.
+    TimerFire { node: NodeId, timer: TimerSeq },
+}
+
+struct Entry<M> {
+    time: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-queue of [`Event`]s ordered by time then insertion.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Entry<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`. Events at equal times pop in insertion
+    /// order.
+    pub fn push(&mut self, time: SimTime, event: Event<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event<M>)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push(
+            SimTime::from_millis(5),
+            Event::TimerFire { node: 0, timer: 0 },
+        );
+        q.push(
+            SimTime::from_millis(1),
+            Event::TimerFire { node: 1, timer: 1 },
+        );
+        q.push(
+            SimTime::from_millis(3),
+            Event::Deliver {
+                to: 2,
+                from: 0,
+                msg: (),
+            },
+        );
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_micros())
+            .collect();
+        assert_eq!(order, vec![1_000, 3_000, 5_000]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..10u64 {
+            q.push(t, Event::TimerFire { node: 0, timer: i });
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::TimerFire { timer, .. } => timer,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(popped, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(
+            SimTime::from_millis(2),
+            Event::TimerFire { node: 0, timer: 0 },
+        );
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        assert_eq!(q.len(), 1);
+    }
+}

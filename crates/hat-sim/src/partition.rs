@@ -1,0 +1,152 @@
+//! Network partition schedules.
+//!
+//! The CAP-style availability arguments of the paper (§4, §5.2) hinge on
+//! *arbitrary, indefinitely long* partitions between servers. Here a
+//! partition is explicit data: a time window during which messages crossing
+//! a node-set boundary are dropped. Schedules compose, so experiments can
+//! express flapping links, isolated datacenters, or a single stranded
+//! client.
+
+use crate::time::SimTime;
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A single partition event: during `[start, end)` no message may cross
+/// between `side_a` and `side_b` (in either direction).
+///
+/// Nodes listed on neither side are unaffected by this partition. `end`
+/// may be [`SimTime`]`(u64::MAX)` to model an indefinite partition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Partition {
+    /// First instant at which the partition is active.
+    pub start: SimTime,
+    /// First instant at which the partition has healed.
+    pub end: SimTime,
+    /// One side of the cut.
+    pub side_a: BTreeSet<NodeId>,
+    /// The other side of the cut.
+    pub side_b: BTreeSet<NodeId>,
+}
+
+impl Partition {
+    /// Builds a partition separating `a` from `b` during `[start, end)`.
+    pub fn new(
+        start: SimTime,
+        end: SimTime,
+        a: impl IntoIterator<Item = NodeId>,
+        b: impl IntoIterator<Item = NodeId>,
+    ) -> Self {
+        Partition {
+            start,
+            end,
+            side_a: a.into_iter().collect(),
+            side_b: b.into_iter().collect(),
+        }
+    }
+
+    /// A partition lasting from `start` forever (never heals).
+    pub fn forever(
+        start: SimTime,
+        a: impl IntoIterator<Item = NodeId>,
+        b: impl IntoIterator<Item = NodeId>,
+    ) -> Self {
+        Self::new(start, SimTime(u64::MAX), a, b)
+    }
+
+    /// True if a message sent from `from` to `to` at time `t` crosses this
+    /// partition while it is active.
+    pub fn blocks(&self, from: NodeId, to: NodeId, t: SimTime) -> bool {
+        if t < self.start || t >= self.end {
+            return false;
+        }
+        (self.side_a.contains(&from) && self.side_b.contains(&to))
+            || (self.side_b.contains(&from) && self.side_a.contains(&to))
+    }
+}
+
+/// A set of partitions active over a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PartitionSchedule {
+    partitions: Vec<Partition>,
+}
+
+impl PartitionSchedule {
+    /// A schedule with no partitions (a healthy network).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a partition to the schedule.
+    pub fn add(&mut self, p: Partition) -> &mut Self {
+        self.partitions.push(p);
+        self
+    }
+
+    /// Builds a schedule from a list of partitions.
+    pub fn from_partitions(partitions: Vec<Partition>) -> Self {
+        PartitionSchedule { partitions }
+    }
+
+    /// True if any active partition blocks `from → to` at `t`.
+    pub fn blocks(&self, from: NodeId, to: NodeId, t: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.blocks(from, to, t))
+    }
+
+    /// Number of partition events in the schedule.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// True if the schedule contains no partitions.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn blocks_both_directions_within_window() {
+        let p = Partition::new(t(10), t(20), [0, 1], [2, 3]);
+        assert!(p.blocks(0, 2, t(10)));
+        assert!(p.blocks(3, 1, t(15)));
+        assert!(!p.blocks(0, 2, t(9)));
+        assert!(!p.blocks(0, 2, t(20))); // end is exclusive
+    }
+
+    #[test]
+    fn unrelated_nodes_unaffected() {
+        let p = Partition::new(t(0), t(100), [0], [1]);
+        assert!(!p.blocks(0, 5, t(50)));
+        assert!(!p.blocks(5, 6, t(50)));
+        // same side communicates freely
+        assert!(!p.blocks(0, 0, t(50)));
+    }
+
+    #[test]
+    fn forever_never_heals() {
+        let p = Partition::forever(t(5), [0], [1]);
+        assert!(p.blocks(0, 1, SimTime(u64::MAX - 1)));
+        assert!(!p.blocks(0, 1, t(4)));
+    }
+
+    #[test]
+    fn schedule_composes_partitions() {
+        let mut s = PartitionSchedule::none();
+        assert!(s.is_empty());
+        s.add(Partition::new(t(0), t(10), [0], [1]));
+        s.add(Partition::new(t(20), t(30), [0], [2]));
+        assert_eq!(s.len(), 2);
+        assert!(s.blocks(0, 1, t(5)));
+        assert!(!s.blocks(0, 1, t(15)));
+        assert!(s.blocks(2, 0, t(25)));
+        assert!(!s.blocks(1, 2, t(25)));
+    }
+}

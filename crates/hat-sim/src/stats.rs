@@ -1,0 +1,278 @@
+//! Summary statistics and histograms for experiment output.
+//!
+//! The benchmark harness reports mean/percentile latencies and CDFs in the
+//! same shape as the paper's Table 1 and Figures 1 and 3–6. A log-scaled
+//! [`Histogram`] keeps memory constant for arbitrarily long runs while
+//! preserving ~1% relative resolution, which is ample for order-of-
+//! magnitude comparisons.
+
+use serde::{Deserialize, Serialize};
+
+/// Returns the `q`-quantile (`0.0..=1.0`) of `sorted` using the
+/// nearest-rank method. `sorted` must be ascending.
+///
+/// # Panics
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `samples` (order irrelevant).
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let sum: f64 = sorted.iter().sum();
+        Some(Summary {
+            count: sorted.len() as u64,
+            mean: sum / sorted.len() as f64,
+            min: sorted[0],
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
+            max: *sorted.last().unwrap(),
+        })
+    }
+}
+
+/// A log-scaled histogram over positive values.
+///
+/// Buckets are geometric: bucket `i` covers `[min * g^i, min * g^(i+1))`
+/// where `g` is chosen from the requested per-bucket relative error.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    min_value: f64,
+    growth: f64,
+    log_growth: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+    sum: f64,
+    max_seen: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[min_value, max_value]` with roughly
+    /// `rel_err` relative resolution per bucket (e.g. `0.01` for 1%).
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_value < max_value` and `rel_err > 0`.
+    pub fn new(min_value: f64, max_value: f64, rel_err: f64) -> Self {
+        assert!(min_value > 0.0 && max_value > min_value && rel_err > 0.0);
+        let growth = 1.0 + 2.0 * rel_err;
+        let buckets = ((max_value / min_value).ln() / growth.ln()).ceil() as usize + 1;
+        Histogram {
+            min_value,
+            growth,
+            log_growth: growth.ln(),
+            counts: vec![0; buckets],
+            underflow: 0,
+            total: 0,
+            sum: 0.0,
+            max_seen: 0.0,
+        }
+    }
+
+    /// A histogram suitable for latencies from 10 µs to 100 s (in ms).
+    pub fn for_latency_ms() -> Self {
+        Histogram::new(0.01, 100_000.0, 0.01)
+    }
+
+    /// Records one sample. Values below the minimum are counted in an
+    /// underflow bucket; values above the maximum clamp into the last
+    /// bucket.
+    pub fn record(&mut self, v: f64) {
+        self.total += 1;
+        self.sum += v;
+        if v > self.max_seen {
+            self.max_seen = v;
+        }
+        if v < self.min_value {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((v / self.min_value).ln() / self.log_growth) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean of recorded samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> f64 {
+        self.max_seen
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`); returns the upper edge of
+    /// the bucket containing the rank. Returns 0 if empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((self.total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= rank {
+            return self.min_value;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.min_value * self.growth.powi(i as i32 + 1);
+            }
+        }
+        self.max_seen
+    }
+
+    /// Returns `(value, cumulative_fraction)` pairs describing the CDF,
+    /// one point per non-empty bucket. Suitable for plotting Figure 1.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let mut points = Vec::new();
+        if self.total == 0 {
+            return points;
+        }
+        let mut cum = self.underflow;
+        if self.underflow > 0 {
+            points.push((self.min_value, cum as f64 / self.total as f64));
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                let edge = self.min_value * self.growth.powi(i as i32 + 1);
+                points.push((edge, cum as f64 / self.total as f64));
+            }
+        }
+        points
+    }
+
+    /// Merges another histogram with identical configuration.
+    ///
+    /// # Panics
+    /// Panics if the configurations differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        assert!((self.min_value - other.min_value).abs() < f64::EPSILON);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert_eq!(percentile(&v, 0.95), 5.0);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-9);
+        assert_eq!(s.p50, 2.0);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let mut h = Histogram::new(0.1, 1000.0, 0.01);
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50 {p50}");
+        let p95 = h.quantile(0.95);
+        assert!((p95 - 950.0).abs() / 950.0 < 0.05, "p95 {p95}");
+        assert!((h.mean() - 500.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_underflow_and_clamp() {
+        let mut h = Histogram::new(1.0, 10.0, 0.05);
+        h.record(0.5); // underflow
+        h.record(100.0); // clamps to last bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.25), 1.0); // underflow reports min
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn cdf_monotone_and_ends_at_one() {
+        let mut h = Histogram::for_latency_ms();
+        for v in [0.2, 0.5, 1.0, 5.0, 50.0, 300.0] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(1.0, 100.0, 0.01);
+        let mut b = Histogram::new(1.0, 100.0, 0.01);
+        a.record(10.0);
+        b.record(20.0);
+        b.record(30.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 30.0);
+    }
+}

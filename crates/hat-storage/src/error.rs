@@ -1,0 +1,69 @@
+//! Storage error type.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O failure (WAL append, fsync, recovery read...).
+    Io(io::Error),
+    /// A WAL record failed its checksum and was not at the tail of the
+    /// log, i.e. corruption rather than a torn write.
+    Corrupt {
+        /// Byte offset of the corrupt record.
+        offset: u64,
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt { offset, reason } => {
+                write!(f, "corrupt WAL record at offset {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias for storage results.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_io() {
+        let e = StorageError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn display_corrupt() {
+        let e = StorageError::Corrupt {
+            offset: 42,
+            reason: "bad crc".into(),
+        };
+        assert!(e.to_string().contains("42"));
+        assert!(e.to_string().contains("bad crc"));
+    }
+}

@@ -1,0 +1,469 @@
+//! Append-only, checksummed write-ahead log.
+//!
+//! Record framing: `[u32 payload_len][u32 crc32(payload)][payload]`, all
+//! little-endian. On recovery the log is replayed front to back; a record
+//! that fails its length or checksum *at the tail* is treated as a torn
+//! write (the crash happened mid-append) and discarded, while a bad record
+//! *followed by valid data* is reported as corruption — the same policy
+//! LevelDB's log reader applies.
+
+use crate::error::{Result, StorageError};
+use crate::version::{Key, Record, VersionStamp};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// One logical WAL entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalEntry {
+    /// A version installed for `key`.
+    Put {
+        /// The written key.
+        key: Key,
+        /// The installed version.
+        record: Record,
+    },
+    /// A checkpoint marker: all versions `≤ stamp` are persisted in a
+    /// checkpoint file, so earlier entries may be dropped at compaction.
+    Checkpoint {
+        /// Upper stamp bound covered by the checkpoint.
+        stamp: VersionStamp,
+    },
+}
+
+const TAG_PUT: u8 = 1;
+const TAG_CHECKPOINT: u8 = 2;
+
+/// Encodes an entry payload (without framing).
+pub fn encode_entry(entry: &WalEntry) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match entry {
+        WalEntry::Put { key, record } => {
+            buf.put_u8(TAG_PUT);
+            put_bytes(&mut buf, key);
+            buf.put_u64_le(record.stamp.seq);
+            buf.put_u32_le(record.stamp.writer);
+            put_bytes(&mut buf, &record.value);
+            buf.put_u32_le(record.siblings.len() as u32);
+            for s in &record.siblings {
+                put_bytes(&mut buf, s);
+            }
+        }
+        WalEntry::Checkpoint { stamp } => {
+            buf.put_u8(TAG_CHECKPOINT);
+            buf.put_u64_le(stamp.seq);
+            buf.put_u32_le(stamp.writer);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes an entry payload produced by [`encode_entry`].
+pub fn decode_entry(mut buf: &[u8]) -> Option<WalEntry> {
+    if buf.is_empty() {
+        return None;
+    }
+    let tag = buf.get_u8();
+    match tag {
+        TAG_PUT => {
+            let key = get_bytes(&mut buf)?;
+            if buf.remaining() < 12 {
+                return None;
+            }
+            let seq = buf.get_u64_le();
+            let writer = buf.get_u32_le();
+            let value = get_bytes(&mut buf)?;
+            if buf.remaining() < 4 {
+                return None;
+            }
+            let nsibs = buf.get_u32_le() as usize;
+            let mut siblings = Vec::with_capacity(nsibs.min(1024));
+            for _ in 0..nsibs {
+                siblings.push(get_bytes(&mut buf)?);
+            }
+            Some(WalEntry::Put {
+                key,
+                record: Record {
+                    stamp: VersionStamp::new(seq, writer),
+                    value,
+                    siblings,
+                },
+            })
+        }
+        TAG_CHECKPOINT => {
+            if buf.remaining() < 12 {
+                return None;
+            }
+            let seq = buf.get_u64_le();
+            let writer = buf.get_u32_le();
+            Some(WalEntry::Checkpoint {
+                stamp: VersionStamp::new(seq, writer),
+            })
+        }
+        _ => None,
+    }
+}
+
+fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn get_bytes(buf: &mut &[u8]) -> Option<Bytes> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    let out = Bytes::copy_from_slice(&buf[..len]);
+    buf.advance(len);
+    Some(out)
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected).
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// An open write-ahead log.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    appended: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path` for appending.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        let appended = file.seek(SeekFrom::End(0))?;
+        Ok(Wal {
+            file,
+            path,
+            appended,
+        })
+    }
+
+    /// Appends one entry (buffered in the OS; call [`Wal::sync`] for
+    /// durability).
+    pub fn append(&mut self, entry: &WalEntry) -> Result<()> {
+        let payload = encode_entry(entry);
+        let mut frame = BytesMut::with_capacity(payload.len() + 8);
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_u32_le(crc32(&payload));
+        frame.put_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.appended += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Forces appended entries to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Bytes appended so far (including pre-existing content).
+    pub fn len(&self) -> u64 {
+        self.appended
+    }
+
+    /// True if the log contains no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.appended == 0
+    }
+
+    /// Truncates the log to zero length (after a checkpoint has been
+    /// written elsewhere).
+    pub fn reset(&mut self) -> Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.appended = 0;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Replays the log at `path`, returning decoded entries.
+    ///
+    /// A framing/checksum failure at the tail is treated as a torn write:
+    /// replay stops and the valid prefix is returned. A failure *before*
+    /// valid trailing data returns [`StorageError::Corrupt`].
+    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<WalEntry>> {
+        let mut data = Vec::new();
+        match File::open(path.as_ref()) {
+            Ok(mut f) => {
+                f.read_to_end(&mut data)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        }
+        let mut entries = Vec::new();
+        let mut offset = 0usize;
+        let mut tail_error: Option<u64> = None;
+        while offset < data.len() {
+            let start = offset;
+            if data.len() - offset < 8 {
+                tail_error = Some(start as u64);
+                break;
+            }
+            let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().unwrap());
+            offset += 8;
+            if data.len() - offset < len {
+                tail_error = Some(start as u64);
+                break;
+            }
+            let payload = &data[offset..offset + len];
+            offset += len;
+            if crc32(payload) != crc {
+                // Bad checksum: torn tail if nothing valid follows,
+                // corruption otherwise. We conservatively check whether the
+                // remaining bytes parse as at least one valid record.
+                if has_valid_record(&data[offset..]) {
+                    return Err(StorageError::Corrupt {
+                        offset: start as u64,
+                        reason: "checksum mismatch before valid trailing records".into(),
+                    });
+                }
+                tail_error = Some(start as u64);
+                break;
+            }
+            match decode_entry(payload) {
+                Some(e) => entries.push(e),
+                None => {
+                    return Err(StorageError::Corrupt {
+                        offset: start as u64,
+                        reason: "undecodable payload with valid checksum".into(),
+                    })
+                }
+            }
+        }
+        let _ = tail_error; // torn tails are expected after crashes
+        Ok(entries)
+    }
+}
+
+fn has_valid_record(mut data: &[u8]) -> bool {
+    while data.len() >= 8 {
+        let len = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(data[4..8].try_into().unwrap());
+        if data.len() - 8 < len {
+            return false;
+        }
+        if crc32(&data[8..8 + len]) == crc {
+            return true;
+        }
+        data = &data[8 + len..];
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "hat-wal-test-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn put(key: &str, seq: u64, val: &str, sibs: &[&str]) -> WalEntry {
+        WalEntry::Put {
+            key: Key::from(key.to_owned()),
+            record: Record::with_siblings(
+                VersionStamp::new(seq, 1),
+                Bytes::from(val.to_owned()),
+                sibs.iter().map(|s| Key::from(s.to_string())).collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for entry in [
+            put("x", 3, "hello", &[]),
+            put("y", 9, "", &["x", "y", "z"]),
+            WalEntry::Checkpoint {
+                stamp: VersionStamp::new(77, 2),
+            },
+        ] {
+            let enc = encode_entry(&entry);
+            assert_eq!(decode_entry(&enc), Some(entry));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let enc = encode_entry(&put("abc", 1, "value", &["s1"]));
+        for cut in 1..enc.len() {
+            assert_eq!(decode_entry(&enc[..cut]), None, "cut at {cut}");
+        }
+        assert_eq!(decode_entry(&[]), None);
+        assert_eq!(decode_entry(&[99]), None, "unknown tag");
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: crc32("123456789") = 0xCBF43926
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let dir = tmpdir();
+        let path = dir.join("wal");
+        let entries = vec![
+            put("a", 1, "1", &[]),
+            put("b", 2, "2", &["a", "b"]),
+            WalEntry::Checkpoint {
+                stamp: VersionStamp::new(2, 1),
+            },
+            put("a", 3, "3", &[]),
+        ];
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            assert!(wal.is_empty());
+            for e in &entries {
+                wal.append(e).unwrap();
+            }
+            wal.sync().unwrap();
+            assert!(wal.len() > 0);
+        }
+        assert_eq!(Wal::replay(&path).unwrap(), entries);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn replay_missing_file_is_empty() {
+        let dir = tmpdir();
+        assert!(Wal::replay(dir.join("nope")).unwrap().is_empty());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded() {
+        let dir = tmpdir();
+        let path = dir.join("wal");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&put("a", 1, "1", &[])).unwrap();
+            wal.append(&put("b", 2, "2", &[])).unwrap();
+            wal.sync().unwrap();
+        }
+        // simulate a crash mid-append: chop bytes off the tail
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert!(matches!(&replayed[0], WalEntry::Put { key, .. } if key.as_ref() == b"a"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_an_error() {
+        let dir = tmpdir();
+        let path = dir.join("wal");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&put("a", 1, "aaaaaaaa", &[])).unwrap();
+            wal.append(&put("b", 2, "bbbbbbbb", &[])).unwrap();
+            wal.sync().unwrap();
+        }
+        // flip a payload byte in the first record
+        let mut data = std::fs::read(&path).unwrap();
+        data[10] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        match Wal::replay(&path) {
+            Err(StorageError::Corrupt { .. }) => {}
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_log() {
+        let dir = tmpdir();
+        let path = dir.join("wal");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&put("a", 1, "1", &[])).unwrap();
+        wal.sync().unwrap();
+        wal.reset().unwrap();
+        assert!(wal.is_empty());
+        assert!(Wal::replay(&path).unwrap().is_empty());
+        // appends still work after reset
+        wal.append(&put("b", 2, "2", &[])).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(Wal::replay(&path).unwrap().len(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_content() {
+        let dir = tmpdir();
+        let path = dir.join("wal");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&put("a", 1, "1", &[])).unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            assert!(!wal.is_empty());
+            wal.append(&put("b", 2, "2", &[])).unwrap();
+            wal.sync().unwrap();
+        }
+        assert_eq!(Wal::replay(&path).unwrap().len(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_file_reports_corruption_or_empty() {
+        let dir = tmpdir();
+        let path = dir.join("wal");
+        use std::io::Write as _;
+        let mut f = File::create(&path).unwrap();
+        f.write_all(&[7u8; 5]).unwrap(); // shorter than a header
+        drop(f);
+        // too short for a header: treated as torn tail -> empty
+        assert!(Wal::replay(&path).unwrap().is_empty());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,157 @@
+//! Key-choice distributions.
+
+use rand::Rng;
+
+/// Distribution over `0..n` key indices.
+#[derive(Debug, Clone)]
+pub enum KeyDist {
+    /// Uniform over all keys (the paper's configuration: "uniform random
+    /// key access", §6.3).
+    Uniform,
+    /// Zipfian with the given theta (YCSB default 0.99), scrambled so
+    /// hot keys spread over the keyspace.
+    Zipfian(Zipfian),
+}
+
+impl KeyDist {
+    /// Uniform distribution.
+    pub fn uniform() -> Self {
+        KeyDist::Uniform
+    }
+
+    /// Scrambled zipfian with `theta` over `n` items.
+    pub fn zipfian(n: u64, theta: f64) -> Self {
+        KeyDist::Zipfian(Zipfian::new(n, theta))
+    }
+
+    /// Samples a key index in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, n: u64, rng: &mut R) -> u64 {
+        match self {
+            KeyDist::Uniform => rng.gen_range(0..n),
+            KeyDist::Zipfian(z) => {
+                // scramble: FNV of the rank spreads hot items
+                let rank = z.sample(rng);
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in rank.to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+                h % n
+            }
+        }
+    }
+}
+
+/// Zipfian rank sampler (Gray et al.'s rejection-free method, as used by
+/// YCSB).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// A zipfian over `0..n` with skew `theta` (0 = uniform-ish,
+    /// 0.99 = YCSB default).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0 && theta > 0.0 && theta < 1.0);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // exact up to 10^6 terms, then integral approximation
+        let exact = n.min(1_000_000);
+        let mut z: f64 = (1..=exact).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        if n > exact {
+            // ∫ x^-theta dx from `exact` to `n`
+            let a = 1.0 - theta;
+            z += ((n as f64).powf(a) - (exact as f64).powf(a)) / a;
+        }
+        z
+    }
+
+    /// Samples a rank in `0..n` (0 is the hottest).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let _ = self.zeta2;
+        ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64 % self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_covers_range() {
+        let d = KeyDist::uniform();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let k = d.sample(10, &mut rng);
+            assert!(k < 10);
+            seen.insert(k);
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // rank 0 should dominate the median rank
+        let hot = counts[0];
+        let mid = counts[500].max(1);
+        assert!(hot > mid * 10, "hot {hot} vs mid {mid}");
+    }
+
+    #[test]
+    fn zipfian_samples_in_range() {
+        let z = Zipfian::new(50, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let d = KeyDist::zipfian(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(d.sample(1000, &mut rng));
+        }
+        assert!(seen.len() > 50, "scrambling should spread mass: {}", seen.len());
+    }
+}

@@ -1,0 +1,20 @@
+//! # hat-workloads — workload generators
+//!
+//! * [`dist`] — key-choice distributions: uniform and YCSB's scrambled
+//!   zipfian.
+//! * [`ycsb`] — the YCSB-style closed-loop workload of §6.3: grouped
+//!   read/write transactions over `user###` keys with configurable value
+//!   size, read proportion and transaction length. Implements
+//!   [`hat_core::client::TxnSource`], so it plugs straight into the
+//!   simulator's closed-loop clients.
+//! * [`tpcc`] — an executable TPC-C-lite (§6.2): all five transactions
+//!   over the HAT key-value API plus the consistency conditions the
+//!   paper analyses (warehouse/district YTD sums, order-ID sequencing,
+//!   non-negative stock).
+
+pub mod dist;
+pub mod tpcc;
+pub mod ycsb;
+
+pub use dist::{KeyDist, Zipfian};
+pub use ycsb::{YcsbConfig, YcsbSource};

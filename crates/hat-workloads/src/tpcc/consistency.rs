@@ -1,0 +1,250 @@
+//! TPC-C consistency conditions (§6.2 "Integrity Constraints").
+
+use super::schema::{keys, District, Order, Stock, Warehouse};
+use super::txns::TpccConfig;
+use hat_core::{HatError, Sim};
+use hat_sim::NodeId;
+use std::collections::HashSet;
+
+/// Outcome of the consistency audit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConsistencyReport {
+    /// Condition 1 violations: warehouses whose YTD ≠ Σ district YTD.
+    pub c1_ytd_mismatches: Vec<u32>,
+    /// Conditions 2–3 violations: duplicate order ids per district
+    /// (sequential-ID mode under concurrency).
+    pub duplicate_order_ids: u64,
+    /// Gaps in sequential order ids (d_next_o_id - 1 ≠ max assigned).
+    pub sequence_gaps: u64,
+    /// Stock rows observed below zero (must be 0 thanks to the restock
+    /// rule).
+    pub negative_stock: u64,
+    /// Orders delivered more than once (double billing).
+    pub double_deliveries: u64,
+}
+
+impl ConsistencyReport {
+    /// True if every audited condition holds.
+    pub fn all_ok(&self) -> bool {
+        self.c1_ytd_mismatches.is_empty()
+            && self.duplicate_order_ids == 0
+            && self.sequence_gaps == 0
+            && self.negative_stock == 0
+            && self.double_deliveries == 0
+    }
+}
+
+/// Audits the database through `client`'s view. Run after `settle()` so
+/// replicas have converged.
+pub fn check_consistency(
+    sim: &mut Sim,
+    client: NodeId,
+    cfg: &TpccConfig,
+) -> Result<ConsistencyReport, HatError> {
+    let mut report = ConsistencyReport::default();
+    for w in 0..cfg.warehouses {
+        // C1: warehouse YTD equals sum of district YTDs.
+        let (w_ytd, d_ytd_sum) = sim.try_txn(client, |t| {
+            let wh = t
+                .get(&keys::warehouse(w))
+                .and_then(|s| Warehouse::decode(&s))
+                .unwrap_or_default();
+            let mut sum = 0u64;
+            for d in 0..cfg.districts {
+                sum += t
+                    .get(&keys::district(w, d))
+                    .and_then(|s| District::decode(&s))
+                    .unwrap_or_default()
+                    .ytd;
+            }
+            (wh.ytd, sum)
+        })?;
+        if w_ytd != d_ytd_sum {
+            report.c1_ytd_mismatches.push(w);
+        }
+
+        // C2/C3 + duplicates + deliveries, per district.
+        for d in 0..cfg.districts {
+            let (orders, next_o_id) = sim.try_txn(client, |t| {
+                let orders = t.scan(&keys::order_prefix(w, d));
+                let next = t
+                    .get(&keys::district(w, d))
+                    .and_then(|s| District::decode(&s))
+                    .unwrap_or_default()
+                    .next_o_id;
+                (orders, next)
+            })?;
+            let mut seen: HashSet<String> = HashSet::new();
+            let mut max_seq: u32 = 0;
+            let mut sequential_orders = 0u64;
+            for (okey, oval) in &orders {
+                let o_id = okey.rsplit('/').next().unwrap_or_default().to_string();
+                if !seen.insert(o_id.clone()) {
+                    report.duplicate_order_ids += 1;
+                }
+                if let Ok(seq) = o_id.parse::<u32>() {
+                    max_seq = max_seq.max(seq);
+                    sequential_orders += 1;
+                }
+                if let Some(order) = Order::decode(oval) {
+                    if order.delivered > 1 {
+                        report.double_deliveries += 1;
+                    }
+                }
+            }
+            // Note: duplicate sequential IDs collide on the same key, so
+            // they are *invisible* as duplicates in the key space — the
+            // signature is a gap between assigned orders and the counter.
+            if sequential_orders > 0 && u64::from(next_o_id) != u64::from(max_seq) + 1 {
+                report.sequence_gaps += 1;
+            }
+            let _ = sequential_orders;
+        }
+
+        // stock non-negativity
+        let stocks = sim.try_txn(client, |t| t.scan(&format!("s/{w:04}/")))?;
+        for (_, v) in stocks {
+            if let Some(s) = Stock::decode(&v) {
+                if s.quantity < 0 {
+                    report.negative_stock += 1;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::txns::{IdPolicy, TpccRunner};
+    use super::*;
+    use hat_core::{ClusterSpec, ProtocolKind, SimulationBuilder};
+
+    /// TPC-C sims run with Monotonic sticky sessions — the paper's
+    /// deployment "stick[s] all clients within a datacenter to their
+    /// respective cluster (trivially providing read-your-writes and
+    /// monotonic reads guarantees)" (§6.3), which read-modify-write
+    /// application logic needs.
+    fn sim(protocol: ProtocolKind, seed: u64) -> Sim {
+        SimulationBuilder::new(protocol)
+            .seed(seed)
+            .clusters(ClusterSpec::single_dc(2, 2))
+            .clients_per_cluster(1)
+            .session(hat_core::SessionOptions {
+                level: hat_core::SessionLevel::Monotonic,
+                sticky: true,
+            })
+            .build()
+    }
+
+    #[test]
+    fn fresh_load_is_consistent() {
+        let mut s = sim(ProtocolKind::Mav, 1);
+        let client = s.client(0);
+        let mut runner = TpccRunner::new(TpccConfig::default(), 1);
+        runner.load(&mut s, client).unwrap();
+        s.settle();
+        let report = check_consistency(&mut s, client, &runner.config).unwrap();
+        assert!(report.all_ok(), "{report:?}");
+    }
+
+    #[test]
+    fn payments_preserve_c1_under_mav() {
+        let mut s = sim(ProtocolKind::Mav, 2);
+        let client = s.client(0);
+        let mut runner = TpccRunner::new(TpccConfig::default(), 1);
+        runner.load(&mut s, client).unwrap();
+        for i in 0..10 {
+            runner
+                .payment(&mut s, client, 0, i % 2, i % 5, 100 + u64::from(i))
+                .unwrap();
+        }
+        s.settle();
+        let report = check_consistency(&mut s, client, &runner.config).unwrap();
+        assert!(report.c1_ytd_mismatches.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn new_orders_never_drive_stock_negative() {
+        let mut s = sim(ProtocolKind::ReadCommitted, 3);
+        let client = s.client(0);
+        let cfg = TpccConfig {
+            initial_stock: 15,
+            ..TpccConfig::default()
+        };
+        let mut runner = TpccRunner::new(cfg, 1);
+        runner.load(&mut s, client).unwrap();
+        // hammer a single item well past its initial stock
+        for _ in 0..30 {
+            let res = runner
+                .new_order(&mut s, client, 0, 0, 1, &[(3, 5)])
+                .unwrap();
+            assert!(res.stock_after.iter().all(|&q| q >= 0));
+        }
+        s.settle();
+        let report = check_consistency(&mut s, client, &runner.config).unwrap();
+        assert_eq!(report.negative_stock, 0, "{report:?}");
+    }
+
+    #[test]
+    fn sequential_ids_stay_sequential_without_concurrency() {
+        let mut s = sim(ProtocolKind::Mav, 4);
+        let client = s.client(0);
+        let cfg = TpccConfig {
+            id_policy: IdPolicy::Sequential,
+            ..TpccConfig::default()
+        };
+        let mut runner = TpccRunner::new(cfg, 1);
+        runner.load(&mut s, client).unwrap();
+        for i in 0..5 {
+            let res = runner
+                .new_order(&mut s, client, 0, 0, 0, &[(i, 1)])
+                .unwrap();
+            assert_eq!(res.o_id, format!("{:08}", i + 1));
+        }
+        s.settle();
+        let report = check_consistency(&mut s, client, &runner.config).unwrap();
+        assert_eq!(report.sequence_gaps, 0, "{report:?}");
+        assert_eq!(report.duplicate_order_ids, 0);
+    }
+
+    #[test]
+    fn delivery_pops_pending_and_credits_customer() {
+        let mut s = sim(ProtocolKind::Mav, 5);
+        let client = s.client(0);
+        let mut runner = TpccRunner::new(TpccConfig::default(), 1);
+        runner.load(&mut s, client).unwrap();
+        let placed = runner
+            .new_order(&mut s, client, 0, 0, 2, &[(1, 1), (2, 2)])
+            .unwrap();
+        // scans read converged replica state: let replication quiesce
+        s.settle();
+        let delivered = runner.delivery(&mut s, client, 0, 0, 7).unwrap();
+        assert_eq!(delivered, Some(placed.o_id));
+        // second delivery finds nothing pending
+        s.settle();
+        let again = runner.delivery(&mut s, client, 0, 0, 7).unwrap();
+        assert_eq!(again, None);
+        s.settle();
+        let report = check_consistency(&mut s, client, &runner.config).unwrap();
+        assert_eq!(report.double_deliveries, 0, "{report:?}");
+    }
+
+    #[test]
+    fn order_status_and_stock_level_are_read_only() {
+        let mut s = sim(ProtocolKind::Eventual, 6);
+        let client = s.client(0);
+        let mut runner = TpccRunner::new(TpccConfig::default(), 1);
+        runner.load(&mut s, client).unwrap();
+        runner
+            .new_order(&mut s, client, 0, 0, 3, &[(5, 2)])
+            .unwrap();
+        s.settle();
+        let status = runner.order_status(&mut s, client, 0, 0).unwrap();
+        let (_, order, lines) = status.expect("order visible");
+        assert_eq!(order.c_id, 3);
+        assert_eq!(lines.len(), 1);
+        let low = runner.stock_level(&mut s, client, 0, 49).unwrap();
+        assert!(low >= 1, "item 5 dipped below 49");
+    }
+}

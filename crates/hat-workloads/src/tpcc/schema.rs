@@ -1,0 +1,189 @@
+//! TPC-C-lite rows and key encoding.
+//!
+//! Rows are encoded as `|`-separated integer fields (schema is fixed per
+//! type); keys are zero-padded path strings so related rows share
+//! prefixes and predicate scans enumerate them in order.
+
+/// Warehouse row (w_ytd in cents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Warehouse {
+    /// Year-to-date payment total, cents.
+    pub ytd: u64,
+}
+
+/// District row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct District {
+    /// Next order number to assign (sequential-ID mode).
+    pub next_o_id: u32,
+    /// Year-to-date payment total, cents.
+    pub ytd: u64,
+}
+
+/// Customer row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Customer {
+    /// Balance, cents (may go negative).
+    pub balance: i64,
+    /// Year-to-date payments, cents.
+    pub ytd_payment: u64,
+    /// Deliveries credited to this customer.
+    pub delivery_cnt: u32,
+}
+
+/// Stock row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stock {
+    /// Quantity on hand.
+    pub quantity: i64,
+    /// Units sold year-to-date.
+    pub ytd: u64,
+    /// Orders that touched this stock.
+    pub order_cnt: u32,
+}
+
+/// Order row.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Order {
+    /// Ordering customer.
+    pub c_id: u32,
+    /// Number of order lines.
+    pub line_count: u32,
+    /// Carrier assigned at delivery (0 = undelivered).
+    pub carrier_id: u32,
+    /// Times this order has been delivered (must end ≤ 1; >1 means the
+    /// double-billing anomaly).
+    pub delivered: u32,
+}
+
+macro_rules! int_codec {
+    ($ty:ident, $($field:ident : $ft:ty),+) => {
+        impl $ty {
+            /// Encodes the row as `|`-separated integers.
+            pub fn encode(&self) -> String {
+                let parts: Vec<String> = vec![$(self.$field.to_string()),+];
+                parts.join("|")
+            }
+
+            /// Decodes a row encoded by [`Self::encode`].
+            pub fn decode(s: &str) -> Option<Self> {
+                let mut it = s.split('|');
+                let out = $ty {
+                    $($field: it.next()?.parse::<$ft>().ok()?,)+
+                };
+                if it.next().is_some() {
+                    return None;
+                }
+                Some(out)
+            }
+        }
+    };
+}
+
+int_codec!(Warehouse, ytd: u64);
+int_codec!(District, next_o_id: u32, ytd: u64);
+int_codec!(Customer, balance: i64, ytd_payment: u64, delivery_cnt: u32);
+int_codec!(Stock, quantity: i64, ytd: u64, order_cnt: u32);
+int_codec!(Order, c_id: u32, line_count: u32, carrier_id: u32, delivered: u32);
+
+/// Key construction for every table.
+pub mod keys {
+    /// Warehouse row key.
+    pub fn warehouse(w: u32) -> String {
+        format!("w/{w:04}")
+    }
+    /// District row key.
+    pub fn district(w: u32, d: u32) -> String {
+        format!("d/{w:04}/{d:02}")
+    }
+    /// Customer row key.
+    pub fn customer(w: u32, d: u32, c: u32) -> String {
+        format!("c/{w:04}/{d:02}/{c:04}")
+    }
+    /// Stock row key.
+    pub fn stock(w: u32, i: u32) -> String {
+        format!("s/{w:04}/{i:06}")
+    }
+    /// Order row key (`o_id` is already formatted/zero-padded).
+    pub fn order(w: u32, d: u32, o_id: &str) -> String {
+        format!("o/{w:04}/{d:02}/{o_id}")
+    }
+    /// Prefix of all orders of a district.
+    pub fn order_prefix(w: u32, d: u32) -> String {
+        format!("o/{w:04}/{d:02}/")
+    }
+    /// New-order (pending) queue entry key.
+    pub fn new_order(w: u32, d: u32, o_id: &str) -> String {
+        format!("no/{w:04}/{d:02}/{o_id}")
+    }
+    /// Prefix of a district's pending queue.
+    pub fn new_order_prefix(w: u32, d: u32) -> String {
+        format!("no/{w:04}/{d:02}/")
+    }
+    /// Order line key.
+    pub fn order_line(w: u32, d: u32, o_id: &str, n: u32) -> String {
+        format!("ol/{w:04}/{d:02}/{o_id}/{n:02}")
+    }
+    /// Prefix of an order's lines.
+    pub fn order_line_prefix(w: u32, d: u32, o_id: &str) -> String {
+        format!("ol/{w:04}/{d:02}/{o_id}/")
+    }
+    /// Payment history entry key (unique per payment).
+    pub fn history(w: u32, d: u32, c: u32, uid: &str) -> String {
+        format!("h/{w:04}/{d:02}/{c:04}/{uid}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codecs_round_trip() {
+        let d = District {
+            next_o_id: 42,
+            ytd: 123_456,
+        };
+        assert_eq!(District::decode(&d.encode()), Some(d));
+        let c = Customer {
+            balance: -500,
+            ytd_payment: 10,
+            delivery_cnt: 3,
+        };
+        assert_eq!(Customer::decode(&c.encode()), Some(c));
+        let s = Stock {
+            quantity: 91,
+            ytd: 7,
+            order_cnt: 2,
+        };
+        assert_eq!(Stock::decode(&s.encode()), Some(s));
+        let o = Order {
+            c_id: 1,
+            line_count: 5,
+            carrier_id: 0,
+            delivered: 0,
+        };
+        assert_eq!(Order::decode(&o.encode()), Some(o));
+        let w = Warehouse { ytd: 999 };
+        assert_eq!(Warehouse::decode(&w.encode()), Some(w));
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert_eq!(District::decode("1"), None, "missing field");
+        assert_eq!(District::decode("1|2|3"), None, "extra field");
+        assert_eq!(District::decode("x|2"), None, "non-integer");
+        assert_eq!(Customer::decode(""), None);
+    }
+
+    #[test]
+    fn keys_are_prefix_consistent() {
+        assert!(keys::order(1, 2, "00000042").starts_with(&keys::order_prefix(1, 2)));
+        assert!(keys::new_order(1, 2, "00000042").starts_with(&keys::new_order_prefix(1, 2)));
+        assert!(
+            keys::order_line(1, 2, "00000042", 1).starts_with(&keys::order_line_prefix(1, 2, "00000042"))
+        );
+        // zero padding keeps scan order numeric
+        assert!(keys::order(1, 2, "00000009") < keys::order(1, 2, "00000010"));
+    }
+}

@@ -1,0 +1,323 @@
+//! The five TPC-C transactions over the HAT facade.
+
+use super::schema::{keys, Customer, District, Order, Stock, Warehouse};
+use hat_core::{HatError, Sim};
+use hat_sim::NodeId;
+
+/// Order-ID assignment policy (§6.2 "IDs and decrements").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdPolicy {
+    /// TPC-C-compliant sequential IDs from the district counter —
+    /// requires preventing Lost Update, so HAT systems can assign
+    /// duplicates under partitions.
+    Sequential,
+    /// Unique (client id ⊕ counter) IDs — HAT-safe uniqueness, but not
+    /// sequential, hence not TPC-C-compliant.
+    UniqueTimestamp,
+}
+
+/// Workload scale parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TpccConfig {
+    /// Warehouses.
+    pub warehouses: u32,
+    /// Districts per warehouse (TPC-C: 10).
+    pub districts: u32,
+    /// Customers per district.
+    pub customers: u32,
+    /// Distinct items.
+    pub items: u32,
+    /// Initial stock quantity per item.
+    pub initial_stock: i64,
+    /// ID assignment policy for New-Order.
+    pub id_policy: IdPolicy,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig {
+            warehouses: 1,
+            districts: 2,
+            customers: 5,
+            items: 20,
+            initial_stock: 50,
+            id_policy: IdPolicy::UniqueTimestamp,
+        }
+    }
+}
+
+/// Result of a New-Order transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewOrderResult {
+    /// The assigned order id (as used in keys).
+    pub o_id: String,
+    /// Stock quantities after the decrements, per line.
+    pub stock_after: Vec<i64>,
+}
+
+/// Runs TPC-C transactions against a [`Sim`] on behalf of one client.
+///
+/// Each TPC-C transaction maps to exactly one HAT transaction; reads and
+/// read-modify-writes execute inside the transaction closure, so the
+/// isolation observed is whatever the simulated protocol provides — that
+/// is the point of the exercise.
+#[derive(Debug)]
+pub struct TpccRunner {
+    /// Configuration used by this runner.
+    pub config: TpccConfig,
+    client_tag: u32,
+    next_uid: u64,
+}
+
+impl TpccRunner {
+    /// A runner stamping unique IDs with `client_tag`.
+    pub fn new(config: TpccConfig, client_tag: u32) -> Self {
+        TpccRunner {
+            config,
+            client_tag,
+            next_uid: 1,
+        }
+    }
+
+    fn uid(&mut self) -> String {
+        let u = self.next_uid;
+        self.next_uid += 1;
+        format!("{:04}-{u:08}", self.client_tag)
+    }
+
+    /// Loads the initial database (one transaction per table group).
+    pub fn load(&mut self, sim: &mut Sim, client: NodeId) -> Result<(), HatError> {
+        let cfg = self.config;
+        for w in 0..cfg.warehouses {
+            sim.try_txn(client, |t| {
+                t.put(&keys::warehouse(w), &Warehouse { ytd: 0 }.encode());
+                for d in 0..cfg.districts {
+                    t.put(
+                        &keys::district(w, d),
+                        &District {
+                            next_o_id: 1,
+                            ytd: 0,
+                        }
+                        .encode(),
+                    );
+                    for c in 0..cfg.customers {
+                        t.put(&keys::customer(w, d, c), &Customer::default().encode());
+                    }
+                }
+            })?;
+            // stock in chunks to keep transactions reasonable
+            for chunk in (0..cfg.items).collect::<Vec<_>>().chunks(32) {
+                let chunk = chunk.to_vec();
+                sim.try_txn(client, |t| {
+                    for i in &chunk {
+                        t.put(
+                            &keys::stock(w, *i),
+                            &Stock {
+                                quantity: cfg.initial_stock,
+                                ytd: 0,
+                                order_cnt: 0,
+                            }
+                            .encode(),
+                        );
+                    }
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// New-Order (§6.2): assigns an order id, decrements stock with the
+    /// restock rule, writes the order, its lines and a pending-queue
+    /// entry.
+    pub fn new_order(
+        &mut self,
+        sim: &mut Sim,
+        client: NodeId,
+        w: u32,
+        d: u32,
+        c: u32,
+        lines: &[(u32, u32)],
+    ) -> Result<NewOrderResult, HatError> {
+        let id_policy = self.config.id_policy;
+        let uid = self.uid();
+        sim.try_txn(client, |t| {
+            // ID assignment
+            let o_id = match id_policy {
+                IdPolicy::Sequential => {
+                    let dk = keys::district(w, d);
+                    let mut district = t
+                        .get(&dk)
+                        .and_then(|s| District::decode(&s))
+                        .unwrap_or_default();
+                    let o = district.next_o_id;
+                    district.next_o_id += 1;
+                    t.put(&dk, &district.encode());
+                    format!("{o:08}")
+                }
+                IdPolicy::UniqueTimestamp => uid.clone(),
+            };
+            // stock maintenance with the TPC-C restock rule
+            let mut stock_after = Vec::with_capacity(lines.len());
+            for (n, &(item, qty)) in lines.iter().enumerate() {
+                let sk = keys::stock(w, item);
+                let mut stock = t
+                    .get(&sk)
+                    .and_then(|s| Stock::decode(&s))
+                    .unwrap_or_default();
+                stock.quantity -= qty as i64;
+                if stock.quantity < 10 {
+                    // "restocks each item's inventory count (increments
+                    // by 91) if it would become negative [or fall below
+                    // 10]" — TPC-C 2.4.2.2
+                    stock.quantity += 91;
+                }
+                stock.ytd += qty as u64;
+                stock.order_cnt += 1;
+                t.put(&sk, &stock.encode());
+                stock_after.push(stock.quantity);
+                t.put(
+                    &keys::order_line(w, d, &o_id, n as u32),
+                    &format!("{item}|{qty}"),
+                );
+            }
+            // the order row and pending-queue entry
+            t.put(
+                &keys::order(w, d, &o_id),
+                &Order {
+                    c_id: c,
+                    line_count: lines.len() as u32,
+                    carrier_id: 0,
+                    delivered: 0,
+                }
+                .encode(),
+            );
+            t.put(&keys::new_order(w, d, &o_id), "pending");
+            NewOrderResult { o_id, stock_after }
+        })
+    }
+
+    /// Payment (§6.2): increments warehouse/district YTD and the
+    /// customer's balance; appends an (unique-keyed) audit-trail entry.
+    /// Monotonic: all updates commute.
+    pub fn payment(
+        &mut self,
+        sim: &mut Sim,
+        client: NodeId,
+        w: u32,
+        d: u32,
+        c: u32,
+        amount: u64,
+    ) -> Result<(), HatError> {
+        let uid = self.uid();
+        sim.try_txn(client, |t| {
+            let wk = keys::warehouse(w);
+            let mut wh = t
+                .get(&wk)
+                .and_then(|s| Warehouse::decode(&s))
+                .unwrap_or_default();
+            wh.ytd += amount;
+            t.put(&wk, &wh.encode());
+
+            let dk = keys::district(w, d);
+            let mut district = t
+                .get(&dk)
+                .and_then(|s| District::decode(&s))
+                .unwrap_or_default();
+            district.ytd += amount;
+            t.put(&dk, &district.encode());
+
+            let ck = keys::customer(w, d, c);
+            let mut customer = t
+                .get(&ck)
+                .and_then(|s| Customer::decode(&s))
+                .unwrap_or_default();
+            customer.balance -= amount as i64;
+            customer.ytd_payment += amount;
+            t.put(&ck, &customer.encode());
+
+            t.put(&keys::history(w, d, c, &uid), &amount.to_string());
+        })
+    }
+
+    /// Order-Status (read-only, HAT-safe): the latest order of a
+    /// district and its lines.
+    pub fn order_status(
+        &mut self,
+        sim: &mut Sim,
+        client: NodeId,
+        w: u32,
+        d: u32,
+    ) -> Result<Option<(String, Order, Vec<String>)>, HatError> {
+        sim.try_txn(client, |t| {
+            let orders = t.scan(&keys::order_prefix(w, d));
+            let Some((okey, oval)) = orders.last().cloned() else {
+                return None;
+            };
+            let o_id = okey.rsplit('/').next().unwrap_or_default().to_string();
+            let order = Order::decode(&oval)?;
+            let lines = t
+                .scan(&keys::order_line_prefix(w, d, &o_id))
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect();
+            Some((o_id, order, lines))
+        })
+    }
+
+    /// Delivery (§6.2, non-monotonic): pops the oldest pending order,
+    /// marks it delivered with `carrier`, and credits the customer.
+    /// Returns the delivered order id, if any. Idempotence requires
+    /// preventing Lost Update — concurrent Deliveries under partitions
+    /// double-deliver, which the consistency checker counts.
+    pub fn delivery(
+        &mut self,
+        sim: &mut Sim,
+        client: NodeId,
+        w: u32,
+        d: u32,
+        carrier: u32,
+    ) -> Result<Option<String>, HatError> {
+        sim.try_txn(client, |t| {
+            let pending = t.scan(&keys::new_order_prefix(w, d));
+            let (no_key, _) = pending.iter().find(|(_, v)| v == "pending")?.clone();
+            let o_id = no_key.rsplit('/').next().unwrap_or_default().to_string();
+            // mark done in the queue (tombstone value)
+            t.put(&no_key, "delivered");
+            // update the order row
+            let ok = keys::order(w, d, &o_id);
+            let mut order = t.get(&ok).and_then(|s| Order::decode(&s))?;
+            order.carrier_id = carrier;
+            order.delivered += 1;
+            let c_id = order.c_id;
+            t.put(&ok, &order.encode());
+            // credit the customer (fixed amount per delivery here)
+            let ck = keys::customer(w, d, c_id);
+            let mut customer = t
+                .get(&ck)
+                .and_then(|s| Customer::decode(&s))
+                .unwrap_or_default();
+            customer.balance += 100;
+            customer.delivery_cnt += 1;
+            t.put(&ck, &customer.encode());
+            Some(o_id)
+        })
+    }
+
+    /// Stock-Level (read-only, HAT-safe): how many items of the district
+    /// sit below `threshold`.
+    pub fn stock_level(
+        &mut self,
+        sim: &mut Sim,
+        client: NodeId,
+        w: u32,
+        threshold: i64,
+    ) -> Result<usize, HatError> {
+        sim.try_txn(client, |t| {
+            t.scan(&format!("s/{w:04}/"))
+                .iter()
+                .filter_map(|(_, v)| Stock::decode(v))
+                .filter(|s| s.quantity < threshold)
+                .count()
+        })
+    }
+}

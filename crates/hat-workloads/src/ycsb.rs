@@ -1,0 +1,186 @@
+//! YCSB-style closed-loop workload (§6.3 configuration).
+//!
+//! "We link our client library to the YCSB benchmark ... grouping every
+//! eight YCSB operations from the default workload (50% reads, 50%
+//! writes) to form a transaction. We increase the number of keys in the
+//! workload from the default 1,000 to 100,000 with uniform random key
+//! access, keeping the default value size of 1KB."
+
+use crate::dist::KeyDist;
+use bytes::Bytes;
+use hat_core::client::TxnSource;
+use hat_core::{Op, TxnSpec};
+use hat_storage::Key;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// YCSB workload knobs.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Number of distinct keys (paper: 100,000).
+    pub num_keys: u64,
+    /// Value size in bytes (paper: 1 KB).
+    pub value_size: usize,
+    /// Fraction of operations that are reads (paper default: 0.5).
+    pub read_proportion: f64,
+    /// Operations per transaction (paper: 8).
+    pub ops_per_txn: usize,
+    /// Key distribution (paper: uniform).
+    pub dist: KeyDist,
+    /// Stop after this many transactions (`None` = run forever; the
+    /// experiment harness bounds runs by simulated time instead).
+    pub txn_limit: Option<u64>,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig {
+            num_keys: 100_000,
+            value_size: 1024,
+            read_proportion: 0.5,
+            ops_per_txn: 8,
+            dist: KeyDist::uniform(),
+            txn_limit: None,
+        }
+    }
+}
+
+impl YcsbConfig {
+    /// A scaled-down configuration for tests (small keyspace and values).
+    pub fn small() -> Self {
+        YcsbConfig {
+            num_keys: 100,
+            value_size: 16,
+            read_proportion: 0.5,
+            ops_per_txn: 4,
+            dist: KeyDist::uniform(),
+            txn_limit: None,
+        }
+    }
+
+    /// The key string for index `i` (YCSB-style `user` prefix,
+    /// zero-padded so predicate scans see a dense ordered space).
+    pub fn key(&self, i: u64) -> Key {
+        Key::from(format!("user{i:08}"))
+    }
+}
+
+/// A closed-loop YCSB transaction source.
+#[derive(Debug, Clone)]
+pub struct YcsbSource {
+    config: YcsbConfig,
+    value: Bytes,
+    issued: u64,
+}
+
+impl YcsbSource {
+    /// Builds a source over `config`.
+    pub fn new(config: YcsbConfig) -> Self {
+        // deterministic filler value; contents don't matter, size does
+        let value = Bytes::from(vec![0x61u8; config.value_size]);
+        YcsbSource {
+            config,
+            value,
+            issued: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.config
+    }
+}
+
+impl TxnSource for YcsbSource {
+    fn next_txn(&mut self, rng: &mut StdRng) -> Option<TxnSpec> {
+        if let Some(limit) = self.config.txn_limit {
+            if self.issued >= limit {
+                return None;
+            }
+        }
+        self.issued += 1;
+        let mut ops = Vec::with_capacity(self.config.ops_per_txn);
+        for _ in 0..self.config.ops_per_txn {
+            let key = self
+                .config
+                .key(self.config.dist.sample(self.config.num_keys, rng));
+            if rng.gen_bool(self.config.read_proportion) {
+                ops.push(Op::Read(key));
+            } else {
+                ops.push(Op::Write(key, self.value.clone()));
+            }
+        }
+        Some(TxnSpec::new(ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_shape() {
+        let mut src = YcsbSource::new(YcsbConfig {
+            num_keys: 10,
+            value_size: 8,
+            read_proportion: 0.5,
+            ops_per_txn: 8,
+            dist: KeyDist::uniform(),
+            txn_limit: Some(5),
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut txns = 0;
+        while let Some(spec) = src.next_txn(&mut rng) {
+            assert_eq!(spec.ops.len(), 8);
+            for op in &spec.ops {
+                if let Op::Write(_, v) = op {
+                    assert_eq!(v.len(), 8);
+                }
+            }
+            txns += 1;
+        }
+        assert_eq!(txns, 5, "txn_limit respected");
+    }
+
+    #[test]
+    fn read_proportion_is_respected() {
+        let mut src = YcsbSource::new(YcsbConfig {
+            read_proportion: 0.998, // Facebook's workload (§6.3)
+            ops_per_txn: 8,
+            txn_limit: Some(1000),
+            ..YcsbConfig::small()
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mut reads, mut writes) = (0u64, 0u64);
+        while let Some(spec) = src.next_txn(&mut rng) {
+            for op in &spec.ops {
+                if op.is_write() {
+                    writes += 1;
+                } else {
+                    reads += 1;
+                }
+            }
+        }
+        let frac = reads as f64 / (reads + writes) as f64;
+        assert!((frac - 0.998).abs() < 0.01, "read fraction {frac}");
+    }
+
+    #[test]
+    fn keys_are_zero_padded_and_bounded() {
+        let cfg = YcsbConfig::small();
+        assert_eq!(cfg.key(7), Key::from("user00000007"));
+        let mut src = YcsbSource::new(YcsbConfig {
+            txn_limit: Some(100),
+            ..YcsbConfig::small()
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        while let Some(spec) = src.next_txn(&mut rng) {
+            for op in &spec.ops {
+                let k = String::from_utf8(op.key().to_vec()).unwrap();
+                let idx: u64 = k.strip_prefix("user").unwrap().parse().unwrap();
+                assert!(idx < 100);
+            }
+        }
+    }
+}

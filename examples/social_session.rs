@@ -1,0 +1,120 @@
+//! Session guarantees on a social-network timeline (§5.1.3): sticky
+//! sessions give read-your-writes; non-sticky clients lose it under
+//! partitions; the client-side session cache restores monotonic reads
+//! even while bouncing between replicas.
+//!
+//! Run: `cargo run --release --example social_session`
+
+use hatdb::core::{
+    ClusterSpec, ProtocolKind, SessionLevel, SessionOptions, SimulationBuilder,
+};
+use hatdb::sim::{Partition, PartitionSchedule, SimDuration, SimTime};
+
+fn server_only_partition(seed: u64) -> (ClusterSpec, PartitionSchedule) {
+    let spec = ClusterSpec::va_or(2);
+    let probe = SimulationBuilder::new(ProtocolKind::Eventual)
+        .seed(seed)
+        .clusters(spec.clone())
+        .clients_per_cluster(1)
+        .build();
+    let a: Vec<u32> = probe.layout().servers[0].clone();
+    let b: Vec<u32> = probe.layout().servers[1].clone();
+    drop(probe);
+    (
+        spec,
+        PartitionSchedule::from_partitions(vec![Partition::forever(SimTime::ZERO, a, b)]),
+    )
+}
+
+fn sticky_user_reads_their_posts() {
+    println!("-- sticky session: you always see your own posts --");
+    let (spec, partitions) = server_only_partition(1);
+    let mut sim = SimulationBuilder::new(ProtocolKind::Eventual)
+        .seed(1)
+        .clusters(spec)
+        .clients_per_cluster(1)
+        .session(SessionOptions {
+            level: SessionLevel::None,
+            sticky: true,
+        })
+        .partitions(partitions)
+        .build();
+    let alice = sim.client(0);
+    for i in 1..=3 {
+        let key = format!("post:alice:{i}");
+        sim.txn(alice, |t| t.put(&key, "hello world"));
+        let read_back = sim.txn(alice, |t| t.get(&key));
+        println!("  post {i}: visible right after posting? {}", read_back.is_some());
+        assert!(read_back.is_some());
+    }
+}
+
+fn bouncing_user_can_lose_their_posts() {
+    println!("-- non-sticky session during a replica partition: posts vanish --");
+    let mut missed = 0;
+    let mut total = 0;
+    for seed in 0..10 {
+        let (spec, partitions) = server_only_partition(seed);
+        let mut sim = SimulationBuilder::new(ProtocolKind::Eventual)
+            .seed(seed)
+            .clusters(spec)
+            .clients_per_cluster(1)
+            .session(SessionOptions {
+                level: SessionLevel::None,
+                sticky: false, // load balancer sprays requests anywhere
+            })
+            .partitions(partitions)
+            .build();
+        let bob = sim.client(0);
+        for i in 0..5 {
+            let key = format!("post:bob:{seed}:{i}");
+            if sim.try_txn(bob, |t| t.put(&key, "anyone there?")).is_err() {
+                continue;
+            }
+            if let Ok(v) = sim.try_txn(bob, |t| t.get(&key)) {
+                total += 1;
+                if v.is_none() {
+                    missed += 1;
+                }
+            }
+        }
+    }
+    println!("  bob failed to see his own fresh post {missed}/{total} times");
+    assert!(missed > 0, "the §5.1.3 scenario should appear");
+}
+
+fn session_cache_restores_monotonic_timeline() {
+    println!("-- Monotonic session level: the timeline never goes backwards --");
+    let mut sim = SimulationBuilder::new(ProtocolKind::Eventual)
+        .seed(3)
+        .clusters(ClusterSpec::va_or(2))
+        .clients_per_cluster(1)
+        .session(SessionOptions {
+            level: SessionLevel::Monotonic,
+            sticky: false, // bouncing, but caching
+        })
+        .build();
+    let writer = sim.client(0);
+    let reader = sim.client(1);
+    let mut last = 0u64;
+    for i in 1..=8u64 {
+        sim.txn(writer, |t| t.put("timeline:len", &i.to_string()));
+        sim.run_for(SimDuration::from_millis(5)); // replicas unevenly fresh
+        let seen: u64 = sim
+            .txn(reader, |t| t.get("timeline:len"))
+            .unwrap_or_default()
+            .parse()
+            .unwrap_or(0);
+        println!("  reader bounced to a random cluster and saw length {seen}");
+        assert!(seen >= last, "monotonic reads violated");
+        last = seen;
+    }
+}
+
+fn main() {
+    sticky_user_reads_their_posts();
+    println!();
+    bouncing_user_can_lose_their_posts();
+    println!();
+    session_cache_restores_monotonic_timeline();
+}

@@ -1,0 +1,49 @@
+//! # hatdb — Highly Available Transactions in Rust
+//!
+//! A from-scratch reproduction of *Highly Available Transactions: Virtues
+//! and Limitations* (Bailis, Davidson, Fekete, Ghodsi, Hellerstein,
+//! Stoica — VLDB 2013, extended version arXiv:1302.0309).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`sim`] — deterministic discrete-event simulator with EC2-calibrated
+//!   latency models and partition injection.
+//! * [`storage`] — multi-versioned key-value substrate with WAL and crash
+//!   recovery (the prototype's LevelDB role).
+//! * [`core`] — the HAT protocols (Eventual, Read Committed, MAV, Master,
+//!   2PL), client sessions, the isolation/consistency taxonomy, and the
+//!   Table 2 isolation survey.
+//! * [`history`] — Adya-style history recording and anomaly detection
+//!   (G0/G1, IMP/PMP, OTV, session phenomena, Lost Update, Write Skew).
+//! * [`workloads`] — YCSB-style generators and an executable TPC-C-lite.
+//! * [`runtime`] — a threaded runtime driving the same protocol state
+//!   machines over real channels.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hatdb::core::{ClusterSpec, ProtocolKind, SimulationBuilder};
+//!
+//! // Two fully-replicated clusters in one datacenter, MAV isolation.
+//! let mut sim = SimulationBuilder::new(ProtocolKind::Mav)
+//!     .seed(42)
+//!     .clusters(ClusterSpec::single_dc(2, 1))
+//!     .build();
+//!
+//! let client = sim.client(0);
+//! sim.txn(client, |t| {
+//!     t.put("x", "1");
+//!     t.put("y", "1");
+//! });
+//! sim.settle();
+//! let (x, y) = sim.txn(client, |t| (t.get("x"), t.get("y")));
+//! // MAV: once any effect of the transaction is visible, all are.
+//! assert_eq!(x, y);
+//! ```
+
+pub use hat_core as core;
+pub use hat_history as history;
+pub use hat_runtime as runtime;
+pub use hat_sim as sim;
+pub use hat_storage as storage;
+pub use hat_workloads as workloads;
