@@ -49,10 +49,12 @@ fn bench_storage(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 7) % 1000;
-            black_box(store.latest_at_or_below(
-                format!("user{i:08}").as_bytes(),
-                VersionStamp::new(5000, 0),
-            ))
+            black_box(
+                store.latest_at_or_below(
+                    format!("user{i:08}").as_bytes(),
+                    VersionStamp::new(5000, 0),
+                ),
+            )
         })
     });
     g.bench_function("memstore_scan_prefix", |b| {

@@ -32,7 +32,12 @@ fn main() {
             h.record(model.sample_rtt_ms(class, &mut rng));
         }
         println!("# {name}");
-        println!("# p50={:.2}ms p95={:.2}ms p99={:.2}ms", h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        println!(
+            "# p50={:.2}ms p95={:.2}ms p99={:.2}ms",
+            h.quantile(0.5),
+            h.quantile(0.95),
+            h.quantile(0.99)
+        );
         // thin the CDF to ~40 points per curve
         let cdf = h.cdf();
         let step = (cdf.len() / 40).max(1);

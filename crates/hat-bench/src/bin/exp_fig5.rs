@@ -68,7 +68,11 @@ fn main() {
             SimDuration::from_secs(2)
         };
         let r = run_ycsb(&cfg);
-        println!("#   {:10} {:>12.0} txn/s", protocol.label(), r.throughput_tps);
+        println!(
+            "#   {:10} {:>12.0} txn/s",
+            protocol.label(),
+            r.throughput_tps
+        );
     }
     println!("# paper shape: all-reads >> all-writes (~3.9x for eventual);");
     println!("# MAV within ~5% of eventual at all-reads, within ~33% at all-writes.");

@@ -11,7 +11,11 @@ use hat_sim::SimDuration;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let per_cluster: &[usize] = if quick { &[5, 15] } else { &[5, 10, 15, 20, 25] };
+    let per_cluster: &[usize] = if quick {
+        &[5, 15]
+    } else {
+        &[5, 10, 15, 20, 25]
+    };
     let protocols = [
         ProtocolKind::Eventual,
         ProtocolKind::ReadCommitted,
@@ -26,8 +30,7 @@ fn main() {
         let total_servers = sc * 2;
         let clients = total_servers * 15;
         for (pi, protocol) in protocols.into_iter().enumerate() {
-            let mut cfg =
-                YcsbRunConfig::paper_defaults(protocol, ClusterSpec::va_or(sc), clients);
+            let mut cfg = YcsbRunConfig::paper_defaults(protocol, ClusterSpec::va_or(sc), clients);
             cfg.duration = if quick {
                 SimDuration::from_millis(500)
             } else {

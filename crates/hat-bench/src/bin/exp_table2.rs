@@ -19,7 +19,13 @@ fn main() {
     println!("{}", "-".repeat(48));
     let s = stats();
     println!("databases surveyed:              {}", s.total);
-    println!("serializable by default:         {} (paper: 3)", s.serializable_by_default);
-    println!("no serializability option:       {} (paper: 8)", s.no_serializability_option);
+    println!(
+        "serializable by default:         {} (paper: 3)",
+        s.serializable_by_default
+    );
+    println!(
+        "no serializability option:       {} (paper: 8)",
+        s.no_serializability_option
+    );
     println!("weak (RC/CS/CR) default:         {}", s.weak_default);
 }

@@ -10,9 +10,7 @@
 //!
 //! Run: `cargo run -p hat-bench --release --bin exp_tpcc`
 
-use hat_core::{
-    ClusterSpec, ProtocolKind, SessionLevel, SessionOptions, SimulationBuilder,
-};
+use hat_core::{ClusterSpec, ProtocolKind, SessionLevel, SessionOptions, SimulationBuilder};
 use hat_sim::{Partition, PartitionSchedule, SimDuration, SimTime};
 use hat_workloads::tpcc::{check_consistency, IdPolicy, TpccConfig, TpccRunner};
 
@@ -41,7 +39,14 @@ fn healthy_run(protocol: ProtocolKind) {
     runner.load(&mut sim, client).unwrap();
     for i in 0..20u32 {
         runner
-            .new_order(&mut sim, client, 0, i % 2, i % 5, &[(i % 50, 3), ((i + 7) % 50, 2)])
+            .new_order(
+                &mut sim,
+                client,
+                0,
+                i % 2,
+                i % 5,
+                &[(i % 50, 3), ((i + 7) % 50, 2)],
+            )
             .unwrap();
         runner
             .payment(&mut sim, client, 0, i % 2, i % 5, 100 + u64::from(i))
@@ -110,7 +115,11 @@ fn partitioned_sequential_ids() {
     let mut placed = Vec::new();
     for i in 0..3 {
         placed.push(r0.new_order(&mut sim, c0, 0, 0, 0, &[(i, 1)]).unwrap().o_id);
-        placed.push(r1.new_order(&mut sim, c1, 0, 0, 1, &[(i + 3, 1)]).unwrap().o_id);
+        placed.push(
+            r1.new_order(&mut sim, c1, 0, 0, 1, &[(i + 3, 1)])
+                .unwrap()
+                .o_id,
+        );
     }
     // heal + converge
     sim.run_for(SimDuration::from_secs(60));
@@ -119,9 +128,7 @@ fn partitioned_sequential_ids() {
     // Duplicate sequential ids collide on the same order *key*: after
     // last-writer-wins convergence the colliding orders are silently
     // lost. Count placements vs surviving orders.
-    let surviving = sim.txn(c0, |t| {
-        t.scan("o/0000/00/").len()
-    });
+    let surviving = sim.txn(c0, |t| t.scan("o/0000/00/").len());
     let distinct_ids: std::collections::HashSet<&String> = placed.iter().collect();
     println!(
         "RC + partition, sequential ids: placed={} distinct_ids={} surviving_orders={} lost={} (paper: HATs cannot assign sequential ids)",

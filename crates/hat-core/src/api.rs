@@ -13,6 +13,7 @@ use crate::config::{ProtocolKind, SystemConfig};
 use crate::error::HatError;
 use crate::metrics::ClientMetrics;
 use crate::node::Node;
+use crate::protocol::ProtocolEngine;
 use crate::server::Server;
 use crate::txn::{OpRecord, TxnOutcome, TxnRecord};
 use bytes::Bytes;
@@ -33,6 +34,7 @@ pub struct SimulationBuilder {
     latency: LatencyModel,
     partitions: PartitionSchedule,
     drivers: Vec<Box<dyn TxnSource>>,
+    engine_factory: Option<Arc<dyn Fn() -> Box<dyn ProtocolEngine> + Send + Sync>>,
 }
 
 impl SimulationBuilder {
@@ -49,6 +51,7 @@ impl SimulationBuilder {
             latency: LatencyModel::default(),
             partitions: PartitionSchedule::none(),
             drivers: Vec::new(),
+            engine_factory: None,
         }
     }
 
@@ -100,6 +103,21 @@ impl SimulationBuilder {
     /// becomes `drivers.len()`, assigned to clusters round-robin.
     pub fn drivers(mut self, drivers: Vec<Box<dyn TxnSource>>) -> Self {
         self.drivers = drivers;
+        self
+    }
+
+    /// Installs a custom [`ProtocolEngine`] factory used for every
+    /// server, instead of the registry engine for the builder's
+    /// protocol kind. This is how engines outside
+    /// [`crate::protocol::engine_for`] plug into the simulator, the
+    /// threaded runtime and the benchmark harness without any
+    /// server-side changes. Client-side behavior (buffering, routing)
+    /// still follows the builder's [`ProtocolKind`].
+    pub fn engine_factory(
+        mut self,
+        factory: impl Fn() -> Box<dyn ProtocolEngine> + Send + Sync + 'static,
+    ) -> Self {
+        self.engine_factory = Some(Arc::new(factory));
         self
     }
 
@@ -172,13 +190,24 @@ impl SimulationBuilder {
         let mut actors: Vec<Node> = Vec::with_capacity(topology.len());
         for cluster in 0..n_clusters {
             for &id in &layout.servers[cluster] {
-                actors.push(Node::Server(Server::new(
-                    id,
-                    cluster,
-                    Arc::clone(&layout),
-                    Arc::clone(&config),
-                    Box::new(MemStore::new()),
-                )));
+                let server = match &self.engine_factory {
+                    Some(factory) => Server::with_engine(
+                        id,
+                        cluster,
+                        Arc::clone(&layout),
+                        Arc::clone(&config),
+                        Box::new(MemStore::new()),
+                        factory(),
+                    ),
+                    None => Server::new(
+                        id,
+                        cluster,
+                        Arc::clone(&layout),
+                        Arc::clone(&config),
+                        Box::new(MemStore::new()),
+                    ),
+                };
+                actors.push(Node::Server(server));
             }
         }
         for (i, &id) in clients.iter().enumerate() {
@@ -360,12 +389,7 @@ impl Sim {
             self.abandon(client);
             return Err(e);
         }
-        let outcome = self
-            .engine
-            .actor(client)
-            .as_client()
-            .unwrap()
-            .txn_outcome();
+        let outcome = self.engine.actor(client).as_client().unwrap().txn_outcome();
         match outcome {
             Some(TxnOutcome::Committed) => Ok(result),
             Some(TxnOutcome::AbortedExternal) => Err(HatError::ExternalAbort {

@@ -96,7 +96,11 @@ enum PendingKind {
     /// writes at commit are tracked via `commit_waiting` instead).
     WriteNow { key: Key, value: Bytes },
     /// A 2PL `Lock`; on grant, `then` decides the follow-up.
-    Lock { key: Key, exclusive: bool, then: LockFollowup },
+    Lock {
+        key: Key,
+        exclusive: bool,
+        then: LockFollowup,
+    },
 }
 
 /// What to do once a 2PL lock is granted.
@@ -360,9 +364,7 @@ impl Client {
         assert!(txn.pending.is_none(), "one op at a time");
         let op = txn.op_seq;
         txn.op_seq += 1;
-        let cluster = if self.session.sticky
-            || !self.config.protocol.is_hat()
-        {
+        let cluster = if self.session.sticky || !self.config.protocol.is_hat() {
             self.home
         } else {
             ctx.rng().gen_range(0..self.layout.num_clusters())
@@ -481,11 +483,8 @@ impl Client {
                 let txn = self.current.as_mut().unwrap();
                 let mut to_send = Vec::new();
                 for k in &keys {
-                    let record = Record::with_siblings(
-                        id,
-                        values.remove(k).unwrap(),
-                        siblings.clone(),
-                    );
+                    let record =
+                        Record::with_siblings(id, values.remove(k).unwrap(), siblings.clone());
                     let op = txn.op_seq;
                     txn.op_seq += 1;
                     to_send.push((op, k.clone(), record));
@@ -495,7 +494,8 @@ impl Client {
                 for (op, k, record) in to_send {
                     let target = self.pick_replica(ctx, &k);
                     let txn = self.current.as_mut().unwrap();
-                    txn.commit_waiting.insert(op, (k.clone(), record.clone(), target));
+                    txn.commit_waiting
+                        .insert(op, (k.clone(), record.clone(), target));
                     ctx.send(
                         target,
                         Msg::Put {
@@ -536,7 +536,8 @@ impl Client {
                 for (op, k, record) in to_send {
                     let target = self.layout.master(&k);
                     let txn = self.current.as_mut().unwrap();
-                    txn.commit_waiting.insert(op, (k.clone(), record.clone(), target));
+                    txn.commit_waiting
+                        .insert(op, (k.clone(), record.clone(), target));
                     ctx.send(
                         target,
                         Msg::Put {
@@ -776,10 +777,7 @@ impl Client {
     /// Clears a finished transaction (facade calls this after reading the
     /// outcome).
     pub fn clear_finished(&mut self) {
-        if matches!(
-            self.current.as_ref().map(|t| t.phase),
-            Some(Phase::Done(_))
-        ) {
+        if matches!(self.current.as_ref().map(|t| t.phase), Some(Phase::Done(_))) {
             self.current = None;
         }
     }
@@ -884,7 +882,13 @@ impl Client {
             .unwrap_or(false)
     }
 
-    fn on_get_resp(&mut self, ctx: &mut Ctx<'_, Msg>, txn_id: Timestamp, op: u32, found: Option<Record>) {
+    fn on_get_resp(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        txn_id: Timestamp,
+        op: u32,
+        found: Option<Record>,
+    ) {
         if !self.matches_pending(txn_id, op) {
             return; // stale (retried or finished)
         }
@@ -898,8 +902,7 @@ impl Client {
         self.metrics.record_op(ctx.now().since(pending.issued));
         let txn = self.current.as_mut().unwrap();
 
-        let mut record =
-            found.unwrap_or_else(|| Record::new(Timestamp::INITIAL, Bytes::new()));
+        let mut record = found.unwrap_or_else(|| Record::new(Timestamp::INITIAL, Bytes::new()));
         // Lamport: later writes must dominate what we observed.
         self.tsgen.observe(record.stamp);
         // Monotonic/Causal sessions: never observe something older than
@@ -915,10 +918,7 @@ impl Client {
         // (Appendix B client GET).
         if self.config.protocol == ProtocolKind::Mav {
             for sib in &record.siblings {
-                let e = txn
-                    .required
-                    .entry(sib.clone())
-                    .or_insert(record.stamp);
+                let e = txn.required.entry(sib.clone()).or_insert(record.stamp);
                 *e = (*e).max(record.stamp);
             }
         }
@@ -944,10 +944,7 @@ impl Client {
         }
         let txn = self.current.as_mut().unwrap();
         let pending = txn.pending.as_mut().unwrap();
-        let PendingKind::Scan {
-            waiting, acc, ..
-        } = &mut pending.kind
-        else {
+        let PendingKind::Scan { waiting, acc, .. } = &mut pending.kind else {
             return;
         };
         // One response per server; ignore duplicates from retries.
@@ -1062,7 +1059,10 @@ impl Client {
                 );
             }
             LockFollowup::BufferWrite => {
-                let value = pending.write_value.clone().expect("write lock carries value");
+                let value = pending
+                    .write_value
+                    .clone()
+                    .expect("write lock carries value");
                 let txn = self.current.as_mut().unwrap();
                 Self::buffer_write(txn, key, value);
                 self.metrics.record_op(ctx.now().since(pending.issued));

@@ -208,7 +208,10 @@ mod tests {
             let m = l.master(&key);
             per_cluster[l.cluster_of(m).unwrap()] += 1;
         }
-        assert!(per_cluster[0] > 50 && per_cluster[1] > 50, "{per_cluster:?}");
+        assert!(
+            per_cluster[0] > 50 && per_cluster[1] > 50,
+            "{per_cluster:?}"
+        );
     }
 
     #[test]

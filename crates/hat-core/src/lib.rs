@@ -17,7 +17,11 @@
 //!
 //! Servers and clients are deterministic [`hat_sim::Actor`]s; the same
 //! state machines run under the discrete-event simulator and the threaded
-//! runtime.
+//! runtime. Each protocol's server-side behavior is a
+//! [`protocol::ProtocolEngine`] implementation plugged into the
+//! protocol-agnostic [`Server`]; new levels register in
+//! [`protocol::engine_for`] or inject through
+//! [`SimulationBuilder::engine_factory`] without touching the server.
 //!
 //! ## High-level API
 //!
@@ -63,6 +67,7 @@ pub use error::HatError;
 pub use messages::Msg;
 pub use metrics::ClientMetrics;
 pub use node::Node;
+pub use protocol::{engine_for, ProtocolEngine, ServerView};
 pub use server::Server;
 pub use timestamp::{Timestamp, TimestampGen};
 pub use txn::{Op, OpRecord, TxnOutcome, TxnRecord, TxnSpec};

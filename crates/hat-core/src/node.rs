@@ -6,6 +6,9 @@ use crate::server::Server;
 use hat_sim::{Actor, Ctx, NodeId, TimerId};
 
 /// A deployment node.
+// Variant sizes differ, but nodes are allocated once per deployment and
+// never moved; boxing would tax every event dispatch instead.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Node {
     /// A replica server.

@@ -1,0 +1,192 @@
+//! The pluggable protocol layer: one [`ProtocolEngine`] per
+//! isolation/consistency level.
+//!
+//! The server actor ([`crate::Server`]) owns everything protocol-agnostic
+//! — the service queue, the anti-entropy gossip loop, the replication log
+//! and the backing store — and delegates every protocol-specific decision
+//! to a boxed `ProtocolEngine`:
+//!
+//! * how a read at a `required` bound is answered,
+//! * what a write costs and what happens when it is installed (plain
+//!   last-writer-wins vs MAV's pending/good two-phase visibility),
+//! * how anti-entropy copies, sibling notifications and lock traffic are
+//!   handled,
+//! * what extra work the anti-entropy timer performs.
+//!
+//! Adding a new level is therefore local: implement the trait (most hooks
+//! have last-writer-wins defaults), register it in [`engine_for`], and
+//! every driver — the discrete-event simulator, the threaded runtime and
+//! the benchmark harness — picks it up without touching `server.rs`.
+
+use crate::cluster::ClusterLayout;
+use crate::config::{ProtocolKind, ServiceModel, SystemConfig};
+use crate::messages::Msg;
+use crate::protocol::replication::ReplicationLog;
+use crate::protocol::twopl::Grant;
+use crate::timestamp::Timestamp;
+use hat_sim::{Ctx, NodeId, SimDuration};
+use hat_storage::{Key, Record, Store};
+
+/// Mutable view over the protocol-agnostic server state, handed to every
+/// engine hook. Borrowing a view (rather than the whole server) keeps the
+/// engine and the server state disjoint, so an engine can never reach the
+/// service queue or timers except through its declared hooks.
+pub struct ServerView<'a> {
+    /// The replica's good/visible version store.
+    pub store: &'a mut dyn Store,
+    /// The anti-entropy buffer gossiped to positional peers.
+    pub repl: &'a mut ReplicationLog,
+    /// Cluster layout (replica placement, masters).
+    pub layout: &'a ClusterLayout,
+    /// Deployment configuration.
+    pub config: &'a SystemConfig,
+    /// The owning server's cluster index.
+    pub cluster: usize,
+}
+
+/// A protocol state machine plugged into the server.
+///
+/// Every hook has a sensible last-writer-wins default, so a minimal
+/// engine (e.g. the `eventual` level, or a stub for a new level) is an
+/// empty struct plus a [`ProtocolEngine::name`].
+pub trait ProtocolEngine: Send + std::fmt::Debug {
+    /// Short label used in experiment output and `Debug` formatting.
+    fn name(&self) -> &'static str;
+
+    /// Serves an item read. `required` is the client's lower bound
+    /// (Appendix B); engines without the concept ignore it and answer
+    /// with the last-writer-wins winner.
+    fn read(
+        &mut self,
+        view: &mut ServerView<'_>,
+        key: &Key,
+        required: Timestamp,
+    ) -> Option<Record> {
+        let _ = required;
+        view.store.latest(key)
+    }
+
+    /// Service cost charged for installing `record`.
+    fn write_cost(&self, service: &ServiceModel, record: &Record) -> SimDuration {
+        let _ = record;
+        service.write()
+    }
+
+    /// Installs a client write, emitting any protocol traffic through
+    /// `ctx` (e.g. MAV sibling notifications).
+    fn apply_client_write(
+        &mut self,
+        view: &mut ServerView<'_>,
+        ctx: &mut Ctx<'_, Msg>,
+        key: Key,
+        record: Record,
+    ) {
+        let _ = ctx;
+        lww_apply(view, key, record);
+    }
+
+    /// Installs an anti-entropy copy received from a peer replica.
+    /// Engines must apply these idempotently (delivery is at-least-once)
+    /// and must *not* re-gossip (peers form a clique; the origin gossips
+    /// to everyone).
+    fn apply_replicated_write(
+        &mut self,
+        view: &mut ServerView<'_>,
+        ctx: &mut Ctx<'_, Msg>,
+        key: Key,
+        record: Record,
+    ) {
+        let _ = ctx;
+        let _ = view.store.put(key, record);
+    }
+
+    /// Handles a sibling notification (MAV's `notify(ts)`).
+    fn on_notify(
+        &mut self,
+        view: &mut ServerView<'_>,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        ts: Timestamp,
+        key: Key,
+    ) {
+        let _ = (view, ctx, from, ts, key);
+    }
+
+    /// Handles a lock request, returning the grants to acknowledge now
+    /// (empty means queued — the grant is returned by a later
+    /// [`ProtocolEngine::on_unlock`]). Engines without locking ignore
+    /// the request: their clients never send one.
+    fn on_lock(
+        &mut self,
+        view: &mut ServerView<'_>,
+        client: NodeId,
+        txn: Timestamp,
+        op: u32,
+        key: Key,
+        exclusive: bool,
+    ) -> Vec<Grant> {
+        let _ = (view, client, txn, op, key, exclusive);
+        Vec::new()
+    }
+
+    /// Releases `txn`'s locks on `keys` (all of them when `keys` is
+    /// empty), returning grants for promoted waiters.
+    fn on_unlock(
+        &mut self,
+        view: &mut ServerView<'_>,
+        txn: Timestamp,
+        keys: Vec<Key>,
+    ) -> Vec<Grant> {
+        let _ = (view, txn, keys);
+        Vec::new()
+    }
+
+    /// Invoked on every anti-entropy tick, after the gossip batches have
+    /// been sent — the hook MAV uses to replay notifications lost to
+    /// partitions.
+    fn on_anti_entropy_tick(&mut self, view: &mut ServerView<'_>, ctx: &mut Ctx<'_, Msg>) {
+        let _ = (view, ctx);
+    }
+
+    /// Reads that missed their `required` bound (0 for engines without
+    /// the concept; must stay 0 in a correct MAV run).
+    fn required_misses(&self) -> u64 {
+        0
+    }
+}
+
+/// Shared last-writer-wins install + gossip, used by every engine whose
+/// server-side write path is plain LWW (eventual, RC, master, 2PL).
+///
+/// Gossips when the version is new *or* its value changed (a
+/// transaction's later write of the same key carries the same stamp but
+/// supersedes the value).
+pub fn lww_apply(view: &mut ServerView<'_>, key: Key, record: Record) {
+    let changed = view
+        .store
+        .exact(&key, record.stamp)
+        .map(|prior| prior.value != record.value)
+        .unwrap_or(true);
+    view.store
+        .put(key.clone(), record.clone())
+        .expect("in-memory put cannot fail");
+    if changed {
+        view.repl.push(key, record);
+    }
+}
+
+/// Builds the engine for a built-in protocol kind. This registry is the
+/// single place a new engine is wired up; custom engines can instead be
+/// injected through [`crate::Server::with_engine`] or
+/// [`crate::SimulationBuilder::engine_factory`].
+pub fn engine_for(kind: ProtocolKind) -> Box<dyn ProtocolEngine> {
+    match kind {
+        ProtocolKind::Eventual => Box::new(crate::protocol::eventual::EventualEngine),
+        ProtocolKind::ReadCommitted => {
+            Box::new(crate::protocol::read_committed::ReadCommittedEngine)
+        }
+        ProtocolKind::Mav => Box::new(crate::protocol::mav::MavEngine::default()),
+        ProtocolKind::Master => Box::new(crate::protocol::master::MasterEngine),
+        ProtocolKind::TwoPhaseLocking => Box::new(crate::protocol::twopl::TwoPlEngine::default()),
+    }
+}

@@ -1,0 +1,20 @@
+//! The `eventual` engine: last-writer-wins Read Uncommitted with
+//! all-to-all anti-entropy (§5.1.1, the paper's most available
+//! configuration).
+//!
+//! Server-side this is the pure default behavior of
+//! [`crate::protocol::ProtocolEngine`]: LWW installs, LWW reads, gossip
+//! on change. Everything Read Uncommitted needs — a total per-item
+//! version order — is provided by the storage layer's stamp ordering.
+
+use crate::protocol::engine::ProtocolEngine;
+
+/// Engine for [`crate::ProtocolKind::Eventual`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EventualEngine;
+
+impl ProtocolEngine for EventualEngine {
+    fn name(&self) -> &'static str {
+        "eventual"
+    }
+}

@@ -1,0 +1,21 @@
+//! The `master` engine: per-key linearizability via a designated master
+//! replica (§6.3's unavailable recency baseline).
+//!
+//! Clients route every operation on a key to that key's master (see
+//! [`crate::ClusterLayout::master`]), so the master's LWW state *is* the
+//! linearization point; the server-side write/read path is plain LWW and
+//! the anti-entropy gossip merely keeps the other replicas warm. The
+//! unavailability under partition comes from the routing, not from any
+//! server-side machinery — which is why this engine has none.
+
+use crate::protocol::engine::ProtocolEngine;
+
+/// Engine for [`crate::ProtocolKind::Master`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MasterEngine;
+
+impl ProtocolEngine for MasterEngine {
+    fn name(&self) -> &'static str {
+        "master"
+    }
+}

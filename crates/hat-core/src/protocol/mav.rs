@@ -21,8 +21,11 @@
 //! `pending`. This is the "entirely master-less and operations never
 //! block due to replica coordination" property the paper claims.
 
+use crate::config::ServiceModel;
+use crate::messages::Msg;
+use crate::protocol::engine::{ProtocolEngine, ServerView};
 use crate::timestamp::Timestamp;
-use hat_sim::NodeId;
+use hat_sim::{Ctx, NodeId, SimDuration};
 use hat_storage::{Key, Memtable, Record, Store};
 use std::collections::{HashMap, HashSet};
 
@@ -187,6 +190,144 @@ impl MavState {
     }
 }
 
+/// The pluggable-engine wrapper around [`MavState`]: the Monotonic
+/// Atomic View protocol as a [`ProtocolEngine`].
+#[derive(Debug, Default)]
+pub struct MavEngine {
+    state: MavState,
+}
+
+impl MavEngine {
+    /// All distinct servers hosting a replica of any sibling key (the
+    /// notification fan-out of Appendix B). Falls back to the written
+    /// key's own replicas when the record carries no sibling list.
+    fn notify_targets(view: &ServerView<'_>, key: &Key, siblings: &[Key]) -> Vec<NodeId> {
+        let mut targets: Vec<NodeId> = siblings
+            .iter()
+            .flat_map(|s| view.layout.replicas(s))
+            .collect();
+        if targets.is_empty() {
+            targets = view.layout.replicas(key);
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        targets
+    }
+
+    /// Receives a write (client put or anti-entropy copy): dedup,
+    /// pend, and — on first receipt — notify every sibling replica
+    /// exactly once, so the expected count (|sibs| × |clusters|) is
+    /// matched by the |sibs × clusters| receipt events.
+    fn receive(
+        &mut self,
+        view: &mut ServerView<'_>,
+        ctx: &mut Ctx<'_, Msg>,
+        key: Key,
+        record: Record,
+        gossip: bool,
+    ) {
+        let ts = record.stamp;
+        let siblings = record.siblings.clone();
+        // Only the gossip path needs a second copy of the record; the
+        // anti-entropy apply path (the convergence hot path) moves it.
+        let gossip_copy = if gossip { Some(record.clone()) } else { None };
+        let outcome = self.state.receive_write(
+            view.store,
+            key.clone(),
+            record,
+            view.layout.num_clusters() as u32,
+        );
+        if outcome.first_receipt {
+            for t in Self::notify_targets(view, &key, &siblings) {
+                ctx.send(
+                    t,
+                    Msg::Notify {
+                        ts,
+                        key: key.clone(),
+                    },
+                );
+            }
+            if let Some(copy) = gossip_copy {
+                view.repl.push(key, copy);
+            }
+        }
+    }
+}
+
+impl ProtocolEngine for MavEngine {
+    fn name(&self) -> &'static str {
+        "MAV"
+    }
+
+    fn read(
+        &mut self,
+        view: &mut ServerView<'_>,
+        key: &Key,
+        required: Timestamp,
+    ) -> Option<Record> {
+        self.state.read(view.store, key, required)
+    }
+
+    fn write_cost(&self, service: &ServiceModel, record: &Record) -> SimDuration {
+        let meta_bytes = record.encoded_len().saturating_sub(4 + record.value.len());
+        service.mav_write(meta_bytes)
+    }
+
+    fn apply_client_write(
+        &mut self,
+        view: &mut ServerView<'_>,
+        ctx: &mut Ctx<'_, Msg>,
+        key: Key,
+        record: Record,
+    ) {
+        self.receive(view, ctx, key, record, true);
+    }
+
+    fn apply_replicated_write(
+        &mut self,
+        view: &mut ServerView<'_>,
+        ctx: &mut Ctx<'_, Msg>,
+        key: Key,
+        record: Record,
+    ) {
+        // Do not re-gossip: peers form a clique, the origin gossips to
+        // everyone.
+        self.receive(view, ctx, key, record, false);
+    }
+
+    fn on_notify(
+        &mut self,
+        view: &mut ServerView<'_>,
+        _ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        ts: Timestamp,
+        key: Key,
+    ) {
+        let _promoted = self.state.receive_notify(view.store, ts, from, key);
+    }
+
+    fn on_anti_entropy_tick(&mut self, view: &mut ServerView<'_>, ctx: &mut Ctx<'_, Msg>) {
+        // Liveness: notifications lost to partitions are replayed for
+        // writes still pending (keyed notifications make the replay
+        // idempotent). Bounded per tick.
+        for (ts, key, siblings) in self.state.pending_writes().into_iter().take(256) {
+            for t in Self::notify_targets(view, &key, &siblings) {
+                ctx.send(
+                    t,
+                    Msg::Notify {
+                        ts,
+                        key: key.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn required_misses(&self) -> u64 {
+        self.state.required_misses
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,7 +418,12 @@ mod tests {
         // t1 is good
         store.put(Key::from("x"), rec(t1, "good", &["x"])).unwrap();
         // t2 still pending
-        mav.receive_write(&mut store, Key::from("x"), rec(t2, "pending", &["x", "y"]), 2);
+        mav.receive_write(
+            &mut store,
+            Key::from("x"),
+            rec(t2, "pending", &["x", "y"]),
+            2,
+        );
 
         // no bound: latest good
         assert_eq!(

@@ -1,12 +1,30 @@
-//! Protocol-specific server state machines.
+//! Protocol-specific server state machines, behind the pluggable
+//! [`ProtocolEngine`] layer.
 //!
-//! * [`replication`] — the anti-entropy buffer shared by all highly
-//!   available configurations (§5.1.4 convergence).
+//! * [`engine`] — the [`ProtocolEngine`] trait every isolation /
+//!   consistency level implements, the [`ServerView`] handed to its
+//!   hooks, and the [`engine_for`] registry.
+//! * [`eventual`] / [`read_committed`] / [`master`] — the last-writer-
+//!   wins engines (the isolation differences live client-side or in the
+//!   routing).
 //! * [`mav`] — the two-phase Monotonic Atomic View algorithm of §5.1.2 /
 //!   Appendix B (pending/good sets, sibling acknowledgements).
 //! * [`twopl`] — the distributed two-phase-locking lock table (the
 //!   unavailable serializable baseline of §6.1/§6.3).
+//! * [`replication`] — the anti-entropy buffer shared by all
+//!   configurations (§5.1.4 convergence).
 
+pub mod engine;
+pub mod eventual;
+pub mod master;
 pub mod mav;
+pub mod read_committed;
 pub mod replication;
 pub mod twopl;
+
+pub use engine::{engine_for, lww_apply, ProtocolEngine, ServerView};
+pub use eventual::EventualEngine;
+pub use master::MasterEngine;
+pub use mav::MavEngine;
+pub use read_committed::ReadCommittedEngine;
+pub use twopl::TwoPlEngine;

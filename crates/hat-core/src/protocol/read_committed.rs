@@ -1,0 +1,21 @@
+//! The Read Committed engine (§5.1.1).
+//!
+//! RC is "essentially eventual with buffering": the isolation upgrade is
+//! entirely client-side (writes stay in the client's buffer until
+//! commit, so no transaction ever reads another's uncommitted data).
+//! The server-side engine is therefore identical to `eventual` — it only
+//! ever sees committed writes — and exists as its own type so the
+//! protocol registry, experiment labels and conformance suite treat the
+//! level as first-class.
+
+use crate::protocol::engine::ProtocolEngine;
+
+/// Engine for [`crate::ProtocolKind::ReadCommitted`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReadCommittedEngine;
+
+impl ProtocolEngine for ReadCommittedEngine {
+    fn name(&self) -> &'static str {
+        "RC"
+    }
+}

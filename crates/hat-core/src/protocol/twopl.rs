@@ -11,6 +11,7 @@
 //! matrix plus upgrade of a solely-held shared lock. Deadlocks are broken
 //! by client-side lock timeouts (external aborts).
 
+use crate::protocol::engine::{ProtocolEngine, ServerView};
 use crate::timestamp::Timestamp;
 use hat_sim::NodeId;
 use hat_storage::Key;
@@ -168,16 +169,12 @@ impl LockTable {
         // Promote waiters FIFO while compatible.
         while let Some(front) = state.queue.front() {
             // Upgrade case: waiter already holds shared and wants exclusive.
-            let is_upgrade =
-                front.exclusive && state.holders == vec![(front.txn, false)];
+            let is_upgrade = front.exclusive && state.holders == vec![(front.txn, false)];
             if is_upgrade {
                 state.holders[0].1 = true;
             } else if state.compatible(front.exclusive) {
                 state.holders.push((front.txn, front.exclusive));
-                self.held
-                    .entry(front.txn)
-                    .or_default()
-                    .push(key.clone());
+                self.held.entry(front.txn).or_default().push(key.clone());
             } else {
                 break;
             }
@@ -200,6 +197,57 @@ impl LockTable {
     /// Number of keys with active lock state.
     pub fn active_locks(&self) -> usize {
         self.locks.len()
+    }
+}
+
+/// The distributed two-phase-locking protocol as a
+/// [`ProtocolEngine`]: a lock table at each key's master replica, plain
+/// last-writer-wins data movement (write stamps agree with the serial
+/// order because clients Lamport-advance past everything they read while
+/// holding locks).
+#[derive(Debug, Default)]
+pub struct TwoPlEngine {
+    locks: LockTable,
+}
+
+impl TwoPlEngine {
+    /// Read access to the lock table (tests, invariant checks).
+    pub fn lock_table(&self) -> &LockTable {
+        &self.locks
+    }
+}
+
+impl ProtocolEngine for TwoPlEngine {
+    fn name(&self) -> &'static str {
+        "2PL"
+    }
+
+    fn on_lock(
+        &mut self,
+        _view: &mut ServerView<'_>,
+        client: NodeId,
+        txn: Timestamp,
+        op: u32,
+        key: Key,
+        exclusive: bool,
+    ) -> Vec<Grant> {
+        match self.locks.acquire(key, txn, op, exclusive, client) {
+            Acquire::Granted => vec![Grant { client, txn, op }],
+            Acquire::Queued => Vec::new(), // grant arrives at release time
+        }
+    }
+
+    fn on_unlock(
+        &mut self,
+        _view: &mut ServerView<'_>,
+        txn: Timestamp,
+        keys: Vec<Key>,
+    ) -> Vec<Grant> {
+        if keys.is_empty() {
+            self.locks.release_all(txn)
+        } else {
+            self.locks.release(txn, &keys)
+        }
     }
 }
 

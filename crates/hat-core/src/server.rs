@@ -1,4 +1,4 @@
-//! The HAT server (replica) actor.
+//! The HAT server (replica) actor — protocol-agnostic dispatch.
 //!
 //! A server owns one hash partition of the keyspace within its cluster.
 //! It is a single service queue: each request is charged a service time
@@ -6,29 +6,27 @@
 //! drains — this is what produces the latency-vs-load and saturation
 //! shapes of Figures 3–6.
 //!
-//! Protocol behaviour:
-//! * **Eventual / RC / master / 2PL data ops** — last-writer-wins puts
-//!   into the store, gets of the latest version.
-//! * **MAV** — the Appendix B algorithm via [`crate::protocol::mav`]: a
-//!   `Put` lands in `pending`; on *first receipt* the server notifies
-//!   every distinct server hosting a replica of any sibling key (itself
-//!   included); `pending → good` promotion happens at
-//!   `|siblings| × |clusters|` notifications.
-//! * **2PL locks** — a lock table at each key's master replica.
+//! All protocol-specific behavior lives behind the
+//! [`ProtocolEngine`] plugged in at construction: the server itself only
+//! knows about queueing, the anti-entropy gossip loop, and which message
+//! maps to which engine hook. Adding a new isolation level requires no
+//! change here — implement the trait and register it in
+//! [`crate::protocol::engine_for`] (or inject it via
+//! [`Server::with_engine`]).
 //!
 //! All accepted writes are buffered in a [`ReplicationLog`] and gossiped
 //! to the positional peer replica in every other cluster on an
 //! anti-entropy timer (§5.1.4 convergence).
 
 use crate::cluster::ClusterLayout;
-use crate::config::{ProtocolKind, SystemConfig};
+use crate::config::SystemConfig;
 use crate::messages::Msg;
-use crate::protocol::mav::MavState;
+use crate::protocol::engine::{engine_for, ProtocolEngine, ServerView};
 use crate::protocol::replication::ReplicationLog;
-use crate::protocol::twopl::{Acquire, LockTable};
 use crate::timestamp::Timestamp;
 use hat_sim::{Ctx, NodeId, SimDuration, SimTime, TimerId};
 use hat_storage::{Key, Record, Store};
+use rand::Rng as _;
 use std::sync::Arc;
 
 /// Timer tag for the anti-entropy tick.
@@ -44,20 +42,34 @@ pub struct Server {
     busy_until: SimTime,
     repl: ReplicationLog,
     peers: Vec<NodeId>,
-    mav: MavState,
-    locks: LockTable,
+    engine: Box<dyn ProtocolEngine>,
     /// Requests served (for load accounting in experiments).
     pub requests_served: u64,
 }
 
 impl Server {
-    /// Builds a server for `cluster` backed by `store`.
+    /// Builds a server for `cluster` backed by `store`, running the
+    /// engine registered for `config.protocol`.
     pub fn new(
         id: NodeId,
         cluster: usize,
         layout: Arc<ClusterLayout>,
         config: Arc<SystemConfig>,
         store: Box<dyn Store + Send>,
+    ) -> Self {
+        let engine = engine_for(config.protocol);
+        Self::with_engine(id, cluster, layout, config, store, engine)
+    }
+
+    /// Builds a server running an explicit [`ProtocolEngine`] — the
+    /// injection point for engines not (yet) in the registry.
+    pub fn with_engine(
+        id: NodeId,
+        cluster: usize,
+        layout: Arc<ClusterLayout>,
+        config: Arc<SystemConfig>,
+        store: Box<dyn Store + Send>,
+        engine: Box<dyn ProtocolEngine>,
     ) -> Self {
         let peers = layout.anti_entropy_peers(id);
         Server {
@@ -69,8 +81,7 @@ impl Server {
             busy_until: SimTime::ZERO,
             repl: ReplicationLog::new(peers.len()),
             peers,
-            mav: MavState::new(),
-            locks: LockTable::new(),
+            engine,
             requests_served: 0,
         }
     }
@@ -90,10 +101,29 @@ impl Server {
         self.store.as_ref()
     }
 
-    /// MAV reads that missed their `required` bound (must be 0 in a
-    /// correct run).
+    /// The running engine's label.
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Reads that missed their `required` bound (must be 0 in a correct
+    /// MAV run; 0 by definition for engines without the concept).
     pub fn mav_required_misses(&self) -> u64 {
-        self.mav.required_misses
+        self.engine.required_misses()
+    }
+
+    /// Splits the server into its engine and the [`ServerView`] the
+    /// engine hooks receive — one place that knows which fields make up
+    /// the view.
+    fn engine_view(&mut self) -> (&mut dyn ProtocolEngine, ServerView<'_>) {
+        let view = ServerView {
+            store: self.store.as_mut(),
+            repl: &mut self.repl,
+            layout: &self.layout,
+            config: &self.config,
+            cluster: self.cluster,
+        };
+        (self.engine.as_mut(), view)
     }
 
     /// Charges `cost` of service time and returns how long the caller's
@@ -112,7 +142,9 @@ impl Server {
     pub fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         // Stagger anti-entropy ticks so servers do not gossip in
         // lock-step.
-        let jitter = ctx.rng().gen_range(0..self.config.anti_entropy_interval.as_micros().max(1));
+        let jitter = ctx
+            .rng()
+            .gen_range(0..self.config.anti_entropy_interval.as_micros().max(1));
         ctx.set_timer(
             self.config.anti_entropy_interval + SimDuration::from_micros(jitter),
             TIMER_ANTI_ENTROPY,
@@ -129,38 +161,14 @@ impl Server {
                 }
             }
             self.repl.compact(1024);
-            // MAV liveness: notifications lost to partitions are
-            // replayed for writes still pending (keyed notifications
-            // make the replay idempotent). Bounded per tick.
-            if self.config.protocol == ProtocolKind::Mav {
-                for (ts, key, siblings) in
-                    self.mav.pending_writes().into_iter().take(256)
-                {
-                    let mut targets: Vec<NodeId> = siblings
-                        .iter()
-                        .flat_map(|s| self.layout.replicas(s))
-                        .collect();
-                    if targets.is_empty() {
-                        targets = self.layout.replicas(&key);
-                    }
-                    targets.sort_unstable();
-                    targets.dedup();
-                    for t in targets {
-                        ctx.send(
-                            t,
-                            Msg::Notify {
-                                ts,
-                                key: key.clone(),
-                            },
-                        );
-                    }
-                }
-            }
+            let (engine, mut view) = self.engine_view();
+            engine.on_anti_entropy_tick(&mut view, ctx);
             ctx.set_timer(self.config.anti_entropy_interval, TIMER_ANTI_ENTROPY);
         }
     }
 
-    /// Invoked when a message arrives.
+    /// Invoked when a message arrives. Thin dispatch: each message maps
+    /// to one engine hook plus service-time accounting.
     pub fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
         match msg {
             Msg::Get {
@@ -208,10 +216,8 @@ impl Server {
     ) {
         self.requests_served += 1;
         let cost = self.config.service.read();
-        let found = match self.config.protocol {
-            ProtocolKind::Mav => self.mav.read(self.store.as_ref(), &key, required),
-            _ => self.store.latest(&key),
-        };
+        let (engine, mut view) = self.engine_view();
+        let found = engine.read(&mut view, &key, required);
         let hold = self.service(ctx.now(), cost);
         ctx.send_after(hold, from, Msg::GetResp { txn, op, found });
     }
@@ -244,74 +250,11 @@ impl Server {
         record: Record,
     ) {
         self.requests_served += 1;
-        let cost = match self.config.protocol {
-            ProtocolKind::Mav => {
-                let meta_bytes = record.encoded_len().saturating_sub(4 + record.value.len());
-                self.config.service.mav_write(meta_bytes)
-            }
-            _ => self.config.service.write(),
-        };
-        self.apply_write(ctx, key, record);
+        let cost = self.engine.write_cost(&self.config.service, &record);
+        let (engine, mut view) = self.engine_view();
+        engine.apply_client_write(&mut view, ctx, key, record);
         let hold = self.service(ctx.now(), cost);
         ctx.send_after(hold, from, Msg::PutResp { txn, op });
-    }
-
-    /// Installs a write locally (client put or anti-entropy copy),
-    /// running protocol-specific machinery.
-    fn apply_write(&mut self, ctx: &mut Ctx<'_, Msg>, key: Key, record: Record) {
-        match self.config.protocol {
-            ProtocolKind::Mav => {
-                let ts = record.stamp;
-                let siblings = record.siblings.clone();
-                let outcome = self.mav.receive_write(
-                    self.store.as_mut(),
-                    key.clone(),
-                    record.clone(),
-                    self.layout.num_clusters() as u32,
-                );
-                if outcome.first_receipt {
-                    // Notify every distinct server hosting a replica of
-                    // any sibling key — exactly once per receipt, so the
-                    // expected count (|sibs| × |clusters|) is matched by
-                    // the |sibs × clusters| receipt events.
-                    let mut targets: Vec<NodeId> = siblings
-                        .iter()
-                        .flat_map(|s| self.layout.replicas(s))
-                        .collect();
-                    if targets.is_empty() {
-                        targets = self.layout.replicas(&key);
-                    }
-                    targets.sort_unstable();
-                    targets.dedup();
-                    for t in targets {
-                        ctx.send(
-                            t,
-                            Msg::Notify {
-                                ts,
-                                key: key.clone(),
-                            },
-                        );
-                    }
-                    self.repl.push(key, record);
-                }
-            }
-            _ => {
-                // Gossip when the version is new *or* its value changed
-                // (a transaction's later write of the same key carries
-                // the same stamp but supersedes the value).
-                let changed = self
-                    .store
-                    .exact(&key, record.stamp)
-                    .map(|prior| prior.value != record.value)
-                    .unwrap_or(true);
-                self.store
-                    .put(key.clone(), record.clone())
-                    .expect("in-memory put cannot fail");
-                if changed {
-                    self.repl.push(key, record);
-                }
-            }
-        }
     }
 
     fn handle_replicate(
@@ -327,43 +270,8 @@ impl Server {
         let hold = self.service(ctx.now(), cost);
         let upto = from_index + writes.len() as u64;
         for (key, record) in writes {
-            match self.config.protocol {
-                ProtocolKind::Mav => {
-                    let ts = record.stamp;
-                    let siblings = record.siblings.clone();
-                    let outcome = self.mav.receive_write(
-                        self.store.as_mut(),
-                        key.clone(),
-                        record,
-                        self.layout.num_clusters() as u32,
-                    );
-                    if outcome.first_receipt {
-                        let mut targets: Vec<NodeId> = siblings
-                            .iter()
-                            .flat_map(|s| self.layout.replicas(s))
-                            .collect();
-                        if targets.is_empty() {
-                            targets = self.layout.replicas(&key);
-                        }
-                        targets.sort_unstable();
-                        targets.dedup();
-                        for t in targets {
-                            ctx.send(
-                                t,
-                                Msg::Notify {
-                                    ts,
-                                    key: key.clone(),
-                                },
-                            );
-                        }
-                        // do not re-gossip: peers form a clique, the
-                        // origin gossips to everyone.
-                    }
-                }
-                _ => {
-                    let _ = self.store.put(key, record);
-                }
-            }
+            let (engine, mut view) = self.engine_view();
+            engine.apply_replicated_write(&mut view, ctx, key, record);
         }
         // Acknowledge once applied: the sender's cursor advances and the
         // batch is never re-sent (unless this ack is lost — then the
@@ -374,7 +282,8 @@ impl Server {
     fn handle_notify(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, ts: Timestamp, key: Key) {
         let cost = SimDuration::from_micros(self.config.service.notify_us as u64);
         let _ = self.service(ctx.now(), cost);
-        let _promoted = self.mav.receive_notify(self.store.as_mut(), ts, from, key);
+        let (engine, mut view) = self.engine_view();
+        engine.on_notify(&mut view, ctx, from, ts, key);
     }
 
     fn handle_lock(
@@ -389,21 +298,24 @@ impl Server {
         self.requests_served += 1;
         let cost = SimDuration::from_micros(self.config.service.lock_us as u64);
         let hold = self.service(ctx.now(), cost);
-        match self.locks.acquire(key, txn, op, exclusive, from) {
-            Acquire::Granted => ctx.send_after(hold, from, Msg::LockResp { txn, op }),
-            Acquire::Queued => {} // reply comes at grant time
+        let (engine, mut view) = self.engine_view();
+        for g in engine.on_lock(&mut view, from, txn, op, key, exclusive) {
+            ctx.send_after(
+                hold,
+                g.client,
+                Msg::LockResp {
+                    txn: g.txn,
+                    op: g.op,
+                },
+            );
         }
     }
 
     fn handle_unlock(&mut self, ctx: &mut Ctx<'_, Msg>, txn: Timestamp, keys: Vec<Key>) {
         let cost = SimDuration::from_micros(self.config.service.lock_us as u64);
         let hold = self.service(ctx.now(), cost);
-        let grants = if keys.is_empty() {
-            self.locks.release_all(txn)
-        } else {
-            self.locks.release(txn, &keys)
-        };
-        for g in grants {
+        let (engine, mut view) = self.engine_view();
+        for g in engine.on_unlock(&mut view, txn, keys) {
             ctx.send_after(
                 hold,
                 g.client,
@@ -421,9 +333,7 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("id", &self.id)
             .field("cluster", &self.cluster)
-            .field("protocol", &self.config.protocol)
+            .field("engine", &self.engine.name())
             .finish_non_exhaustive()
     }
 }
-
-use rand::Rng as _;

@@ -65,24 +65,96 @@ use IsolationLevel::*;
 
 /// Table 2, verbatim.
 pub const SURVEY: [SurveyEntry; 18] = [
-    SurveyEntry { database: "Actian Ingres 10.0/10S", default: Serializability, maximum: Serializability },
-    SurveyEntry { database: "Aerospike", default: ReadCommitted, maximum: ReadCommitted },
-    SurveyEntry { database: "Akiban Persistit", default: SnapshotIsolation, maximum: SnapshotIsolation },
-    SurveyEntry { database: "Clustrix CLX 4100", default: RepeatableRead, maximum: RepeatableRead },
-    SurveyEntry { database: "Greenplum 4.1", default: ReadCommitted, maximum: Serializability },
-    SurveyEntry { database: "IBM DB2 10 for z/OS", default: CursorStability, maximum: Serializability },
-    SurveyEntry { database: "IBM Informix 11.50", default: Depends, maximum: Serializability },
-    SurveyEntry { database: "MySQL 5.6", default: RepeatableRead, maximum: Serializability },
-    SurveyEntry { database: "MemSQL 1b", default: ReadCommitted, maximum: ReadCommitted },
-    SurveyEntry { database: "MS SQL Server 2012", default: ReadCommitted, maximum: Serializability },
-    SurveyEntry { database: "NuoDB", default: ConsistentRead, maximum: ConsistentRead },
-    SurveyEntry { database: "Oracle 11g", default: ReadCommitted, maximum: SnapshotIsolation },
-    SurveyEntry { database: "Oracle Berkeley DB", default: Serializability, maximum: Serializability },
-    SurveyEntry { database: "Oracle Berkeley DB JE", default: RepeatableRead, maximum: Serializability },
-    SurveyEntry { database: "Postgres 9.2.2", default: ReadCommitted, maximum: Serializability },
-    SurveyEntry { database: "SAP HANA", default: ReadCommitted, maximum: SnapshotIsolation },
-    SurveyEntry { database: "ScaleDB 1.02", default: ReadCommitted, maximum: ReadCommitted },
-    SurveyEntry { database: "VoltDB", default: Serializability, maximum: Serializability },
+    SurveyEntry {
+        database: "Actian Ingres 10.0/10S",
+        default: Serializability,
+        maximum: Serializability,
+    },
+    SurveyEntry {
+        database: "Aerospike",
+        default: ReadCommitted,
+        maximum: ReadCommitted,
+    },
+    SurveyEntry {
+        database: "Akiban Persistit",
+        default: SnapshotIsolation,
+        maximum: SnapshotIsolation,
+    },
+    SurveyEntry {
+        database: "Clustrix CLX 4100",
+        default: RepeatableRead,
+        maximum: RepeatableRead,
+    },
+    SurveyEntry {
+        database: "Greenplum 4.1",
+        default: ReadCommitted,
+        maximum: Serializability,
+    },
+    SurveyEntry {
+        database: "IBM DB2 10 for z/OS",
+        default: CursorStability,
+        maximum: Serializability,
+    },
+    SurveyEntry {
+        database: "IBM Informix 11.50",
+        default: Depends,
+        maximum: Serializability,
+    },
+    SurveyEntry {
+        database: "MySQL 5.6",
+        default: RepeatableRead,
+        maximum: Serializability,
+    },
+    SurveyEntry {
+        database: "MemSQL 1b",
+        default: ReadCommitted,
+        maximum: ReadCommitted,
+    },
+    SurveyEntry {
+        database: "MS SQL Server 2012",
+        default: ReadCommitted,
+        maximum: Serializability,
+    },
+    SurveyEntry {
+        database: "NuoDB",
+        default: ConsistentRead,
+        maximum: ConsistentRead,
+    },
+    SurveyEntry {
+        database: "Oracle 11g",
+        default: ReadCommitted,
+        maximum: SnapshotIsolation,
+    },
+    SurveyEntry {
+        database: "Oracle Berkeley DB",
+        default: Serializability,
+        maximum: Serializability,
+    },
+    SurveyEntry {
+        database: "Oracle Berkeley DB JE",
+        default: RepeatableRead,
+        maximum: Serializability,
+    },
+    SurveyEntry {
+        database: "Postgres 9.2.2",
+        default: ReadCommitted,
+        maximum: Serializability,
+    },
+    SurveyEntry {
+        database: "SAP HANA",
+        default: ReadCommitted,
+        maximum: SnapshotIsolation,
+    },
+    SurveyEntry {
+        database: "ScaleDB 1.02",
+        default: ReadCommitted,
+        maximum: ReadCommitted,
+    },
+    SurveyEntry {
+        database: "VoltDB",
+        default: Serializability,
+        maximum: Serializability,
+    },
 ];
 
 /// Summary statistics over the survey.
@@ -128,7 +200,10 @@ mod tests {
     fn headline_numbers_match_the_paper() {
         let s = stats();
         assert_eq!(s.total, 18);
-        assert_eq!(s.serializable_by_default, 3, "three of 18 serializable by default");
+        assert_eq!(
+            s.serializable_by_default, 3,
+            "three of 18 serializable by default"
+        );
         assert_eq!(
             s.no_serializability_option, 8,
             "eight did not provide serializability as an option at all"

@@ -122,10 +122,14 @@ impl Model {
             })
         };
         match self {
-            ReadUncommitted | ReadCommitted | ItemCutIsolation | PredicateCutIsolation
-            | MonotonicAtomicView | MonotonicReads | MonotonicWrites | WritesFollowReads => {
-                Availability::HighlyAvailable
-            }
+            ReadUncommitted
+            | ReadCommitted
+            | ItemCutIsolation
+            | PredicateCutIsolation
+            | MonotonicAtomicView
+            | MonotonicReads
+            | MonotonicWrites
+            | WritesFollowReads => Availability::HighlyAvailable,
             ReadYourWrites | Pram | Causal => Availability::Sticky,
             CursorStability => unav(true, false, false),
             SnapshotIsolation => unav(true, false, false),
@@ -179,7 +183,10 @@ pub const EDGES: &[(Model, Model)] = &[
     (Model::Regular, Model::Safe),
     (Model::Linearizability, Model::Regular),
     (Model::StrongOneCopySerializability, Model::Linearizability),
-    (Model::StrongOneCopySerializability, Model::OneCopySerializability),
+    (
+        Model::StrongOneCopySerializability,
+        Model::OneCopySerializability,
+    ),
 ];
 
 /// The Figure 2 lattice with reachability precomputed.
@@ -209,9 +216,10 @@ impl Taxonomy {
         for k in 0..n {
             for i in 0..n {
                 if stronger[i][k] {
-                    for j in 0..n {
-                        if stronger[k][j] {
-                            stronger[i][j] = true;
+                    let row_k = stronger[k].clone();
+                    for (dst, &via) in stronger[i].iter_mut().zip(row_k.iter()) {
+                        if via {
+                            *dst = true;
                         }
                     }
                 }
@@ -282,11 +290,10 @@ impl Taxonomy {
                 .filter(|&i| mask & (1 << i) != 0)
                 .map(|i| achievable[i])
                 .collect();
-            let antichain = members.iter().enumerate().all(|(i, &a)| {
-                members[i + 1..]
-                    .iter()
-                    .all(|&b| self.incomparable(a, b))
-            });
+            let antichain = members
+                .iter()
+                .enumerate()
+                .all(|(i, &a)| members[i + 1..].iter().all(|&b| self.incomparable(a, b)));
             if antichain {
                 count += 1;
             }
@@ -309,11 +316,10 @@ impl Taxonomy {
                 .filter(|&i| mask & (1 << i) != 0)
                 .map(|i| achievable[i])
                 .collect();
-            let is_antichain = members.iter().enumerate().all(|(i, &a)| {
-                members[i + 1..]
-                    .iter()
-                    .all(|&b| self.incomparable(a, b))
-            });
+            let is_antichain = members
+                .iter()
+                .enumerate()
+                .all(|(i, &a)| members[i + 1..].iter().all(|&b| self.incomparable(a, b)));
             if is_antichain {
                 antichains.push(members.into_iter().collect());
             }

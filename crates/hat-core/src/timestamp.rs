@@ -27,6 +27,9 @@ impl TimestampGen {
     }
 
     /// Issues the next timestamp.
+    // Not an Iterator: the generator is infinite and `observe` mutates
+    // the sequence, so the familiar generator-style name stays.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Timestamp {
         let ts = Timestamp::new(self.next_seq, self.client);
         self.next_seq += 1;

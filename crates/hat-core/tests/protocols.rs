@@ -84,7 +84,11 @@ fn mav_atomic_visibility() {
             sim.run_for(SimDuration::from_millis(37));
         }
     }
-    assert_eq!(sim.mav_required_misses(), 0, "required bound always satisfiable");
+    assert_eq!(
+        sim.mav_required_misses(),
+        0,
+        "required bound always satisfiable"
+    );
 }
 
 /// Master provides per-key linearizability: a committed write is
@@ -131,11 +135,9 @@ fn master_unavailable_under_partition() {
         .seed(5)
         .clusters(ClusterSpec::va_or(2))
         .clients_per_cluster(1)
-        .partitions(PartitionSchedule::from_partitions(vec![Partition::forever(
-            SimTime::ZERO,
-            side_a,
-            others,
-        )]))
+        .partitions(PartitionSchedule::from_partitions(vec![
+            Partition::forever(SimTime::ZERO, side_a, others),
+        ]))
         .build();
     let c0 = sim.client(0);
     let err = sim
@@ -176,11 +178,9 @@ fn hat_protocols_available_under_partition() {
                 level: SessionLevel::Monotonic,
                 sticky: true,
             })
-            .partitions(PartitionSchedule::from_partitions(vec![Partition::forever(
-                SimTime::ZERO,
-                cluster1,
-                cluster0_and_clients,
-            )]))
+            .partitions(PartitionSchedule::from_partitions(vec![
+                Partition::forever(SimTime::ZERO, cluster1, cluster0_and_clients),
+            ]))
             .build();
         let c0 = sim.client(0); // sticky to healthy cluster 0
         for i in 0..10 {
@@ -202,8 +202,16 @@ fn lost_update_happens_under_partition() {
         .clusters(ClusterSpec::va_or(2))
         .clients_per_cluster(1)
         .build();
-    let side_a: Vec<u32> = probe.layout().servers[0].iter().copied().chain([probe.client(0)]).collect();
-    let side_b: Vec<u32> = probe.layout().servers[1].iter().copied().chain([probe.client(1)]).collect();
+    let side_a: Vec<u32> = probe.layout().servers[0]
+        .iter()
+        .copied()
+        .chain([probe.client(0)])
+        .collect();
+    let side_b: Vec<u32> = probe.layout().servers[1]
+        .iter()
+        .copied()
+        .chain([probe.client(1)])
+        .collect();
     drop(probe);
 
     let mut sim = SimulationBuilder::new(ProtocolKind::Eventual)
@@ -274,11 +282,9 @@ fn ryw_requires_stickiness() {
                 level: SessionLevel::None,
                 sticky,
             })
-            .partitions(PartitionSchedule::from_partitions(vec![Partition::forever(
-                SimTime::ZERO,
-                side_a,
-                side_b,
-            )]))
+            .partitions(PartitionSchedule::from_partitions(vec![
+                Partition::forever(SimTime::ZERO, side_a, side_b),
+            ]))
             .build()
     };
 
@@ -364,11 +370,9 @@ fn twopl_unavailable_under_partition() {
         .seed(9)
         .clusters(ClusterSpec::va_or(2))
         .clients_per_cluster(1)
-        .partitions(PartitionSchedule::from_partitions(vec![Partition::forever(
-            SimTime::ZERO,
-            side_a,
-            side_b,
-        )]))
+        .partitions(PartitionSchedule::from_partitions(vec![
+            Partition::forever(SimTime::ZERO, side_a, side_b),
+        ]))
         .build();
     let c0 = sim.client(0);
     let err = sim

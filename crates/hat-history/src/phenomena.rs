@@ -238,14 +238,10 @@ pub fn otv(history: &History) -> Vec<Violation> {
             // For each previously observed transaction that wrote `key`:
             // this read must not return a version older than that write.
             for &prev in &observed_txns {
-                if prev == observed || history.writer_of.get(&prev).is_none() {
+                if prev == observed || !history.writer_of.contains_key(&prev) {
                     continue;
                 }
-                if history
-                    .final_write
-                    .contains_key(&(prev, key.clone()))
-                    && observed < prev
-                {
+                if history.final_write.contains_key(&(prev, key.clone())) && observed < prev {
                     out.push(Violation {
                         phenomenon: Phenomenon::Otv,
                         txns: vec![r.id, prev],
@@ -318,7 +314,10 @@ pub fn non_monotonic_writes(history: &History) -> Vec<Violation> {
     let mut out = Vec::new();
     let mut by_session: HashMap<u32, Vec<usize>> = HashMap::new();
     for &ri in &history.committed {
-        by_session.entry(history.all[ri].session).or_default().push(ri);
+        by_session
+            .entry(history.all[ri].session)
+            .or_default()
+            .push(ri);
     }
     for (_, mut txns) in by_session {
         txns.sort_by_key(|&ri| history.all[ri].session_seq);
@@ -333,9 +332,7 @@ pub fn non_monotonic_writes(history: &History) -> Vec<Violation> {
                             out.push(Violation {
                                 phenomenon: Phenomenon::NonMonotonicWrites,
                                 txns: vec![prev, r.id],
-                                detail: format!(
-                                    "session writes to {key:?} install out of order"
-                                ),
+                                detail: format!("session writes to {key:?} install out of order"),
                             });
                         }
                     }
@@ -362,7 +359,10 @@ pub fn mrwd(history: &History) -> Vec<Violation> {
     let mut deps: Vec<Dep> = Vec::new();
     let mut by_session: HashMap<u32, Vec<usize>> = HashMap::new();
     for &ri in &history.committed {
-        by_session.entry(history.all[ri].session).or_default().push(ri);
+        by_session
+            .entry(history.all[ri].session)
+            .or_default()
+            .push(ri);
     }
     for (_, mut txns) in by_session {
         txns.sort_by_key(|&ri| history.all[ri].session_seq);
@@ -371,7 +371,9 @@ pub fn mrwd(history: &History) -> Vec<Violation> {
             let r = &history.all[ri];
             for op in &r.ops {
                 match op {
-                    OpRecord::Read { key, observed: o, .. } if !o.is_initial() => {
+                    OpRecord::Read {
+                        key, observed: o, ..
+                    } if !o.is_initial() => {
                         observed.push((key.clone(), *o));
                     }
                     OpRecord::Write { key, .. } => {
@@ -413,10 +415,7 @@ pub fn mrwd(history: &History) -> Vec<Violation> {
                         out.push(Violation {
                             phenomenon: Phenomenon::Mrwd,
                             txns: vec![r.id, d.t2],
-                            detail: format!(
-                                "saw {:?} from dependent txn but older {:?}",
-                                d.y, d.x
-                            ),
+                            detail: format!("saw {:?} from dependent txn but older {:?}", d.y, d.x),
                         });
                     }
                 }
@@ -432,16 +431,15 @@ pub fn mrwd(history: &History) -> Vec<Violation> {
 /// versions of `x`.
 pub fn lost_update(history: &History, dsg: &Dsg) -> Vec<Violation> {
     let mut out = Vec::new();
-    let items: std::collections::HashSet<&Key> = dsg
-        .edges
-        .iter()
-        .filter_map(|e| e.item.as_ref())
-        .collect();
+    let items: std::collections::HashSet<&Key> =
+        dsg.edges.iter().filter_map(|e| e.item.as_ref()).collect();
     for item in items {
         let cycles = dsg.cycles(|e| e.item.as_ref() == Some(item));
         for c in cycles {
             let has_rw = dsg
-                .edges_within(&c, |e| e.kind == EdgeKind::Rw && e.item.as_ref() == Some(item))
+                .edges_within(&c, |e| {
+                    e.kind == EdgeKind::Rw && e.item.as_ref() == Some(item)
+                })
                 .next()
                 .is_some();
             if has_rw {
@@ -482,7 +480,10 @@ fn per_session_scan(
     let mut out = Vec::new();
     let mut by_session: HashMap<u32, Vec<usize>> = HashMap::new();
     for &ri in &history.committed {
-        by_session.entry(history.all[ri].session).or_default().push(ri);
+        by_session
+            .entry(history.all[ri].session)
+            .or_default()
+            .push(ri);
     }
     for (_, mut txns) in by_session {
         txns.sort_by_key(|&ri| history.all[ri].session_seq);
@@ -587,10 +588,7 @@ mod tests {
             0,
             vec![read("x", ts(1, 1)), read("x", ts(1, 1))],
         );
-        let h2 = History::new(vec![
-            txn(ts(1, 1), 1, 0, vec![write("x", "1")]),
-            t4,
-        ]);
+        let h2 = History::new(vec![txn(ts(1, 1), 1, 0, vec![write("x", "1")]), t4]);
         assert!(imp(&h2).is_empty());
     }
 
@@ -607,10 +605,7 @@ mod tests {
                 },
                 OpRecord::PredicateRead {
                     prefix: Key::from("p/"),
-                    matches: vec![
-                        (Key::from("p/a"), ts(5, 5)),
-                        (Key::from("p/b"), ts(6, 6)),
-                    ],
+                    matches: vec![(Key::from("p/a"), ts(5, 5)), (Key::from("p/b"), ts(6, 6))],
                 },
             ],
         );
@@ -689,12 +684,7 @@ mod tests {
         // T1 writes x; session S reads x then writes y (T2);
         // T3 reads y from T2 but x older than T1's version.
         let t1 = txn(ts(1, 1), 1, 0, vec![write("x", "1")]);
-        let t2 = txn(
-            ts(2, 2),
-            2,
-            0,
-            vec![read("x", ts(1, 1)), write("y", "1")],
-        );
+        let t2 = txn(ts(2, 2), 2, 0, vec![read("x", ts(1, 1)), write("y", "1")]);
         let t3 = txn(
             ts(3, 3),
             3,
@@ -733,12 +723,7 @@ mod tests {
             0,
             vec![read("x", Timestamp::INITIAL), write("x", "120")],
         );
-        let s2 = txn(
-            ts(2, 2),
-            2,
-            0,
-            vec![read("x", ts(1, 1)), write("x", "150")],
-        );
+        let s2 = txn(ts(2, 2), 2, 0, vec![read("x", ts(1, 1)), write("x", "150")]);
         let h2 = History::new(vec![s1, s2]);
         let g2 = Dsg::build(&h2);
         assert!(lost_update(&h2, &g2).is_empty());

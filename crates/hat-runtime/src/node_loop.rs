@@ -94,11 +94,7 @@ pub fn run_node(
     loop {
         // deliver everything due
         let now = Instant::now();
-        while heap
-            .peek()
-            .map(|Reverse(s)| s.at <= now)
-            .unwrap_or(false)
-        {
+        while heap.peek().map(|Reverse(s)| s.at <= now).unwrap_or(false) {
             let Reverse(s) = heap.pop().unwrap();
             let mut ctx = Ctx::detached(id, now_sim(epoch), &mut rng);
             match s.due {

@@ -233,8 +233,13 @@ impl<A: Actor> Engine<A> {
             self.route(id, to, msg, hold);
         }
         for (delay, tag) in timer_requests {
-            self.queue
-                .push(self.now + delay, Event::TimerFire { node: id, timer: tag });
+            self.queue.push(
+                self.now + delay,
+                Event::TimerFire {
+                    node: id,
+                    timer: tag,
+                },
+            );
         }
     }
 
@@ -380,9 +385,7 @@ mod tests {
         let mut engine = two_node_engine(EngineConfig::default());
         engine.run_to_quiescence();
         // 11 messages total (0..=10), alternating delivery
-        let total: usize = (0..2)
-            .map(|i| engine.actor(i).deliveries.len())
-            .sum();
+        let total: usize = (0..2).map(|i| engine.actor(i).deliveries.len()).sum();
         assert_eq!(total, 11);
         // VA<->OR mean RTT is 82.9ms so one-way ~41ms; first delivery
         // should be in that ballpark (log-normal, generous bounds).
@@ -396,9 +399,10 @@ mod tests {
     #[test]
     fn identical_seeds_identical_runs() {
         let run = |seed: u64| {
-            let mut cfg = EngineConfig::default();
-            cfg.seed = seed;
-            let mut e = two_node_engine(cfg);
+            let mut e = two_node_engine(EngineConfig {
+                seed,
+                ..EngineConfig::default()
+            });
             e.run_to_quiescence();
             (
                 e.actor(0).deliveries.clone(),
@@ -412,9 +416,14 @@ mod tests {
 
     #[test]
     fn partition_drops_messages() {
-        let mut cfg = EngineConfig::default();
-        cfg.partitions =
-            PartitionSchedule::from_partitions(vec![Partition::forever(SimTime::ZERO, [0], [1])]);
+        let cfg = EngineConfig {
+            partitions: PartitionSchedule::from_partitions(vec![Partition::forever(
+                SimTime::ZERO,
+                [0],
+                [1],
+            )]),
+            ..EngineConfig::default()
+        };
         let mut engine = two_node_engine(cfg);
         engine.run_to_quiescence();
         assert_eq!(engine.actor(1).deliveries.len(), 0);
@@ -448,13 +457,15 @@ mod tests {
         let mut topo = Topology::new();
         let a = topo.add_node(Site::new(Region::Virginia, 0));
         let b = topo.add_node(Site::new(Region::Virginia, 0));
-        let mut cfg = EngineConfig::default();
-        cfg.partitions = PartitionSchedule::from_partitions(vec![Partition::new(
-            SimTime::ZERO,
-            SimTime::from_millis(100),
-            [a],
-            [b],
-        )]);
+        let cfg = EngineConfig {
+            partitions: PartitionSchedule::from_partitions(vec![Partition::new(
+                SimTime::ZERO,
+                SimTime::from_millis(100),
+                [a],
+                [b],
+            )]),
+            ..EngineConfig::default()
+        };
         let mut e = Engine::new(
             cfg,
             topo,
@@ -464,7 +475,7 @@ mod tests {
         // sends at 10..=100ms blocked (end exclusive at exactly 100ms the
         // partition has healed), later ones delivered
         let got = e.actor(b).got;
-        assert!(got >= 10 && got < 20, "got {got}");
+        assert!((10..20).contains(&got), "got {got}");
         assert!(e.net_stats().dropped >= 9);
     }
 

@@ -43,9 +43,11 @@ fn ring(n: usize, seed: u64, partitions: PartitionSchedule) -> Engine<Relay> {
             seen: Vec::new(),
         })
         .collect();
-    let mut cfg = EngineConfig::default();
-    cfg.seed = seed;
-    cfg.partitions = partitions;
+    let cfg = EngineConfig {
+        seed,
+        partitions,
+        ..EngineConfig::default()
+    };
     Engine::new(cfg, topo, actors)
 }
 

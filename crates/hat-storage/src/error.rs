@@ -53,7 +53,7 @@ mod tests {
 
     #[test]
     fn display_io() {
-        let e = StorageError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = StorageError::from(io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
     }
 

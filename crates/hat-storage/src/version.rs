@@ -81,11 +81,7 @@ impl Record {
     }
 
     /// Builds a record carrying the transaction's sibling key list.
-    pub fn with_siblings(
-        stamp: VersionStamp,
-        value: impl Into<Bytes>,
-        siblings: Vec<Key>,
-    ) -> Self {
+    pub fn with_siblings(stamp: VersionStamp, value: impl Into<Bytes>, siblings: Vec<Key>) -> Self {
         Record {
             stamp,
             value: value.into(),
@@ -99,13 +95,7 @@ impl Record {
     pub fn encoded_len(&self) -> usize {
         // stamp (12) + value length prefix (4) + value + per-sibling
         // length prefix (4) + sibling bytes
-        12 + 4
-            + self.value.len()
-            + self
-                .siblings
-                .iter()
-                .map(|s| 4 + s.len())
-                .sum::<usize>()
+        12 + 4 + self.value.len() + self.siblings.iter().map(|s| 4 + s.len()).sum::<usize>()
     }
 }
 

@@ -131,7 +131,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, slot) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *slot = c;
         }
@@ -365,7 +369,7 @@ mod tests {
                 wal.append(e).unwrap();
             }
             wal.sync().unwrap();
-            assert!(wal.len() > 0);
+            assert!(!wal.is_empty());
         }
         assert_eq!(Wal::replay(&path).unwrap(), entries);
         std::fs::remove_dir_all(dir).unwrap();

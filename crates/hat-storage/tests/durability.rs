@@ -138,7 +138,10 @@ fn gc_after_recovery() {
     // writers are client 1, so (8, 5) dominates version (8, 1)
     let bound = VersionStamp::new(8, 5);
     let dropped = s.gc_below(bound);
-    assert_eq!(dropped, 7, "versions 1..=7 dominated by 8 (visible at bound)");
+    assert_eq!(
+        dropped, 7,
+        "versions 1..=7 dominated by 8 (visible at bound)"
+    );
     assert_eq!(
         s.latest_at_or_below(b"x", bound).unwrap().value,
         Bytes::from("v8")

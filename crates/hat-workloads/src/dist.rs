@@ -152,6 +152,10 @@ mod tests {
         for _ in 0..1000 {
             seen.insert(d.sample(1000, &mut rng));
         }
-        assert!(seen.len() > 50, "scrambling should spread mass: {}", seen.len());
+        assert!(
+            seen.len() > 50,
+            "scrambling should spread mass: {}",
+            seen.len()
+        );
     }
 }

@@ -180,9 +180,8 @@ mod tests {
     fn keys_are_prefix_consistent() {
         assert!(keys::order(1, 2, "00000042").starts_with(&keys::order_prefix(1, 2)));
         assert!(keys::new_order(1, 2, "00000042").starts_with(&keys::new_order_prefix(1, 2)));
-        assert!(
-            keys::order_line(1, 2, "00000042", 1).starts_with(&keys::order_line_prefix(1, 2, "00000042"))
-        );
+        assert!(keys::order_line(1, 2, "00000042", 1)
+            .starts_with(&keys::order_line_prefix(1, 2, "00000042")));
         // zero padding keeps scan order numeric
         assert!(keys::order(1, 2, "00000009") < keys::order(1, 2, "00000010"));
     }

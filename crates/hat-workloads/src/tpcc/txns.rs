@@ -250,9 +250,7 @@ impl TpccRunner {
     ) -> Result<Option<(String, Order, Vec<String>)>, HatError> {
         sim.try_txn(client, |t| {
             let orders = t.scan(&keys::order_prefix(w, d));
-            let Some((okey, oval)) = orders.last().cloned() else {
-                return None;
-            };
+            let (okey, oval) = orders.last().cloned()?;
             let o_id = okey.rsplit('/').next().unwrap_or_default().to_string();
             let order = Order::decode(&oval)?;
             let lines = t

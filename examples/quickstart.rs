@@ -33,7 +33,10 @@ fn main() {
     let (profile, followers) = sim.txn(or_client, |t| {
         (t.get("profile:alice"), t.get("followers:alice"))
     });
-    println!("[{}] Oregon reads profile={profile:?} followers={followers:?}", sim.now());
+    println!(
+        "[{}] Oregon reads profile={profile:?} followers={followers:?}",
+        sim.now()
+    );
     assert_eq!(profile.as_deref(), Some("brewer-fan-42"));
     assert_eq!(followers.as_deref(), Some("1"));
 

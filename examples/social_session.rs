@@ -5,9 +5,7 @@
 //!
 //! Run: `cargo run --release --example social_session`
 
-use hatdb::core::{
-    ClusterSpec, ProtocolKind, SessionLevel, SessionOptions, SimulationBuilder,
-};
+use hatdb::core::{ClusterSpec, ProtocolKind, SessionLevel, SessionOptions, SimulationBuilder};
 use hatdb::sim::{Partition, PartitionSchedule, SimDuration, SimTime};
 
 fn server_only_partition(seed: u64) -> (ClusterSpec, PartitionSchedule) {
@@ -44,7 +42,10 @@ fn sticky_user_reads_their_posts() {
         let key = format!("post:alice:{i}");
         sim.txn(alice, |t| t.put(&key, "hello world"));
         let read_back = sim.txn(alice, |t| t.get(&key));
-        println!("  post {i}: visible right after posting? {}", read_back.is_some());
+        println!(
+            "  post {i}: visible right after posting? {}",
+            read_back.is_some()
+        );
         assert!(read_back.is_some());
     }
 }

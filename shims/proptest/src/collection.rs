@@ -1,0 +1,31 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy producing `Vec`s of a given element strategy and size range.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rng.gen_range(self.min..self.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vectors of `element` with a length drawn from `len` (half-open, as in
+/// proptest's range-based size parameter).
+pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy {
+        element,
+        min: len.start,
+        max: len.end,
+    }
+}

@@ -1,0 +1,7 @@
+//! The `proptest::prelude` glob import surface.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig, Strategy,
+};
+pub use rand::rngs::StdRng;
+pub use rand::SeedableRng;

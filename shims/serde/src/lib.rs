@@ -1,0 +1,23 @@
+//! Workspace-local no-op stand-in for `serde`'s derive macros.
+//!
+//! The workspace annotates data types with `#[derive(Serialize,
+//! Deserialize)]` for forward compatibility (wire formats, experiment
+//! dumps), but nothing currently serializes through serde at runtime.
+//! The build environment is offline, so this proc-macro crate accepts
+//! the derives (including `#[serde(...)]` helper attributes) and expands
+//! to nothing. Swap in the real `serde` when a network registry is
+//! available.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -19,10 +19,14 @@
 //! * [`runtime`] — a threaded runtime driving the same protocol state
 //!   machines over real channels.
 //!
+//! The most common entry points — [`SimulationBuilder`], [`ClusterSpec`],
+//! [`ProtocolKind`], session options — are re-exported at the crate
+//! root, so the quickstart needs one import line.
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use hatdb::core::{ClusterSpec, ProtocolKind, SimulationBuilder};
+//! use hatdb::{ClusterSpec, ProtocolKind, SimulationBuilder};
 //!
 //! // Two fully-replicated clusters in one datacenter, MAV isolation.
 //! let mut sim = SimulationBuilder::new(ProtocolKind::Mav)
@@ -40,6 +44,25 @@
 //! // MAV: once any effect of the transaction is visible, all are.
 //! assert_eq!(x, y);
 //! ```
+//!
+//! Histories recorded by any run feed straight into the anomaly checker:
+//!
+//! ```
+//! use hatdb::history::{check, IsolationLevel};
+//! use hatdb::{ClusterSpec, ProtocolKind, SimulationBuilder};
+//!
+//! let mut sim = SimulationBuilder::new(ProtocolKind::ReadCommitted)
+//!     .seed(7)
+//!     .clusters(ClusterSpec::single_dc(2, 1))
+//!     .build();
+//! let c = sim.client(0);
+//! sim.txn(c, |t| t.put("greeting", "hello"));
+//! sim.settle();
+//! assert_eq!(sim.txn(c, |t| t.get("greeting")).as_deref(), Some("hello"));
+//!
+//! let report = check(sim.take_records(), IsolationLevel::ReadCommitted);
+//! assert!(report.ok());
+//! ```
 
 pub use hat_core as core;
 pub use hat_history as history;
@@ -47,3 +70,8 @@ pub use hat_runtime as runtime;
 pub use hat_sim as sim;
 pub use hat_storage as storage;
 pub use hat_workloads as workloads;
+
+pub use hat_core::{
+    ClusterSpec, HatError, ProtocolEngine, ProtocolKind, SessionLevel, SessionOptions, Sim,
+    SimulationBuilder, TxnCtx,
+};

@@ -198,9 +198,11 @@ fn eventual_violates_rc_given_intermediate_reads() {
         });
         // first write goes out...
         sim.engine_mut().with_actor_ctx(writer, |node, ctx| {
-            node.as_client_mut()
-                .unwrap()
-                .issue_write(ctx, "x".into(), bytes::Bytes::from("intermediate"))
+            node.as_client_mut().unwrap().issue_write(
+                ctx,
+                "x".into(),
+                bytes::Bytes::from("intermediate"),
+            )
         });
         // ... reader races while the writer's txn is still open (wait
         // past an anti-entropy tick so the other cluster has the dirty
