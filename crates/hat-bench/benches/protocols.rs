@@ -5,7 +5,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hat_bench::{run_ycsb, YcsbRunConfig};
-use hat_core::{ClusterSpec, ProtocolKind, ServiceModel, SimulationBuilder, SystemConfig};
+use hat_core::{
+    ClusterSpec, DeploymentBuilder, Frontend, ProtocolKind, ServiceModel, SessionOptions,
+    SystemConfig,
+};
 use hat_sim::{LatencyModel, SimDuration};
 use hat_workloads::YcsbConfig;
 
@@ -48,14 +51,14 @@ fn bench_ablation_service_model(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
     g.bench_function("facade_txns_default_model", |b| {
         b.iter(|| {
-            let mut sim = SimulationBuilder::new(ProtocolKind::Mav)
+            let mut sim = DeploymentBuilder::new(ProtocolKind::Mav)
                 .seed(4)
                 .clusters(ClusterSpec::single_dc(2, 2))
                 .build();
-            let c0 = sim.client(0);
+            let s0 = sim.open_session(SessionOptions::default());
             for i in 0..20 {
                 let k = format!("k{i}");
-                sim.txn(c0, |t| t.put(&k, "v"));
+                sim.txn(&s0, |t| t.put(&k, "v"));
             }
             black_box(sim.now())
         })
@@ -64,16 +67,16 @@ fn bench_ablation_service_model(c: &mut Criterion) {
         b.iter(|| {
             let mut cfg = SystemConfig::new(ProtocolKind::Mav);
             cfg.service = ServiceModel::zero();
-            let mut sim = SimulationBuilder::new(ProtocolKind::Mav)
+            let mut sim = DeploymentBuilder::new(ProtocolKind::Mav)
                 .seed(4)
                 .clusters(ClusterSpec::single_dc(2, 2))
                 .config(cfg)
                 .latency(LatencyModel::zero())
                 .build();
-            let c0 = sim.client(0);
+            let s0 = sim.open_session(SessionOptions::default());
             for i in 0..20 {
                 let k = format!("k{i}");
-                sim.txn(c0, |t| t.put(&k, "v"));
+                sim.txn(&s0, |t| t.put(&k, "v"));
             }
             black_box(sim.now())
         })

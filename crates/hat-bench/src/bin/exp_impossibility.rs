@@ -11,16 +11,16 @@
 //! Run: `cargo run -p hat-bench --release --bin exp_impossibility`
 
 use hat_core::{
-    ClusterSpec, HatError, ProtocolKind, SessionLevel, SessionOptions, SimulationBuilder,
+    ClusterSpec, DeploymentBuilder, Frontend, HatError, ProtocolKind, SessionLevel, SessionOptions,
 };
 use hat_history::{check, IsolationLevel};
 use hat_sim::{Partition, PartitionSchedule, SimDuration, SimTime};
 
 fn split_sides(protocol: ProtocolKind, seed: u64) -> (Vec<u32>, Vec<u32>) {
-    let probe = SimulationBuilder::new(protocol)
+    let probe = DeploymentBuilder::new(protocol)
         .seed(seed)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .build();
     let a = probe.layout().servers[0]
         .iter()
@@ -35,12 +35,12 @@ fn split_sides(protocol: ProtocolKind, seed: u64) -> (Vec<u32>, Vec<u32>) {
     (a, b)
 }
 
-fn partitioned_sim(protocol: ProtocolKind, seed: u64) -> hat_core::Sim {
+fn partitioned_sim(protocol: ProtocolKind, seed: u64) -> hat_core::SimFrontend {
     let (a, b) = split_sides(protocol, seed);
-    SimulationBuilder::new(protocol)
+    DeploymentBuilder::new(protocol)
         .seed(seed)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .partitions(PartitionSchedule::from_partitions(vec![Partition::new(
             SimTime::from_secs(5),
             SimTime::from_secs(60),
@@ -52,22 +52,22 @@ fn partitioned_sim(protocol: ProtocolKind, seed: u64) -> hat_core::Sim {
 
 fn lost_update(protocol: ProtocolKind) {
     let mut sim = partitioned_sim(protocol, 11);
-    let c0 = sim.client(0);
-    let c1 = sim.client(1);
-    sim.txn(c0, |t| t.put("x", "100"));
-    sim.settle();
+    let s0 = sim.open_session(SessionOptions::default());
+    let s1 = sim.open_session(SessionOptions::default());
+    sim.txn(&s0, |t| t.put("x", "100"));
+    sim.quiesce();
     sim.run_for(SimDuration::from_secs(4)); // now inside the partition
-    sim.txn(c0, |t| {
-        let v: u64 = t.get("x").unwrap().parse().unwrap();
-        t.put("x", &(v + 20).to_string());
+    sim.txn(&s0, |t| {
+        let v: u64 = t.get("x")?.unwrap().parse().unwrap();
+        t.put("x", &(v + 20).to_string())
     });
-    sim.txn(c1, |t| {
-        let v: u64 = t.get("x").unwrap().parse().unwrap();
-        t.put("x", &(v + 30).to_string());
+    sim.txn(&s1, |t| {
+        let v: u64 = t.get("x")?.unwrap().parse().unwrap();
+        t.put("x", &(v + 30).to_string())
     });
     sim.run_for(SimDuration::from_secs(60));
-    sim.settle();
-    let final_v = sim.txn(c0, |t| t.get("x")).unwrap();
+    sim.quiesce();
+    let final_v = sim.txn(&s0, |t| t.get("x")).unwrap();
     let report = check(sim.take_records(), IsolationLevel::SnapshotIsolation);
     println!(
         "{:10} lost update: final x={} (serial would be 150); SI check: {} violation(s)",
@@ -79,28 +79,30 @@ fn lost_update(protocol: ProtocolKind) {
 
 fn write_skew(protocol: ProtocolKind) {
     let mut sim = partitioned_sim(protocol, 12);
-    let c0 = sim.client(0);
-    let c1 = sim.client(1);
-    sim.txn(c0, |t| {
-        t.put("x", "0");
-        t.put("y", "0");
+    let s0 = sim.open_session(SessionOptions::default());
+    let s1 = sim.open_session(SessionOptions::default());
+    sim.txn(&s0, |t| {
+        t.put("x", "0")?;
+        t.put("y", "0")
     });
-    sim.settle();
+    sim.quiesce();
     sim.run_for(SimDuration::from_secs(4));
     // constraint: at most one of x,y may be 1
-    sim.txn(c0, |t| {
-        if t.get("y").as_deref() == Some("0") {
-            t.put("x", "1");
+    sim.txn(&s0, |t| {
+        if t.get("y")?.as_deref() == Some("0") {
+            t.put("x", "1")?;
         }
+        Ok(())
     });
-    sim.txn(c1, |t| {
-        if t.get("x").as_deref() == Some("0") {
-            t.put("y", "1");
+    sim.txn(&s1, |t| {
+        if t.get("x")?.as_deref() == Some("0") {
+            t.put("y", "1")?;
         }
+        Ok(())
     });
     sim.run_for(SimDuration::from_secs(60));
-    sim.settle();
-    let (x, y) = sim.txn(c0, |t| (t.get("x"), t.get("y")));
+    sim.quiesce();
+    let (x, y) = sim.txn(&s0, |t| Ok((t.get("x")?, t.get("y")?)));
     let report = check(sim.take_records(), IsolationLevel::RepeatableRead);
     println!(
         "{:10} write skew: x={:?} y={:?} (constraint: not both 1); RR check: {} violation(s)",
@@ -119,35 +121,34 @@ fn ryw_without_stickiness() {
         // the clusters cannot replicate to each other — the §5.1.3
         // scenario where "the client can only execute T2 on a different
         // replica that is partitioned from the replica that executed T1".
-        let probe = SimulationBuilder::new(ProtocolKind::Eventual)
+        let probe = DeploymentBuilder::new(ProtocolKind::Eventual)
             .seed(100 + seed)
             .clusters(ClusterSpec::va_or(2))
-            .clients_per_cluster(1)
+            .sessions_per_cluster(1)
             .build();
         let a: Vec<u32> = probe.layout().servers[0].clone();
         let b: Vec<u32> = probe.layout().servers[1].clone();
         drop(probe);
-        let mut sim = SimulationBuilder::new(ProtocolKind::Eventual)
+        let mut sim = DeploymentBuilder::new(ProtocolKind::Eventual)
             .seed(100 + seed)
             .clusters(ClusterSpec::va_or(2))
-            .clients_per_cluster(1)
-            .session(SessionOptions {
-                level: SessionLevel::None,
-                sticky: false,
-            })
+            .sessions_per_cluster(1)
             .partitions(PartitionSchedule::from_partitions(vec![
                 Partition::forever(SimTime::ZERO, a, b),
             ]))
             .build();
-        let c = sim.client(0);
+        let c = sim.open_session(SessionOptions {
+            level: SessionLevel::None,
+            sticky: false,
+        });
         for i in 0..10 {
             let k = format!("w{i}");
             // non-sticky ops can themselves time out hunting for a
             // reachable cluster; only a completed write+read pair counts
-            if sim.try_txn(c, |t| t.put(&k, "mine")).is_err() {
+            if sim.try_txn(&c, |t| t.put(&k, "mine")).is_err() {
                 continue;
             }
-            let Ok(read) = sim.try_txn(c, |t| t.get(&k)) else {
+            let Ok(read) = sim.try_txn(&c, |t| t.get(&k)) else {
                 continue;
             };
             attempts += 1;
@@ -165,15 +166,15 @@ fn ryw_without_stickiness() {
 fn unavailable_protocols_block() {
     for protocol in [ProtocolKind::Master, ProtocolKind::TwoPhaseLocking] {
         let (a, b) = split_sides(protocol, 31);
-        let mut sim = SimulationBuilder::new(protocol)
+        let mut sim = DeploymentBuilder::new(protocol)
             .seed(31)
             .clusters(ClusterSpec::va_or(2))
-            .clients_per_cluster(1)
+            .sessions_per_cluster(1)
             .partitions(PartitionSchedule::from_partitions(vec![
                 Partition::forever(SimTime::ZERO, a, b),
             ]))
             .build();
-        let c0 = sim.client(0);
+        let s0 = sim.open_session(SessionOptions::default());
         // find a key mastered on the far side
         let key = (0..200)
             .map(|i| format!("k{i}"))
@@ -182,7 +183,7 @@ fn unavailable_protocols_block() {
                 sim.layout().cluster_of(sim.layout().master(&key)) == Some(1)
             })
             .unwrap();
-        let res = sim.try_txn(c0, |t| t.put(&key, "v"));
+        let res = sim.try_txn(&s0, |t| t.put(&key, "v"));
         let verdict = match res {
             Err(HatError::Unavailable { .. }) => "unavailable (blocked)",
             Err(HatError::ExternalAbort { .. }) => "external abort (lock timeout)",

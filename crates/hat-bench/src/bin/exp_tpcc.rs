@@ -10,7 +10,9 @@
 //!
 //! Run: `cargo run -p hat-bench --release --bin exp_tpcc`
 
-use hat_core::{ClusterSpec, ProtocolKind, SessionLevel, SessionOptions, SimulationBuilder};
+use hat_core::{
+    ClusterSpec, DeploymentBuilder, Frontend, ProtocolKind, SessionLevel, SessionOptions,
+};
 use hat_sim::{Partition, PartitionSchedule, SimDuration, SimTime};
 use hat_workloads::tpcc::{check_consistency, IdPolicy, TpccConfig, TpccRunner};
 
@@ -23,25 +25,24 @@ fn session() -> SessionOptions {
 
 /// Healthy-network runs: 4 of 5 transactions are HAT-safe.
 fn healthy_run(protocol: ProtocolKind) {
-    let mut sim = SimulationBuilder::new(protocol)
+    let mut sim = DeploymentBuilder::new(protocol)
         .seed(42)
         .clusters(ClusterSpec::va_or(3))
-        .clients_per_cluster(1)
-        .session(session())
+        .sessions_per_cluster(1)
         .build();
-    let client = sim.client(0);
+    let client = sim.open_session(session());
     let cfg = TpccConfig {
         items: 50,
         initial_stock: 20,
         ..TpccConfig::default()
     };
     let mut runner = TpccRunner::new(cfg, 1);
-    runner.load(&mut sim, client).unwrap();
+    runner.load(&mut sim, &client).unwrap();
     for i in 0..20u32 {
         runner
             .new_order(
                 &mut sim,
-                client,
+                &client,
                 0,
                 i % 2,
                 i % 5,
@@ -49,15 +50,15 @@ fn healthy_run(protocol: ProtocolKind) {
             )
             .unwrap();
         runner
-            .payment(&mut sim, client, 0, i % 2, i % 5, 100 + u64::from(i))
+            .payment(&mut sim, &client, 0, i % 2, i % 5, 100 + u64::from(i))
             .unwrap();
         if i % 4 == 0 {
-            sim.settle();
-            runner.delivery(&mut sim, client, 0, i % 2, 1 + i).unwrap();
+            sim.quiesce();
+            runner.delivery(&mut sim, &client, 0, i % 2, 1 + i).unwrap();
         }
     }
-    sim.settle();
-    let report = check_consistency(&mut sim, client, &runner.config).unwrap();
+    sim.quiesce();
+    let report = check_consistency(&mut sim, &client, &runner.config).unwrap();
     println!(
         "{:10} healthy: C1 mismatches={:?} dup_ids={} neg_stock={} double_deliv={}",
         protocol.label(),
@@ -71,10 +72,10 @@ fn healthy_run(protocol: ProtocolKind) {
 /// Partitioned run with sequential IDs: the district counter suffers
 /// Lost Update, so the same order id is assigned on both sides.
 fn partitioned_sequential_ids() {
-    let probe = SimulationBuilder::new(ProtocolKind::ReadCommitted)
+    let probe = DeploymentBuilder::new(ProtocolKind::ReadCommitted)
         .seed(7)
         .clusters(ClusterSpec::va_or(3))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .build();
     let side_a: Vec<u32> = probe.layout().servers[0]
         .iter()
@@ -87,11 +88,10 @@ fn partitioned_sequential_ids() {
         .chain([probe.client(1)])
         .collect();
     drop(probe);
-    let mut sim = SimulationBuilder::new(ProtocolKind::ReadCommitted)
+    let mut sim = DeploymentBuilder::new(ProtocolKind::ReadCommitted)
         .seed(7)
         .clusters(ClusterSpec::va_or(3))
-        .clients_per_cluster(1)
-        .session(session())
+        .sessions_per_cluster(1)
         .partitions(PartitionSchedule::from_partitions(vec![Partition::new(
             SimTime::from_secs(5),
             SimTime::from_secs(60),
@@ -99,36 +99,40 @@ fn partitioned_sequential_ids() {
             side_b,
         )]))
         .build();
-    let c0 = sim.client(0);
-    let c1 = sim.client(1);
+    let c0 = sim.open_session(session());
+    let c1 = sim.open_session(session());
     let cfg = TpccConfig {
         id_policy: IdPolicy::Sequential,
         ..TpccConfig::default()
     };
     let mut r0 = TpccRunner::new(cfg, 1);
     let mut r1 = TpccRunner::new(cfg, 2);
-    r0.load(&mut sim, c0).unwrap();
-    sim.settle(); // both clusters converge; partition starts at t=5s
+    r0.load(&mut sim, &c0).unwrap();
+    sim.quiesce(); // both clusters converge; partition starts at t=5s
     sim.run_for(SimDuration::from_secs(4));
 
     // both sides place orders concurrently during the partition
     let mut placed = Vec::new();
     for i in 0..3 {
-        placed.push(r0.new_order(&mut sim, c0, 0, 0, 0, &[(i, 1)]).unwrap().o_id);
         placed.push(
-            r1.new_order(&mut sim, c1, 0, 0, 1, &[(i + 3, 1)])
+            r0.new_order(&mut sim, &c0, 0, 0, 0, &[(i, 1)])
+                .unwrap()
+                .o_id,
+        );
+        placed.push(
+            r1.new_order(&mut sim, &c1, 0, 0, 1, &[(i + 3, 1)])
                 .unwrap()
                 .o_id,
         );
     }
     // heal + converge
     sim.run_for(SimDuration::from_secs(60));
-    sim.settle();
-    let report = check_consistency(&mut sim, c0, &cfg).unwrap();
+    sim.quiesce();
+    let report = check_consistency(&mut sim, &c0, &cfg).unwrap();
     // Duplicate sequential ids collide on the same order *key*: after
     // last-writer-wins convergence the colliding orders are silently
     // lost. Count placements vs surviving orders.
-    let surviving = sim.txn(c0, |t| t.scan("o/0000/00/").len());
+    let surviving = sim.txn(&c0, |t| Ok(t.scan("o/0000/00/")?.len()));
     let distinct_ids: std::collections::HashSet<&String> = placed.iter().collect();
     println!(
         "RC + partition, sequential ids: placed={} distinct_ids={} surviving_orders={} lost={} (paper: HATs cannot assign sequential ids)",
@@ -140,25 +144,25 @@ fn partitioned_sequential_ids() {
     let _ = report;
 
     // unique ids under the same schedule: no duplicates, no gaps tracked
-    let mut sim2 = SimulationBuilder::new(ProtocolKind::ReadCommitted)
+    let mut sim2 = DeploymentBuilder::new(ProtocolKind::ReadCommitted)
         .seed(8)
         .clusters(ClusterSpec::va_or(3))
-        .clients_per_cluster(2)
-        .session(session())
+        .sessions_per_cluster(2)
         .build();
-    let d0 = sim2.client(0);
-    let d1 = sim2.client(1);
+    let d0 = sim2.open_session(session());
+    let d1 = sim2.open_session(session());
     let ucfg = TpccConfig::default();
     let mut u0 = TpccRunner::new(ucfg, 1);
     let mut u1 = TpccRunner::new(ucfg, 2);
-    u0.load(&mut sim2, d0).unwrap();
-    sim2.settle();
+    u0.load(&mut sim2, &d0).unwrap();
+    sim2.quiesce();
     for i in 0..3 {
-        u0.new_order(&mut sim2, d0, 0, 0, 0, &[(i, 1)]).unwrap();
-        u1.new_order(&mut sim2, d1, 0, 0, 1, &[(i + 3, 1)]).unwrap();
+        u0.new_order(&mut sim2, &d0, 0, 0, 0, &[(i, 1)]).unwrap();
+        u1.new_order(&mut sim2, &d1, 0, 0, 1, &[(i + 3, 1)])
+            .unwrap();
     }
-    sim2.settle();
-    let report2 = check_consistency(&mut sim2, d0, &ucfg).unwrap();
+    sim2.quiesce();
+    let report2 = check_consistency(&mut sim2, &d0, &ucfg).unwrap();
     println!(
         "RC, unique (timestamp) ids:     duplicates={} (uniqueness is HAT-achievable)",
         report2.duplicate_order_ids
@@ -167,10 +171,10 @@ fn partitioned_sequential_ids() {
 
 /// Partitioned concurrent Delivery: double billing.
 fn partitioned_delivery() {
-    let probe = SimulationBuilder::new(ProtocolKind::ReadCommitted)
+    let probe = DeploymentBuilder::new(ProtocolKind::ReadCommitted)
         .seed(9)
         .clusters(ClusterSpec::va_or(3))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .build();
     let side_a: Vec<u32> = probe.layout().servers[0]
         .iter()
@@ -183,11 +187,10 @@ fn partitioned_delivery() {
         .chain([probe.client(1)])
         .collect();
     drop(probe);
-    let mut sim = SimulationBuilder::new(ProtocolKind::ReadCommitted)
+    let mut sim = DeploymentBuilder::new(ProtocolKind::ReadCommitted)
         .seed(9)
         .clusters(ClusterSpec::va_or(3))
-        .clients_per_cluster(1)
-        .session(session())
+        .sessions_per_cluster(1)
         .partitions(PartitionSchedule::from_partitions(vec![Partition::new(
             SimTime::from_secs(5),
             SimTime::from_secs(60),
@@ -195,21 +198,21 @@ fn partitioned_delivery() {
             side_b,
         )]))
         .build();
-    let c0 = sim.client(0);
-    let c1 = sim.client(1);
+    let c0 = sim.open_session(session());
+    let c1 = sim.open_session(session());
     let cfg = TpccConfig::default();
     let mut r0 = TpccRunner::new(cfg, 1);
     let mut r1 = TpccRunner::new(cfg, 2);
-    r0.load(&mut sim, c0).unwrap();
-    r0.new_order(&mut sim, c0, 0, 0, 0, &[(1, 1)]).unwrap();
-    sim.settle(); // order visible on both sides; partition starts at 5s
+    r0.load(&mut sim, &c0).unwrap();
+    r0.new_order(&mut sim, &c0, 0, 0, 0, &[(1, 1)]).unwrap();
+    sim.quiesce(); // order visible on both sides; partition starts at 5s
     sim.run_for(SimDuration::from_secs(4));
     // two carriers deliver the same order on opposite sides
-    let a = r0.delivery(&mut sim, c0, 0, 0, 100).unwrap();
-    let b = r1.delivery(&mut sim, c1, 0, 0, 200).unwrap();
+    let a = r0.delivery(&mut sim, &c0, 0, 0, 100).unwrap();
+    let b = r1.delivery(&mut sim, &c1, 0, 0, 200).unwrap();
     sim.run_for(SimDuration::from_secs(60));
-    sim.settle();
-    let report = check_consistency(&mut sim, c0, &cfg).unwrap();
+    sim.quiesce();
+    let report = check_consistency(&mut sim, &c0, &cfg).unwrap();
     let double_billed = a.is_some() && a == b;
     println!(
         "RC + partition, Delivery: side A delivered {:?}, side B delivered {:?} -> same order billed twice: {} (paper: needs compensation)",

@@ -5,7 +5,7 @@
 //! and latency aggregates — the series plotted in Figures 3–6.
 
 use hat_core::client::TxnSource;
-use hat_core::{ClusterSpec, ProtocolKind, SimulationBuilder, SystemConfig};
+use hat_core::{ClusterSpec, DeploymentBuilder, Frontend, ProtocolKind, SystemConfig};
 use hat_sim::SimDuration;
 use hat_workloads::{YcsbConfig, YcsbSource};
 
@@ -67,7 +67,7 @@ pub fn run_ycsb(cfg: &YcsbRunConfig) -> YcsbRunResult {
         .collect();
     let mut system = SystemConfig::new(cfg.protocol);
     system.record_history = false; // throughput runs skip history capture
-    let mut sim = SimulationBuilder::new(cfg.protocol)
+    let mut sim = DeploymentBuilder::new(cfg.protocol)
         .seed(cfg.seed)
         .clusters(cfg.spec.clone())
         .config(system)

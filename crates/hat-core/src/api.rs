@@ -1,21 +1,28 @@
-//! High-level simulation facade: build a deployment, run transactions.
+//! Deployment assembly and the simulator-backed frontend.
 //!
-//! [`SimulationBuilder`] assembles clusters, clients, latency and
-//! partition schedules into a [`Sim`]. Transactions run synchronously
-//! from the caller's point of view: each operation injects work into the
-//! client actor and steps the simulation until the response arrives (or
-//! the operation deadline passes — which is how unavailability surfaces,
-//! as [`HatError::Unavailable`]).
+//! [`DeploymentBuilder`] assembles clusters, session slots, latency and
+//! partition schedules — everything about a deployment that is *not* the
+//! execution substrate. `build()` yields a [`SimFrontend`] (discrete-event
+//! simulator); `build_threaded()` from `hat-runtime` consumes the same
+//! builder and yields a `RuntimeFrontend` (one OS thread per node). Both
+//! implement [`Frontend`], so workloads are written once.
+//!
+//! Under the simulator, transactions run synchronously from the caller's
+//! point of view: each operation injects work into the client actor and
+//! steps the simulation until the response arrives (or the operation
+//! deadline passes — which is how unavailability surfaces, as
+//! [`HatError::Unavailable`]).
 
 use crate::client::{Client, SessionOptions, TxnSource};
 use crate::cluster::{ClusterLayout, ClusterSpec};
-use crate::config::{ProtocolKind, SystemConfig};
+use crate::config::{ProtocolKind, RetryPolicy, SystemConfig};
 use crate::error::HatError;
+use crate::frontend::{Frontend, Session, TxnBackend};
 use crate::metrics::ClientMetrics;
 use crate::node::Node;
 use crate::protocol::ProtocolEngine;
 use crate::server::Server;
-use crate::txn::{OpRecord, TxnOutcome, TxnRecord};
+use crate::txn::TxnRecord;
 use bytes::Bytes;
 use hat_sim::{
     Engine, EngineConfig, LatencyModel, NodeId, PartitionSchedule, SimDuration, SimTime, Topology,
@@ -23,31 +30,34 @@ use hat_sim::{
 use hat_storage::{Key, MemStore};
 use std::sync::Arc;
 
-/// Builder for a simulated HAT deployment.
-pub struct SimulationBuilder {
+/// Builder for a HAT deployment, parameterized by protocol and — at
+/// `build` time — by execution backend.
+pub struct DeploymentBuilder {
     protocol: ProtocolKind,
     seed: u64,
     spec: ClusterSpec,
-    clients_per_cluster: usize,
-    session: SessionOptions,
+    sessions_per_cluster: usize,
+    default_session: SessionOptions,
     config: SystemConfig,
+    retry: Option<RetryPolicy>,
     latency: LatencyModel,
     partitions: PartitionSchedule,
     drivers: Vec<Box<dyn TxnSource>>,
     engine_factory: Option<Arc<dyn Fn() -> Box<dyn ProtocolEngine> + Send + Sync>>,
 }
 
-impl SimulationBuilder {
+impl DeploymentBuilder {
     /// Starts a builder for `protocol` with a default two-cluster,
     /// single-datacenter deployment.
     pub fn new(protocol: ProtocolKind) -> Self {
-        SimulationBuilder {
+        DeploymentBuilder {
             protocol,
             seed: DEFAULT_SEED,
             spec: ClusterSpec::single_dc(2, 1),
-            clients_per_cluster: 1,
-            session: SessionOptions::default(),
+            sessions_per_cluster: 1,
+            default_session: SessionOptions::default(),
             config: SystemConfig::new(protocol),
+            retry: None,
             latency: LatencyModel::default(),
             partitions: PartitionSchedule::none(),
             drivers: Vec::new(),
@@ -67,15 +77,19 @@ impl SimulationBuilder {
         self
     }
 
-    /// Number of clients attached to each cluster (facade mode).
-    pub fn clients_per_cluster(mut self, n: usize) -> Self {
-        self.clients_per_cluster = n;
+    /// Number of interactive session slots provisioned per cluster
+    /// (claimed, in round-robin cluster order, by
+    /// [`Frontend::open_session`]).
+    pub fn sessions_per_cluster(mut self, n: usize) -> Self {
+        self.sessions_per_cluster = n;
         self
     }
 
-    /// Session options for every client.
-    pub fn session(mut self, session: SessionOptions) -> Self {
-        self.session = session;
+    /// Default session options: used by driver-mode clients and by any
+    /// session slot never explicitly opened. Interactive sessions pick
+    /// their own options at [`Frontend::open_session`] time.
+    pub fn default_session(mut self, session: SessionOptions) -> Self {
+        self.default_session = session;
         self
     }
 
@@ -84,6 +98,14 @@ impl SimulationBuilder {
     pub fn config(mut self, mut config: SystemConfig) -> Self {
         config.protocol = self.protocol;
         self.config = config;
+        self
+    }
+
+    /// Overrides the client retry/backoff policy. Applied at build
+    /// time over the final configuration, so it composes with
+    /// [`DeploymentBuilder::config`] in either order.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
         self
     }
 
@@ -121,18 +143,19 @@ impl SimulationBuilder {
         self
     }
 
-    /// Builds the [`Sim`].
+    /// Builds the deployment on the discrete-event simulator backend.
     ///
     /// # Panics
     /// Panics if clusters have unequal sizes (positional anti-entropy
     /// peering requires equal partition counts) or no servers/clients.
-    pub fn build(self) -> Sim {
+    pub fn build(self) -> SimFrontend {
         let (engine_config, topology, actors, layout, config) = self.build_parts();
         let engine = Engine::new(engine_config, topology, actors);
-        Sim {
+        SimFrontend {
             engine,
             layout,
             config,
+            opened: 0,
         }
     }
 
@@ -163,11 +186,11 @@ impl SimulationBuilder {
             servers.push(topology.add_nodes(*site, *n));
         }
         let n_clients = if self.drivers.is_empty() {
-            self.clients_per_cluster * n_clusters
+            self.sessions_per_cluster * n_clusters
         } else {
             self.drivers.len()
         };
-        assert!(n_clients > 0, "need at least one client");
+        assert!(n_clients > 0, "need at least one session slot");
         let mut clients = Vec::with_capacity(n_clients);
         let mut client_home = Vec::with_capacity(n_clients);
         for i in 0..n_clients {
@@ -181,7 +204,11 @@ impl SimulationBuilder {
             clients: clients.clone(),
             client_home,
         });
-        let config = Arc::new(self.config);
+        let mut config = self.config;
+        if let Some(retry) = self.retry {
+            config.retry = retry;
+        }
+        let config = Arc::new(config);
 
         let mut drivers: Vec<Option<Box<dyn TxnSource>>> =
             self.drivers.into_iter().map(Some).collect();
@@ -218,7 +245,7 @@ impl SimulationBuilder {
                 layout.client_home[i],
                 Arc::clone(&layout),
                 Arc::clone(&config),
-                self.session,
+                self.default_session,
             );
             if let Some(d) = drivers[i].take() {
                 c = c.with_driver(d);
@@ -243,20 +270,23 @@ impl SimulationBuilder {
 /// Default engine seed when the builder is not given one.
 const DEFAULT_SEED: u64 = 0x4A7_5EED;
 
-/// A running simulated deployment.
-pub struct Sim {
+/// The simulator-backed [`Frontend`]: a running deployment on the
+/// deterministic discrete-event engine.
+pub struct SimFrontend {
     engine: Engine<Node>,
     layout: Arc<ClusterLayout>,
     config: Arc<SystemConfig>,
+    opened: usize,
 }
 
-impl Sim {
-    /// The node id of client number `idx` (0-based).
+impl SimFrontend {
+    /// The node id of client slot `idx` (0-based). Used to address
+    /// clients in partition schedules and layout probes.
     pub fn client(&self, idx: usize) -> NodeId {
         self.layout.clients[idx]
     }
 
-    /// Number of clients.
+    /// Number of provisioned client/session slots.
     pub fn num_clients(&self) -> usize {
         self.layout.clients.len()
     }
@@ -266,20 +296,14 @@ impl Sim {
         &self.layout
     }
 
+    /// The deployment configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
-    }
-
-    /// Advances simulated time by `d`, processing due events.
-    pub fn run_for(&mut self, d: SimDuration) {
-        self.engine.run_for(d);
-    }
-
-    /// Lets replication quiesce: runs long enough for anti-entropy and
-    /// WAN propagation (2 simulated seconds).
-    pub fn settle(&mut self) {
-        self.run_for(SimDuration::from_secs(2));
     }
 
     /// Direct engine access (tests, experiments).
@@ -292,38 +316,15 @@ impl Sim {
         &self.engine
     }
 
-    /// Metrics of client `node` (cloned snapshot).
-    pub fn metrics(&self, client: NodeId) -> ClientMetrics {
+    /// Metrics of the client at `node` (cloned snapshot). Prefer
+    /// [`Frontend::session_metrics`] for opened sessions.
+    pub fn client_metrics(&self, client: NodeId) -> ClientMetrics {
         self.engine
             .actor(client)
             .as_client()
             .expect("not a client")
             .metrics
             .clone()
-    }
-
-    /// Aggregated metrics across all clients.
-    pub fn aggregate_metrics(&self) -> ClientMetrics {
-        let mut total = ClientMetrics::default();
-        for &c in &self.layout.clients {
-            total.merge(&self.engine.actor(c).as_client().unwrap().metrics);
-        }
-        total
-    }
-
-    /// Drains recorded transaction histories from every client.
-    pub fn take_records(&mut self) -> Vec<TxnRecord> {
-        let mut all = Vec::new();
-        for &c in &self.layout.clients.clone() {
-            let client = self
-                .engine
-                .actor_mut(c)
-                .as_client_mut()
-                .expect("not a client");
-            all.extend(client.take_records());
-        }
-        all.sort_by_key(|r| (r.session, r.session_seq));
-        all
     }
 
     /// Total MAV `required` misses across servers (0 in a correct run).
@@ -342,69 +343,28 @@ impl Sim {
             .sum()
     }
 
-    /// Runs a transaction on `client`, panicking on unavailability or
-    /// system aborts (use [`Sim::try_txn`] to observe those).
-    pub fn txn<R>(&mut self, client: NodeId, f: impl FnOnce(&mut TxnCtx<'_>) -> R) -> R {
-        match self.try_txn(client, f) {
-            Ok(r) => r,
-            Err(e) => panic!("transaction failed: {e}"),
-        }
+    fn abandon_client(&mut self, client: NodeId) {
+        // Needs a full Ctx: abandoning releases any held 2PL locks.
+        self.engine.with_actor_ctx(client, |node, ctx| {
+            if let Some(c) = node.as_client_mut() {
+                c.abandon(ctx);
+            }
+        });
     }
 
-    /// Runs a transaction on `client`, reporting unavailability and
-    /// aborts as errors. Operations after a failure become no-ops
-    /// (reads return `None`).
-    pub fn try_txn<R>(
-        &mut self,
-        client: NodeId,
-        f: impl FnOnce(&mut TxnCtx<'_>) -> R,
-    ) -> Result<R, HatError> {
-        self.engine.with_actor_ctx(client, |node, ctx| {
-            let c = node.as_client_mut().expect("not a client");
-            c.clear_finished();
-            c.begin(ctx.now());
-        });
-        let mut tc = TxnCtx {
-            sim: self,
-            client,
-            failed: None,
-            aborted: false,
-        };
-        let result = f(&mut tc);
-        let failed = tc.failed.take();
-        let aborted = tc.aborted;
-        if let Some(e) = failed {
-            self.abandon(client);
-            return Err(e);
-        }
-        if aborted {
-            return Err(HatError::InternalAbort {
-                reason: "aborted by transaction".into(),
-            });
-        }
-        self.engine.with_actor_ctx(client, |node, ctx| {
-            node.as_client_mut().unwrap().start_commit(ctx)
-        });
-        if let Err(e) = self.wait_idle(client) {
-            self.abandon(client);
-            return Err(e);
-        }
-        let outcome = self.engine.actor(client).as_client().unwrap().txn_outcome();
-        match outcome {
-            Some(TxnOutcome::Committed) => Ok(result),
-            Some(TxnOutcome::AbortedExternal) => Err(HatError::ExternalAbort {
-                reason: "system abort during commit".into(),
-            }),
-            Some(TxnOutcome::AbortedInternal) => Err(HatError::InternalAbort {
-                reason: "transaction aborted".into(),
-            }),
-            None => Err(HatError::Unavailable { key: None }),
-        }
-    }
-
-    fn abandon(&mut self, client: NodeId) {
-        if let Some(c) = self.engine.actor_mut(client).as_client_mut() {
-            c.abandon();
+    /// Post-`wait_idle` check shared by the operation executors: if the
+    /// transaction finished mid-operation (2PL lock timeout → external
+    /// abort), the operation must report that instead of succeeding.
+    fn check_interrupted(&self, client: NodeId) -> Result<(), HatError> {
+        match self
+            .engine
+            .actor(client)
+            .as_client()
+            .unwrap()
+            .op_interrupted()
+        {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -432,118 +392,131 @@ impl Sim {
     }
 }
 
-/// Handle passed to transaction closures.
-pub struct TxnCtx<'a> {
-    sim: &'a mut Sim,
-    client: NodeId,
-    failed: Option<HatError>,
-    aborted: bool,
-}
-
-impl TxnCtx<'_> {
-    /// Reads `key` as a UTF-8 string. Returns `None` for the initial `⊥`
-    /// value, non-UTF-8 data, or after a failure.
-    pub fn get(&mut self, key: &str) -> Option<String> {
-        self.get_bytes(key)
-            .and_then(|b| String::from_utf8(b.to_vec()).ok())
+impl TxnBackend for SimFrontend {
+    fn begin(&mut self, session: &Session) -> Result<(), HatError> {
+        self.engine.with_actor_ctx(session.node(), |node, ctx| {
+            let c = node.as_client_mut().expect("not a client");
+            c.clear_finished();
+            c.begin(ctx.now());
+        });
+        Ok(())
     }
 
-    /// Reads `key` raw. Returns `None` for `⊥` or after a failure.
-    pub fn get_bytes(&mut self, key: &str) -> Option<Bytes> {
-        if self.failed.is_some() || self.aborted {
-            return None;
-        }
-        let k = Key::from(key.to_owned());
-        self.sim.engine.with_actor_ctx(self.client, |node, ctx| {
-            node.as_client_mut().unwrap().issue_read(ctx, k)
+    fn exec_get(&mut self, session: &Session, key: Key) -> Result<Option<Bytes>, HatError> {
+        let client = session.node();
+        self.engine.with_actor_ctx(client, |node, ctx| {
+            node.as_client_mut().unwrap().issue_read(ctx, key)
         });
-        if let Err(e) = self.sim.wait_idle(self.client) {
-            self.failed = Some(e);
-            return None;
-        }
-        match self
-            .sim
+        self.wait_idle(client)?;
+        self.check_interrupted(client)?;
+        Ok(self
             .engine
-            .actor(self.client)
+            .actor(client)
             .as_client()
             .unwrap()
-            .last_op()
-        {
-            Some(OpRecord::Read {
-                observed, value, ..
-            }) => {
-                if observed.is_initial() {
-                    None
-                } else {
-                    Some(value.clone())
-                }
-            }
-            _ => None,
-        }
+            .last_read_value())
     }
 
-    /// Writes a UTF-8 value.
-    pub fn put(&mut self, key: &str, value: &str) {
-        self.put_bytes(key, Bytes::from(value.to_owned()));
-    }
-
-    /// Writes raw bytes.
-    pub fn put_bytes(&mut self, key: &str, value: Bytes) {
-        if self.failed.is_some() || self.aborted {
-            return;
-        }
-        let k = Key::from(key.to_owned());
-        self.sim.engine.with_actor_ctx(self.client, |node, ctx| {
-            node.as_client_mut().unwrap().issue_write(ctx, k, value)
+    fn exec_put(&mut self, session: &Session, key: Key, value: Bytes) -> Result<(), HatError> {
+        let client = session.node();
+        self.engine.with_actor_ctx(client, |node, ctx| {
+            node.as_client_mut().unwrap().issue_write(ctx, key, value)
         });
-        if let Err(e) = self.sim.wait_idle(self.client) {
-            self.failed = Some(e);
-        }
+        self.wait_idle(client)?;
+        self.check_interrupted(client)
     }
 
-    /// Predicate read: all `(key, value)` pairs under `prefix`, as UTF-8.
-    pub fn scan(&mut self, prefix: &str) -> Vec<(String, String)> {
-        if self.failed.is_some() || self.aborted {
-            return Vec::new();
-        }
-        let p = Key::from(prefix.to_owned());
-        self.sim.engine.with_actor_ctx(self.client, |node, ctx| {
-            node.as_client_mut().unwrap().issue_scan(ctx, p)
+    fn exec_scan(&mut self, session: &Session, prefix: Key) -> Result<Vec<(Key, Bytes)>, HatError> {
+        let client = session.node();
+        self.engine.with_actor_ctx(client, |node, ctx| {
+            node.as_client_mut().unwrap().issue_scan(ctx, prefix)
         });
-        if let Err(e) = self.sim.wait_idle(self.client) {
-            self.failed = Some(e);
-            return Vec::new();
-        }
-        self.sim
+        self.wait_idle(client)?;
+        self.check_interrupted(client)?;
+        Ok(self
             .engine
-            .actor(self.client)
+            .actor(client)
             .as_client()
             .unwrap()
             .last_scan()
-            .iter()
-            .filter_map(|(k, v)| {
-                let ks = String::from_utf8(k.to_vec()).ok()?;
-                let vs = String::from_utf8(v.to_vec()).ok()?;
-                Some((ks, vs))
-            })
-            .collect()
+            .to_vec())
     }
 
-    /// Marks the transaction internally aborted; subsequent ops are
-    /// no-ops and [`Sim::try_txn`] returns
-    /// [`HatError::InternalAbort`].
-    pub fn abort(&mut self) {
-        if self.aborted || self.failed.is_some() {
-            return;
-        }
-        self.aborted = true;
-        self.sim.engine.with_actor_ctx(self.client, |node, ctx| {
+    fn exec_abort(&mut self, session: &Session) {
+        self.engine.with_actor_ctx(session.node(), |node, ctx| {
             node.as_client_mut().unwrap().abort(ctx)
         });
     }
 
-    /// The error recorded so far, if any (inspection before txn end).
-    pub fn error(&self) -> Option<&HatError> {
-        self.failed.as_ref()
+    fn commit(&mut self, session: &Session) -> Result<(), HatError> {
+        let client = session.node();
+        self.engine.with_actor_ctx(client, |node, ctx| {
+            node.as_client_mut().unwrap().start_commit(ctx)
+        });
+        if let Err(e) = self.wait_idle(client) {
+            self.abandon_client(client);
+            return Err(e);
+        }
+        self.engine.with_actor_ctx(client, |node, ctx| {
+            node.as_client_mut().unwrap().commit_result(ctx)
+        })
+    }
+
+    fn abandon(&mut self, session: &Session) {
+        self.abandon_client(session.node());
+    }
+}
+
+impl Frontend for SimFrontend {
+    fn open_session(&mut self, opts: SessionOptions) -> Session {
+        assert!(
+            self.opened < self.layout.clients.len(),
+            "deployment provisions {} session slot(s); raise \
+             DeploymentBuilder::sessions_per_cluster",
+            self.layout.clients.len()
+        );
+        let idx = self.opened;
+        self.opened += 1;
+        let node = self.layout.clients[idx];
+        self.engine
+            .actor_mut(node)
+            .as_client_mut()
+            .expect("session slot is a client")
+            .set_session_options(opts);
+        Session::new(idx as u32, node, opts)
+    }
+
+    fn run_for(&mut self, d: SimDuration) {
+        self.engine.run_for(d);
+    }
+
+    fn quiesce_duration(&self) -> SimDuration {
+        self.config.quiesce_duration()
+    }
+
+    fn session_metrics(&self, session: &Session) -> ClientMetrics {
+        self.client_metrics(session.node())
+    }
+
+    fn aggregate_metrics(&self) -> ClientMetrics {
+        let mut total = ClientMetrics::default();
+        for &c in &self.layout.clients {
+            total.merge(&self.engine.actor(c).as_client().unwrap().metrics);
+        }
+        total
+    }
+
+    fn take_records(&mut self) -> Vec<TxnRecord> {
+        let mut all = Vec::new();
+        for &c in &self.layout.clients.clone() {
+            let client = self
+                .engine
+                .actor_mut(c)
+                .as_client_mut()
+                .expect("not a client");
+            all.extend(client.take_records());
+        }
+        all.sort_by_key(|r| (r.session, r.session_seq));
+        all
     }
 }

@@ -17,7 +17,7 @@
 //!   attempt (and retry elsewhere on failure — which is exactly how the
 //!   read-your-writes impossibility of §5.1.3 manifests).
 //!
-//! A client is either driven externally (the [`crate::Sim`] facade) or by
+//! A client is either driven externally (a [`crate::Frontend`] backend) or by
 //! a [`TxnSource`] in a closed loop (one transaction completes, the next
 //! begins — the YCSB harness of §6.3).
 
@@ -31,7 +31,7 @@ use bytes::Bytes;
 use hat_sim::{Ctx, NodeId, SimTime};
 use hat_storage::{Key, Record};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Supplies transaction plans to a closed-loop client.
@@ -123,6 +123,11 @@ struct PendingOp {
     attempts: u32,
     /// Value carried for `Lock{then: BufferWrite}`.
     write_value: Option<Bytes>,
+    /// Key of the 2PL lock-timeout timer (the deadlock breaker),
+    /// fixed at first issue. Kept separate from `issue_id`, which
+    /// rotates on every retry — keying the timeout to `issue_id`
+    /// would silently disarm it after the first retry.
+    timeout_issue: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,17 +150,19 @@ struct ActiveTxn {
     /// Buffered writes in program order (last write per key wins).
     write_buffer: Vec<(Key, Bytes)>,
     /// Per-transaction read cache (item cut isolation + per-txn RYW).
-    txn_cache: HashMap<Key, Record>,
-    /// MAV `required` vector (Appendix B).
-    required: HashMap<Key, Timestamp>,
+    /// Ordered map: iteration order must not depend on hash seeds, or
+    /// fixed-seed runs diverge across processes.
+    txn_cache: BTreeMap<Key, Record>,
+    /// MAV `required` vector (Appendix B). Ordered for determinism.
+    required: BTreeMap<Key, Timestamp>,
     phase: Phase,
     /// Remaining plan when driver-driven: `(spec, next_op_index)`.
     plan: Option<(TxnSpec, usize)>,
     op_seq: u32,
     pending: Option<PendingOp>,
     /// Commit phase: op ids of unacknowledged `Put`s and their payloads
-    /// for retry.
-    commit_waiting: HashMap<u32, (Key, Record, NodeId)>,
+    /// for retry. Ordered so commit-retry resend order is deterministic.
+    commit_waiting: BTreeMap<u32, (Key, Record, NodeId)>,
     /// Commit-phase retries so far (drives exponential backoff).
     commit_attempts: u32,
     /// Issue id of the live commit retry timer (stale timers are
@@ -175,10 +182,11 @@ pub struct Client {
     session: SessionOptions,
     tsgen: TimestampGen,
     session_seq: u64,
-    /// Cross-transaction cache for Monotonic/Causal sessions.
-    session_cache: HashMap<Key, Record>,
+    /// Cross-transaction cache for Monotonic/Causal sessions. Ordered
+    /// for deterministic folds.
+    session_cache: BTreeMap<Key, Record>,
     /// Cross-transaction `required` floor for Causal sessions.
-    causal_required: HashMap<Key, Timestamp>,
+    causal_required: BTreeMap<Key, Timestamp>,
     current: Option<ActiveTxn>,
     /// Key/value pairs of the most recent scan response (facade access).
     last_scan: Vec<(Key, Bytes)>,
@@ -212,8 +220,8 @@ impl Client {
             session,
             tsgen: TimestampGen::new(client_idx),
             session_seq: 0,
-            session_cache: HashMap::new(),
-            causal_required: HashMap::new(),
+            session_cache: BTreeMap::new(),
+            causal_required: BTreeMap::new(),
             current: None,
             last_scan: Vec::new(),
             metrics: ClientMetrics::default(),
@@ -227,6 +235,26 @@ impl Client {
     pub fn with_driver(mut self, driver: Box<dyn TxnSource>) -> Self {
         self.driver = Some(driver);
         self
+    }
+
+    /// The session options this client currently runs with.
+    pub fn session_options(&self) -> SessionOptions {
+        self.session
+    }
+
+    /// Replaces the session options. Frontends call this when a
+    /// [`crate::Session`] is opened over this client, so each session
+    /// carries its own guarantee level and stickiness.
+    ///
+    /// # Panics
+    /// Panics if a transaction is active (options may not change
+    /// mid-transaction).
+    pub fn set_session_options(&mut self, opts: SessionOptions) {
+        assert!(
+            self.current.is_none(),
+            "cannot change session options mid-transaction"
+        );
+        self.session = opts;
     }
 
     /// The node id of this client.
@@ -278,6 +306,58 @@ impl Client {
         self.current.as_ref().and_then(|t| t.ops_done.last())
     }
 
+    /// The last completed item read as the frontend-facing value
+    /// (`None` for the initial `⊥` version or if the last op was not a
+    /// read). Shared by every backend so the read mapping cannot
+    /// diverge between them.
+    pub fn last_read_value(&self) -> Option<Bytes> {
+        match self.last_op() {
+            Some(OpRecord::Read {
+                observed, value, ..
+            }) if !observed.is_initial() => Some(value.clone()),
+            _ => None,
+        }
+    }
+
+    /// Maps the finished transaction's outcome to the frontend-facing
+    /// commit result. A missing outcome (the commit never resolved)
+    /// abandons the transaction and reports unavailability. Shared by
+    /// every backend so outcome reporting cannot diverge between them.
+    pub fn commit_result(&mut self, ctx: &mut Ctx<'_, Msg>) -> Result<(), crate::error::HatError> {
+        use crate::error::HatError;
+        match self.txn_outcome() {
+            Some(TxnOutcome::Committed) => Ok(()),
+            Some(TxnOutcome::AbortedExternal) => Err(HatError::ExternalAbort {
+                reason: "system abort during commit".into(),
+            }),
+            Some(TxnOutcome::AbortedInternal) => Err(HatError::InternalAbort {
+                reason: "transaction aborted".into(),
+            }),
+            None => {
+                self.abandon(ctx);
+                Err(HatError::Unavailable { key: None })
+            }
+        }
+    }
+
+    /// If the transaction finished *during* an operation — a 2PL lock
+    /// timeout externally aborts mid-op, for instance — the operation
+    /// itself must fail, per the typed-API contract that aborts surface
+    /// at the failing operation. `None` while the transaction is still
+    /// executing (or after it committed).
+    pub fn op_interrupted(&self) -> Option<crate::error::HatError> {
+        use crate::error::HatError;
+        match self.txn_outcome() {
+            Some(TxnOutcome::AbortedExternal) => Some(HatError::ExternalAbort {
+                reason: "system abort mid-operation".into(),
+            }),
+            Some(TxnOutcome::AbortedInternal) => Some(HatError::InternalAbort {
+                reason: "transaction aborted".into(),
+            }),
+            _ => None,
+        }
+    }
+
     /// Key/value pairs of the most recent scan response.
     pub fn last_scan(&self) -> &[(Key, Bytes)] {
         &self.last_scan
@@ -304,13 +384,13 @@ impl Client {
             started: now,
             ops_done: Vec::new(),
             write_buffer: Vec::new(),
-            txn_cache: HashMap::new(),
-            required: HashMap::new(),
+            txn_cache: BTreeMap::new(),
+            required: BTreeMap::new(),
             phase: Phase::Executing,
             plan: None,
             op_seq: 0,
             pending: None,
-            commit_waiting: HashMap::new(),
+            commit_waiting: BTreeMap::new(),
             commit_attempts: 0,
             commit_issue: 0,
             locks_held: Vec::new(),
@@ -384,6 +464,7 @@ impl Client {
             issue_id,
             attempts: 0,
             write_value: None,
+            timeout_issue: 0,
         });
         let id = txn_state.id;
         for s in servers {
@@ -434,6 +515,7 @@ impl Client {
                     issue_id,
                     attempts: 0,
                     write_value: None,
+                    timeout_issue: 0,
                 });
                 ctx.send(
                     target,
@@ -471,7 +553,7 @@ impl Client {
                 // Deduplicate: last value per key, preserving first-write
                 // order; attach the sibling list for MAV.
                 let mut keys: Vec<Key> = Vec::new();
-                let mut values: HashMap<Key, Bytes> = HashMap::new();
+                let mut values: BTreeMap<Key, Bytes> = BTreeMap::new();
                 for (k, v) in &txn.write_buffer {
                     if !keys.contains(k) {
                         keys.push(k.clone());
@@ -518,7 +600,7 @@ impl Client {
                 let txn = self.current.as_mut().unwrap();
                 let mut to_send = Vec::new();
                 let mut keys: Vec<Key> = Vec::new();
-                let mut values: HashMap<Key, Bytes> = HashMap::new();
+                let mut values: BTreeMap<Key, Bytes> = BTreeMap::new();
                 for (k, v) in &txn.write_buffer {
                     if !keys.contains(k) {
                         keys.push(k.clone());
@@ -583,19 +665,34 @@ impl Client {
         ts
     }
 
-    /// Allocates an issue id and schedules its retry timer with
-    /// exponential backoff in `attempts` (1x, 2x, 4x, 8x, then capped at
-    /// 16x the base retry interval) — without backoff, a saturated
-    /// server turns slow commits into a retry storm.
+    /// Allocates an issue id and schedules its retry timer according to
+    /// the configured [`crate::RetryPolicy`] (exponential backoff by
+    /// default — without backoff, a saturated server turns slow commits
+    /// into a retry storm).
     fn next_issue(&mut self, ctx: &mut Ctx<'_, Msg>, attempts: u32) -> u64 {
         self.issue_counter += 1;
         let id = self.issue_counter;
-        let delay = self
-            .config
-            .retry_interval
-            .saturating_mul(1u64 << attempts.min(4));
-        ctx.set_timer(delay, id);
+        ctx.set_timer(self.config.retry.backoff(attempts), id);
         id
+    }
+
+    /// The `required` lower bound a `Get` for `key` must carry: the
+    /// transaction's MAV `required` entry joined with the session's
+    /// cross-transaction causal floor. Both the initial send and every
+    /// retry must go through this — a retry that forgets the session
+    /// floor can observe a causally stale version.
+    fn required_floor(&self, key: &Key) -> Timestamp {
+        let mut required = self
+            .current
+            .as_ref()
+            .and_then(|t| t.required.get(key).copied())
+            .unwrap_or(Timestamp::INITIAL);
+        if self.session.level == SessionLevel::Causal {
+            if let Some(&floor) = self.causal_required.get(key) {
+                required = required.max(floor);
+            }
+        }
+        required
     }
 
     /// Chooses the replica to contact for `key`.
@@ -614,15 +711,10 @@ impl Client {
     fn send_get(&mut self, ctx: &mut Ctx<'_, Msg>, key: Key) {
         let target = self.pick_replica(ctx, &key);
         let issue_id = self.next_issue(ctx, 0);
+        let required = self.required_floor(&key);
         let txn = self.current.as_mut().unwrap();
         let op = txn.op_seq;
         txn.op_seq += 1;
-        let mut required = *txn.required.get(&key).unwrap_or(&Timestamp::INITIAL);
-        if self.session.level == SessionLevel::Causal {
-            if let Some(&floor) = self.causal_required.get(&key) {
-                required = required.max(floor);
-            }
-        }
         txn.pending = Some(PendingOp {
             kind: PendingKind::Read { key: key.clone() },
             op,
@@ -631,6 +723,7 @@ impl Client {
             issue_id,
             attempts: 0,
             write_value: None,
+            timeout_issue: 0,
         });
         ctx.send(
             target,
@@ -670,6 +763,7 @@ impl Client {
             issue_id,
             attempts: 0,
             write_value: value,
+            timeout_issue: issue_id,
         });
         ctx.send(
             target,
@@ -689,8 +783,9 @@ impl Client {
         if txn.locks_held.is_empty() {
             return;
         }
-        // Group keys per lock master.
-        let mut per_master: HashMap<NodeId, Vec<Key>> = HashMap::new();
+        // Group keys per lock master (ordered: unlock send order must
+        // not depend on hash seeds).
+        let mut per_master: BTreeMap<NodeId, Vec<Key>> = BTreeMap::new();
         for (k, master) in txn.locks_held.drain(..) {
             per_master.entry(master).or_default().push(k);
         }
@@ -716,7 +811,7 @@ impl Client {
                     self.session.level,
                     SessionLevel::Monotonic | SessionLevel::Causal
                 ) {
-                    for (k, r) in txn.txn_cache.drain() {
+                    for (k, r) in std::mem::take(&mut txn.txn_cache) {
                         let newer = self
                             .session_cache
                             .get(&k)
@@ -733,7 +828,7 @@ impl Client {
                     }
                 }
                 if self.session.level == SessionLevel::Causal {
-                    for (k, ts) in txn.required.drain() {
+                    for (k, ts) in std::mem::take(&mut txn.required) {
                         let e = self.causal_required.entry(k).or_insert(ts);
                         *e = (*e).max(ts);
                     }
@@ -786,13 +881,20 @@ impl Client {
     /// unavailability: outstanding requests are forgotten and the
     /// transaction counts as externally aborted. Responses that straggle
     /// in later are ignored (they no longer match a pending op).
-    pub fn abandon(&mut self) {
-        let Some(mut txn) = self.current.take() else {
+    pub fn abandon(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.current.is_none() {
             return;
-        };
-        if matches!(txn.phase, Phase::Done(_)) {
-            return; // already finished; nothing to record
         }
+        if matches!(self.current.as_ref().map(|t| t.phase), Some(Phase::Done(_))) {
+            // already finished (and any locks released); nothing to record
+            self.current = None;
+            return;
+        }
+        // Release any 2PL locks still held before forgetting the
+        // transaction — leaking them would wedge those keys for every
+        // other session until the run ends.
+        self.release_locks(ctx);
+        let mut txn = self.current.take().expect("checked above");
         txn.pending = None;
         txn.commit_waiting.clear();
         self.metrics.aborted_external += 1;
@@ -1047,6 +1149,7 @@ impl Client {
                     issue_id,
                     attempts: 0,
                     write_value: None,
+                    timeout_issue: 0,
                 });
                 ctx.send(
                     pending.target,
@@ -1094,7 +1197,7 @@ impl Client {
             .current
             .as_ref()
             .and_then(|t| t.pending.as_ref())
-            .map(|p| p.issue_id == issue_id && matches!(p.kind, PendingKind::Lock { .. }))
+            .map(|p| p.timeout_issue == issue_id && matches!(p.kind, PendingKind::Lock { .. }))
             .unwrap_or(false);
         if !waiting {
             return;
@@ -1159,6 +1262,13 @@ impl Client {
             pending.attempts += 1;
             let issue_id = self.next_issue(ctx, pending.attempts);
             let target = pending.target;
+            // Same helper as the initial send: the retried Get must
+            // carry the full floor (txn `required` ∨ causal session
+            // floor), or a Causal-session retry can read stale data.
+            let retry_required = match &pending.kind {
+                PendingKind::Read { key } => self.required_floor(key),
+                _ => Timestamp::INITIAL,
+            };
             let txn = self.current.as_mut().unwrap();
             pending.issue_id = issue_id;
             let msg = match &pending.kind {
@@ -1166,7 +1276,7 @@ impl Client {
                     txn: id,
                     op: pending.op,
                     key: key.clone(),
-                    required: *txn.required.get(key).unwrap_or(&Timestamp::INITIAL),
+                    required: retry_required,
                 },
                 PendingKind::Scan { .. } => unreachable!("handled above"),
                 PendingKind::WriteNow { key, value } => Msg::Put {

@@ -142,6 +142,53 @@ impl ServiceModel {
     }
 }
 
+/// Client retry/backoff policy for outstanding requests.
+///
+/// Replaces the previously hardcoded backoff constants: a retried
+/// request waits `base × multiplier^min(attempts, max_exponent)` before
+/// the next attempt. Without the exponential component a saturated
+/// server turns slow commits into a retry storm; the cap keeps sticky
+/// clients probing often enough to notice a healed partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Per-attempt backoff multiplier.
+    pub multiplier: u64,
+    /// Exponent cap: attempts beyond this reuse the maximum delay.
+    pub max_exponent: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_millis(1000),
+            multiplier: 2,
+            max_exponent: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A fixed-interval policy (no exponential growth).
+    pub fn fixed(interval: SimDuration) -> Self {
+        RetryPolicy {
+            base: interval,
+            multiplier: 1,
+            max_exponent: 0,
+        }
+    }
+
+    /// The delay scheduled after `attempts` failed tries.
+    pub fn backoff(&self, attempts: u32) -> SimDuration {
+        let factor = self
+            .multiplier
+            .max(1)
+            .saturating_pow(attempts.min(self.max_exponent));
+        self.base.saturating_mul(factor)
+    }
+}
+
 /// Full deployment configuration shared by servers and clients.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -151,14 +198,18 @@ pub struct SystemConfig {
     pub service: ServiceModel,
     /// Anti-entropy gossip period between sibling replicas.
     pub anti_entropy_interval: SimDuration,
-    /// Client retry interval for outstanding requests.
-    pub retry_interval: SimDuration,
+    /// Client retry/backoff policy for outstanding requests.
+    pub retry: RetryPolicy,
     /// Per-operation deadline after which the facade reports
     /// unavailability.
     pub op_deadline: SimDuration,
     /// 2PL: how long a lock request may wait before the system aborts the
     /// transaction (external abort; also the deadlock breaker).
     pub lock_timeout: SimDuration,
+    /// Upper bound on one WAN round trip (the largest Table 1c mean is
+    /// São Paulo–Singapore at ~363ms). Used to derive the quiesce
+    /// duration.
+    pub wan_rtt_bound: SimDuration,
     /// Whether clients record full [`crate::TxnRecord`] histories (turn
     /// off for throughput runs).
     pub record_history: bool,
@@ -171,13 +222,38 @@ impl SystemConfig {
             protocol,
             service: ServiceModel::default(),
             anti_entropy_interval: SimDuration::from_millis(10),
-            retry_interval: SimDuration::from_millis(1000),
+            retry: RetryPolicy::default(),
             op_deadline: SimDuration::from_secs(30),
             lock_timeout: SimDuration::from_secs(10),
+            wan_rtt_bound: SimDuration::from_millis(400),
             record_history: true,
         }
     }
+
+    /// How long a deployment must run, mutation-free, for replication to
+    /// quiesce: enough anti-entropy rounds *and* WAN round trips for
+    /// every write (and, under MAV, every sibling notification) to reach
+    /// every replica. Derived rather than hardcoded so deployments with
+    /// faster gossip or shorter links quiesce proportionally faster.
+    pub fn quiesce_duration(&self) -> SimDuration {
+        self.quiesce_duration_scaled(1.0)
+    }
+
+    /// [`SystemConfig::quiesce_duration`] with the WAN term scaled by
+    /// `wan_scale` — for runtimes that scale network latency but run
+    /// timers (the anti-entropy term) in real time, like the threaded
+    /// runtime's `latency_scale`.
+    pub fn quiesce_duration_scaled(&self, wan_scale: f64) -> SimDuration {
+        let wan =
+            SimDuration::from_micros((self.wan_rtt_bound.as_micros() as f64 * wan_scale) as u64);
+        (self.anti_entropy_interval + wan).saturating_mul(QUIESCE_ROUNDS)
+    }
 }
+
+/// Rounds of (anti-entropy interval + WAN RTT) covered by a quiesce:
+/// gossip propagation is clique-wide, but MAV promotion needs a write to
+/// replicate *and* its notifications to fan back in, with retries.
+const QUIESCE_ROUNDS: u64 = 5;
 
 #[cfg(test)]
 mod tests {
@@ -215,6 +291,26 @@ mod tests {
         let long = m.mav_write(1898); // 128-op txn overhead
         assert!(long > short);
         assert!(long.as_micros() > m.write().as_micros());
+    }
+
+    #[test]
+    fn retry_policy_backs_off_exponentially_with_cap() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), SimDuration::from_millis(1000));
+        assert_eq!(p.backoff(1), SimDuration::from_millis(2000));
+        assert_eq!(p.backoff(4), SimDuration::from_millis(16000));
+        assert_eq!(p.backoff(9), p.backoff(4), "capped at max_exponent");
+        let f = RetryPolicy::fixed(SimDuration::from_millis(50));
+        assert_eq!(f.backoff(7), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn quiesce_duration_tracks_config() {
+        let mut c = SystemConfig::new(ProtocolKind::Mav);
+        let slow = c.quiesce_duration();
+        c.anti_entropy_interval = SimDuration::from_millis(1);
+        c.wan_rtt_bound = SimDuration::from_millis(10);
+        assert!(c.quiesce_duration() < slow, "faster links quiesce faster");
     }
 
     #[test]

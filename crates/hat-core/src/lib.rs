@@ -21,34 +21,40 @@
 //! [`protocol::ProtocolEngine`] implementation plugged into the
 //! protocol-agnostic [`Server`]; new levels register in
 //! [`protocol::engine_for`] or inject through
-//! [`SimulationBuilder::engine_factory`] without touching the server.
+//! [`DeploymentBuilder::engine_factory`] without touching the server.
 //!
 //! ## High-level API
 //!
-//! [`SimulationBuilder`] assembles a cluster deployment and exposes a
-//! synchronous transaction facade:
+//! [`DeploymentBuilder`] assembles a cluster deployment;
+//! [`Frontend::open_session`] opens sessions with per-session options;
+//! [`Frontend::txn`] runs interactive transactions with typed results:
 //!
 //! ```
-//! use hat_core::{ClusterSpec, ProtocolKind, SimulationBuilder};
+//! use hat_core::{
+//!     ClusterSpec, DeploymentBuilder, Frontend, ProtocolKind, SessionOptions,
+//! };
 //!
-//! let mut sim = SimulationBuilder::new(ProtocolKind::ReadCommitted)
+//! let mut front = DeploymentBuilder::new(ProtocolKind::ReadCommitted)
 //!     .seed(7)
 //!     .clusters(ClusterSpec::single_dc(2, 3))
 //!     .build();
-//! let c = sim.client(0);
-//! sim.txn(c, |t| {
-//!     t.put("greeting", "hello");
-//! });
-//! sim.settle();
-//! let v = sim.txn(c, |t| t.get("greeting"));
+//! let session = front.open_session(SessionOptions::default());
+//! front.txn(&session, |t| t.put("greeting", "hello"));
+//! front.quiesce();
+//! let v = front.txn(&session, |t| t.get("greeting"));
 //! assert_eq!(v.as_deref(), Some("hello"));
 //! ```
+//!
+//! The same code runs against the threaded runtime by swapping
+//! `build()` for `build_threaded()` (from the `hat-runtime` crate) —
+//! [`Frontend`] is the backend-agnostic surface.
 
 pub mod api;
 pub mod client;
 pub mod cluster;
 pub mod config;
 pub mod error;
+pub mod frontend;
 pub mod messages;
 pub mod metrics;
 pub mod node;
@@ -59,11 +65,12 @@ pub mod taxonomy;
 pub mod timestamp;
 pub mod txn;
 
-pub use api::{Sim, SimulationBuilder, TxnCtx};
+pub use api::{DeploymentBuilder, SimFrontend};
 pub use client::{Client, SessionLevel, SessionOptions};
 pub use cluster::{ClusterLayout, ClusterSpec};
-pub use config::{ProtocolKind, ServiceModel, SystemConfig};
+pub use config::{ProtocolKind, RetryPolicy, ServiceModel, SystemConfig};
 pub use error::HatError;
+pub use frontend::{Frontend, Session, TxnBackend, TxnCtx};
 pub use messages::Msg;
 pub use metrics::ClientMetrics;
 pub use node::Node;

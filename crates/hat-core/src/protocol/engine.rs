@@ -178,7 +178,7 @@ pub fn lww_apply(view: &mut ServerView<'_>, key: Key, record: Record) {
 /// Builds the engine for a built-in protocol kind. This registry is the
 /// single place a new engine is wired up; custom engines can instead be
 /// injected through [`crate::Server::with_engine`] or
-/// [`crate::SimulationBuilder::engine_factory`].
+/// [`crate::DeploymentBuilder::engine_factory`].
 pub fn engine_for(kind: ProtocolKind) -> Box<dyn ProtocolEngine> {
     match kind {
         ProtocolKind::Eventual => Box::new(crate::protocol::eventual::EventualEngine),

@@ -27,7 +27,7 @@ use crate::protocol::engine::{ProtocolEngine, ServerView};
 use crate::timestamp::Timestamp;
 use hat_sim::{Ctx, NodeId, SimDuration};
 use hat_storage::{Key, Memtable, Record, Store};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Outcome of receiving a write at a MAV replica.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,16 +47,19 @@ pub struct ReceiveOutcome {
 pub struct MavState {
     /// Writes not yet pending-stable.
     pending: Memtable,
-    /// Keys held in `pending` per transaction timestamp.
-    pending_by_ts: HashMap<Timestamp, Vec<Key>>,
+    /// Keys held in `pending` per transaction timestamp. Ordered: the
+    /// anti-entropy replay loop iterates this map, and with a hashed map
+    /// the notification send order (hence the whole event schedule)
+    /// would vary across processes even at a fixed seed.
+    pending_by_ts: BTreeMap<Timestamp, Vec<Key>>,
     /// Distinct notifications per transaction: `(origin server, key)`
     /// pairs. Keyed so retransmitted notifications are idempotent —
     /// necessary because notifications dropped by a partition are re-sent
     /// on the anti-entropy timer for writes still pending.
-    acks: HashMap<Timestamp, HashSet<(NodeId, Key)>>,
+    acks: BTreeMap<Timestamp, BTreeSet<(NodeId, Key)>>,
     /// Required notification counts (`siblings × clusters`), learned from
     /// the first write of the transaction that arrives here.
-    expected: HashMap<Timestamp, u32>,
+    expected: BTreeMap<Timestamp, u32>,
     /// Reads that had to fall back because neither `good` nor `pending`
     /// satisfied the `required` bound. Must stay 0 in a correct run; the
     /// test suite asserts on it.
@@ -181,8 +184,7 @@ impl MavState {
     /// promoted whose timestamps sort below `bound` (long-run memory
     /// bound). Pending (unpromoted) transactions are retained.
     pub fn gc_acks(&mut self, bound: Timestamp) {
-        let retained: std::collections::HashSet<Timestamp> =
-            self.pending_by_ts.keys().copied().collect();
+        let retained: BTreeSet<Timestamp> = self.pending_by_ts.keys().copied().collect();
         self.acks
             .retain(|ts, _| *ts >= bound || retained.contains(ts));
         self.expected

@@ -5,7 +5,7 @@
 //! 'NewSQL' functionality ... only three out of 18 databases provided
 //! serializability by default, and eight did not provide serializability
 //! as an option at all." The dataset is reproduced verbatim (as of
-//! January 2013, from the paper's reference [8]).
+//! January 2013, from the paper's reference \[8\]).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

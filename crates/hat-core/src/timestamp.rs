@@ -3,7 +3,7 @@
 //! §5.1.1: Read Uncommitted "is easily achieved by marking each of a
 //! transaction's writes with the same timestamp (unique across
 //! transactions; e.g., combining a client's ID with a sequence number)".
-//! The storage layer's [`VersionStamp`] is exactly that encoding, so we
+//! The storage layer's [`VersionStamp`](hat_storage::VersionStamp) is exactly that encoding, so we
 //! reuse it as the transaction timestamp type.
 
 pub use hat_storage::VersionStamp as Timestamp;

@@ -1,48 +1,48 @@
 //! Protocol-level integration tests: the constructive results of §5.1
 //! and the impossibility results of §5.2, exercised end-to-end through
-//! the simulation facade.
+//! the backend-agnostic frontend over the simulator.
 
 use hat_core::{
-    ClusterSpec, HatError, ProtocolKind, SessionLevel, SessionOptions, SimulationBuilder,
+    ClusterSpec, DeploymentBuilder, Frontend, HatError, ProtocolKind, SessionLevel, SessionOptions,
 };
 use hat_sim::{Partition, PartitionSchedule, SimDuration, SimTime};
 
 /// §5.1.4 convergence: in the absence of new mutations, all replicas
-/// eventually agree — a write from one cluster's client becomes visible
-/// to a client of another cluster.
+/// eventually agree — a write from one cluster's session becomes visible
+/// to a session of another cluster.
 #[test]
 fn eventual_converges_across_clusters() {
-    let mut sim = SimulationBuilder::new(ProtocolKind::Eventual)
+    let mut front = DeploymentBuilder::new(ProtocolKind::Eventual)
         .seed(1)
         .clusters(ClusterSpec::va_or(3))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .build();
-    let c0 = sim.client(0); // home: cluster 0 (Virginia)
-    let c1 = sim.client(1); // home: cluster 1 (Oregon)
-    sim.txn(c0, |t| t.put("x", "from-virginia"));
-    sim.settle();
-    let v = sim.txn(c1, |t| t.get("x"));
+    let s0 = front.open_session(SessionOptions::default()); // home: Virginia
+    let s1 = front.open_session(SessionOptions::default()); // home: Oregon
+    front.txn(&s0, |t| t.put("x", "from-virginia"));
+    front.quiesce();
+    let v = front.txn(&s1, |t| t.get("x"));
     assert_eq!(v.as_deref(), Some("from-virginia"));
 }
 
-/// Read Committed write buffering: another client never observes a value
+/// Read Committed write buffering: another session never observes a value
 /// before the writer commits (no dirty reads).
 #[test]
 fn rc_has_no_dirty_reads() {
-    let mut sim = SimulationBuilder::new(ProtocolKind::ReadCommitted)
+    let mut front = DeploymentBuilder::new(ProtocolKind::ReadCommitted)
         .seed(2)
         .clusters(ClusterSpec::single_dc(2, 2))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .build();
-    let c0 = sim.client(0);
-    let c1 = sim.client(1);
+    let s0 = front.open_session(SessionOptions::default());
+    let s1 = front.open_session(SessionOptions::default());
     // Writes buffer client-side, so nothing is visible even mid-txn;
     // we approximate "mid-transaction" by checking before any commit.
-    let v = sim.txn(c1, |t| t.get("dirty"));
+    let v = front.txn(&s1, |t| t.get("dirty"));
     assert_eq!(v, None);
-    sim.txn(c0, |t| t.put("dirty", "now-committed"));
-    sim.settle();
-    let v = sim.txn(c1, |t| t.get("dirty"));
+    front.txn(&s0, |t| t.put("dirty", "now-committed"));
+    front.quiesce();
+    let v = front.txn(&s1, |t| t.get("dirty"));
     assert_eq!(v.as_deref(), Some("now-committed"));
 }
 
@@ -51,28 +51,28 @@ fn rc_has_no_dirty_reads() {
 /// clusters, a reader must never see y's new version but x's old one.
 #[test]
 fn mav_atomic_visibility() {
-    let mut sim = SimulationBuilder::new(ProtocolKind::Mav)
+    let mut front = DeploymentBuilder::new(ProtocolKind::Mav)
         .seed(3)
         .clusters(ClusterSpec::va_or(3))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .build();
-    let writer = sim.client(0);
-    let reader = sim.client(1);
+    let writer = front.open_session(SessionOptions::default());
+    let reader = front.open_session(SessionOptions::default());
     // initial values
-    sim.txn(writer, |t| {
-        t.put("acct-a", "0");
-        t.put("acct-b", "0");
+    front.txn(&writer, |t| {
+        t.put("acct-a", "0")?;
+        t.put("acct-b", "0")
     });
-    sim.settle();
+    front.quiesce();
     for round in 1..=5 {
         let v = format!("{round}");
-        sim.txn(writer, |t| {
-            t.put("acct-a", &v);
-            t.put("acct-b", &v);
+        front.txn(&writer, |t| {
+            t.put("acct-a", &v)?;
+            t.put("acct-b", &v)
         });
         // Read at arbitrary intermediate points, including right away.
         for _ in 0..3 {
-            let (a, b) = sim.txn(reader, |t| (t.get("acct-a"), t.get("acct-b")));
+            let (a, b) = front.txn(&reader, |t| Ok((t.get("acct-a")?, t.get("acct-b")?)));
             let a: u64 = a.unwrap_or_default().parse().unwrap_or(0);
             let b: u64 = b.unwrap_or_default().parse().unwrap_or(0);
             // MAV: having observed acct-a = v, the same txn must observe
@@ -81,41 +81,41 @@ fn mav_atomic_visibility() {
                 b >= a,
                 "round {round}: read a={a} then b={b}: atomic view violated"
             );
-            sim.run_for(SimDuration::from_millis(37));
+            front.run_for(SimDuration::from_millis(37));
         }
     }
     assert_eq!(
-        sim.mav_required_misses(),
+        front.mav_required_misses(),
         0,
         "required bound always satisfiable"
     );
 }
 
 /// Master provides per-key linearizability: a committed write is
-/// immediately visible to every client (all ops route to the master).
+/// immediately visible to every session (all ops route to the master).
 #[test]
 fn master_reads_latest_write() {
-    let mut sim = SimulationBuilder::new(ProtocolKind::Master)
+    let mut front = DeploymentBuilder::new(ProtocolKind::Master)
         .seed(4)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .build();
-    let c0 = sim.client(0);
-    let c1 = sim.client(1);
-    sim.txn(c0, |t| t.put("k", "v1"));
-    // No settle: master reads must see it immediately.
-    let v = sim.txn(c1, |t| t.get("k"));
+    let s0 = front.open_session(SessionOptions::default());
+    let s1 = front.open_session(SessionOptions::default());
+    front.txn(&s0, |t| t.put("k", "v1"));
+    // No quiesce: master reads must see it immediately.
+    let v = front.txn(&s1, |t| t.get("k"));
     assert_eq!(v.as_deref(), Some("v1"));
 }
 
 /// §5.2.2 / Table 3: master (recency) is unavailable under partition —
-/// a client cut off from a key's master cannot complete operations.
+/// a session cut off from a key's master cannot complete operations.
 #[test]
 fn master_unavailable_under_partition() {
-    let sim = SimulationBuilder::new(ProtocolKind::Master)
+    let probe = DeploymentBuilder::new(ProtocolKind::Master)
         .seed(5)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .build();
     // find a key mastered in cluster 1 so that partitioning the client
     // from cluster 1 blocks it
@@ -123,31 +123,32 @@ fn master_unavailable_under_partition() {
         .map(|i| format!("k{i}"))
         .find(|k| {
             let key = hat_storage::Key::from(k.clone());
-            let master = sim.layout().master(&key);
-            sim.layout().cluster_of(master) == Some(1)
+            let master = probe.layout().master(&key);
+            probe.layout().cluster_of(master) == Some(1)
         })
         .expect("some key is mastered in cluster 1");
     // partition cluster 1 from everyone, starting now, forever
-    let side_a: Vec<u32> = sim.layout().servers[1].clone();
-    let mut others: Vec<u32> = sim.layout().servers[0].clone();
-    others.extend(sim.layout().clients.iter().copied());
-    let mut sim = SimulationBuilder::new(ProtocolKind::Master)
+    let side_a: Vec<u32> = probe.layout().servers[1].clone();
+    let mut others: Vec<u32> = probe.layout().servers[0].clone();
+    others.extend(probe.layout().clients.iter().copied());
+    drop(probe);
+    let mut front = DeploymentBuilder::new(ProtocolKind::Master)
         .seed(5)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .partitions(PartitionSchedule::from_partitions(vec![
             Partition::forever(SimTime::ZERO, side_a, others),
         ]))
         .build();
-    let c0 = sim.client(0);
-    let err = sim
-        .try_txn(c0, |t| t.get(&key))
+    let s0 = front.open_session(SessionOptions::default());
+    let err = front
+        .try_txn(&s0, |t| t.get(&key))
         .expect_err("read of a partitioned master must not complete");
     assert!(matches!(err, HatError::Unavailable { .. }), "{err}");
 }
 
 /// The same partition leaves HAT protocols fully available: a sticky
-/// client of the healthy cluster commits normally. Note the Monotonic
+/// session of the healthy cluster commits normally. Note the Monotonic
 /// session level: MAV's *visibility* of new writes is indefinitely
 /// delayed under partition (its good-set promotion needs the remote
 /// cluster's acknowledgements), so reading your own write back relies on
@@ -160,47 +161,46 @@ fn hat_protocols_available_under_partition() {
         ProtocolKind::ReadCommitted,
         ProtocolKind::Mav,
     ] {
-        let probe = SimulationBuilder::new(protocol)
+        let probe = DeploymentBuilder::new(protocol)
             .seed(6)
             .clusters(ClusterSpec::va_or(2))
-            .clients_per_cluster(1)
+            .sessions_per_cluster(1)
             .build();
         let cluster1: Vec<u32> = probe.layout().servers[1].clone();
         let mut cluster0_and_clients: Vec<u32> = probe.layout().servers[0].clone();
         cluster0_and_clients.push(probe.client(0));
         drop(probe);
 
-        let mut sim = SimulationBuilder::new(protocol)
+        let mut front = DeploymentBuilder::new(protocol)
             .seed(6)
             .clusters(ClusterSpec::va_or(2))
-            .clients_per_cluster(1)
-            .session(SessionOptions {
-                level: SessionLevel::Monotonic,
-                sticky: true,
-            })
+            .sessions_per_cluster(1)
             .partitions(PartitionSchedule::from_partitions(vec![
                 Partition::forever(SimTime::ZERO, cluster1, cluster0_and_clients),
             ]))
             .build();
-        let c0 = sim.client(0); // sticky to healthy cluster 0
+        let s0 = front.open_session(SessionOptions {
+            level: SessionLevel::Monotonic,
+            sticky: true, // sticky to healthy cluster 0
+        });
         for i in 0..10 {
             let k = format!("k{i}");
-            sim.txn(c0, |t| t.put(&k, "v"));
-            let v = sim.txn(c0, |t| t.get(&k));
+            front.txn(&s0, |t| t.put(&k, "v"));
+            let v = front.txn(&s0, |t| t.get(&k));
             assert_eq!(v.as_deref(), Some("v"), "{protocol:?} must stay available");
         }
     }
 }
 
 /// §5.2.1: Lost Update cannot be prevented by any HAT protocol. Two
-/// clients on opposite sides of a partition both read x=100 and write
+/// sessions on opposite sides of a partition both read x=100 and write
 /// back x+=20 / x+=30; after healing, one update is lost (LWW keeps one).
 #[test]
 fn lost_update_happens_under_partition() {
-    let probe = SimulationBuilder::new(ProtocolKind::Eventual)
+    let probe = DeploymentBuilder::new(ProtocolKind::Eventual)
         .seed(7)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .build();
     let side_a: Vec<u32> = probe.layout().servers[0]
         .iter()
@@ -214,10 +214,10 @@ fn lost_update_happens_under_partition() {
         .collect();
     drop(probe);
 
-    let mut sim = SimulationBuilder::new(ProtocolKind::Eventual)
+    let mut front = DeploymentBuilder::new(ProtocolKind::Eventual)
         .seed(7)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .partitions(PartitionSchedule::from_partitions(vec![Partition::new(
             SimTime::from_secs(3),
             SimTime::from_secs(30),
@@ -225,31 +225,31 @@ fn lost_update_happens_under_partition() {
             side_b,
         )]))
         .build();
-    let c0 = sim.client(0);
-    let c1 = sim.client(1);
+    let s0 = front.open_session(SessionOptions::default());
+    let s1 = front.open_session(SessionOptions::default());
     // seed x=100 before the partition
-    sim.txn(c0, |t| t.put("x", "100"));
-    sim.settle(); // both clusters have x=100; partition starts at t=3s
-    sim.run_for(SimDuration::from_secs(2));
+    front.txn(&s0, |t| t.put("x", "100"));
+    front.quiesce(); // both clusters have x=100; partition starts at t=3s
+    front.run_for(SimDuration::from_secs(2));
 
     // both sides increment concurrently during the partition
-    let a = sim.txn(c0, |t| {
-        let v: u64 = t.get("x").unwrap().parse().unwrap();
-        t.put("x", &format!("{}", v + 20));
-        v + 20
+    let a = front.txn(&s0, |t| {
+        let v: u64 = t.get("x")?.unwrap().parse().unwrap();
+        t.put("x", &format!("{}", v + 20))?;
+        Ok(v + 20)
     });
-    let b = sim.txn(c1, |t| {
-        let v: u64 = t.get("x").unwrap().parse().unwrap();
-        t.put("x", &format!("{}", v + 30));
-        v + 30
+    let b = front.txn(&s1, |t| {
+        let v: u64 = t.get("x")?.unwrap().parse().unwrap();
+        t.put("x", &format!("{}", v + 30))?;
+        Ok(v + 30)
     });
     assert_eq!((a, b), (120, 130), "both committed against x=100");
 
     // heal and converge
-    sim.run_for(SimDuration::from_secs(30));
-    sim.settle();
-    let v0 = sim.txn(c0, |t| t.get("x")).unwrap();
-    let v1 = sim.txn(c1, |t| t.get("x")).unwrap();
+    front.run_for(SimDuration::from_secs(30));
+    front.quiesce();
+    let v0 = front.txn(&s0, |t| t.get("x")).unwrap();
+    let v1 = front.txn(&s1, |t| t.get("x")).unwrap();
     assert_eq!(v0, v1, "replicas converged");
     // The final state could not have arisen from a serial execution
     // (serial would give 150): one update was lost.
@@ -257,46 +257,46 @@ fn lost_update_happens_under_partition() {
 }
 
 /// §5.1.3: read-your-writes fails without stickiness — a non-sticky
-/// client that wrote during a partition may read from the other side and
+/// session that wrote during a partition may read from the other side and
 /// miss its own write. With stickiness the same scenario always succeeds.
 #[test]
 fn ryw_requires_stickiness() {
     // Build: two clusters; partition separates them (clients can reach
-    // both). The non-sticky client writes (lands in some cluster) then
+    // both). The non-sticky session writes (lands in some cluster) then
     // reads repeatedly — with cluster choice randomized, some read goes
     // to the other cluster, which cannot have the write while partitioned.
     let build = |sticky: bool, seed: u64| {
-        let probe = SimulationBuilder::new(ProtocolKind::Eventual)
+        let probe = DeploymentBuilder::new(ProtocolKind::Eventual)
             .seed(seed)
             .clusters(ClusterSpec::va_or(2))
-            .clients_per_cluster(1)
+            .sessions_per_cluster(1)
             .build();
         let side_a: Vec<u32> = probe.layout().servers[0].clone();
         let side_b: Vec<u32> = probe.layout().servers[1].clone();
         drop(probe);
-        SimulationBuilder::new(ProtocolKind::Eventual)
+        let mut front = DeploymentBuilder::new(ProtocolKind::Eventual)
             .seed(seed)
             .clusters(ClusterSpec::va_or(2))
-            .clients_per_cluster(1)
-            .session(SessionOptions {
-                level: SessionLevel::None,
-                sticky,
-            })
+            .sessions_per_cluster(1)
             .partitions(PartitionSchedule::from_partitions(vec![
                 Partition::forever(SimTime::ZERO, side_a, side_b),
             ]))
-            .build()
+            .build();
+        let session = front.open_session(SessionOptions {
+            level: SessionLevel::None,
+            sticky,
+        });
+        (front, session)
     };
 
     // Non-sticky: hunt for a violation across seeds (randomized routing).
     let mut violated = false;
     'outer: for seed in 0..20 {
-        let mut sim = build(false, 100 + seed);
-        let c = sim.client(0);
+        let (mut front, s) = build(false, 100 + seed);
         for i in 0..10 {
             let k = format!("w{i}");
-            sim.txn(c, |t| t.put(&k, "mine"));
-            let v = sim.txn(c, |t| t.get(&k));
+            front.txn(&s, |t| t.put(&k, "mine"));
+            let v = front.txn(&s, |t| t.get(&k));
             if v.is_none() {
                 violated = true;
                 break 'outer;
@@ -305,17 +305,16 @@ fn ryw_requires_stickiness() {
     }
     assert!(
         violated,
-        "non-sticky client should eventually miss its own write during a partition"
+        "non-sticky session should eventually miss its own write during a partition"
     );
 
     // Sticky: never violated.
     for seed in 0..5 {
-        let mut sim = build(true, 200 + seed);
-        let c = sim.client(0);
+        let (mut front, s) = build(true, 200 + seed);
         for i in 0..10 {
             let k = format!("w{i}");
-            sim.txn(c, |t| t.put(&k, "mine"));
-            let v = sim.txn(c, |t| t.get(&k));
+            front.txn(&s, |t| t.put(&k, "mine"));
+            let v = front.txn(&s, |t| t.get(&k));
             assert_eq!(v.as_deref(), Some("mine"), "sticky RYW must hold");
         }
     }
@@ -325,34 +324,35 @@ fn ryw_requires_stickiness() {
 /// network is healthy...
 #[test]
 fn twopl_serializes_increments() {
-    let mut sim = SimulationBuilder::new(ProtocolKind::TwoPhaseLocking)
+    let mut front = DeploymentBuilder::new(ProtocolKind::TwoPhaseLocking)
         .seed(8)
         .clusters(ClusterSpec::single_dc(2, 2))
-        .clients_per_cluster(2)
+        .sessions_per_cluster(2)
         .build();
-    let clients: Vec<_> = (0..4).map(|i| sim.client(i)).collect();
-    sim.txn(clients[0], |t| t.put("ctr", "0"));
-    for round in 0..3 {
-        for &c in &clients {
-            let _ = round;
-            sim.txn(c, |t| {
-                let v: u64 = t.get("ctr").unwrap().parse().unwrap();
-                t.put("ctr", &format!("{}", v + 1));
+    let sessions: Vec<_> = (0..4)
+        .map(|_| front.open_session(SessionOptions::default()))
+        .collect();
+    front.txn(&sessions[0], |t| t.put("ctr", "0"));
+    for _round in 0..3 {
+        for s in &sessions {
+            front.txn(s, |t| {
+                let v: u64 = t.get("ctr")?.unwrap().parse().unwrap();
+                t.put("ctr", &format!("{}", v + 1))
             });
         }
     }
-    let v = sim.txn(clients[0], |t| t.get("ctr"));
+    let v = front.txn(&sessions[0], |t| t.get("ctr"));
     assert_eq!(v.as_deref(), Some("12"), "every increment preserved");
 }
 
-/// ... but 2PL is unavailable under partition: a client that cannot
+/// ... but 2PL is unavailable under partition: a session that cannot
 /// reach a lock master blocks and externally aborts.
 #[test]
 fn twopl_unavailable_under_partition() {
-    let probe = SimulationBuilder::new(ProtocolKind::TwoPhaseLocking)
+    let probe = DeploymentBuilder::new(ProtocolKind::TwoPhaseLocking)
         .seed(9)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .build();
     let key = (0..100)
         .map(|i| format!("k{i}"))
@@ -366,19 +366,17 @@ fn twopl_unavailable_under_partition() {
     side_b.extend(probe.layout().clients.iter().copied());
     drop(probe);
 
-    let mut sim = SimulationBuilder::new(ProtocolKind::TwoPhaseLocking)
+    let mut front = DeploymentBuilder::new(ProtocolKind::TwoPhaseLocking)
         .seed(9)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .partitions(PartitionSchedule::from_partitions(vec![
             Partition::forever(SimTime::ZERO, side_a, side_b),
         ]))
         .build();
-    let c0 = sim.client(0);
-    let err = sim
-        .try_txn(c0, |t| {
-            t.put(&key, "v");
-        })
+    let s0 = front.open_session(SessionOptions::default());
+    let err = front
+        .try_txn(&s0, |t| t.put(&key, "v"))
         .expect_err("2PL write across a partition must fail");
     assert!(
         matches!(
@@ -389,58 +387,106 @@ fn twopl_unavailable_under_partition() {
     );
 }
 
+/// A 2PL lock timeout mid-transaction is an *external abort* and must
+/// surface at the failing operation (the typed-API contract) — not as a
+/// silent success followed by a lock-free commit of the write buffer.
+/// The failed transaction's earlier locks must also be released, so the
+/// keys it touched stay usable for every other session.
+#[test]
+fn twopl_mid_op_abort_surfaces_and_releases_locks() {
+    let probe = DeploymentBuilder::new(ProtocolKind::TwoPhaseLocking)
+        .seed(12)
+        .clusters(ClusterSpec::va_or(2))
+        .sessions_per_cluster(1)
+        .build();
+    let mastered_in = |cluster: usize| {
+        (0..200)
+            .map(|i| format!("k{i}"))
+            .find(|k| {
+                let key = hat_storage::Key::from(k.clone());
+                probe.layout().cluster_of(probe.layout().master(&key)) == Some(cluster)
+            })
+            .unwrap()
+    };
+    let key_a = mastered_in(0); // reachable lock master
+    let key_b = mastered_in(1); // partitioned lock master
+    let side_a: Vec<u32> = probe.layout().servers[1].clone();
+    let mut side_b: Vec<u32> = probe.layout().servers[0].clone();
+    side_b.extend(probe.layout().clients.iter().copied());
+    drop(probe);
+
+    let mut front = DeploymentBuilder::new(ProtocolKind::TwoPhaseLocking)
+        .seed(12)
+        .clusters(ClusterSpec::va_or(2))
+        .sessions_per_cluster(1)
+        .partitions(PartitionSchedule::from_partitions(vec![
+            Partition::forever(SimTime::ZERO, side_a, side_b),
+        ]))
+        .build();
+    let s0 = front.open_session(SessionOptions::default());
+    let s1 = front.open_session(SessionOptions::default());
+
+    // Lock A succeeds; lock B times out -> external abort mid-put.
+    let err = front
+        .try_txn(&s0, |t| {
+            t.put(&key_a, "doomed")?;
+            t.put(&key_b, "doomed")
+        })
+        .expect_err("lock timeout must fail the transaction");
+    assert!(matches!(err, HatError::ExternalAbort { .. }), "{err}");
+
+    // Key A must not be wedged by a leaked lock: another session locks
+    // it and commits promptly.
+    front.txn(&s1, |t| t.put(&key_a, "alive"));
+    let v = front.txn(&s1, |t| t.get(&key_a));
+    assert_eq!(v.as_deref(), Some("alive"));
+}
+
 /// Item cut isolation (§5.1.1): with the ItemCut session level, a repeat
 /// read inside one transaction returns the first-read value even if a
 /// concurrent writer intervenes.
 #[test]
 fn item_cut_isolation_repeat_reads() {
-    let mut sim = SimulationBuilder::new(ProtocolKind::ReadCommitted)
+    let mut front = DeploymentBuilder::new(ProtocolKind::ReadCommitted)
         .seed(10)
         .clusters(ClusterSpec::single_dc(2, 2))
-        .clients_per_cluster(1)
-        .session(SessionOptions {
-            level: SessionLevel::ItemCut,
-            sticky: true,
-        })
+        .sessions_per_cluster(1)
         .build();
-    let reader = sim.client(0);
-    let writer = sim.client(1);
-    sim.txn(writer, |t| t.put("x", "1"));
-    sim.settle();
-    // The reader's transaction spans a concurrent update. We interleave
-    // by performing the writer's txn between two reads of the reader's
-    // txn — possible because the facade drives ops synchronously.
-    // Since TxnCtx borrows the sim exclusively we emulate interleaving
-    // with two sequential reader txns and rely on the cache *within* one:
-    let (first, second) = sim.txn(reader, |t| {
-        let a = t.get("x");
-        let b = t.get("x");
-        (a, b)
+    let reader = front.open_session(SessionOptions {
+        level: SessionLevel::ItemCut,
+        sticky: true,
+    });
+    let writer = front.open_session(SessionOptions::default());
+    front.txn(&writer, |t| t.put("x", "1"));
+    front.quiesce();
+    let (first, second) = front.txn(&reader, |t| {
+        let a = t.get("x")?;
+        let b = t.get("x")?;
+        Ok((a, b))
     });
     assert_eq!(first, second, "I-CI: repeat read identical");
 }
 
 /// Monotonic sessions: reads never go backwards even when a non-sticky
-/// client bounces between replicas with different staleness.
+/// session bounces between replicas with different staleness.
 #[test]
 fn monotonic_reads_with_session_cache() {
-    let mut sim = SimulationBuilder::new(ProtocolKind::Eventual)
+    let mut front = DeploymentBuilder::new(ProtocolKind::Eventual)
         .seed(11)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(1)
-        .session(SessionOptions {
-            level: SessionLevel::Monotonic,
-            sticky: false, // bouncing reader
-        })
+        .sessions_per_cluster(1)
         .build();
-    let writer = sim.client(0);
-    let reader = sim.client(1);
+    let writer = front.open_session(SessionOptions::default());
+    let reader = front.open_session(SessionOptions {
+        level: SessionLevel::Monotonic,
+        sticky: false, // bouncing reader
+    });
     let mut last: u64 = 0;
     for i in 1..=10u64 {
-        sim.txn(writer, |t| t.put("feed", &i.to_string()));
-        // do not settle: replicas are intentionally unevenly fresh
-        sim.run_for(SimDuration::from_millis(3));
-        let v = sim.txn(reader, |t| t.get("feed"));
+        front.txn(&writer, |t| t.put("feed", &i.to_string()));
+        // do not quiesce: replicas are intentionally unevenly fresh
+        front.run_for(SimDuration::from_millis(3));
+        let v = front.txn(&reader, |t| t.get("feed"));
         let v: u64 = v.unwrap_or_default().parse().unwrap_or(0);
         assert!(v >= last, "monotonic reads violated: {last} -> {v}");
         last = v;
@@ -451,20 +497,20 @@ fn monotonic_reads_with_session_cache() {
 #[test]
 fn runs_are_deterministic() {
     let run = |seed: u64| {
-        let mut sim = SimulationBuilder::new(ProtocolKind::Mav)
+        let mut front = DeploymentBuilder::new(ProtocolKind::Mav)
             .seed(seed)
             .clusters(ClusterSpec::va_or(2))
-            .clients_per_cluster(2)
+            .sessions_per_cluster(2)
             .build();
-        let c0 = sim.client(0);
-        let c1 = sim.client(1);
+        let s0 = front.open_session(SessionOptions::default());
+        let s1 = front.open_session(SessionOptions::default());
         for i in 0..5 {
             let k = format!("k{}", i % 3);
-            sim.txn(c0, |t| t.put(&k, &format!("a{i}")));
-            let _ = sim.txn(c1, |t| t.get(&k));
+            front.txn(&s0, |t| t.put(&k, &format!("a{i}")));
+            let _ = front.txn(&s1, |t| t.get(&k));
         }
-        sim.settle();
-        sim.take_records()
+        front.quiesce();
+        front.take_records()
     };
     assert_eq!(run(99), run(99));
 }

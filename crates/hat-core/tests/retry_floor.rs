@@ -1,0 +1,150 @@
+//! Regression test for the retry-path `required` floor.
+//!
+//! `Client::on_retry_timer` used to rebuild a retried `Msg::Get` from the
+//! transaction's `required` vector alone, dropping the cross-transaction
+//! `causal_required` session floor that the initial send applies. Under
+//! `SessionLevel::Causal`, a read whose first `GetResp` is lost would
+//! therefore be retried with `required = INITIAL` and could legally be
+//! answered with a causally stale version. Both paths now share one
+//! floor computation; this test drives the client state machine directly,
+//! drops the first `GetResp`, fires the retry timer, and asserts the
+//! resent `Get` still carries the session floor.
+
+use hat_core::{
+    Client, ClusterLayout, Msg, ProtocolKind, SessionLevel, SessionOptions, SystemConfig, Timestamp,
+};
+use hat_sim::{Ctx, NodeId, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const SERVER: NodeId = 0;
+const CLIENT: NodeId = 1;
+
+fn single_replica_client(level: SessionLevel) -> Client {
+    let layout = Arc::new(ClusterLayout {
+        servers: vec![vec![SERVER]],
+        clients: vec![CLIENT],
+        client_home: vec![0],
+    });
+    let config = Arc::new(SystemConfig::new(ProtocolKind::Mav));
+    Client::new(
+        CLIENT,
+        1,
+        0,
+        layout,
+        config,
+        SessionOptions {
+            level,
+            sticky: true,
+        },
+    )
+}
+
+/// Runs `f` against the client with a detached context and returns the
+/// messages it sent.
+fn step(
+    client: &mut Client,
+    rng: &mut StdRng,
+    now: SimTime,
+    f: impl FnOnce(&mut Client, &mut Ctx<'_, Msg>),
+) -> Vec<(NodeId, Msg)> {
+    let mut ctx = Ctx::detached(CLIENT, now, rng);
+    f(client, &mut ctx);
+    let (sends, _timers) = ctx.into_outputs();
+    sends.into_iter().map(|(_, to, msg)| (to, msg)).collect()
+}
+
+fn get_required(sends: &[(NodeId, Msg)]) -> Timestamp {
+    match sends {
+        [(_, Msg::Get { required, .. })] => *required,
+        other => panic!("expected exactly one Get, saw {other:?}"),
+    }
+}
+
+#[test]
+fn retried_get_keeps_the_causal_session_floor() {
+    let mut client = single_replica_client(SessionLevel::Causal);
+    let mut rng = StdRng::seed_from_u64(1);
+    let t = SimTime::ZERO;
+
+    // Txn 1: write k and commit, establishing the causal floor for k.
+    let txn1 = client.begin(t);
+    let sends = step(&mut client, &mut rng, t, |c, ctx| {
+        c.issue_write(ctx, "k".into(), bytes::Bytes::from_static(b"v1"))
+    });
+    assert!(sends.is_empty(), "MAV buffers writes until commit");
+    let commit_sends = step(&mut client, &mut rng, t, |c, ctx| c.start_commit(ctx));
+    let put_op = match commit_sends.as_slice() {
+        [(to, Msg::Put { op, record, .. })] => {
+            assert_eq!(*to, SERVER);
+            assert!(record.stamp > txn1, "write stamp Lamport-dominates");
+            *op
+        }
+        other => panic!("expected one commit Put, saw {other:?}"),
+    };
+    step(&mut client, &mut rng, t, |c, ctx| {
+        c.on_message(
+            ctx,
+            SERVER,
+            Msg::PutResp {
+                txn: txn1,
+                op: put_op,
+            },
+        )
+    });
+    assert!(!client.busy(), "txn 1 committed");
+    let floor = match commit_sends.as_slice() {
+        [(_, Msg::Put { record, .. })] => record.stamp,
+        _ => unreachable!(),
+    };
+
+    // Txn 2: read k. The initial Get must carry the session floor.
+    client.clear_finished();
+    client.begin(t + SimDuration::from_millis(1));
+    let sends = step(&mut client, &mut rng, t, |c, ctx| {
+        c.issue_read(ctx, "k".into())
+    });
+    assert_eq!(
+        get_required(&sends),
+        floor,
+        "initial Get carries the causal floor"
+    );
+
+    // Drop the first GetResp (never deliver it) and fire the retry
+    // timer. Issue ids are allocated sequentially: commit used 1, this
+    // read used 2.
+    let resent = step(
+        &mut client,
+        &mut rng,
+        t + SimDuration::from_secs(1),
+        |c, ctx| c.on_timer(ctx, 2),
+    );
+    assert_eq!(
+        get_required(&resent),
+        floor,
+        "retried Get must keep the causal session floor — a stale \
+         retry can observe a causally older version"
+    );
+}
+
+/// Control: without a causal session the retried Get has no floor (the
+/// per-transaction `required` vector is empty for a fresh read).
+#[test]
+fn retried_get_without_causal_session_has_no_floor() {
+    let mut client = single_replica_client(SessionLevel::None);
+    let mut rng = StdRng::seed_from_u64(2);
+    let t = SimTime::ZERO;
+    client.begin(t);
+    let sends = step(&mut client, &mut rng, t, |c, ctx| {
+        c.issue_read(ctx, "k".into())
+    });
+    assert_eq!(get_required(&sends), Timestamp::INITIAL);
+    let resent = step(
+        &mut client,
+        &mut rng,
+        t + SimDuration::from_secs(1),
+        |c, ctx| c.on_timer(ctx, 1),
+    );
+    assert_eq!(get_required(&resent), Timestamp::INITIAL);
+}

@@ -8,12 +8,17 @@
 //! for real. Service-time holds and modelled network latency become
 //! actual delays on the delivery schedule.
 //!
-//! The runtime runs closed-loop (driver-mode) clients; metrics and
-//! recorded histories are collected at shutdown. It is used by the
-//! examples and by tests that exercise the protocols under true
-//! parallelism (the simulator interleaves; threads genuinely race).
+//! Two ways to drive it:
+//!
+//! * **Closed-loop** ([`Runtime::spawn`]): driver-mode clients replay
+//!   `TxnSource` plans; metrics and histories are collected at shutdown.
+//! * **Interactive** ([`BuildThreaded::build_threaded`]): a
+//!   [`RuntimeFrontend`] injects transaction operations into client
+//!   threads over command channels, exposing the same backend-agnostic
+//!   [`hat_core::Frontend`] surface as the simulator — the conformance
+//!   suite runs identical scripts against both.
 
 pub mod node_loop;
 pub mod runtime;
 
-pub use runtime::{Runtime, RuntimeConfig};
+pub use runtime::{BuildThreaded, Runtime, RuntimeConfig, RuntimeFrontend};

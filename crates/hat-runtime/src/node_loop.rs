@@ -1,8 +1,16 @@
 //! Per-node event loop: a thread owning one [`Node`].
+//!
+//! Client nodes can optionally carry an *interactive port*: a command
+//! channel over which a `RuntimeFrontend` injects transaction operations
+//! (begin / get / put / scan / commit …) into the running thread, and a
+//! reply channel carrying results back. This is what makes the threaded
+//! runtime drivable through the same [`hat_core::Frontend`] surface as
+//! the simulator instead of only replaying canned `TxnSource` plans.
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use hat_core::{Msg, Node};
+use hat_core::{ClientMetrics, HatError, Msg, Node, SessionOptions, TxnRecord};
 use hat_sim::{Actor, Ctx, NodeId, SimTime, TimerId};
+use hat_storage::Key;
 use rand::rngs::StdRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -10,15 +18,95 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A message in flight: deliver `msg` from `from` at `at`.
+use bytes::Bytes;
+
+/// Everything a node thread can receive on its inbox. Interactive
+/// commands share the inbox with network traffic so their arrival wakes
+/// the blocked `recv` immediately (the channel shim has no `select`);
+/// a separate command channel would only be noticed on poll ticks.
 #[derive(Debug)]
-pub struct Envelope {
-    /// Wall-clock delivery deadline.
-    pub at: Instant,
-    /// Sender node.
-    pub from: NodeId,
-    /// Payload.
-    pub msg: Msg,
+pub enum Envelope {
+    /// A network message in flight: deliver `msg` from `from` at `at`.
+    Net {
+        /// Wall-clock delivery deadline.
+        at: Instant,
+        /// Sender node.
+        from: NodeId,
+        /// Payload.
+        msg: Msg,
+    },
+    /// An interactive command from the frontend, with its correlation
+    /// sequence number.
+    Cmd(u64, ClientCmd),
+}
+
+/// An interactive operation injected into a client thread.
+#[derive(Debug)]
+pub enum ClientCmd {
+    /// Replaces the client's session options (frontends send this when
+    /// a session is opened over the client).
+    SetSession(SessionOptions),
+    /// Begins a transaction (clearing any finished one).
+    Begin,
+    /// Item read.
+    Get(Key),
+    /// Write (buffered or sent, per protocol).
+    Put(Key, Bytes),
+    /// Predicate read.
+    Scan(Key),
+    /// Internal abort of the open transaction.
+    AbortTxn,
+    /// Commit the open transaction.
+    Commit,
+    /// Abandon the open transaction (after an operation failure).
+    Abandon,
+    /// Drain recorded transaction histories.
+    TakeRecords,
+    /// Snapshot the client's metrics.
+    Metrics,
+}
+
+/// Reply to a [`ClientCmd`].
+#[derive(Debug)]
+pub enum ClientReply {
+    /// Command applied (begin / set-session / abort / abandon).
+    Ack,
+    /// Read result; `None` is the initial `⊥` version.
+    Read(Option<Bytes>),
+    /// Write applied (or buffered).
+    Wrote,
+    /// Scan result.
+    Scanned(Vec<(Key, Bytes)>),
+    /// Commit succeeded.
+    Committed,
+    /// The operation or commit failed.
+    Failed(HatError),
+    /// Drained histories.
+    Records(Vec<TxnRecord>),
+    /// Metrics snapshot.
+    Metrics(Box<ClientMetrics>),
+}
+
+/// The interactive port handed to client threads. Commands arrive via
+/// the node's inbox ([`Envelope::Cmd`]); replies carry the command's
+/// correlation sequence number, so if the frontend times out on a
+/// command and moves on, the late reply's stale sequence lets it be
+/// discarded instead of being mistaken for the next command's reply.
+pub struct InteractivePort {
+    /// Replies to the frontend, tagged with the command's sequence.
+    pub reply_tx: Sender<(u64, ClientReply)>,
+    /// Wall-clock deadline for one operation/commit before the node
+    /// abandons it and reports unavailability.
+    pub op_deadline: Duration,
+}
+
+/// What the in-flight interactive command is waiting for.
+#[derive(Debug, Clone, Copy)]
+enum PendingCmd {
+    Get,
+    Put,
+    Scan,
+    Commit,
 }
 
 #[derive(Debug)]
@@ -69,6 +157,7 @@ impl Router {
 
 /// Runs one node until `stop` is set. Returns the node (with its final
 /// state, metrics and histories).
+#[allow(clippy::too_many_arguments)]
 pub fn run_node(
     mut node: Node,
     id: NodeId,
@@ -77,9 +166,13 @@ pub fn run_node(
     stop: Arc<AtomicBool>,
     mut rng: StdRng,
     epoch: Instant,
+    interactive: Option<InteractivePort>,
 ) -> Node {
     let mut heap: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
     let mut seq = 0u64;
+    let mut pending_cmd: Option<(u64, PendingCmd, Instant)> = None;
+    let mut cmd_queue: std::collections::VecDeque<(u64, ClientCmd)> =
+        std::collections::VecDeque::new();
 
     let now_sim = |epoch: Instant| SimTime(epoch.elapsed().as_micros() as u64);
 
@@ -104,37 +197,49 @@ pub fn run_node(
             let (sends, timers) = ctx.into_outputs();
             dispatch_outputs(id, sends, timers, &router, &mut heap, &mut seq);
         }
+        // interactive port: resolve a finished command, accept new ones
+        if let Some(port) = &interactive {
+            service_interactive(
+                &mut node,
+                id,
+                port,
+                &mut pending_cmd,
+                &mut cmd_queue,
+                &router,
+                &mut heap,
+                &mut seq,
+                &mut rng,
+                epoch,
+            );
+        }
         if stop.load(Ordering::Relaxed) {
             break;
         }
-        // wait for the next due event or an incoming envelope
+        // wait for the next due event or an incoming envelope; command
+        // arrivals wake the recv immediately (shared inbox)
+        let idle_cap = Duration::from_millis(5);
         let timeout = heap
             .peek()
             .map(|Reverse(s)| s.at.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(5))
-            .min(Duration::from_millis(5));
+            .unwrap_or(idle_cap)
+            .min(idle_cap);
+        let mut enqueue = |env: Envelope, seq: &mut u64| match env {
+            Envelope::Net { at, from, msg } => {
+                *seq += 1;
+                heap.push(Reverse(Scheduled {
+                    at,
+                    seq: *seq,
+                    due: Due::Deliver { from, msg },
+                }));
+            }
+            Envelope::Cmd(cmd_seq, cmd) => cmd_queue.push_back((cmd_seq, cmd)),
+        };
         match rx.recv_timeout(timeout) {
             Ok(env) => {
-                seq += 1;
-                heap.push(Reverse(Scheduled {
-                    at: env.at,
-                    seq,
-                    due: Due::Deliver {
-                        from: env.from,
-                        msg: env.msg,
-                    },
-                }));
+                enqueue(env, &mut seq);
                 // drain whatever else is queued without blocking
                 while let Ok(env) = rx.try_recv() {
-                    seq += 1;
-                    heap.push(Reverse(Scheduled {
-                        at: env.at,
-                        seq,
-                        due: Due::Deliver {
-                            from: env.from,
-                            msg: env.msg,
-                        },
-                    }));
+                    enqueue(env, &mut seq);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -142,6 +247,154 @@ pub fn run_node(
         }
     }
     node
+}
+
+/// Resolves the in-flight interactive command if its network round
+/// finished (or timed out), then accepts new commands while idle.
+#[allow(clippy::too_many_arguments)]
+fn service_interactive(
+    node: &mut Node,
+    id: NodeId,
+    port: &InteractivePort,
+    pending_cmd: &mut Option<(u64, PendingCmd, Instant)>,
+    cmd_queue: &mut std::collections::VecDeque<(u64, ClientCmd)>,
+    router: &Arc<Router>,
+    heap: &mut BinaryHeap<Reverse<Scheduled>>,
+    seq: &mut u64,
+    rng: &mut StdRng,
+    epoch: Instant,
+) {
+    let busy = |node: &Node| node.as_client().map(|c| c.busy()).unwrap_or(false);
+
+    if let Some((cmd_seq, kind, deadline)) = *pending_cmd {
+        if !busy(node) {
+            *pending_cmd = None;
+            let mut ctx = Ctx::detached(id, SimTime(epoch.elapsed().as_micros() as u64), rng);
+            let reply = resolve_cmd(node, &mut ctx, kind);
+            let (sends, timers) = ctx.into_outputs();
+            dispatch_outputs(id, sends, timers, router, heap, seq);
+            let _ = port.reply_tx.send((cmd_seq, reply));
+        } else if Instant::now() >= deadline {
+            *pending_cmd = None;
+            // Abandon with a full Ctx: dropping the transaction must
+            // release any held 2PL locks (unlock messages go out here).
+            let mut ctx = Ctx::detached(id, SimTime(epoch.elapsed().as_micros() as u64), rng);
+            if let Some(c) = node.as_client_mut() {
+                c.abandon(&mut ctx);
+            }
+            let (sends, timers) = ctx.into_outputs();
+            dispatch_outputs(id, sends, timers, router, heap, seq);
+            let _ = port.reply_tx.send((
+                cmd_seq,
+                ClientReply::Failed(HatError::Unavailable { key: None }),
+            ));
+        }
+    }
+    // Accept commands only while nothing is in flight: the frontend
+    // issues one operation at a time and blocks on the reply.
+    while pending_cmd.is_none() {
+        let Some((cmd_seq, cmd)) = cmd_queue.pop_front() else {
+            break;
+        };
+        let mut ctx = Ctx::detached(id, SimTime(epoch.elapsed().as_micros() as u64), rng);
+        let outcome = apply_cmd(node, &mut ctx, cmd);
+        let reply = match outcome {
+            CmdOutcome::Replied(reply) => Some(reply),
+            CmdOutcome::Pending(kind) => {
+                if busy(node) {
+                    *pending_cmd = Some((cmd_seq, kind, Instant::now() + port.op_deadline));
+                    None
+                } else {
+                    // completed synchronously (cache hit, buffered
+                    // write, instant commit)
+                    Some(resolve_cmd(node, &mut ctx, kind))
+                }
+            }
+        };
+        let (sends, timers) = ctx.into_outputs();
+        dispatch_outputs(id, sends, timers, router, heap, seq);
+        if let Some(reply) = reply {
+            let _ = port.reply_tx.send((cmd_seq, reply));
+        }
+    }
+}
+
+/// What applying a command produced: an immediate reply, or a network
+/// round to wait on.
+enum CmdOutcome {
+    Replied(ClientReply),
+    Pending(PendingCmd),
+}
+
+/// Applies one command against the client actor.
+fn apply_cmd(node: &mut Node, ctx: &mut Ctx<'_, Msg>, cmd: ClientCmd) -> CmdOutcome {
+    let client = node.as_client_mut().expect("interactive port on a client");
+    match cmd {
+        ClientCmd::SetSession(opts) => {
+            client.set_session_options(opts);
+            CmdOutcome::Replied(ClientReply::Ack)
+        }
+        ClientCmd::Begin => {
+            client.clear_finished();
+            client.begin(ctx.now());
+            CmdOutcome::Replied(ClientReply::Ack)
+        }
+        ClientCmd::Get(key) => {
+            client.issue_read(ctx, key);
+            CmdOutcome::Pending(PendingCmd::Get)
+        }
+        ClientCmd::Put(key, value) => {
+            client.issue_write(ctx, key, value);
+            CmdOutcome::Pending(PendingCmd::Put)
+        }
+        ClientCmd::Scan(prefix) => {
+            client.issue_scan(ctx, prefix);
+            CmdOutcome::Pending(PendingCmd::Scan)
+        }
+        ClientCmd::AbortTxn => {
+            client.abort(ctx);
+            CmdOutcome::Replied(ClientReply::Ack)
+        }
+        ClientCmd::Commit => {
+            client.start_commit(ctx);
+            CmdOutcome::Pending(PendingCmd::Commit)
+        }
+        ClientCmd::Abandon => {
+            client.abandon(ctx);
+            CmdOutcome::Replied(ClientReply::Ack)
+        }
+        ClientCmd::TakeRecords => CmdOutcome::Replied(ClientReply::Records(client.take_records())),
+        ClientCmd::Metrics => {
+            CmdOutcome::Replied(ClientReply::Metrics(Box::new(client.metrics.clone())))
+        }
+    }
+}
+
+/// Builds the reply for a command whose network round has resolved.
+/// The value/outcome mapping lives on [`hat_core::Client`]
+/// (`last_read_value` / `op_interrupted` / `commit_result`), shared
+/// with the simulator backend so the two cannot diverge.
+fn resolve_cmd(node: &mut Node, ctx: &mut Ctx<'_, Msg>, kind: PendingCmd) -> ClientReply {
+    let client = node.as_client_mut().expect("interactive port on a client");
+    match kind {
+        PendingCmd::Get | PendingCmd::Put | PendingCmd::Scan => {
+            // A transaction finished mid-operation (2PL lock timeout →
+            // external abort) fails the operation itself.
+            if let Some(e) = client.op_interrupted() {
+                return ClientReply::Failed(e);
+            }
+            match kind {
+                PendingCmd::Get => ClientReply::Read(client.last_read_value()),
+                PendingCmd::Put => ClientReply::Wrote,
+                PendingCmd::Scan => ClientReply::Scanned(client.last_scan().to_vec()),
+                PendingCmd::Commit => unreachable!(),
+            }
+        }
+        PendingCmd::Commit => match client.commit_result(ctx) {
+            Ok(()) => ClientReply::Committed,
+            Err(e) => ClientReply::Failed(e),
+        },
+    }
 }
 
 fn dispatch_outputs(
@@ -157,7 +410,7 @@ fn dispatch_outputs(
         let at = now + Duration::from_micros(hold.as_micros()) + router.delay(id, to);
         // A full inbox or a disconnected peer behaves like a lossy
         // network — HAT protocols tolerate both.
-        let _ = router.inboxes[to as usize].send(Envelope { at, from: id, msg });
+        let _ = router.inboxes[to as usize].send(Envelope::Net { at, from: id, msg });
     }
     for (delay, tag) in timers {
         *seq += 1;

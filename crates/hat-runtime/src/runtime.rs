@@ -1,15 +1,22 @@
-//! The threaded runtime: spawn, run, collect.
+//! The threaded runtime: spawn, run, collect — and the interactive
+//! [`RuntimeFrontend`] implementing [`hat_core::Frontend`].
 
-use crate::node_loop::{run_node, Envelope, Router};
-use crossbeam::channel::unbounded;
-use hat_core::{ClientMetrics, Node, SimulationBuilder, TxnRecord};
-use hat_sim::{LatencyModel, NodeId, Topology};
+use crate::node_loop::{run_node, ClientCmd, ClientReply, Envelope, InteractivePort, Router};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hat_core::{
+    ClientMetrics, ClusterLayout, DeploymentBuilder, Frontend, HatError, Node, Session,
+    SessionOptions, SystemConfig, TxnBackend, TxnRecord,
+};
+use hat_sim::{LatencyModel, NodeId, SimDuration, Topology};
+use hat_storage::Key;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use bytes::Bytes;
 
 /// Threaded runtime configuration.
 #[derive(Debug, Clone)]
@@ -20,6 +27,12 @@ pub struct RuntimeConfig {
     pub latency_scale: f64,
     /// RNG seed for per-node generators.
     pub seed: u64,
+    /// Wall-clock per-operation deadline override. `None` uses the
+    /// deployment's `SystemConfig::op_deadline` (30 s by default) as
+    /// real time — appropriate at full latency scale, but a partition
+    /// probe at a small `latency_scale` may want unavailability to
+    /// surface much sooner.
+    pub op_deadline: Option<Duration>,
 }
 
 impl Default for RuntimeConfig {
@@ -27,6 +40,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             latency_scale: 0.01,
             seed: 7,
+            op_deadline: None,
         }
     }
 }
@@ -39,12 +53,40 @@ pub struct Runtime {
     started: Instant,
 }
 
+/// The frontend's per-client handle into a node thread. Commands go
+/// into the node's regular inbox (waking its blocked `recv`); replies
+/// are correlated by sequence number so a reply that arrives after its
+/// command timed out is discarded instead of being mistaken for the
+/// next command's reply.
+struct FrontPort {
+    cmd_tx: Sender<Envelope>,
+    reply_rx: Receiver<(u64, ClientReply)>,
+    next_seq: std::sync::atomic::AtomicU64,
+}
+
 impl Runtime {
     /// Spawns every node of `builder`'s deployment on its own thread.
     /// Clients must be driver-mode (installed via
-    /// [`SimulationBuilder::drivers`]) to make progress.
-    pub fn spawn(builder: SimulationBuilder, config: RuntimeConfig) -> Runtime {
-        let (_engine_cfg, topology, nodes, layout, _sys) = builder.build_parts();
+    /// [`DeploymentBuilder::drivers`]) to make progress; for interactive
+    /// transactions use [`BuildThreaded::build_threaded`] instead.
+    pub fn spawn(builder: DeploymentBuilder, config: RuntimeConfig) -> Runtime {
+        Self::spawn_parts(builder, config, false).0
+    }
+
+    /// Shared spawn path. With `interactive`, every client node gets a
+    /// command/reply port returned alongside the runtime.
+    fn spawn_parts(
+        builder: DeploymentBuilder,
+        config: RuntimeConfig,
+        interactive: bool,
+    ) -> (
+        Runtime,
+        Vec<FrontPort>,
+        Arc<ClusterLayout>,
+        Arc<SystemConfig>,
+        Duration,
+    ) {
+        let (_engine_cfg, topology, nodes, layout, sys) = builder.build_parts();
         let clients = layout.clients.clone();
         let n = topology.len();
 
@@ -59,6 +101,28 @@ impl Runtime {
         let router = Arc::new(Router { inboxes, delay_us });
         let stop = Arc::new(AtomicBool::new(false));
         let started = Instant::now();
+        let op_deadline = config
+            .op_deadline
+            .unwrap_or_else(|| Duration::from_micros(sys.op_deadline.as_micros()));
+
+        let mut ports = Vec::new();
+        let mut node_ports: Vec<Option<InteractivePort>> = (0..n).map(|_| None).collect();
+        if interactive {
+            for &c in &clients {
+                let (reply_tx, reply_rx) = unbounded::<(u64, ClientReply)>();
+                node_ports[c as usize] = Some(InteractivePort {
+                    reply_tx,
+                    op_deadline,
+                });
+                ports.push(FrontPort {
+                    // Commands share the node's inbox so their arrival
+                    // wakes the event loop immediately.
+                    cmd_tx: router.inboxes[c as usize].clone(),
+                    reply_rx,
+                    next_seq: std::sync::atomic::AtomicU64::new(0),
+                });
+            }
+        }
 
         let mut handles = Vec::with_capacity(n);
         for (i, node) in nodes.into_iter().enumerate() {
@@ -67,19 +131,26 @@ impl Runtime {
             let stop = Arc::clone(&stop);
             let rng = StdRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37));
             let id = i as NodeId;
+            let port = node_ports[i].take();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("hat-node-{i}"))
-                    .spawn(move || run_node(node, id, rx, router, stop, rng, started))
+                    .spawn(move || run_node(node, id, rx, router, stop, rng, started, port))
                     .expect("spawn node thread"),
             );
         }
-        Runtime {
-            handles,
-            stop,
-            clients,
-            started,
-        }
+        (
+            Runtime {
+                handles,
+                stop,
+                clients,
+                started,
+            },
+            ports,
+            layout,
+            sys,
+            op_deadline,
+        )
     }
 
     /// Lets the deployment run for `d` of wall-clock time.
@@ -114,6 +185,231 @@ impl Runtime {
     }
 }
 
+/// Extension trait giving [`DeploymentBuilder`] a threaded-backend
+/// `build`, mirroring `build()` for the simulator: the same deployment
+/// description, executed on one OS thread per node with interactive
+/// sessions injected over command channels.
+pub trait BuildThreaded {
+    /// Builds the deployment on the threaded backend.
+    fn build_threaded(self, config: RuntimeConfig) -> RuntimeFrontend;
+}
+
+impl BuildThreaded for DeploymentBuilder {
+    fn build_threaded(self, config: RuntimeConfig) -> RuntimeFrontend {
+        let latency_scale = config.latency_scale;
+        // The frontend's roundtrip timeout is this same deadline plus
+        // slack — deriving both from one value keeps the "node replies
+        // or abandons before the frontend gives up" invariant.
+        let (rt, ports, layout, sys, op_deadline) = Runtime::spawn_parts(self, config, true);
+        RuntimeFrontend {
+            rt: Some(rt),
+            ports,
+            layout,
+            config: sys,
+            latency_scale,
+            op_deadline,
+            opened: 0,
+        }
+    }
+}
+
+/// The threaded-runtime [`Frontend`]: interactive transactions are
+/// injected into client threads over command channels and block the
+/// caller until the client's network round resolves — the same
+/// synchronous surface [`hat_core::SimFrontend`] offers over virtual
+/// time.
+pub struct RuntimeFrontend {
+    rt: Option<Runtime>,
+    ports: Vec<FrontPort>,
+    layout: Arc<ClusterLayout>,
+    config: Arc<SystemConfig>,
+    latency_scale: f64,
+    op_deadline: Duration,
+    opened: usize,
+}
+
+impl RuntimeFrontend {
+    /// The cluster layout.
+    pub fn layout(&self) -> &ClusterLayout {
+        &self.layout
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Stops all node threads and returns `(nodes, aggregated client
+    /// metrics, all transaction records)`.
+    pub fn shutdown(mut self) -> (Vec<Node>, ClientMetrics, Vec<TxnRecord>) {
+        self.rt.take().expect("runtime running").shutdown()
+    }
+
+    /// Sends `cmd` to client slot `idx` and waits for *its* reply,
+    /// discarding stale replies whose command already timed out.
+    fn roundtrip(&self, idx: usize, cmd: ClientCmd) -> Result<ClientReply, HatError> {
+        let port = &self.ports[idx];
+        let seq = port
+            .next_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if port.cmd_tx.send(Envelope::Cmd(seq, cmd)).is_err() {
+            return Err(HatError::Unavailable { key: None });
+        }
+        // The node abandons and replies on its own op deadline; the
+        // extra slack only covers scheduling.
+        let deadline = Instant::now() + self.op_deadline + Duration::from_secs(5);
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match port.reply_rx.recv_timeout(remaining) {
+                Ok((reply_seq, reply)) if reply_seq == seq => return Ok(reply),
+                // A reply for an earlier command that timed out here
+                // after the node had already started it: drop it.
+                Ok((reply_seq, _)) if reply_seq < seq => continue,
+                Ok((reply_seq, _)) => {
+                    unreachable!("reply {reply_seq} from the future (awaiting {seq})")
+                }
+                Err(_) => return Err(HatError::Unavailable { key: None }),
+            }
+        }
+    }
+
+    fn expect_ack(&self, idx: usize, cmd: ClientCmd) -> Result<(), HatError> {
+        match self.roundtrip(idx, cmd)? {
+            ClientReply::Ack => Ok(()),
+            ClientReply::Failed(e) => Err(e),
+            other => panic!("protocol mismatch: expected Ack, got {other:?}"),
+        }
+    }
+}
+
+impl Drop for RuntimeFrontend {
+    fn drop(&mut self) {
+        if let Some(mut rt) = self.rt.take() {
+            // Swallow node-thread panics here: panicking inside drop
+            // while already unwinding would abort the process and mask
+            // the root cause (use `shutdown()` to observe them).
+            rt.stop.store(true, Ordering::Relaxed);
+            for h in rt.handles.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl TxnBackend for RuntimeFrontend {
+    fn begin(&mut self, session: &Session) -> Result<(), HatError> {
+        self.expect_ack(session.index() as usize, ClientCmd::Begin)
+    }
+
+    fn exec_get(&mut self, session: &Session, key: Key) -> Result<Option<Bytes>, HatError> {
+        match self.roundtrip(session.index() as usize, ClientCmd::Get(key))? {
+            ClientReply::Read(v) => Ok(v),
+            ClientReply::Failed(e) => Err(e),
+            other => panic!("protocol mismatch: expected Read, got {other:?}"),
+        }
+    }
+
+    fn exec_put(&mut self, session: &Session, key: Key, value: Bytes) -> Result<(), HatError> {
+        match self.roundtrip(session.index() as usize, ClientCmd::Put(key, value))? {
+            ClientReply::Wrote => Ok(()),
+            ClientReply::Failed(e) => Err(e),
+            other => panic!("protocol mismatch: expected Wrote, got {other:?}"),
+        }
+    }
+
+    fn exec_scan(&mut self, session: &Session, prefix: Key) -> Result<Vec<(Key, Bytes)>, HatError> {
+        match self.roundtrip(session.index() as usize, ClientCmd::Scan(prefix))? {
+            ClientReply::Scanned(v) => Ok(v),
+            ClientReply::Failed(e) => Err(e),
+            other => panic!("protocol mismatch: expected Scanned, got {other:?}"),
+        }
+    }
+
+    fn exec_abort(&mut self, session: &Session) {
+        let _ = self.expect_ack(session.index() as usize, ClientCmd::AbortTxn);
+    }
+
+    fn commit(&mut self, session: &Session) -> Result<(), HatError> {
+        match self.roundtrip(session.index() as usize, ClientCmd::Commit)? {
+            ClientReply::Committed => Ok(()),
+            ClientReply::Failed(e) => Err(e),
+            other => panic!("protocol mismatch: expected Committed, got {other:?}"),
+        }
+    }
+
+    fn abandon(&mut self, session: &Session) {
+        let _ = self.expect_ack(session.index() as usize, ClientCmd::Abandon);
+    }
+}
+
+impl Frontend for RuntimeFrontend {
+    fn open_session(&mut self, opts: SessionOptions) -> Session {
+        assert!(
+            self.opened < self.ports.len(),
+            "deployment provisions {} session slot(s); raise \
+             DeploymentBuilder::sessions_per_cluster",
+            self.ports.len()
+        );
+        let idx = self.opened;
+        self.opened += 1;
+        self.expect_ack(idx, ClientCmd::SetSession(opts))
+            .expect("session open");
+        Session::from_parts(idx as u32, self.layout.clients[idx], opts)
+    }
+
+    fn run_for(&mut self, d: SimDuration) {
+        std::thread::sleep(Duration::from_micros(d.as_micros()));
+    }
+
+    fn quiesce_duration(&self) -> SimDuration {
+        // Network delays are scaled by `latency_scale` but timers (the
+        // anti-entropy term) run in real time; scale only the WAN term,
+        // with a floor absorbing thread-scheduling jitter.
+        self.config
+            .quiesce_duration_scaled(self.latency_scale)
+            .max(SimDuration::from_millis(100))
+    }
+
+    fn session_metrics(&self, session: &Session) -> ClientMetrics {
+        // A dead or wedged node must fail loudly here: silently
+        // returning defaults would let assertions blame the workload
+        // instead of the node.
+        match self.roundtrip(session.index() as usize, ClientCmd::Metrics) {
+            Ok(ClientReply::Metrics(m)) => *m,
+            Ok(other) => panic!("protocol mismatch: expected Metrics, got {other:?}"),
+            Err(e) => panic!(
+                "client thread {} unreachable for metrics: {e}",
+                session.index()
+            ),
+        }
+    }
+
+    fn aggregate_metrics(&self) -> ClientMetrics {
+        let mut total = ClientMetrics::default();
+        for idx in 0..self.ports.len() {
+            match self.roundtrip(idx, ClientCmd::Metrics) {
+                Ok(ClientReply::Metrics(m)) => total.merge(&m),
+                Ok(other) => panic!("protocol mismatch: expected Metrics, got {other:?}"),
+                Err(e) => panic!("client thread {idx} unreachable for metrics: {e}"),
+            }
+        }
+        total
+    }
+
+    fn take_records(&mut self) -> Vec<TxnRecord> {
+        let mut all = Vec::new();
+        for idx in 0..self.ports.len() {
+            match self.roundtrip(idx, ClientCmd::TakeRecords) {
+                Ok(ClientReply::Records(r)) => all.extend(r),
+                Ok(other) => panic!("protocol mismatch: expected Records, got {other:?}"),
+                Err(e) => panic!("client thread {idx} unreachable for records: {e}"),
+            }
+        }
+        all.sort_by_key(|r| (r.session, r.session_seq));
+        all
+    }
+}
+
 /// Precomputes mean one-way delays between all node pairs.
 fn build_delays(topology: &Topology, scale: f64) -> Vec<Vec<u64>> {
     let model = LatencyModel::default();
@@ -136,7 +432,7 @@ fn build_delays(topology: &Topology, scale: f64) -> Vec<Vec<u64>> {
 mod tests {
     use super::*;
     use hat_core::client::TxnSource;
-    use hat_core::{ClusterSpec, ProtocolKind, SessionLevel, SessionOptions};
+    use hat_core::{ClusterSpec, ProtocolKind, SessionLevel};
     use hat_workloads_shim::*;
 
     /// Minimal local YCSB-ish source to avoid a cyclic dev-dependency on
@@ -172,7 +468,7 @@ mod tests {
 
     #[test]
     fn threaded_eventual_commits_transactions() {
-        let builder = SimulationBuilder::new(ProtocolKind::Eventual)
+        let builder = DeploymentBuilder::new(ProtocolKind::Eventual)
             .seed(1)
             .clusters(ClusterSpec::single_dc(2, 2))
             .drivers(drivers(4, 25));
@@ -189,10 +485,10 @@ mod tests {
 
     #[test]
     fn threaded_mav_is_history_clean() {
-        let builder = SimulationBuilder::new(ProtocolKind::Mav)
+        let builder = DeploymentBuilder::new(ProtocolKind::Mav)
             .seed(2)
             .clusters(ClusterSpec::single_dc(2, 2))
-            .session(SessionOptions {
+            .default_session(SessionOptions {
                 level: SessionLevel::Monotonic,
                 sticky: true,
             })
@@ -212,7 +508,7 @@ mod tests {
 
     #[test]
     fn threaded_master_serves_all_clients() {
-        let builder = SimulationBuilder::new(ProtocolKind::Master)
+        let builder = DeploymentBuilder::new(ProtocolKind::Master)
             .seed(3)
             .clusters(ClusterSpec::single_dc(2, 2))
             .drivers(drivers(2, 10));
@@ -220,5 +516,46 @@ mod tests {
         rt.run_for(Duration::from_millis(300));
         let (_, metrics, _) = rt.shutdown();
         assert_eq!(metrics.committed, 20, "all txns should finish");
+    }
+
+    #[test]
+    fn interactive_frontend_runs_transactions() {
+        let mut front = DeploymentBuilder::new(ProtocolKind::ReadCommitted)
+            .seed(4)
+            .clusters(ClusterSpec::single_dc(2, 2))
+            .sessions_per_cluster(1)
+            .build_threaded(RuntimeConfig::default());
+        let a = front.open_session(SessionOptions::default());
+        let b = front.open_session(SessionOptions {
+            level: SessionLevel::Monotonic,
+            sticky: true,
+        });
+        front.txn(&a, |t| t.put("greeting", "from thread a"));
+        front.quiesce();
+        let v = front.txn(&b, |t| t.get("greeting"));
+        assert_eq!(v.as_deref(), Some("from thread a"));
+        let (_, metrics, records) = front.shutdown();
+        assert_eq!(metrics.committed, 2);
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn interactive_scan_and_metrics() {
+        let mut front = DeploymentBuilder::new(ProtocolKind::Eventual)
+            .seed(5)
+            .clusters(ClusterSpec::single_dc(2, 2))
+            .sessions_per_cluster(1)
+            .build_threaded(RuntimeConfig::default());
+        let s = front.open_session(SessionOptions::default());
+        front.txn(&s, |t| {
+            t.put("user:1", "alice")?;
+            t.put("user:2", "bob")
+        });
+        front.quiesce();
+        let users = front.txn(&s, |t| t.scan("user:"));
+        assert_eq!(users.len(), 2);
+        assert_eq!(front.session_metrics(&s).committed, 2);
+        let records = front.take_records();
+        assert_eq!(records.len(), 2);
     }
 }

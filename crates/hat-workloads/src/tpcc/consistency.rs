@@ -2,8 +2,7 @@
 
 use super::schema::{keys, District, Order, Stock, Warehouse};
 use super::txns::TpccConfig;
-use hat_core::{HatError, Sim};
-use hat_sim::NodeId;
+use hat_core::{Frontend, HatError, Session};
 use std::collections::HashSet;
 
 /// Outcome of the consistency audit.
@@ -34,30 +33,30 @@ impl ConsistencyReport {
     }
 }
 
-/// Audits the database through `client`'s view. Run after `settle()` so
-/// replicas have converged.
-pub fn check_consistency(
-    sim: &mut Sim,
-    client: NodeId,
+/// Audits the database through one session's view. Run after
+/// [`Frontend::quiesce`] so replicas have converged.
+pub fn check_consistency<F: Frontend>(
+    front: &mut F,
+    session: &Session,
     cfg: &TpccConfig,
 ) -> Result<ConsistencyReport, HatError> {
     let mut report = ConsistencyReport::default();
     for w in 0..cfg.warehouses {
         // C1: warehouse YTD equals sum of district YTDs.
-        let (w_ytd, d_ytd_sum) = sim.try_txn(client, |t| {
+        let (w_ytd, d_ytd_sum) = front.try_txn(session, |t| {
             let wh = t
-                .get(&keys::warehouse(w))
+                .get(&keys::warehouse(w))?
                 .and_then(|s| Warehouse::decode(&s))
                 .unwrap_or_default();
             let mut sum = 0u64;
             for d in 0..cfg.districts {
                 sum += t
-                    .get(&keys::district(w, d))
+                    .get(&keys::district(w, d))?
                     .and_then(|s| District::decode(&s))
                     .unwrap_or_default()
                     .ytd;
             }
-            (wh.ytd, sum)
+            Ok((wh.ytd, sum))
         })?;
         if w_ytd != d_ytd_sum {
             report.c1_ytd_mismatches.push(w);
@@ -65,14 +64,14 @@ pub fn check_consistency(
 
         // C2/C3 + duplicates + deliveries, per district.
         for d in 0..cfg.districts {
-            let (orders, next_o_id) = sim.try_txn(client, |t| {
-                let orders = t.scan(&keys::order_prefix(w, d));
+            let (orders, next_o_id) = front.try_txn(session, |t| {
+                let orders = t.scan(&keys::order_prefix(w, d))?;
                 let next = t
-                    .get(&keys::district(w, d))
+                    .get(&keys::district(w, d))?
                     .and_then(|s| District::decode(&s))
                     .unwrap_or_default()
                     .next_o_id;
-                (orders, next)
+                Ok((orders, next))
             })?;
             let mut seen: HashSet<String> = HashSet::new();
             let mut max_seq: u32 = 0;
@@ -102,7 +101,7 @@ pub fn check_consistency(
         }
 
         // stock non-negativity
-        let stocks = sim.try_txn(client, |t| t.scan(&format!("s/{w:04}/")))?;
+        let stocks = front.try_txn(session, |t| t.scan(&format!("s/{w:04}/")))?;
         for (_, v) in stocks {
             if let Some(s) = Stock::decode(&v) {
                 if s.quantity < 0 {
@@ -118,133 +117,122 @@ pub fn check_consistency(
 mod tests {
     use super::super::txns::{IdPolicy, TpccRunner};
     use super::*;
-    use hat_core::{ClusterSpec, ProtocolKind, SimulationBuilder};
+    use hat_core::{ClusterSpec, DeploymentBuilder, ProtocolKind, SimFrontend};
 
-    /// TPC-C sims run with Monotonic sticky sessions — the paper's
+    /// TPC-C runs with Monotonic sticky sessions — the paper's
     /// deployment "stick[s] all clients within a datacenter to their
     /// respective cluster (trivially providing read-your-writes and
     /// monotonic reads guarantees)" (§6.3), which read-modify-write
     /// application logic needs.
-    fn sim(protocol: ProtocolKind, seed: u64) -> Sim {
-        SimulationBuilder::new(protocol)
+    fn deployment(protocol: ProtocolKind, seed: u64) -> (SimFrontend, Session) {
+        let mut front = DeploymentBuilder::new(protocol)
             .seed(seed)
             .clusters(ClusterSpec::single_dc(2, 2))
-            .clients_per_cluster(1)
-            .session(hat_core::SessionOptions {
-                level: hat_core::SessionLevel::Monotonic,
-                sticky: true,
-            })
-            .build()
+            .sessions_per_cluster(1)
+            .build();
+        let session = front.open_session(hat_core::SessionOptions {
+            level: hat_core::SessionLevel::Monotonic,
+            sticky: true,
+        });
+        (front, session)
     }
 
     #[test]
     fn fresh_load_is_consistent() {
-        let mut s = sim(ProtocolKind::Mav, 1);
-        let client = s.client(0);
+        let (mut s, c) = deployment(ProtocolKind::Mav, 1);
         let mut runner = TpccRunner::new(TpccConfig::default(), 1);
-        runner.load(&mut s, client).unwrap();
-        s.settle();
-        let report = check_consistency(&mut s, client, &runner.config).unwrap();
+        runner.load(&mut s, &c).unwrap();
+        s.quiesce();
+        let report = check_consistency(&mut s, &c, &runner.config).unwrap();
         assert!(report.all_ok(), "{report:?}");
     }
 
     #[test]
     fn payments_preserve_c1_under_mav() {
-        let mut s = sim(ProtocolKind::Mav, 2);
-        let client = s.client(0);
+        let (mut s, c) = deployment(ProtocolKind::Mav, 2);
         let mut runner = TpccRunner::new(TpccConfig::default(), 1);
-        runner.load(&mut s, client).unwrap();
+        runner.load(&mut s, &c).unwrap();
         for i in 0..10 {
             runner
-                .payment(&mut s, client, 0, i % 2, i % 5, 100 + u64::from(i))
+                .payment(&mut s, &c, 0, i % 2, i % 5, 100 + u64::from(i))
                 .unwrap();
         }
-        s.settle();
-        let report = check_consistency(&mut s, client, &runner.config).unwrap();
+        s.quiesce();
+        let report = check_consistency(&mut s, &c, &runner.config).unwrap();
         assert!(report.c1_ytd_mismatches.is_empty(), "{report:?}");
     }
 
     #[test]
     fn new_orders_never_drive_stock_negative() {
-        let mut s = sim(ProtocolKind::ReadCommitted, 3);
-        let client = s.client(0);
+        let (mut s, c) = deployment(ProtocolKind::ReadCommitted, 3);
         let cfg = TpccConfig {
             initial_stock: 15,
             ..TpccConfig::default()
         };
         let mut runner = TpccRunner::new(cfg, 1);
-        runner.load(&mut s, client).unwrap();
+        runner.load(&mut s, &c).unwrap();
         // hammer a single item well past its initial stock
         for _ in 0..30 {
-            let res = runner
-                .new_order(&mut s, client, 0, 0, 1, &[(3, 5)])
-                .unwrap();
+            let res = runner.new_order(&mut s, &c, 0, 0, 1, &[(3, 5)]).unwrap();
             assert!(res.stock_after.iter().all(|&q| q >= 0));
         }
-        s.settle();
-        let report = check_consistency(&mut s, client, &runner.config).unwrap();
+        s.quiesce();
+        let report = check_consistency(&mut s, &c, &runner.config).unwrap();
         assert_eq!(report.negative_stock, 0, "{report:?}");
     }
 
     #[test]
     fn sequential_ids_stay_sequential_without_concurrency() {
-        let mut s = sim(ProtocolKind::Mav, 4);
-        let client = s.client(0);
+        let (mut s, c) = deployment(ProtocolKind::Mav, 4);
         let cfg = TpccConfig {
             id_policy: IdPolicy::Sequential,
             ..TpccConfig::default()
         };
         let mut runner = TpccRunner::new(cfg, 1);
-        runner.load(&mut s, client).unwrap();
+        runner.load(&mut s, &c).unwrap();
         for i in 0..5 {
-            let res = runner
-                .new_order(&mut s, client, 0, 0, 0, &[(i, 1)])
-                .unwrap();
+            let res = runner.new_order(&mut s, &c, 0, 0, 0, &[(i, 1)]).unwrap();
             assert_eq!(res.o_id, format!("{:08}", i + 1));
         }
-        s.settle();
-        let report = check_consistency(&mut s, client, &runner.config).unwrap();
+        s.quiesce();
+        let report = check_consistency(&mut s, &c, &runner.config).unwrap();
         assert_eq!(report.sequence_gaps, 0, "{report:?}");
         assert_eq!(report.duplicate_order_ids, 0);
     }
 
     #[test]
     fn delivery_pops_pending_and_credits_customer() {
-        let mut s = sim(ProtocolKind::Mav, 5);
-        let client = s.client(0);
+        let (mut s, c) = deployment(ProtocolKind::Mav, 5);
         let mut runner = TpccRunner::new(TpccConfig::default(), 1);
-        runner.load(&mut s, client).unwrap();
+        runner.load(&mut s, &c).unwrap();
         let placed = runner
-            .new_order(&mut s, client, 0, 0, 2, &[(1, 1), (2, 2)])
+            .new_order(&mut s, &c, 0, 0, 2, &[(1, 1), (2, 2)])
             .unwrap();
         // scans read converged replica state: let replication quiesce
-        s.settle();
-        let delivered = runner.delivery(&mut s, client, 0, 0, 7).unwrap();
+        s.quiesce();
+        let delivered = runner.delivery(&mut s, &c, 0, 0, 7).unwrap();
         assert_eq!(delivered, Some(placed.o_id));
         // second delivery finds nothing pending
-        s.settle();
-        let again = runner.delivery(&mut s, client, 0, 0, 7).unwrap();
+        s.quiesce();
+        let again = runner.delivery(&mut s, &c, 0, 0, 7).unwrap();
         assert_eq!(again, None);
-        s.settle();
-        let report = check_consistency(&mut s, client, &runner.config).unwrap();
+        s.quiesce();
+        let report = check_consistency(&mut s, &c, &runner.config).unwrap();
         assert_eq!(report.double_deliveries, 0, "{report:?}");
     }
 
     #[test]
     fn order_status_and_stock_level_are_read_only() {
-        let mut s = sim(ProtocolKind::Eventual, 6);
-        let client = s.client(0);
+        let (mut s, c) = deployment(ProtocolKind::Eventual, 6);
         let mut runner = TpccRunner::new(TpccConfig::default(), 1);
-        runner.load(&mut s, client).unwrap();
-        runner
-            .new_order(&mut s, client, 0, 0, 3, &[(5, 2)])
-            .unwrap();
-        s.settle();
-        let status = runner.order_status(&mut s, client, 0, 0).unwrap();
+        runner.load(&mut s, &c).unwrap();
+        runner.new_order(&mut s, &c, 0, 0, 3, &[(5, 2)]).unwrap();
+        s.quiesce();
+        let status = runner.order_status(&mut s, &c, 0, 0).unwrap();
         let (_, order, lines) = status.expect("order visible");
         assert_eq!(order.c_id, 3);
         assert_eq!(lines.len(), 1);
-        let low = runner.stock_level(&mut s, client, 0, 49).unwrap();
+        let low = runner.stock_level(&mut s, &c, 0, 49).unwrap();
         assert!(low >= 1, "item 5 dipped below 49");
     }
 }

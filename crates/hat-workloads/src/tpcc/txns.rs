@@ -1,8 +1,7 @@
-//! The five TPC-C transactions over the HAT facade.
+//! The five TPC-C transactions over the backend-agnostic HAT frontend.
 
 use super::schema::{keys, Customer, District, Order, Stock, Warehouse};
-use hat_core::{HatError, Sim};
-use hat_sim::NodeId;
+use hat_core::{Frontend, HatError, Session};
 
 /// Order-ID assignment policy (§6.2 "IDs and decrements").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,11 +54,12 @@ pub struct NewOrderResult {
     pub stock_after: Vec<i64>,
 }
 
-/// Runs TPC-C transactions against a [`Sim`] on behalf of one client.
+/// Runs TPC-C transactions against any [`Frontend`] (simulated or
+/// threaded) on behalf of one [`Session`].
 ///
 /// Each TPC-C transaction maps to exactly one HAT transaction; reads and
 /// read-modify-writes execute inside the transaction closure, so the
-/// isolation observed is whatever the simulated protocol provides — that
+/// isolation observed is whatever the deployed protocol provides — that
 /// is the point of the exercise.
 #[derive(Debug)]
 pub struct TpccRunner {
@@ -86,11 +86,11 @@ impl TpccRunner {
     }
 
     /// Loads the initial database (one transaction per table group).
-    pub fn load(&mut self, sim: &mut Sim, client: NodeId) -> Result<(), HatError> {
+    pub fn load<F: Frontend>(&mut self, front: &mut F, session: &Session) -> Result<(), HatError> {
         let cfg = self.config;
         for w in 0..cfg.warehouses {
-            sim.try_txn(client, |t| {
-                t.put(&keys::warehouse(w), &Warehouse { ytd: 0 }.encode());
+            front.try_txn(session, |t| {
+                t.put(&keys::warehouse(w), &Warehouse { ytd: 0 }.encode())?;
                 for d in 0..cfg.districts {
                     t.put(
                         &keys::district(w, d),
@@ -99,16 +99,17 @@ impl TpccRunner {
                             ytd: 0,
                         }
                         .encode(),
-                    );
+                    )?;
                     for c in 0..cfg.customers {
-                        t.put(&keys::customer(w, d, c), &Customer::default().encode());
+                        t.put(&keys::customer(w, d, c), &Customer::default().encode())?;
                     }
                 }
+                Ok(())
             })?;
             // stock in chunks to keep transactions reasonable
             for chunk in (0..cfg.items).collect::<Vec<_>>().chunks(32) {
                 let chunk = chunk.to_vec();
-                sim.try_txn(client, |t| {
+                front.try_txn(session, |t| {
                     for i in &chunk {
                         t.put(
                             &keys::stock(w, *i),
@@ -118,8 +119,9 @@ impl TpccRunner {
                                 order_cnt: 0,
                             }
                             .encode(),
-                        );
+                        )?;
                     }
+                    Ok(())
                 })?;
             }
         }
@@ -129,10 +131,10 @@ impl TpccRunner {
     /// New-Order (§6.2): assigns an order id, decrements stock with the
     /// restock rule, writes the order, its lines and a pending-queue
     /// entry.
-    pub fn new_order(
+    pub fn new_order<F: Frontend>(
         &mut self,
-        sim: &mut Sim,
-        client: NodeId,
+        front: &mut F,
+        session: &Session,
         w: u32,
         d: u32,
         c: u32,
@@ -140,18 +142,18 @@ impl TpccRunner {
     ) -> Result<NewOrderResult, HatError> {
         let id_policy = self.config.id_policy;
         let uid = self.uid();
-        sim.try_txn(client, |t| {
+        front.try_txn(session, |t| {
             // ID assignment
             let o_id = match id_policy {
                 IdPolicy::Sequential => {
                     let dk = keys::district(w, d);
                     let mut district = t
-                        .get(&dk)
+                        .get(&dk)?
                         .and_then(|s| District::decode(&s))
                         .unwrap_or_default();
                     let o = district.next_o_id;
                     district.next_o_id += 1;
-                    t.put(&dk, &district.encode());
+                    t.put(&dk, &district.encode())?;
                     format!("{o:08}")
                 }
                 IdPolicy::UniqueTimestamp => uid.clone(),
@@ -161,7 +163,7 @@ impl TpccRunner {
             for (n, &(item, qty)) in lines.iter().enumerate() {
                 let sk = keys::stock(w, item);
                 let mut stock = t
-                    .get(&sk)
+                    .get(&sk)?
                     .and_then(|s| Stock::decode(&s))
                     .unwrap_or_default();
                 stock.quantity -= qty as i64;
@@ -173,12 +175,12 @@ impl TpccRunner {
                 }
                 stock.ytd += qty as u64;
                 stock.order_cnt += 1;
-                t.put(&sk, &stock.encode());
+                t.put(&sk, &stock.encode())?;
                 stock_after.push(stock.quantity);
                 t.put(
                     &keys::order_line(w, d, &o_id, n as u32),
                     &format!("{item}|{qty}"),
-                );
+                )?;
             }
             // the order row and pending-queue entry
             t.put(
@@ -190,75 +192,79 @@ impl TpccRunner {
                     delivered: 0,
                 }
                 .encode(),
-            );
-            t.put(&keys::new_order(w, d, &o_id), "pending");
-            NewOrderResult { o_id, stock_after }
+            )?;
+            t.put(&keys::new_order(w, d, &o_id), "pending")?;
+            Ok(NewOrderResult { o_id, stock_after })
         })
     }
 
     /// Payment (§6.2): increments warehouse/district YTD and the
     /// customer's balance; appends an (unique-keyed) audit-trail entry.
     /// Monotonic: all updates commute.
-    pub fn payment(
+    pub fn payment<F: Frontend>(
         &mut self,
-        sim: &mut Sim,
-        client: NodeId,
+        front: &mut F,
+        session: &Session,
         w: u32,
         d: u32,
         c: u32,
         amount: u64,
     ) -> Result<(), HatError> {
         let uid = self.uid();
-        sim.try_txn(client, |t| {
+        front.try_txn(session, |t| {
             let wk = keys::warehouse(w);
             let mut wh = t
-                .get(&wk)
+                .get(&wk)?
                 .and_then(|s| Warehouse::decode(&s))
                 .unwrap_or_default();
             wh.ytd += amount;
-            t.put(&wk, &wh.encode());
+            t.put(&wk, &wh.encode())?;
 
             let dk = keys::district(w, d);
             let mut district = t
-                .get(&dk)
+                .get(&dk)?
                 .and_then(|s| District::decode(&s))
                 .unwrap_or_default();
             district.ytd += amount;
-            t.put(&dk, &district.encode());
+            t.put(&dk, &district.encode())?;
 
             let ck = keys::customer(w, d, c);
             let mut customer = t
-                .get(&ck)
+                .get(&ck)?
                 .and_then(|s| Customer::decode(&s))
                 .unwrap_or_default();
             customer.balance -= amount as i64;
             customer.ytd_payment += amount;
-            t.put(&ck, &customer.encode());
+            t.put(&ck, &customer.encode())?;
 
-            t.put(&keys::history(w, d, c, &uid), &amount.to_string());
+            t.put(&keys::history(w, d, c, &uid), &amount.to_string())
         })
     }
 
     /// Order-Status (read-only, HAT-safe): the latest order of a
     /// district and its lines.
-    pub fn order_status(
+    pub fn order_status<F: Frontend>(
         &mut self,
-        sim: &mut Sim,
-        client: NodeId,
+        front: &mut F,
+        session: &Session,
         w: u32,
         d: u32,
     ) -> Result<Option<(String, Order, Vec<String>)>, HatError> {
-        sim.try_txn(client, |t| {
-            let orders = t.scan(&keys::order_prefix(w, d));
-            let (okey, oval) = orders.last().cloned()?;
+        front.try_txn(session, |t| {
+            let orders = t.scan(&keys::order_prefix(w, d))?;
+            let Some((okey, oval)) = orders.last().cloned() else {
+                return Ok(None);
+            };
             let o_id = okey.rsplit('/').next().unwrap_or_default().to_string();
-            let order = Order::decode(&oval)?;
+            let Some(order) = Order::decode(&oval) else {
+                return Ok(None);
+            };
             let lines = t
-                .scan(&keys::order_line_prefix(w, d, &o_id))
+                .scan(&keys::order_line_prefix(w, d, &o_id))?
                 .into_iter()
                 .map(|(_, v)| v)
                 .collect();
-            Some((o_id, order, lines))
+            Ok(Some((o_id, order, lines)))
         })
     }
 
@@ -267,55 +273,59 @@ impl TpccRunner {
     /// Returns the delivered order id, if any. Idempotence requires
     /// preventing Lost Update — concurrent Deliveries under partitions
     /// double-deliver, which the consistency checker counts.
-    pub fn delivery(
+    pub fn delivery<F: Frontend>(
         &mut self,
-        sim: &mut Sim,
-        client: NodeId,
+        front: &mut F,
+        session: &Session,
         w: u32,
         d: u32,
         carrier: u32,
     ) -> Result<Option<String>, HatError> {
-        sim.try_txn(client, |t| {
-            let pending = t.scan(&keys::new_order_prefix(w, d));
-            let (no_key, _) = pending.iter().find(|(_, v)| v == "pending")?.clone();
+        front.try_txn(session, |t| {
+            let pending = t.scan(&keys::new_order_prefix(w, d))?;
+            let Some((no_key, _)) = pending.iter().find(|(_, v)| v == "pending").cloned() else {
+                return Ok(None);
+            };
             let o_id = no_key.rsplit('/').next().unwrap_or_default().to_string();
             // mark done in the queue (tombstone value)
-            t.put(&no_key, "delivered");
+            t.put(&no_key, "delivered")?;
             // update the order row
             let ok = keys::order(w, d, &o_id);
-            let mut order = t.get(&ok).and_then(|s| Order::decode(&s))?;
+            let Some(mut order) = t.get(&ok)?.and_then(|s| Order::decode(&s)) else {
+                return Ok(None);
+            };
             order.carrier_id = carrier;
             order.delivered += 1;
             let c_id = order.c_id;
-            t.put(&ok, &order.encode());
+            t.put(&ok, &order.encode())?;
             // credit the customer (fixed amount per delivery here)
             let ck = keys::customer(w, d, c_id);
             let mut customer = t
-                .get(&ck)
+                .get(&ck)?
                 .and_then(|s| Customer::decode(&s))
                 .unwrap_or_default();
             customer.balance += 100;
             customer.delivery_cnt += 1;
-            t.put(&ck, &customer.encode());
-            Some(o_id)
+            t.put(&ck, &customer.encode())?;
+            Ok(Some(o_id))
         })
     }
 
     /// Stock-Level (read-only, HAT-safe): how many items of the district
     /// sit below `threshold`.
-    pub fn stock_level(
+    pub fn stock_level<F: Frontend>(
         &mut self,
-        sim: &mut Sim,
-        client: NodeId,
+        front: &mut F,
+        session: &Session,
         w: u32,
         threshold: i64,
     ) -> Result<usize, HatError> {
-        sim.try_txn(client, |t| {
-            t.scan(&format!("s/{w:04}/"))
+        front.try_txn(session, |t| {
+            Ok(t.scan(&format!("s/{w:04}/"))?
                 .iter()
                 .filter_map(|(_, v)| Stock::decode(v))
                 .filter(|s| s.quantity < threshold)
-                .count()
+                .count())
         })
     }
 }

@@ -4,61 +4,53 @@
 //!
 //! Run: `cargo run --release --example bank_audit`
 
-use hatdb::core::{ClusterSpec, HatError, ProtocolKind, SimulationBuilder};
+use hatdb::core::{ClusterSpec, DeploymentBuilder, HatError, ProtocolKind, SessionOptions};
 use hatdb::history::{check, IsolationLevel};
 use hatdb::sim::{Partition, PartitionSchedule, SimDuration, SimTime};
+use hatdb::Frontend;
 
 fn atomic_audit_trail() {
     println!("-- MAV keeps account + audit trail consistent --");
-    let mut sim = SimulationBuilder::new(ProtocolKind::Mav)
+    let mut front = DeploymentBuilder::new(ProtocolKind::Mav)
         .seed(7)
         .clusters(ClusterSpec::va_or(3))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .build();
-    let teller = sim.client(0);
-    let auditor = sim.client(1);
+    let teller = front.open_session(SessionOptions::default());
+    let auditor = front.open_session(SessionOptions::default());
 
-    sim.txn(teller, |t| {
-        t.put("acct:alice", "1000");
-        t.put("audit:alice", "0 deposits");
+    front.txn(&teller, |t| {
+        t.put("acct:alice", "1000")?;
+        t.put("audit:alice", "0 deposits")
     });
-    sim.settle();
+    front.quiesce();
 
     for round in 1..=5u32 {
-        sim.txn(teller, |t| {
-            let bal: u64 = t.get("acct:alice").unwrap().parse().unwrap();
-            t.put("acct:alice", &(bal + 100).to_string());
-            t.put("audit:alice", &format!("{round} deposits"));
+        front.txn(&teller, |t| {
+            let bal: u64 = t.get("acct:alice")?.unwrap().parse().unwrap();
+            t.put("acct:alice", &(bal + 100).to_string())?;
+            t.put("audit:alice", &format!("{round} deposits"))
         });
         // The auditor reads at arbitrary times; under MAV the pair is
         // never torn: if the audit trail shows N deposits, the balance
         // reflects at least N deposits.
-        let (bal, audit) = sim.txn(auditor, |t| {
+        let (audit, balance) = front.txn(&auditor, |t| {
             // read audit first, then balance: MAV's required vector
             // forces the balance to be at least as new
-            (t.get("audit:alice"), t.get("acct:alice"))
+            Ok((t.get("audit:alice")?, t.get("acct:alice")?))
         });
-        let deposits: u64 = bal
-            .as_deref()
-            .unwrap_or("")
-            .split(' ')
-            .next()
-            .unwrap_or("0")
-            .parse()
-            .unwrap_or(0);
-        println!("  auditor sees audit={bal:?} balance={audit:?}");
-        let _ = deposits;
-        sim.run_for(SimDuration::from_millis(23));
+        println!("  auditor sees audit={audit:?} balance={balance:?}");
+        front.run_for(SimDuration::from_millis(23));
     }
-    assert_eq!(sim.mav_required_misses(), 0);
+    assert_eq!(front.mav_required_misses(), 0);
 }
 
 fn lost_update_is_unpreventable() {
     println!("-- but no HAT system prevents Lost Update (§5.2.1) --");
-    let probe = SimulationBuilder::new(ProtocolKind::Mav)
+    let probe = DeploymentBuilder::new(ProtocolKind::Mav)
         .seed(8)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .build();
     let side_a: Vec<u32> = probe.layout().servers[0]
         .iter()
@@ -71,10 +63,10 @@ fn lost_update_is_unpreventable() {
         .chain([probe.client(1)])
         .collect();
     drop(probe);
-    let mut sim = SimulationBuilder::new(ProtocolKind::Mav)
+    let mut front = DeploymentBuilder::new(ProtocolKind::Mav)
         .seed(8)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .partitions(PartitionSchedule::from_partitions(vec![Partition::new(
             SimTime::from_secs(3),
             SimTime::from_secs(30),
@@ -82,26 +74,26 @@ fn lost_update_is_unpreventable() {
             side_b,
         )]))
         .build();
-    let teller_va = sim.client(0);
-    let teller_or = sim.client(1);
-    sim.txn(teller_va, |t| t.put("acct:bob", "100"));
-    sim.settle();
-    sim.run_for(SimDuration::from_secs(2)); // partition begins at t=3s
+    let teller_va = front.open_session(SessionOptions::default());
+    let teller_or = front.open_session(SessionOptions::default());
+    front.txn(&teller_va, |t| t.put("acct:bob", "100"));
+    front.quiesce();
+    front.run_for(SimDuration::from_secs(2)); // partition begins at t=3s
 
     // both tellers credit bob concurrently
-    sim.txn(teller_va, |t| {
-        let v: u64 = t.get("acct:bob").unwrap().parse().unwrap();
-        t.put("acct:bob", &(v + 20).to_string());
+    front.txn(&teller_va, |t| {
+        let v: u64 = t.get("acct:bob")?.unwrap().parse().unwrap();
+        t.put("acct:bob", &(v + 20).to_string())
     });
-    sim.txn(teller_or, |t| {
-        let v: u64 = t.get("acct:bob").unwrap().parse().unwrap();
-        t.put("acct:bob", &(v + 30).to_string());
+    front.txn(&teller_or, |t| {
+        let v: u64 = t.get("acct:bob")?.unwrap().parse().unwrap();
+        t.put("acct:bob", &(v + 30).to_string())
     });
-    sim.run_for(SimDuration::from_secs(30));
-    sim.settle();
-    let final_bal = sim.txn(teller_va, |t| t.get("acct:bob")).unwrap();
+    front.run_for(SimDuration::from_secs(30));
+    front.quiesce();
+    let final_bal = front.txn(&teller_va, |t| t.get("acct:bob")).unwrap();
     println!("  serial balance would be 150; converged balance = {final_bal}");
-    let report = check(sim.take_records(), IsolationLevel::SnapshotIsolation);
+    let report = check(front.take_records(), IsolationLevel::SnapshotIsolation);
     println!(
         "  Adya checker (SI level): {} Lost Update violation(s) detected",
         report.violations.len()
@@ -111,22 +103,24 @@ fn lost_update_is_unpreventable() {
 
 fn coordination_has_a_price() {
     println!("-- preventing it requires unavailable coordination (2PL) --");
-    let mut sim = SimulationBuilder::new(ProtocolKind::TwoPhaseLocking)
+    let mut front = DeploymentBuilder::new(ProtocolKind::TwoPhaseLocking)
         .seed(9)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(2)
+        .sessions_per_cluster(2)
         .build();
-    let tellers: Vec<_> = (0..4).map(|i| sim.client(i)).collect();
-    sim.txn(tellers[0], |t| t.put("acct:carol", "0"));
-    let t0 = sim.now();
-    for &c in &tellers {
-        sim.txn(c, |t| {
-            let v: u64 = t.get("acct:carol").unwrap().parse().unwrap();
-            t.put("acct:carol", &(v + 25).to_string());
+    let tellers: Vec<_> = (0..4)
+        .map(|_| front.open_session(SessionOptions::default()))
+        .collect();
+    front.txn(&tellers[0], |t| t.put("acct:carol", "0"));
+    let t0 = front.now();
+    for s in &tellers {
+        front.txn(s, |t| {
+            let v: u64 = t.get("acct:carol")?.unwrap().parse().unwrap();
+            t.put("acct:carol", &(v + 25).to_string())
         });
     }
-    let elapsed = sim.now() - t0;
-    let v = sim.txn(tellers[0], |t| t.get("acct:carol"));
+    let elapsed = front.now() - t0;
+    let v = front.txn(&tellers[0], |t| t.get("acct:carol"));
     println!(
         "  2PL: all 4 credits preserved (balance={}), but {} of cross-DC locking",
         v.unwrap(),

@@ -1,19 +1,21 @@
 //! Session guarantees on a social-network timeline (§5.1.3): sticky
-//! sessions give read-your-writes; non-sticky clients lose it under
+//! sessions give read-your-writes; non-sticky sessions lose it under
 //! partitions; the client-side session cache restores monotonic reads
-//! even while bouncing between replicas.
+//! even while bouncing between replicas. With per-session options, the
+//! sticky and bouncing users now share one deployment.
 //!
 //! Run: `cargo run --release --example social_session`
 
-use hatdb::core::{ClusterSpec, ProtocolKind, SessionLevel, SessionOptions, SimulationBuilder};
+use hatdb::core::{ClusterSpec, DeploymentBuilder, ProtocolKind, SessionLevel, SessionOptions};
 use hatdb::sim::{Partition, PartitionSchedule, SimDuration, SimTime};
+use hatdb::Frontend;
 
 fn server_only_partition(seed: u64) -> (ClusterSpec, PartitionSchedule) {
     let spec = ClusterSpec::va_or(2);
-    let probe = SimulationBuilder::new(ProtocolKind::Eventual)
+    let probe = DeploymentBuilder::new(ProtocolKind::Eventual)
         .seed(seed)
         .clusters(spec.clone())
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .build();
     let a: Vec<u32> = probe.layout().servers[0].clone();
     let b: Vec<u32> = probe.layout().servers[1].clone();
@@ -24,55 +26,47 @@ fn server_only_partition(seed: u64) -> (ClusterSpec, PartitionSchedule) {
     )
 }
 
-fn sticky_user_reads_their_posts() {
-    println!("-- sticky session: you always see your own posts --");
-    let (spec, partitions) = server_only_partition(1);
-    let mut sim = SimulationBuilder::new(ProtocolKind::Eventual)
-        .seed(1)
-        .clusters(spec)
-        .clients_per_cluster(1)
-        .session(SessionOptions {
-            level: SessionLevel::None,
-            sticky: true,
-        })
-        .partitions(partitions)
-        .build();
-    let alice = sim.client(0);
-    for i in 1..=3 {
-        let key = format!("post:alice:{i}");
-        sim.txn(alice, |t| t.put(&key, "hello world"));
-        let read_back = sim.txn(alice, |t| t.get(&key));
-        println!(
-            "  post {i}: visible right after posting? {}",
-            read_back.is_some()
-        );
-        assert!(read_back.is_some());
-    }
-}
-
-fn bouncing_user_can_lose_their_posts() {
-    println!("-- non-sticky session during a replica partition: posts vanish --");
+/// One deployment, two differently-configured sessions: Alice is sticky
+/// and always sees her own posts; Bob goes through a load balancer that
+/// sprays requests anywhere, and during a replica partition his fresh
+/// posts intermittently vanish from his own view.
+fn mixed_sessions_during_partition() {
+    println!("-- one deployment, a sticky session and a bouncing session --");
     let mut missed = 0;
     let mut total = 0;
     for seed in 0..10 {
         let (spec, partitions) = server_only_partition(seed);
-        let mut sim = SimulationBuilder::new(ProtocolKind::Eventual)
+        let mut front = DeploymentBuilder::new(ProtocolKind::Eventual)
             .seed(seed)
             .clusters(spec)
-            .clients_per_cluster(1)
-            .session(SessionOptions {
-                level: SessionLevel::None,
-                sticky: false, // load balancer sprays requests anywhere
-            })
+            .sessions_per_cluster(1)
             .partitions(partitions)
             .build();
-        let bob = sim.client(0);
+        let alice = front.open_session(SessionOptions {
+            level: SessionLevel::None,
+            sticky: true,
+        });
+        let bob = front.open_session(SessionOptions {
+            level: SessionLevel::None,
+            sticky: false, // load balancer sprays requests anywhere
+        });
+
+        for i in 1..=3 {
+            let key = format!("post:alice:{seed}:{i}");
+            front.txn(&alice, |t| t.put(&key, "hello world"));
+            let read_back = front.txn(&alice, |t| t.get(&key));
+            assert!(read_back.is_some(), "sticky RYW must hold");
+        }
+
         for i in 0..5 {
             let key = format!("post:bob:{seed}:{i}");
-            if sim.try_txn(bob, |t| t.put(&key, "anyone there?")).is_err() {
+            if front
+                .try_txn(&bob, |t| t.put(&key, "anyone there?"))
+                .is_err()
+            {
                 continue;
             }
-            if let Ok(v) = sim.try_txn(bob, |t| t.get(&key)) {
+            if let Ok(v) = front.try_txn(&bob, |t| t.get(&key)) {
                 total += 1;
                 if v.is_none() {
                     missed += 1;
@@ -80,29 +74,29 @@ fn bouncing_user_can_lose_their_posts() {
             }
         }
     }
-    println!("  bob failed to see his own fresh post {missed}/{total} times");
+    println!("  alice saw every one of her posts immediately (sticky)");
+    println!("  bob failed to see his own fresh post {missed}/{total} times (bouncing)");
     assert!(missed > 0, "the §5.1.3 scenario should appear");
 }
 
 fn session_cache_restores_monotonic_timeline() {
     println!("-- Monotonic session level: the timeline never goes backwards --");
-    let mut sim = SimulationBuilder::new(ProtocolKind::Eventual)
+    let mut front = DeploymentBuilder::new(ProtocolKind::Eventual)
         .seed(3)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(1)
-        .session(SessionOptions {
-            level: SessionLevel::Monotonic,
-            sticky: false, // bouncing, but caching
-        })
+        .sessions_per_cluster(1)
         .build();
-    let writer = sim.client(0);
-    let reader = sim.client(1);
+    let writer = front.open_session(SessionOptions::default());
+    let reader = front.open_session(SessionOptions {
+        level: SessionLevel::Monotonic,
+        sticky: false, // bouncing, but caching
+    });
     let mut last = 0u64;
     for i in 1..=8u64 {
-        sim.txn(writer, |t| t.put("timeline:len", &i.to_string()));
-        sim.run_for(SimDuration::from_millis(5)); // replicas unevenly fresh
-        let seen: u64 = sim
-            .txn(reader, |t| t.get("timeline:len"))
+        front.txn(&writer, |t| t.put("timeline:len", &i.to_string()));
+        front.run_for(SimDuration::from_millis(5)); // replicas unevenly fresh
+        let seen: u64 = front
+            .txn(&reader, |t| t.get("timeline:len"))
             .unwrap_or_default()
             .parse()
             .unwrap_or(0);
@@ -113,9 +107,7 @@ fn session_cache_restores_monotonic_timeline() {
 }
 
 fn main() {
-    sticky_user_reads_their_posts();
-    println!();
-    bouncing_user_can_lose_their_posts();
+    mixed_sessions_during_partition();
     println!();
     session_cache_restores_monotonic_timeline();
 }

@@ -19,28 +19,31 @@
 //! * [`runtime`] — a threaded runtime driving the same protocol state
 //!   machines over real channels.
 //!
-//! The most common entry points — [`SimulationBuilder`], [`ClusterSpec`],
-//! [`ProtocolKind`], session options — are re-exported at the crate
-//! root, so the quickstart needs one import line.
+//! The transaction surface is backend-agnostic: [`DeploymentBuilder`]
+//! describes a deployment, [`Frontend`] is the one API for running
+//! transactions against it, and a [`Session`] carries its own
+//! [`SessionOptions`]. `build()` executes on the simulator
+//! ([`core::SimFrontend`]); `build_threaded()` (from [`runtime`])
+//! executes the identical deployment on one OS thread per node.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use hatdb::{ClusterSpec, ProtocolKind, SimulationBuilder};
+//! use hatdb::{ClusterSpec, DeploymentBuilder, Frontend, ProtocolKind, SessionOptions};
 //!
 //! // Two fully-replicated clusters in one datacenter, MAV isolation.
-//! let mut sim = SimulationBuilder::new(ProtocolKind::Mav)
+//! let mut front = DeploymentBuilder::new(ProtocolKind::Mav)
 //!     .seed(42)
 //!     .clusters(ClusterSpec::single_dc(2, 1))
 //!     .build();
 //!
-//! let client = sim.client(0);
-//! sim.txn(client, |t| {
-//!     t.put("x", "1");
-//!     t.put("y", "1");
+//! let session = front.open_session(SessionOptions::default());
+//! front.txn(&session, |t| {
+//!     t.put("x", "1")?;
+//!     t.put("y", "1")
 //! });
-//! sim.settle();
-//! let (x, y) = sim.txn(client, |t| (t.get("x"), t.get("y")));
+//! front.quiesce();
+//! let (x, y) = front.txn(&session, |t| Ok((t.get("x")?, t.get("y")?)));
 //! // MAV: once any effect of the transaction is visible, all are.
 //! assert_eq!(x, y);
 //! ```
@@ -49,18 +52,19 @@
 //!
 //! ```
 //! use hatdb::history::{check, IsolationLevel};
-//! use hatdb::{ClusterSpec, ProtocolKind, SimulationBuilder};
+//! use hatdb::{ClusterSpec, DeploymentBuilder, Frontend, ProtocolKind, SessionOptions};
 //!
-//! let mut sim = SimulationBuilder::new(ProtocolKind::ReadCommitted)
+//! let mut front = DeploymentBuilder::new(ProtocolKind::ReadCommitted)
 //!     .seed(7)
 //!     .clusters(ClusterSpec::single_dc(2, 1))
 //!     .build();
-//! let c = sim.client(0);
-//! sim.txn(c, |t| t.put("greeting", "hello"));
-//! sim.settle();
-//! assert_eq!(sim.txn(c, |t| t.get("greeting")).as_deref(), Some("hello"));
+//! let session = front.open_session(SessionOptions::default());
+//! front.txn(&session, |t| t.put("greeting", "hello"));
+//! front.quiesce();
+//! let v = front.txn(&session, |t| t.get("greeting"));
+//! assert_eq!(v.as_deref(), Some("hello"));
 //!
-//! let report = check(sim.take_records(), IsolationLevel::ReadCommitted);
+//! let report = check(front.take_records(), IsolationLevel::ReadCommitted);
 //! assert!(report.ok());
 //! ```
 
@@ -72,6 +76,7 @@ pub use hat_storage as storage;
 pub use hat_workloads as workloads;
 
 pub use hat_core::{
-    ClusterSpec, HatError, ProtocolEngine, ProtocolKind, SessionLevel, SessionOptions, Sim,
-    SimulationBuilder, TxnCtx,
+    ClusterSpec, DeploymentBuilder, Frontend, HatError, ProtocolEngine, ProtocolKind, RetryPolicy,
+    Session, SessionLevel, SessionOptions, SimFrontend, TxnCtx,
 };
+pub use hat_runtime::{BuildThreaded, RuntimeConfig, RuntimeFrontend};

@@ -5,42 +5,43 @@
 //! isolation level it advertises.
 
 use hatdb::core::{
-    ClusterSpec, ProtocolKind, SessionLevel, SessionOptions, SimulationBuilder, TxnRecord,
+    ClusterSpec, DeploymentBuilder, ProtocolKind, SessionLevel, SessionOptions, TxnRecord,
 };
 use hatdb::history::{check, IsolationLevel};
 use hatdb::sim::SimDuration;
+use hatdb::{Frontend, Session};
 
 /// A mixed read/write workload over a small hot keyspace, driven through
-/// the facade from several clients with replication delays in between.
+/// the frontend from several sessions with replication delays in between.
 fn workload(protocol: ProtocolKind, session: SessionOptions, seed: u64) -> Vec<TxnRecord> {
-    let mut sim = SimulationBuilder::new(protocol)
+    let mut front = DeploymentBuilder::new(protocol)
         .seed(seed)
         .clusters(ClusterSpec::va_or(3))
-        .clients_per_cluster(2)
-        .session(session)
+        .sessions_per_cluster(2)
         .build();
-    let clients: Vec<_> = (0..4).map(|i| sim.client(i)).collect();
+    let sessions: Vec<Session> = (0..4).map(|_| front.open_session(session)).collect();
     for round in 0..6u32 {
-        for (ci, &c) in clients.iter().enumerate() {
+        for (ci, s) in sessions.iter().enumerate() {
             let a = format!("k{}", (round as usize + ci) % 5);
             let b = format!("k{}", (round as usize + ci + 1) % 5);
-            sim.txn(c, |t| {
-                let _ = t.get(&a);
-                t.put(&a, &format!("{round}-{ci}-a"));
-                t.put(&b, &format!("{round}-{ci}-b"));
+            front.txn(s, |t| {
+                let _ = t.get(&a)?;
+                t.put(&a, &format!("{round}-{ci}-a"))?;
+                t.put(&b, &format!("{round}-{ci}-b"))
             });
             // interleave with replication so readers see mixed staleness
-            sim.run_for(SimDuration::from_millis(7));
-            sim.txn(c, |t| {
-                let _ = t.get(&b);
-                let _ = t.get(&a);
-                let _ = t.get(&a);
+            front.run_for(SimDuration::from_millis(7));
+            front.txn(s, |t| {
+                let _ = t.get(&b)?;
+                let _ = t.get(&a)?;
+                let _ = t.get(&a)?;
+                Ok(())
             });
         }
-        sim.run_for(SimDuration::from_millis(13));
+        front.run_for(SimDuration::from_millis(13));
     }
-    sim.settle();
-    sim.take_records()
+    front.quiesce();
+    front.take_records()
 }
 
 fn sticky_none() -> SessionOptions {
@@ -128,49 +129,52 @@ fn causal_sessions_over_mav_are_causal_clean() {
 fn master_histories_are_serializable_for_single_key_txns() {
     // per-key linearizability: single-key read-modify-write transactions
     // through the master serialize (multi-key txns would not).
-    let mut sim = SimulationBuilder::new(ProtocolKind::Master)
+    let mut front = DeploymentBuilder::new(ProtocolKind::Master)
         .seed(15)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(2)
+        .sessions_per_cluster(2)
         .build();
-    let clients: Vec<_> = (0..4).map(|i| sim.client(i)).collect();
-    for round in 0..5u32 {
-        for &c in &clients {
-            let _ = round;
-            sim.txn(c, |t| {
-                let v: u64 = t.get("ctr").and_then(|s| s.parse().ok()).unwrap_or(0);
-                t.put("ctr", &(v + 1).to_string());
+    let sessions: Vec<Session> = (0..4)
+        .map(|_| front.open_session(SessionOptions::default()))
+        .collect();
+    for _round in 0..5u32 {
+        for s in &sessions {
+            front.txn(s, |t| {
+                let v: u64 = t.get("ctr")?.and_then(|s| s.parse().ok()).unwrap_or(0);
+                t.put("ctr", &(v + 1).to_string())
             });
         }
     }
-    let v = sim.txn(clients[0], |t| t.get("ctr"));
+    let v = front.txn(&sessions[0], |t| t.get("ctr"));
     assert_eq!(v.as_deref(), Some("20"), "no increments lost");
-    let report = check(sim.take_records(), IsolationLevel::Serializable);
+    let report = check(front.take_records(), IsolationLevel::Serializable);
     assert!(report.ok(), "{report}");
 }
 
 #[test]
 fn twopl_histories_are_fully_serializable() {
-    let mut sim = SimulationBuilder::new(ProtocolKind::TwoPhaseLocking)
+    let mut front = DeploymentBuilder::new(ProtocolKind::TwoPhaseLocking)
         .seed(16)
         .clusters(ClusterSpec::single_dc(2, 2))
-        .clients_per_cluster(2)
+        .sessions_per_cluster(2)
         .build();
-    let clients: Vec<_> = (0..4).map(|i| sim.client(i)).collect();
+    let sessions: Vec<Session> = (0..4)
+        .map(|_| front.open_session(SessionOptions::default()))
+        .collect();
     // multi-key read-modify-write transactions with overlapping keys
     for round in 0..4u32 {
-        for (ci, &c) in clients.iter().enumerate() {
+        for (ci, s) in sessions.iter().enumerate() {
             let a = format!("k{}", (round as usize + ci) % 3);
             let b = format!("k{}", (round as usize + ci + 1) % 3);
-            sim.txn(c, |t| {
-                let va: u64 = t.get(&a).and_then(|s| s.parse().ok()).unwrap_or(0);
-                let vb: u64 = t.get(&b).and_then(|s| s.parse().ok()).unwrap_or(0);
-                t.put(&a, &(va + 1).to_string());
-                t.put(&b, &(vb + 1).to_string());
+            front.txn(s, |t| {
+                let va: u64 = t.get(&a)?.and_then(|s| s.parse().ok()).unwrap_or(0);
+                let vb: u64 = t.get(&b)?.and_then(|s| s.parse().ok()).unwrap_or(0);
+                t.put(&a, &(va + 1).to_string())?;
+                t.put(&b, &(vb + 1).to_string())
             });
         }
     }
-    let report = check(sim.take_records(), IsolationLevel::Serializable);
+    let report = check(front.take_records(), IsolationLevel::Serializable);
     assert!(report.ok(), "{report}");
 }
 
@@ -182,22 +186,23 @@ fn twopl_histories_are_fully_serializable() {
 fn eventual_violates_rc_given_intermediate_reads() {
     let mut found = false;
     for seed in 0..25u64 {
-        let mut sim = SimulationBuilder::new(ProtocolKind::Eventual)
+        let mut front = DeploymentBuilder::new(ProtocolKind::Eventual)
             .seed(100 + seed)
             .clusters(ClusterSpec::single_dc(2, 2))
-            .clients_per_cluster(2)
+            .sessions_per_cluster(2)
             .build();
-        let writer = sim.client(0);
-        let reader = sim.client(1);
+        let _writer_session = front.open_session(SessionOptions::default());
+        let reader = front.open_session(SessionOptions::default());
+        let writer = front.client(0);
         // writer writes x twice in one txn (an intermediate version
         // exists server-side between the two puts)
-        sim.engine_mut().with_actor_ctx(writer, |node, ctx| {
+        front.engine_mut().with_actor_ctx(writer, |node, ctx| {
             let c = node.as_client_mut().unwrap();
             c.clear_finished();
             c.begin(ctx.now());
         });
         // first write goes out...
-        sim.engine_mut().with_actor_ctx(writer, |node, ctx| {
+        front.engine_mut().with_actor_ctx(writer, |node, ctx| {
             node.as_client_mut().unwrap().issue_write(
                 ctx,
                 "x".into(),
@@ -207,8 +212,8 @@ fn eventual_violates_rc_given_intermediate_reads() {
         // ... reader races while the writer's txn is still open (wait
         // past an anti-entropy tick so the other cluster has the dirty
         // value too)
-        sim.run_for(SimDuration::from_millis(15 + seed % 20));
-        let v = sim.txn(reader, |t| t.get("x"));
+        front.run_for(SimDuration::from_millis(15 + seed % 20));
+        let v = front.txn(&reader, |t| t.get("x"));
         if v.as_deref() == Some("intermediate") {
             found = true;
             break;

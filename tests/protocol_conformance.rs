@@ -1,54 +1,86 @@
-//! Conformance suite for the pluggable `ProtocolEngine` layer: the same
-//! read/write/commit script runs against all five built-in engines, and
-//! each recorded history is checked against the per-level anomaly
-//! expectations from `hat-history` (Table 3's advertised guarantees).
+//! Conformance suite for the pluggable `ProtocolEngine` layer and the
+//! backend-agnostic `Frontend` surface.
 //!
-//! The suite also proves the layer is actually pluggable: a stub sixth
-//! engine, defined entirely in this test file, drives the full stack
-//! through `SimulationBuilder::engine_factory` — no edits to `server.rs`
-//! (or any other crate) required.
+//! The same read/write/commit script runs against all five built-in
+//! engines — through the *simulator* frontend and through the *threaded*
+//! frontend — and each recorded history is checked against the per-level
+//! anomaly expectations from `hat-history` (Table 3's advertised
+//! guarantees). The script is written once, against `impl Frontend`,
+//! which is the point: HAT guarantees are client-observable properties
+//! independent of the execution substrate.
+//!
+//! The suite also proves the engine layer is actually pluggable: a stub
+//! sixth engine, defined entirely in this test file, drives the full
+//! stack through `DeploymentBuilder::engine_factory` — no edits to
+//! `server.rs` (or any other crate) required.
 
 use hatdb::core::protocol::ProtocolEngine;
-use hatdb::core::{ClusterSpec, ProtocolKind, SessionOptions, SimulationBuilder, TxnRecord};
+use hatdb::core::{
+    ClusterSpec, DeploymentBuilder, ProtocolKind, SessionLevel, SessionOptions, TxnRecord,
+};
 use hatdb::history::{check, IsolationLevel};
-use hatdb::sim::SimDuration;
+use hatdb::sim::{Partition, PartitionSchedule, SimDuration, SimTime};
+use hatdb::{BuildThreaded, Frontend, RuntimeConfig, Session};
 
-/// The shared conformance script: several clients interleave multi-key
+/// The shared conformance script: several sessions interleave multi-key
 /// read-modify-write transactions and repeat reads over a small hot
 /// keyspace, with replication delays in between so readers observe mixed
-/// staleness. Identical for every engine.
-fn conformance_script(sim: &mut hatdb::core::Sim) -> Vec<TxnRecord> {
-    let clients: Vec<_> = (0..sim.num_clients()).map(|i| sim.client(i)).collect();
+/// staleness. Identical for every engine and every backend.
+fn conformance_script<F: Frontend>(front: &mut F, sessions: &[Session]) -> Vec<TxnRecord> {
     for round in 0..5u32 {
-        for (ci, &c) in clients.iter().enumerate() {
+        for (ci, s) in sessions.iter().enumerate() {
             let a = format!("item{}", (round as usize + ci) % 4);
             let b = format!("item{}", (round as usize + ci + 1) % 4);
-            sim.txn(c, |t| {
-                let _ = t.get(&a);
-                t.put(&a, &format!("r{round}c{ci}a"));
-                t.put(&b, &format!("r{round}c{ci}b"));
+            front.txn(s, |t| {
+                let _ = t.get(&a)?;
+                t.put(&a, &format!("r{round}c{ci}a"))?;
+                t.put(&b, &format!("r{round}c{ci}b"))
             });
-            sim.run_for(SimDuration::from_millis(9));
-            sim.txn(c, |t| {
-                let _ = t.get(&b);
-                let _ = t.get(&a);
-                let _ = t.get(&b); // repeat read (cut-isolation probe)
+            front.run_for(SimDuration::from_millis(9));
+            front.txn(s, |t| {
+                let _ = t.get(&b)?;
+                let _ = t.get(&a)?;
+                let _ = t.get(&b)?; // repeat read (cut-isolation probe)
+                Ok(())
             });
         }
-        sim.run_for(SimDuration::from_millis(11));
+        front.run_for(SimDuration::from_millis(11));
     }
-    sim.settle();
-    sim.take_records()
+    front.quiesce();
+    front.take_records()
 }
 
-fn run_protocol(protocol: ProtocolKind, seed: u64) -> Vec<TxnRecord> {
-    let mut sim = SimulationBuilder::new(protocol)
+fn run_protocol_sim(protocol: ProtocolKind, seed: u64) -> Vec<TxnRecord> {
+    let mut front = DeploymentBuilder::new(protocol)
         .seed(seed)
         .clusters(ClusterSpec::va_or(2))
-        .clients_per_cluster(2)
-        .session(SessionOptions::default())
+        .sessions_per_cluster(2)
         .build();
-    conformance_script(&mut sim)
+    let sessions: Vec<Session> = (0..4)
+        .map(|_| front.open_session(SessionOptions::default()))
+        .collect();
+    conformance_script(&mut front, &sessions)
+}
+
+fn run_protocol_threaded(protocol: ProtocolKind, seed: u64) -> Vec<TxnRecord> {
+    // The threaded frontend scales its quiesce duration by the
+    // runtime's `latency_scale`, so no config override is needed to
+    // keep the wall-clock wait proportionate.
+    let mut front = DeploymentBuilder::new(protocol)
+        .seed(seed)
+        .clusters(ClusterSpec::va_or(2))
+        .sessions_per_cluster(2)
+        .build_threaded(RuntimeConfig {
+            latency_scale: 0.01,
+            seed,
+            ..RuntimeConfig::default()
+        });
+    let sessions: Vec<Session> = (0..4)
+        .map(|_| front.open_session(SessionOptions::default()))
+        .collect();
+    let records = conformance_script(&mut front, &sessions);
+    front.shutdown();
+    records
 }
 
 /// The anomaly expectation for each engine: the strongest isolation
@@ -72,7 +104,7 @@ fn expected_level(protocol: ProtocolKind) -> IsolationLevel {
 fn all_five_engines_meet_their_advertised_level() {
     for protocol in ProtocolKind::ALL {
         for seed in [21u64, 22] {
-            let records = run_protocol(protocol, seed);
+            let records = run_protocol_sim(protocol, seed);
             assert!(
                 records.iter().filter(|r| r.committed()).count() >= 30,
                 "{protocol:?} seed {seed}: too few committed txns"
@@ -87,12 +119,32 @@ fn all_five_engines_meet_their_advertised_level() {
     }
 }
 
+/// Acceptance: the *same* script, through the threaded frontend, for all
+/// five engines — interactive operations injected into client threads
+/// over command channels, checked by the same anomaly checker.
+#[test]
+fn all_five_engines_conform_on_the_threaded_frontend() {
+    for protocol in ProtocolKind::ALL {
+        let records = run_protocol_threaded(protocol, 23);
+        assert!(
+            records.iter().filter(|r| r.committed()).count() >= 30,
+            "{protocol:?} threaded: too few committed txns"
+        );
+        let level = expected_level(protocol);
+        let report = check(records, level);
+        assert!(
+            report.ok(),
+            "{protocol:?} threaded violates {level:?}: {report}"
+        );
+    }
+}
+
 /// Engines stronger than Read Uncommitted must also be clean at every
 /// weaker level they dominate (the Figure 2 partial order is downward
 /// closed over prohibited phenomena).
 #[test]
 fn stronger_engines_are_clean_at_weaker_levels() {
-    let records = run_protocol(ProtocolKind::TwoPhaseLocking, 23);
+    let records = run_protocol_sim(ProtocolKind::TwoPhaseLocking, 23);
     for level in [
         IsolationLevel::ReadUncommitted,
         IsolationLevel::ReadCommitted,
@@ -102,7 +154,7 @@ fn stronger_engines_are_clean_at_weaker_levels() {
         let report = check(records.clone(), level);
         assert!(report.ok(), "2PL violates {level:?}: {report}");
     }
-    let records = run_protocol(ProtocolKind::Mav, 24);
+    let records = run_protocol_sim(ProtocolKind::Mav, 24);
     for level in [
         IsolationLevel::ReadUncommitted,
         IsolationLevel::ReadCommitted,
@@ -121,7 +173,7 @@ fn stronger_engines_are_clean_at_weaker_levels() {
 fn harness_detects_level_mismatches() {
     let mut any_violation = false;
     for seed in 0..30u64 {
-        let records = run_protocol(ProtocolKind::Eventual, 400 + seed);
+        let records = run_protocol_sim(ProtocolKind::Eventual, 400 + seed);
         if !check(records, IsolationLevel::Serializable).ok() {
             any_violation = true;
             break;
@@ -131,6 +183,124 @@ fn harness_detects_level_mismatches() {
         any_violation,
         "eventual histories should not pass a serializability check"
     );
+}
+
+/// Strict determinism (ROADMAP): with all protocol state in ordered
+/// collections, two same-seed runs produce bit-identical histories for
+/// every engine — no `HashMap` iteration order leaks into the schedule.
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    for protocol in ProtocolKind::ALL {
+        let a = run_protocol_sim(protocol, 77);
+        let b = run_protocol_sim(protocol, 77);
+        assert_eq!(a, b, "{protocol:?}: same-seed runs diverged");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-session options: one deployment, differently-configured sessions.
+// ---------------------------------------------------------------------
+
+/// §5.1.3's contrast inside a *single* deployment: a sticky causal
+/// session keeps read-your-writes while a concurrently running
+/// non-sticky no-guarantee session demonstrably loses it. Only
+/// expressible now that `SessionOptions` are per-session rather than
+/// builder-global.
+#[test]
+fn mixed_sessions_sticky_causal_keeps_ryw_non_sticky_loses_it() {
+    let mut non_sticky_missed = false;
+    for seed in 0..20u64 {
+        // Server-only partition: sessions can reach both clusters but
+        // the clusters cannot replicate to each other.
+        let probe = DeploymentBuilder::new(ProtocolKind::Eventual)
+            .seed(500 + seed)
+            .clusters(ClusterSpec::va_or(2))
+            .sessions_per_cluster(1)
+            .build();
+        let side_a: Vec<u32> = probe.layout().servers[0].clone();
+        let side_b: Vec<u32> = probe.layout().servers[1].clone();
+        drop(probe);
+
+        let mut front = DeploymentBuilder::new(ProtocolKind::Eventual)
+            .seed(500 + seed)
+            .clusters(ClusterSpec::va_or(2))
+            .sessions_per_cluster(1)
+            .partitions(PartitionSchedule::from_partitions(vec![
+                Partition::forever(SimTime::ZERO, side_a, side_b),
+            ]))
+            .build();
+        // One deployment, two sessions with different options:
+        let sticky = front.open_session(SessionOptions {
+            level: SessionLevel::Causal,
+            sticky: true,
+        });
+        let bouncy = front.open_session(SessionOptions {
+            level: SessionLevel::None,
+            sticky: false,
+        });
+        assert_ne!(sticky.options(), bouncy.options());
+
+        for i in 0..8 {
+            // The sticky causal session always reads its own writes.
+            let k = format!("s{seed}:{i}");
+            front.txn(&sticky, |t| t.put(&k, "mine"));
+            let v = front.txn(&sticky, |t| t.get(&k));
+            assert_eq!(v.as_deref(), Some("mine"), "sticky causal RYW must hold");
+
+            // The non-sticky session writes into whichever cluster the
+            // load balancer picked; a later read may land on the other,
+            // partitioned side and miss the write.
+            let k = format!("b{seed}:{i}");
+            if front.try_txn(&bouncy, |t| t.put(&k, "mine")).is_err() {
+                continue;
+            }
+            if let Ok(v) = front.try_txn(&bouncy, |t| t.get(&k)) {
+                if v.is_none() {
+                    non_sticky_missed = true;
+                }
+            }
+        }
+        if non_sticky_missed {
+            break;
+        }
+    }
+    assert!(
+        non_sticky_missed,
+        "the §5.1.3 non-sticky RYW violation should appear in a mixed deployment"
+    );
+}
+
+/// The same mixed-session deployment works on the threaded frontend: two
+/// concurrently open sessions with different options, both committing,
+/// with the sticky monotonic one reading its own writes back.
+#[test]
+fn threaded_deployment_hosts_mixed_sessions() {
+    let mut front = DeploymentBuilder::new(ProtocolKind::Eventual)
+        .seed(9)
+        .clusters(ClusterSpec::single_dc(2, 2))
+        .sessions_per_cluster(1)
+        .build_threaded(RuntimeConfig::default());
+    let sticky = front.open_session(SessionOptions {
+        level: SessionLevel::Monotonic,
+        sticky: true,
+    });
+    let bouncy = front.open_session(SessionOptions {
+        level: SessionLevel::None,
+        sticky: false,
+    });
+    assert_ne!(sticky.options(), bouncy.options());
+    for i in 0..5 {
+        let k = format!("k{i}");
+        front.txn(&sticky, |t| t.put(&k, "v"));
+        assert_eq!(
+            front.txn(&sticky, |t| t.get(&k)).as_deref(),
+            Some("v"),
+            "sticky monotonic session reads its own writes"
+        );
+        front.txn(&bouncy, |t| t.put(&format!("b{i}"), "v"));
+    }
+    let (_, metrics, _) = front.shutdown();
+    assert_eq!(metrics.committed, 15);
 }
 
 // ---------------------------------------------------------------------
@@ -152,17 +322,17 @@ impl ProtocolEngine for StubSixthEngine {
 
 #[test]
 fn stub_sixth_engine_plugs_in_without_server_changes() {
-    let mut sim = SimulationBuilder::new(ProtocolKind::Eventual)
+    let mut front = DeploymentBuilder::new(ProtocolKind::Eventual)
         .seed(31)
         .clusters(ClusterSpec::single_dc(2, 2))
-        .clients_per_cluster(1)
+        .sessions_per_cluster(1)
         .engine_factory(|| Box::new(StubSixthEngine))
         .build();
 
     // Every server runs the injected engine.
-    let server_ids: Vec<u32> = sim.layout().servers.iter().flatten().copied().collect();
+    let server_ids: Vec<u32> = front.layout().servers.iter().flatten().copied().collect();
     for id in server_ids {
-        let name = sim
+        let name = front
             .engine()
             .actor(id)
             .as_server()
@@ -172,14 +342,14 @@ fn stub_sixth_engine_plugs_in_without_server_changes() {
     }
 
     // And the full transaction path works through it.
-    let c0 = sim.client(0);
-    let c1 = sim.client(1);
-    sim.txn(c0, |t| t.put("greeting", "from the sixth engine"));
-    sim.settle();
-    let v = sim.txn(c1, |t| t.get("greeting"));
+    let s0 = front.open_session(SessionOptions::default());
+    let s1 = front.open_session(SessionOptions::default());
+    front.txn(&s0, |t| t.put("greeting", "from the sixth engine"));
+    front.quiesce();
+    let v = front.txn(&s1, |t| t.get("greeting"));
     assert_eq!(v.as_deref(), Some("from the sixth engine"));
 
-    let records = sim.take_records();
+    let records = front.take_records();
     let report = check(records, IsolationLevel::ReadUncommitted);
     assert!(report.ok(), "{report}");
 }
