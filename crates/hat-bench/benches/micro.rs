@@ -3,6 +3,7 @@
 //! generation.
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use hat_core::protocol::replication::ReplicationLog;
 use hat_core::{OpRecord, Timestamp, TxnOutcome, TxnRecord};
 use hat_history::{check, IsolationLevel};
 use hat_sim::latency::LinkClass;
@@ -59,6 +60,43 @@ fn bench_storage(c: &mut Criterion) {
     });
     g.bench_function("memstore_scan_prefix", |b| {
         b.iter(|| black_box(store.scan_prefix(b"user0000001")))
+    });
+    g.finish();
+}
+
+/// The anti-entropy hot path: an unacknowledged suffix is re-batched on
+/// every tick for every peer. `batch_for` now hands out `Arc` clones of
+/// the log entries; the `deep_clone` baseline is what the old
+/// `to_vec`-of-owned-records implementation paid per tick — the
+/// difference is the win of index/Arc-based batches.
+fn bench_replication_log(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replication_log");
+    let mut log = ReplicationLog::new(2);
+    for i in 0..1024u64 {
+        let key = Key::from(format!("user{:08}", i));
+        let siblings = (0..8)
+            .map(|s| Key::from(format!("user{:08}", i + s)))
+            .collect();
+        let record = Record::with_siblings(
+            VersionStamp::new(i + 1, 1),
+            bytes::Bytes::from(vec![7u8; 1024]),
+            siblings,
+        );
+        log.push(key, record);
+    }
+    g.bench_function("batch_for_arc", |b| {
+        // Peer 0 never acks: the full suffix is re-batched every call,
+        // exactly the partitioned-peer worst case.
+        b.iter(|| black_box(log.batch_for(0)))
+    });
+    g.bench_function("batch_for_deep_clone_baseline", |b| {
+        b.iter(|| {
+            let (start, batch) = log.batch_for(0);
+            // Clone out of the Arcs: the per-record cost the old
+            // implementation paid on every tick.
+            let owned: Vec<(Key, Record)> = batch.iter().map(|e| (**e).clone()).collect();
+            black_box((start, owned))
+        })
     });
     g.finish();
 }
@@ -134,6 +172,6 @@ fn bench_history_checker(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_storage, bench_latency_model, bench_ycsb_generation, bench_history_checker
+    targets = bench_storage, bench_replication_log, bench_latency_model, bench_ycsb_generation, bench_history_checker
 }
 criterion_main!(benches);

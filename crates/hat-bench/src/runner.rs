@@ -54,10 +54,20 @@ pub struct YcsbRunResult {
     pub throughput_ops: f64,
     /// Mean transaction latency, ms.
     pub mean_latency_ms: f64,
+    /// Median transaction latency, ms.
+    pub p50_latency_ms: f64,
     /// 95th percentile transaction latency, ms.
     pub p95_latency_ms: f64,
+    /// 99th percentile transaction latency, ms.
+    pub p99_latency_ms: f64,
     /// Transactions committed in the window.
     pub committed: u64,
+    /// Client→server message rounds issued (coordination cost).
+    pub msg_rounds: u64,
+    /// Second-round fracture repairs (RAMP-Fast; 0 elsewhere).
+    pub repair_rounds: u64,
+    /// Metadata bytes moved for atomic visibility.
+    pub metadata_bytes: u64,
 }
 
 /// Runs one experiment point.
@@ -83,8 +93,13 @@ pub fn run_ycsb(cfg: &YcsbRunConfig) -> YcsbRunResult {
         throughput_tps: m.committed as f64 / secs,
         throughput_ops: m.committed as f64 * ops_per_txn / secs,
         mean_latency_ms: m.txn_latency_ms.mean(),
+        p50_latency_ms: m.txn_latency_ms.quantile(0.50),
         p95_latency_ms: m.txn_latency_ms.quantile(0.95),
+        p99_latency_ms: m.txn_latency_ms.quantile(0.99),
         committed: m.committed,
+        msg_rounds: m.msg_rounds,
+        repair_rounds: m.repair_rounds,
+        metadata_bytes: m.metadata_bytes,
     }
 }
 

@@ -217,13 +217,16 @@ impl DeploymentBuilder {
         let mut actors: Vec<Node> = Vec::with_capacity(topology.len());
         for cluster in 0..n_clusters {
             for &id in &layout.servers[cluster] {
+                // Replica stores keep a bounded version chain: RAMP's
+                // by-timestamp reads only reach back a bounded distance.
+                let store = || Box::new(MemStore::with_version_cap(config.version_chain_limit));
                 let server = match &self.engine_factory {
                     Some(factory) => Server::with_engine(
                         id,
                         cluster,
                         Arc::clone(&layout),
                         Arc::clone(&config),
-                        Box::new(MemStore::new()),
+                        store(),
                         factory(),
                     ),
                     None => Server::new(
@@ -231,7 +234,7 @@ impl DeploymentBuilder {
                         cluster,
                         Arc::clone(&layout),
                         Arc::clone(&config),
-                        Box::new(MemStore::new()),
+                        store(),
                     ),
                 };
                 actors.push(Node::Server(server));
@@ -415,6 +418,34 @@ impl TxnBackend for SimFrontend {
             .as_client()
             .unwrap()
             .last_read_value())
+    }
+
+    fn exec_get_many(
+        &mut self,
+        session: &Session,
+        keys: Vec<Key>,
+    ) -> Result<Vec<Option<Bytes>>, HatError> {
+        // Only RAMP-Small has a native one-shot batch read; everything
+        // else reads sequentially (the trait default).
+        if self.config.protocol != ProtocolKind::RampSmall {
+            return keys
+                .into_iter()
+                .map(|k| self.exec_get(session, k))
+                .collect();
+        }
+        let n = keys.len();
+        let client = session.node();
+        self.engine.with_actor_ctx(client, |node, ctx| {
+            node.as_client_mut().unwrap().issue_read_many(ctx, keys)
+        });
+        self.wait_idle(client)?;
+        self.check_interrupted(client)?;
+        Ok(self
+            .engine
+            .actor(client)
+            .as_client()
+            .unwrap()
+            .last_read_values(n))
     }
 
     fn exec_put(&mut self, session: &Session, key: Key, value: Bytes) -> Result<(), HatError> {

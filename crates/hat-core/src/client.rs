@@ -23,7 +23,7 @@
 
 use crate::cluster::ClusterLayout;
 use crate::config::{ProtocolKind, SystemConfig};
-use crate::messages::Msg;
+use crate::messages::{Msg, VersionReq};
 use crate::metrics::ClientMetrics;
 use crate::timestamp::{Timestamp, TimestampGen};
 use crate::txn::{Op, OpRecord, TxnOutcome, TxnRecord, TxnSpec};
@@ -31,8 +31,17 @@ use bytes::Bytes;
 use hat_sim::{Ctx, NodeId, SimTime};
 use hat_storage::{Key, Record};
 use rand::Rng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Bound on chained RAMP-Fast ceiling repairs for one read. Each round
+/// strictly lowers the ceiling, so the loop terminates on its own; the
+/// cap is a defensive fuse (an exhausted loop is counted in
+/// [`ClientMetrics::unrepaired_reads`]).
+const MAX_RAMP_REPAIRS: u32 = 4;
+
+/// Encoded size of one timestamp on the wire (seq + writer).
+const TS_WIRE_BYTES: u64 = 12;
 
 /// Supplies transaction plans to a closed-loop client.
 pub trait TxnSource: Send {
@@ -95,6 +104,37 @@ enum PendingKind {
     /// A `Put` issued at operation time (eventual / master / 2PL data
     /// writes at commit are tracked via `commit_waiting` instead).
     WriteNow { key: Key, value: Bytes },
+    /// A RAMP-Small round-1 `GetTs` (timestamp-only metadata read).
+    RampTs { key: Key },
+    /// A one-shot RAMP-Small multi-key read (the paper's `GET_ALL`):
+    /// round 1 fetches every key's latest committed stamp in parallel,
+    /// round 2 fetches values by the union timestamp set in parallel.
+    /// Sub-requests carry their own op ids (`pending_ts`/`pending_val`
+    /// map them back to keys).
+    RampBatch {
+        /// Keys in request order (the recording order).
+        keys: Vec<Key>,
+        /// Outstanding round-1 ops → key.
+        pending_ts: BTreeMap<u32, Key>,
+        /// Collected round-1 stamps.
+        stamps: BTreeMap<Key, Timestamp>,
+        /// Outstanding round-2 ops → key.
+        pending_val: BTreeMap<u32, Key>,
+        /// Collected results (round 2, plus cache/buffer hits).
+        acc: BTreeMap<Key, Record>,
+        /// Per-key replica (both rounds pinned to one server per key).
+        targets: BTreeMap<Key, NodeId>,
+        /// The round-2 `Among` set, kept for retransmissions.
+        ts_set: Vec<Timestamp>,
+    },
+    /// A RAMP second-round `GetVersion` (RAMP-Small round 2, or a
+    /// RAMP-Fast fracture repair). `repairs` counts chained ceiling
+    /// repairs for this read.
+    RampVersion {
+        key: Key,
+        req: VersionReq,
+        repairs: u32,
+    },
     /// A 2PL `Lock`; on grant, `then` decides the follow-up.
     Lock {
         key: Key,
@@ -155,6 +195,20 @@ struct ActiveTxn {
     txn_cache: BTreeMap<Key, Record>,
     /// MAV `required` vector (Appendix B). Ordered for determinism.
     required: BTreeMap<Key, Timestamp>,
+    /// RAMP-Fast floors: for every key named in the metadata of a
+    /// version this transaction observed, the highest such writer
+    /// stamp. A later read of that key below its floor is a fractured
+    /// read and triggers an exact-stamp repair fetch.
+    ramp_floor: BTreeMap<Key, Timestamp>,
+    /// RAMP-Small observed-stamp set: the stamps of every version this
+    /// transaction has read (the second-round `Among` set).
+    ramp_ts_set: BTreeSet<Timestamp>,
+    /// RAMP commit: true once the prepare phase is fully acknowledged
+    /// and the outstanding `commit_waiting` entries are commit markers.
+    ramp_committing: bool,
+    /// RAMP commit: `(key, replica)` targets of the prepare phase, so
+    /// phase 2 commits exactly where phase 1 prepared.
+    ramp_commit_keys: Vec<(Key, NodeId)>,
     phase: Phase,
     /// Remaining plan when driver-driven: `(spec, next_op_index)`.
     plan: Option<(TxnSpec, usize)>,
@@ -363,6 +417,29 @@ impl Client {
         &self.last_scan
     }
 
+    /// The last `n` completed item reads as frontend-facing values, in
+    /// execution order (`None` for `⊥`). Backends use this to collect a
+    /// batch read's results; shared so the mapping cannot diverge
+    /// between them.
+    pub fn last_read_values(&self, n: usize) -> Vec<Option<Bytes>> {
+        let Some(t) = self.current.as_ref() else {
+            return Vec::new();
+        };
+        let reads: Vec<Option<Bytes>> = t
+            .ops_done
+            .iter()
+            .rev()
+            .filter_map(|op| match op {
+                OpRecord::Read {
+                    observed, value, ..
+                } => Some((!observed.is_initial()).then(|| value.clone())),
+                _ => None,
+            })
+            .take(n)
+            .collect();
+        reads.into_iter().rev().collect()
+    }
+
     // ---------------------------------------------------------------
     // Transaction lifecycle (called by the facade or the driver loop)
     // ---------------------------------------------------------------
@@ -386,6 +463,10 @@ impl Client {
             write_buffer: Vec::new(),
             txn_cache: BTreeMap::new(),
             required: BTreeMap::new(),
+            ramp_floor: BTreeMap::new(),
+            ramp_ts_set: BTreeSet::new(),
+            ramp_committing: false,
+            ramp_commit_keys: Vec::new(),
             phase: Phase::Executing,
             plan: None,
             op_seq: 0,
@@ -433,7 +514,130 @@ impl Client {
             self.issue_lock(ctx, key, false, LockFollowup::Read, None);
             return;
         }
+        if self.config.protocol == ProtocolKind::RampSmall {
+            // RAMP-Small round 1: fetch the latest committed stamp only.
+            self.send_get_ts(ctx, key);
+            return;
+        }
         self.send_get(ctx, key);
+    }
+
+    /// Issues a one-shot multi-key read (the RAMP paper's `GET_ALL`):
+    /// all round-1 stamp fetches go out in parallel, then all round-2
+    /// value fetches constrained by the union timestamp set. Only the
+    /// RAMP-Small protocol drives this path — its constant-size
+    /// metadata gives read atomicity exactly when the read set is
+    /// fetched as one batch (sequential reads can only repair forward).
+    ///
+    /// An empty batch completes immediately with no reads recorded.
+    ///
+    /// # Panics
+    /// Panics if the protocol is not RAMP-Small (frontends fall back to
+    /// sequential reads for every other engine).
+    pub fn issue_read_many(&mut self, ctx: &mut Ctx<'_, Msg>, keys: Vec<Key>) {
+        assert_eq!(
+            self.config.protocol,
+            ProtocolKind::RampSmall,
+            "batch reads are the RAMP-Small read path"
+        );
+        if keys.is_empty() {
+            return;
+        }
+        let txn = self.current.as_mut().expect("no active txn");
+        assert!(txn.pending.is_none(), "one op at a time");
+        // Resolve buffer/cache hits locally; the rest fan out.
+        let mut acc: BTreeMap<Key, Record> = BTreeMap::new();
+        let mut remote: Vec<Key> = Vec::new();
+        let cache_ok = matches!(
+            self.session.level,
+            SessionLevel::ItemCut | SessionLevel::Monotonic | SessionLevel::Causal
+        );
+        for key in &keys {
+            if acc.contains_key(key) || remote.contains(key) {
+                continue;
+            }
+            if let Some((_, v)) = txn.write_buffer.iter().rev().find(|(k, _)| k == key) {
+                acc.insert(key.clone(), Record::new(txn.id, v.clone()));
+            } else if cache_ok && txn.txn_cache.contains_key(key) {
+                acc.insert(key.clone(), txn.txn_cache[key].clone());
+            } else {
+                remote.push(key.clone());
+            }
+        }
+        if remote.is_empty() {
+            let issued = ctx.now();
+            self.record_batch_reads(ctx, keys, acc, issued);
+            return;
+        }
+        let first_op = self.current.as_ref().unwrap().op_seq;
+        let mut pending_ts = BTreeMap::new();
+        let mut targets = BTreeMap::new();
+        let mut to_send = Vec::new();
+        for key in remote {
+            let txn = self.current.as_mut().unwrap();
+            let op = txn.op_seq;
+            txn.op_seq += 1;
+            let target = self.pick_replica(ctx, &key);
+            pending_ts.insert(op, key.clone());
+            targets.insert(key.clone(), target);
+            to_send.push((op, key, target));
+        }
+        let issue_id = self.next_issue(ctx, 0);
+        self.metrics.msg_rounds += 1;
+        let txn = self.current.as_mut().unwrap();
+        let id = txn.id;
+        txn.pending = Some(PendingOp {
+            kind: PendingKind::RampBatch {
+                keys,
+                pending_ts,
+                stamps: BTreeMap::new(),
+                pending_val: BTreeMap::new(),
+                acc,
+                targets,
+                ts_set: Vec::new(),
+            },
+            op: first_op,
+            target: to_send[0].2,
+            issued: ctx.now(),
+            issue_id,
+            attempts: 0,
+            write_value: None,
+            timeout_issue: 0,
+        });
+        for (op, key, target) in to_send {
+            ctx.send(target, Msg::GetTs { txn: id, op, key });
+        }
+    }
+
+    /// Completes a batch read: folds stamps, fills the caches and
+    /// records one read per requested key, in request order.
+    fn record_batch_reads(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        keys: Vec<Key>,
+        acc: BTreeMap<Key, Record>,
+        issued: SimTime,
+    ) {
+        for key in &keys {
+            let mut record = acc
+                .get(key)
+                .cloned()
+                .unwrap_or_else(|| Record::new(Timestamp::INITIAL, Bytes::new()));
+            self.session_clamp(key, &mut record);
+            self.metrics.record_op(ctx.now().since(issued));
+            self.tsgen.observe(record.stamp);
+            let txn = self.current.as_mut().unwrap();
+            if !record.stamp.is_initial() && record.stamp != txn.id {
+                txn.ramp_ts_set.insert(record.stamp);
+            }
+            txn.txn_cache.insert(key.clone(), record.clone());
+            txn.ops_done.push(OpRecord::Read {
+                key: key.clone(),
+                observed: record.stamp,
+                value: record.value,
+            });
+        }
+        self.step_plan(ctx);
     }
 
     /// Issues a predicate read over `prefix`, scatter-gathered over all
@@ -451,6 +655,7 @@ impl Client {
         };
         let servers: Vec<NodeId> = self.layout.servers[cluster].clone();
         let issue_id = self.next_issue(ctx, 0);
+        self.metrics.msg_rounds += 1;
         let txn_state = self.current.as_mut().unwrap();
         txn_state.pending = Some(PendingOp {
             kind: PendingKind::Scan {
@@ -485,8 +690,13 @@ impl Client {
         let txn = self.current.as_mut().expect("no active txn");
         assert!(txn.pending.is_none(), "one op at a time");
         match self.config.protocol {
-            ProtocolKind::ReadCommitted | ProtocolKind::Mav => {
-                // Buffer until commit (Read Committed write buffering).
+            ProtocolKind::ReadCommitted
+            | ProtocolKind::Mav
+            | ProtocolKind::RampFast
+            | ProtocolKind::RampSmall => {
+                // Buffer until commit (Read Committed write buffering;
+                // the RAMP engines flush the buffer as their prepare
+                // phase).
                 Self::buffer_write(txn, key, value);
             }
             ProtocolKind::Eventual | ProtocolKind::Master => {
@@ -502,6 +712,7 @@ impl Client {
                     self.pick_replica(ctx, &key)
                 };
                 let issue_id = self.next_issue(ctx, 0);
+                self.metrics.msg_rounds += 1;
                 let txn = self.current.as_mut().unwrap();
                 Self::buffer_write(txn, key.clone(), value.clone());
                 txn.pending = Some(PendingOp {
@@ -543,15 +754,20 @@ impl Client {
             ProtocolKind::Eventual | ProtocolKind::Master => {
                 self.finish_txn(ctx, TxnOutcome::Committed);
             }
-            ProtocolKind::ReadCommitted | ProtocolKind::Mav => {
-                let is_mav = self.config.protocol == ProtocolKind::Mav;
+            ProtocolKind::ReadCommitted
+            | ProtocolKind::Mav
+            | ProtocolKind::RampFast
+            | ProtocolKind::RampSmall => {
+                let protocol = self.config.protocol;
                 let txn = self.current.as_mut().unwrap();
                 if txn.write_buffer.is_empty() {
                     self.finish_txn(ctx, TxnOutcome::Committed);
                     return;
                 }
                 // Deduplicate: last value per key, preserving first-write
-                // order; attach the sibling list for MAV.
+                // order. MAV and RAMP-Fast attach the write-set as
+                // sibling metadata; RAMP-Small's whole point is *not*
+                // attaching it (constant-size metadata: the stamp).
                 let mut keys: Vec<Key> = Vec::new();
                 let mut values: BTreeMap<Key, Bytes> = BTreeMap::new();
                 for (k, v) in &txn.write_buffer {
@@ -560,7 +776,11 @@ impl Client {
                     }
                     values.insert(k.clone(), v.clone());
                 }
-                let siblings = if is_mav { keys.clone() } else { Vec::new() };
+                let siblings = if matches!(protocol, ProtocolKind::Mav | ProtocolKind::RampFast) {
+                    keys.clone()
+                } else {
+                    Vec::new()
+                };
                 let id = self.write_stamp();
                 let txn = self.current.as_mut().unwrap();
                 let mut to_send = Vec::new();
@@ -573,9 +793,27 @@ impl Client {
                 }
                 let issue_id = self.next_issue(ctx, 0);
                 self.current.as_mut().unwrap().commit_issue = issue_id;
+                self.metrics.msg_rounds += 1;
+                // RAMP writes are two-phase and the phases must land on
+                // the *same* replicas, so a non-sticky RAMP commit picks
+                // one cluster for the whole transaction instead of one
+                // per key.
+                let ramp_cluster = if protocol.is_ramp() && !self.session.sticky {
+                    ctx.rng().gen_range(0..self.layout.num_clusters())
+                } else {
+                    self.home
+                };
                 for (op, k, record) in to_send {
-                    let target = self.pick_replica(ctx, &k);
+                    let target = if protocol.is_ramp() {
+                        self.layout.replica_in_cluster(&k, ramp_cluster)
+                    } else {
+                        self.pick_replica(ctx, &k)
+                    };
+                    self.metrics.metadata_bytes += sibling_bytes(&record);
                     let txn = self.current.as_mut().unwrap();
+                    if protocol.is_ramp() {
+                        txn.ramp_commit_keys.push((k.clone(), target));
+                    }
                     txn.commit_waiting
                         .insert(op, (k.clone(), record.clone(), target));
                     ctx.send(
@@ -588,7 +826,6 @@ impl Client {
                         },
                     );
                 }
-                let _ = issue_id;
             }
             ProtocolKind::TwoPhaseLocking => {
                 let txn = self.current.as_mut().unwrap();
@@ -614,6 +851,7 @@ impl Client {
                     to_send.push((op, k.clone(), record));
                 }
                 let issue_id = self.next_issue(ctx, 0);
+                self.metrics.msg_rounds += 1;
                 self.current.as_mut().unwrap().commit_issue = issue_id;
                 for (op, k, record) in to_send {
                     let target = self.layout.master(&k);
@@ -712,6 +950,7 @@ impl Client {
         let target = self.pick_replica(ctx, &key);
         let issue_id = self.next_issue(ctx, 0);
         let required = self.required_floor(&key);
+        self.metrics.msg_rounds += 1;
         let txn = self.current.as_mut().unwrap();
         let op = txn.op_seq;
         txn.op_seq += 1;
@@ -736,6 +975,218 @@ impl Client {
         );
     }
 
+    /// RAMP-Small round 1: a timestamp-only read.
+    fn send_get_ts(&mut self, ctx: &mut Ctx<'_, Msg>, key: Key) {
+        let target = self.pick_replica(ctx, &key);
+        let issue_id = self.next_issue(ctx, 0);
+        self.metrics.msg_rounds += 1;
+        let txn = self.current.as_mut().unwrap();
+        let op = txn.op_seq;
+        txn.op_seq += 1;
+        txn.pending = Some(PendingOp {
+            kind: PendingKind::RampTs { key: key.clone() },
+            op,
+            target,
+            issued: ctx.now(),
+            issue_id,
+            attempts: 0,
+            write_value: None,
+            timeout_issue: 0,
+        });
+        ctx.send(
+            target,
+            Msg::GetTs {
+                txn: txn.id,
+                op,
+                key,
+            },
+        );
+    }
+
+    /// Issues a RAMP second-round version fetch for an in-progress read
+    /// (same op id — the fetch *is* the read's continuation). Pinned to
+    /// the round-1 replica: both rounds must see one server's state.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_ramp_fetch(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        key: Key,
+        req: VersionReq,
+        repairs: u32,
+        op: u32,
+        target: NodeId,
+        issued: SimTime,
+    ) {
+        let issue_id = self.next_issue(ctx, 0);
+        self.metrics.msg_rounds += 1;
+        if let VersionReq::Among(set) = &req {
+            self.metrics.metadata_bytes += TS_WIRE_BYTES * set.len() as u64;
+        }
+        let txn = self.current.as_mut().unwrap();
+        txn.pending = Some(PendingOp {
+            kind: PendingKind::RampVersion {
+                key: key.clone(),
+                req: req.clone(),
+                repairs,
+            },
+            op,
+            target,
+            issued,
+            issue_id,
+            attempts: 0,
+            write_value: None,
+            timeout_issue: 0,
+        });
+        ctx.send(
+            target,
+            Msg::GetVersion {
+                txn: txn.id,
+                op,
+                key,
+                req,
+            },
+        );
+    }
+
+    /// The repair a RAMP-Fast read of `key` needs after observing
+    /// `record`, if any:
+    ///
+    /// * below the key's floor (metadata of an earlier read names a
+    ///   newer write of this key by an observed transaction) → fetch
+    ///   that exact version;
+    /// * above a ceiling (this record's write-set includes a key this
+    ///   transaction already read *older* — returning it would expose a
+    ///   fractured write-set) → fetch the newest visible version at or
+    ///   below the oldest such observation.
+    fn ramp_fast_repair(&self, key: &Key, record: &Record) -> Option<VersionReq> {
+        let txn = self.current.as_ref()?;
+        let floor = txn
+            .ramp_floor
+            .get(key)
+            .copied()
+            .unwrap_or(Timestamp::INITIAL);
+        if record.stamp < floor {
+            return Some(VersionReq::Exact(floor));
+        }
+        let mut ceiling: Option<Timestamp> = None;
+        for sib in &record.siblings {
+            if sib == key {
+                continue;
+            }
+            if let Some(prior) = txn.txn_cache.get(sib) {
+                if prior.stamp < record.stamp {
+                    ceiling = Some(match ceiling {
+                        Some(c) => c.min(prior.stamp),
+                        None => prior.stamp,
+                    });
+                }
+            }
+        }
+        ceiling.map(VersionReq::AtOrBelow)
+    }
+
+    /// Monotonic/Causal sessions never observe something older than the
+    /// session cache (the client "acts as a server itself"). Applied on
+    /// *every* read path — including RAMP second rounds and batch reads
+    /// — so a repair fetch cannot step a session backwards. When a
+    /// repair and the session guarantee conflict, the session guarantee
+    /// wins (it is the stronger, stickier contract).
+    fn session_clamp(&self, key: &Key, record: &mut Record) {
+        if matches!(
+            self.session.level,
+            SessionLevel::Monotonic | SessionLevel::Causal
+        ) {
+            if let Some(cached) = self.session_cache.get(key) {
+                if cached.stamp > record.stamp {
+                    *record = cached.clone();
+                }
+            }
+        }
+    }
+
+    /// Completes an item read: metrics, Lamport/session/metadata folds,
+    /// the transaction cache and the op record. Every read path (plain
+    /// `GetResp`, RAMP second rounds, metadata-only RAMP-Small reads of
+    /// `⊥`) funnels through here.
+    fn finish_read(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        key: Key,
+        mut record: Record,
+        issued: SimTime,
+    ) {
+        self.session_clamp(&key, &mut record);
+        self.metrics.record_op(ctx.now().since(issued));
+        self.tsgen.observe(record.stamp);
+        let protocol = self.config.protocol;
+        let txn = self.current.as_mut().unwrap();
+        match protocol {
+            // MAV: fold the response's sibling list into the required
+            // vector (Appendix B client GET).
+            ProtocolKind::Mav => {
+                for sib in &record.siblings {
+                    let e = txn.required.entry(sib.clone()).or_insert(record.stamp);
+                    *e = (*e).max(record.stamp);
+                }
+            }
+            // RAMP-Fast: the sibling list raises per-key floors instead
+            // — later reads repair themselves against them.
+            ProtocolKind::RampFast => {
+                self.metrics.metadata_bytes += sibling_bytes(&record);
+                for sib in &record.siblings {
+                    let e = txn.ramp_floor.entry(sib.clone()).or_insert(record.stamp);
+                    *e = (*e).max(record.stamp);
+                }
+            }
+            // RAMP-Small: only the stamp is metadata.
+            ProtocolKind::RampSmall if !record.stamp.is_initial() => {
+                txn.ramp_ts_set.insert(record.stamp);
+            }
+            _ => {}
+        }
+        txn.txn_cache.insert(key.clone(), record.clone());
+        txn.ops_done.push(OpRecord::Read {
+            key,
+            observed: record.stamp,
+            value: record.value,
+        });
+        self.step_plan(ctx);
+    }
+
+    /// RAMP commit phase 2: sends a commit marker to every replica the
+    /// prepare phase wrote, reusing the commit-retry machinery (the
+    /// placeholder records carry the write stamp for resends).
+    fn start_ramp_commit_phase(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let issue_id = self.next_issue(ctx, 0);
+        self.metrics.msg_rounds += 1;
+        let txn = self.current.as_mut().unwrap();
+        txn.ramp_committing = true;
+        txn.commit_attempts = 0;
+        txn.commit_issue = issue_id;
+        let ts = txn.write_stamp.expect("ramp commit without writes");
+        let id = txn.id;
+        let targets = std::mem::take(&mut txn.ramp_commit_keys);
+        let mut to_send = Vec::with_capacity(targets.len());
+        for (key, target) in targets {
+            let op = txn.op_seq;
+            txn.op_seq += 1;
+            txn.commit_waiting
+                .insert(op, (key.clone(), Record::new(ts, Bytes::new()), target));
+            to_send.push((op, key, target));
+        }
+        for (op, key, target) in to_send {
+            ctx.send(
+                target,
+                Msg::Commit {
+                    txn: id,
+                    op,
+                    key,
+                    ts,
+                },
+            );
+        }
+    }
+
     fn issue_lock(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -746,6 +1197,7 @@ impl Client {
     ) {
         let target = self.layout.master(&key);
         let issue_id = self.next_issue(ctx, 0);
+        self.metrics.msg_rounds += 1;
         // Lock timeout (deadlock breaker / unavailability bound).
         ctx.set_timer(self.config.lock_timeout, issue_id | LOCK_TIMEOUT_BIT);
         let txn = self.current.as_mut().unwrap();
@@ -969,6 +1421,8 @@ impl Client {
     pub fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
         match msg {
             Msg::GetResp { txn, op, found } => self.on_get_resp(ctx, txn, op, found),
+            Msg::GetTsResp { txn, op, ts } => self.on_get_ts_resp(ctx, txn, op, ts),
+            Msg::GetVersionResp { txn, op, found } => self.on_get_version_resp(ctx, txn, op, found),
             Msg::ScanResp { txn, op, matches } => self.on_scan_resp(ctx, from, txn, op, matches),
             Msg::PutResp { txn, op } => self.on_put_resp(ctx, txn, op),
             Msg::LockResp { txn, op } => self.on_lock_resp(ctx, txn, op),
@@ -977,11 +1431,24 @@ impl Client {
     }
 
     fn matches_pending(&self, txn: Timestamp, op: u32) -> bool {
-        self.current
-            .as_ref()
-            .and_then(|t| t.pending.as_ref().map(|p| (t.id, p.op)))
-            .map(|(id, pop)| id == txn && pop == op)
-            .unwrap_or(false)
+        let Some(t) = self.current.as_ref() else {
+            return false;
+        };
+        let Some(p) = t.pending.as_ref() else {
+            return false;
+        };
+        if t.id != txn {
+            return false;
+        }
+        match &p.kind {
+            // Batch reads fan out sub-requests under their own op ids.
+            PendingKind::RampBatch {
+                pending_ts,
+                pending_val,
+                ..
+            } => pending_ts.contains_key(&op) || pending_val.contains_key(&op),
+            _ => p.op == op,
+        }
     }
 
     fn on_get_resp(
@@ -994,43 +1461,231 @@ impl Client {
         if !self.matches_pending(txn_id, op) {
             return; // stale (retried or finished)
         }
-        let level = self.session.level;
         let txn = self.current.as_mut().unwrap();
         let pending = txn.pending.take().unwrap();
         let PendingKind::Read { key } = pending.kind else {
             txn.pending = Some(pending);
             return;
         };
-        self.metrics.record_op(ctx.now().since(pending.issued));
-        let txn = self.current.as_mut().unwrap();
 
         let mut record = found.unwrap_or_else(|| Record::new(Timestamp::INITIAL, Bytes::new()));
-        // Lamport: later writes must dominate what we observed.
-        self.tsgen.observe(record.stamp);
-        // Monotonic/Causal sessions: never observe something older than
-        // the session cache (the client "acts as a server itself").
-        if matches!(level, SessionLevel::Monotonic | SessionLevel::Causal) {
-            if let Some(cached) = self.session_cache.get(&key) {
-                if cached.stamp > record.stamp {
-                    record = cached.clone();
-                }
+        // Clamp before the repair decision so the fracture check runs
+        // on what the session will actually observe (finish_read clamps
+        // again; the clamp is idempotent).
+        self.session_clamp(&key, &mut record);
+        // RAMP-Fast: a fractured read is repaired with a second round
+        // before anything is returned (the one-round fast path stays
+        // one round when no fracture is detected).
+        if self.config.protocol == ProtocolKind::RampFast {
+            if let Some(req) = self.ramp_fast_repair(&key, &record) {
+                self.metrics.repair_rounds += 1;
+                self.issue_ramp_fetch(ctx, key, req, 0, pending.op, pending.target, pending.issued);
+                return;
             }
         }
-        // MAV: fold the response's sibling list into the required vector
-        // (Appendix B client GET).
-        if self.config.protocol == ProtocolKind::Mav {
-            for sib in &record.siblings {
-                let e = txn.required.entry(sib.clone()).or_insert(record.stamp);
-                *e = (*e).max(record.stamp);
-            }
+        self.finish_read(ctx, key, record, pending.issued);
+    }
+
+    /// RAMP-Small round-1 response: always continue into round 2 with
+    /// the transaction's observed-stamp set (plus this key's latest
+    /// committed stamp). With nothing to fetch — no observed stamps and
+    /// a `⊥` key — the read completes as `⊥` without a value round.
+    fn on_get_ts_resp(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        txn_id: Timestamp,
+        op: u32,
+        ts: Timestamp,
+    ) {
+        if !self.matches_pending(txn_id, op) {
+            return;
         }
-        txn.txn_cache.insert(key.clone(), record.clone());
-        txn.ops_done.push(OpRecord::Read {
+        let txn = self.current.as_mut().unwrap();
+        if matches!(
+            txn.pending.as_ref().map(|p| &p.kind),
+            Some(PendingKind::RampBatch { .. })
+        ) {
+            self.on_batch_ts(ctx, op, ts);
+            return;
+        }
+        let pending = txn.pending.take().unwrap();
+        let PendingKind::RampTs { key } = pending.kind else {
+            // A stale duplicate (e.g. the op already advanced to its
+            // second round): no metric, no state change.
+            txn.pending = Some(pending);
+            return;
+        };
+        self.metrics.metadata_bytes += TS_WIRE_BYTES;
+        let mut set: Vec<Timestamp> = txn.ramp_ts_set.iter().copied().collect();
+        if !ts.is_initial() && !txn.ramp_ts_set.contains(&ts) {
+            set.push(ts);
+        }
+        if set.is_empty() {
+            let record = Record::new(Timestamp::INITIAL, Bytes::new());
+            self.finish_read(ctx, key, record, pending.issued);
+            return;
+        }
+        self.issue_ramp_fetch(
+            ctx,
             key,
-            observed: record.stamp,
-            value: record.value,
-        });
-        self.step_plan(ctx);
+            VersionReq::Among(set),
+            0,
+            pending.op,
+            pending.target,
+            pending.issued,
+        );
+    }
+
+    /// Batch round-1 bookkeeping: collect the stamp; once the last one
+    /// arrives, fan out round 2 with the union timestamp set.
+    fn on_batch_ts(&mut self, ctx: &mut Ctx<'_, Msg>, op: u32, ts: Timestamp) {
+        let txn = self.current.as_mut().unwrap();
+        let pending = txn.pending.as_mut().unwrap();
+        let PendingKind::RampBatch {
+            pending_ts, stamps, ..
+        } = &mut pending.kind
+        else {
+            return;
+        };
+        let Some(key) = pending_ts.remove(&op) else {
+            return;
+        };
+        self.metrics.metadata_bytes += TS_WIRE_BYTES;
+        stamps.insert(key, ts);
+        if !pending_ts.is_empty() {
+            return;
+        }
+        // Round 1 complete: the Among set is the union of everything
+        // this transaction has observed plus every round-1 stamp.
+        let set: BTreeSet<Timestamp> = txn
+            .ramp_ts_set
+            .iter()
+            .copied()
+            .chain(stamps.values().copied().filter(|t| !t.is_initial()))
+            .collect();
+        if set.is_empty() {
+            // Nothing committed anywhere in sight: every remote key is ⊥.
+            let pending = txn.pending.take().unwrap();
+            let PendingKind::RampBatch { keys, acc, .. } = pending.kind else {
+                unreachable!("checked above");
+            };
+            self.record_batch_reads(ctx, keys, acc, pending.issued);
+            return;
+        }
+        let set_vec: Vec<Timestamp> = set.into_iter().collect();
+        let issue_id = self.next_issue(ctx, 0);
+        let txn = self.current.as_mut().unwrap();
+        let id = txn.id;
+        let pending = txn.pending.as_mut().unwrap();
+        pending.issue_id = issue_id;
+        let PendingKind::RampBatch {
+            pending_val,
+            stamps,
+            targets,
+            ts_set,
+            ..
+        } = &mut pending.kind
+        else {
+            unreachable!("checked above");
+        };
+        *ts_set = set_vec.clone();
+        let round2: Vec<Key> = stamps.keys().cloned().collect();
+        let mut to_send = Vec::with_capacity(round2.len());
+        for key in round2 {
+            let op = txn.op_seq;
+            txn.op_seq += 1;
+            pending_val.insert(op, key.clone());
+            to_send.push((op, targets[&key], key));
+        }
+        self.metrics.msg_rounds += 1;
+        self.metrics.metadata_bytes += TS_WIRE_BYTES * set_vec.len() as u64 * to_send.len() as u64;
+        for (op, target, key) in to_send {
+            ctx.send(
+                target,
+                Msg::GetVersion {
+                    txn: id,
+                    op,
+                    key,
+                    req: VersionReq::Among(set_vec.clone()),
+                },
+            );
+        }
+    }
+
+    /// Batch round-2 bookkeeping: collect the version; once the last
+    /// one arrives, record the whole batch.
+    fn on_batch_version(&mut self, ctx: &mut Ctx<'_, Msg>, op: u32, found: Option<Record>) {
+        let txn = self.current.as_mut().unwrap();
+        let pending = txn.pending.as_mut().unwrap();
+        let PendingKind::RampBatch {
+            pending_val, acc, ..
+        } = &mut pending.kind
+        else {
+            return;
+        };
+        let Some(key) = pending_val.remove(&op) else {
+            return;
+        };
+        if let Some(rec) = found {
+            acc.insert(key, rec);
+        }
+        if !pending_val.is_empty() {
+            return;
+        }
+        let pending = txn.pending.take().unwrap();
+        let PendingKind::RampBatch { keys, acc, .. } = pending.kind else {
+            unreachable!("checked above");
+        };
+        self.record_batch_reads(ctx, keys, acc, pending.issued);
+    }
+
+    /// RAMP second-round response: for RAMP-Fast, re-check the repaired
+    /// version (a ceiling fetch can land on a version that fractures an
+    /// even older observation) and chain bounded further repairs; then
+    /// complete the read.
+    fn on_get_version_resp(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        txn_id: Timestamp,
+        op: u32,
+        found: Option<Record>,
+    ) {
+        if !self.matches_pending(txn_id, op) {
+            return;
+        }
+        let txn = self.current.as_mut().unwrap();
+        if matches!(
+            txn.pending.as_ref().map(|p| &p.kind),
+            Some(PendingKind::RampBatch { .. })
+        ) {
+            self.on_batch_version(ctx, op, found);
+            return;
+        }
+        let pending = txn.pending.take().unwrap();
+        let PendingKind::RampVersion { key, repairs, .. } = pending.kind.clone() else {
+            txn.pending = Some(pending);
+            return;
+        };
+        let record = found.unwrap_or_else(|| Record::new(Timestamp::INITIAL, Bytes::new()));
+        if self.config.protocol == ProtocolKind::RampFast {
+            if let Some(req) = self.ramp_fast_repair(&key, &record) {
+                if repairs < MAX_RAMP_REPAIRS {
+                    self.metrics.repair_rounds += 1;
+                    self.issue_ramp_fetch(
+                        ctx,
+                        key,
+                        req,
+                        repairs + 1,
+                        pending.op,
+                        pending.target,
+                        pending.issued,
+                    );
+                    return;
+                }
+                self.metrics.unrepaired_reads += 1;
+            }
+        }
+        self.finish_read(ctx, key, record, pending.issued);
     }
 
     fn on_scan_resp(
@@ -1096,7 +1751,11 @@ impl Client {
             let txn = self.current.as_mut().unwrap();
             txn.commit_waiting.remove(&op);
             if txn.commit_waiting.is_empty() {
-                if self.config.protocol == ProtocolKind::TwoPhaseLocking {
+                if self.config.protocol.is_ramp() && !txn.ramp_committing {
+                    // RAMP phase 2: every prepare is acknowledged; send
+                    // the commit markers that make the writes visible.
+                    self.start_ramp_commit_phase(ctx);
+                } else if self.config.protocol == ProtocolKind::TwoPhaseLocking {
                     self.unlock_and_finish(ctx, TxnOutcome::Committed);
                 } else {
                     self.finish_txn(ctx, TxnOutcome::Committed);
@@ -1138,6 +1797,7 @@ impl Client {
             LockFollowup::Read => {
                 // Read at the lock master (it has the authoritative copy).
                 let issue_id = self.next_issue(ctx, 0);
+                self.metrics.msg_rounds += 1;
                 let txn = self.current.as_mut().unwrap();
                 let op = txn.op_seq;
                 txn.op_seq += 1;
@@ -1248,15 +1908,61 @@ impl Client {
                 }
                 return;
             }
+            // Batch-read retry: re-send every outstanding sub-request
+            // (both rounds), pinned to the original per-key replicas.
+            if let PendingKind::RampBatch {
+                pending_ts,
+                pending_val,
+                targets,
+                ts_set,
+                ..
+            } = &pending.kind
+            {
+                pending.attempts += 1;
+                let resend_ts: Vec<(u32, Key, NodeId)> = pending_ts
+                    .iter()
+                    .map(|(op, k)| (*op, k.clone(), targets[k]))
+                    .collect();
+                let resend_val: Vec<(u32, Key, NodeId)> = pending_val
+                    .iter()
+                    .map(|(op, k)| (*op, k.clone(), targets[k]))
+                    .collect();
+                let set = ts_set.clone();
+                let issue_id = self.next_issue(ctx, pending.attempts);
+                let txn = self.current.as_mut().unwrap();
+                pending.issue_id = issue_id;
+                txn.pending = Some(pending);
+                for (op, key, target) in resend_ts {
+                    ctx.send(target, Msg::GetTs { txn: id, op, key });
+                }
+                for (op, key, target) in resend_val {
+                    ctx.send(
+                        target,
+                        Msg::GetVersion {
+                            txn: id,
+                            op,
+                            key,
+                            req: VersionReq::Among(set.clone()),
+                        },
+                    );
+                }
+                return;
+            }
             // Non-sticky HAT clients retry elsewhere; sticky/master/2PL
             // retry the same target (and block under partition — §5.2).
+            // RAMP second rounds stay pinned to the round-1 replica:
+            // the repair names state that server exposed.
             let key_for_routing = match &pending.kind {
                 PendingKind::Read { key }
                 | PendingKind::WriteNow { key, .. }
+                | PendingKind::RampTs { key }
+                | PendingKind::RampVersion { key, .. }
                 | PendingKind::Lock { key, .. } => key.clone(),
                 PendingKind::Scan { prefix, .. } => prefix.clone(),
+                PendingKind::RampBatch { .. } => unreachable!("handled above"),
             };
-            if self.config.protocol.is_hat() && !self.session.sticky {
+            let pinned = matches!(pending.kind, PendingKind::RampVersion { .. });
+            if self.config.protocol.is_hat() && !self.session.sticky && !pinned {
                 pending.target = self.pick_replica(ctx, &key_for_routing);
             }
             pending.attempts += 1;
@@ -1278,12 +1984,25 @@ impl Client {
                     key: key.clone(),
                     required: retry_required,
                 },
-                PendingKind::Scan { .. } => unreachable!("handled above"),
+                PendingKind::Scan { .. } | PendingKind::RampBatch { .. } => {
+                    unreachable!("handled above")
+                }
                 PendingKind::WriteNow { key, value } => Msg::Put {
                     txn: id,
                     op: pending.op,
                     key: key.clone(),
                     record: Record::new(txn.write_stamp.unwrap_or(id), value.clone()),
+                },
+                PendingKind::RampTs { key } => Msg::GetTs {
+                    txn: id,
+                    op: pending.op,
+                    key: key.clone(),
+                },
+                PendingKind::RampVersion { key, req, .. } => Msg::GetVersion {
+                    txn: id,
+                    op: pending.op,
+                    key: key.clone(),
+                    req: req.clone(),
                 },
                 PendingKind::Lock { key, exclusive, .. } => Msg::Lock {
                     txn: id,
@@ -1302,6 +2021,7 @@ impl Client {
         if !txn.commit_waiting.is_empty() && txn.commit_issue == issue_id {
             self.metrics.retries += 1;
             let id = txn.id;
+            let ramp_phase2 = txn.ramp_committing;
             txn.commit_attempts += 1;
             let attempts = txn.commit_attempts;
             let resend: Vec<(u32, Key, Record, NodeId)> = txn
@@ -1312,7 +2032,14 @@ impl Client {
             let new_issue = self.next_issue(ctx, attempts);
             self.current.as_mut().unwrap().commit_issue = new_issue;
             for (op, key, record, mut target) in resend {
-                if self.config.protocol.is_hat() && !self.session.sticky {
+                // RAMP commits are two-phase against fixed replicas
+                // (phase 2 must land where phase 1 prepared), so they
+                // never retry elsewhere — they block under partition,
+                // like any sticky commit.
+                if self.config.protocol.is_hat()
+                    && !self.session.sticky
+                    && !self.config.protocol.is_ramp()
+                {
                     target = self.pick_replica(ctx, &key);
                     self.current
                         .as_mut()
@@ -1320,15 +2047,22 @@ impl Client {
                         .commit_waiting
                         .insert(op, (key.clone(), record.clone(), target));
                 }
-                ctx.send(
-                    target,
+                let msg = if ramp_phase2 {
+                    Msg::Commit {
+                        txn: id,
+                        op,
+                        key,
+                        ts: record.stamp,
+                    }
+                } else {
                     Msg::Put {
                         txn: id,
                         op,
                         key,
                         record,
-                    },
-                );
+                    }
+                };
+                ctx.send(target, msg);
             }
         }
     }
@@ -1339,6 +2073,12 @@ impl Client {
             self.drive_next(ctx);
         }
     }
+}
+
+/// Wire bytes of a record's sibling (write-set) metadata — the quantity
+/// Figure 4 plots and `exp_ramp` compares across engines.
+fn sibling_bytes(record: &Record) -> u64 {
+    record.siblings.iter().map(|s| 4 + s.len() as u64).sum()
 }
 
 impl std::fmt::Debug for Client {

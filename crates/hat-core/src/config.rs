@@ -20,6 +20,17 @@ pub enum ProtocolKind {
     /// Appendix B (pending/good sets, sibling notifications, `required`
     /// vectors).
     Mav,
+    /// Read Atomic visibility, RAMP-Fast style: each write carries its
+    /// transaction's full write-set as metadata, readers detect
+    /// fractured reads from that metadata and repair them with a second
+    /// round of by-timestamp fetches. One-round reads in the race-free
+    /// case; no server-side sibling-notification fan-in at all.
+    RampFast,
+    /// Read Atomic visibility, RAMP-Small style: constant-size
+    /// (timestamp-only) metadata. Reads always take two rounds — fetch
+    /// the latest committed stamp, then fetch the newest version whose
+    /// stamp is in the transaction's observed-timestamp set.
+    RampSmall,
     /// All operations for a key routed to a designated master replica,
     /// guaranteeing single-key linearizability (as in the CAP proof and
     /// PNUTS "read latest") — the paper's `master`.
@@ -35,7 +46,30 @@ impl ProtocolKind {
     pub fn is_hat(self) -> bool {
         matches!(
             self,
-            ProtocolKind::Eventual | ProtocolKind::ReadCommitted | ProtocolKind::Mav
+            ProtocolKind::Eventual
+                | ProtocolKind::ReadCommitted
+                | ProtocolKind::Mav
+                | ProtocolKind::RampFast
+                | ProtocolKind::RampSmall
+        )
+    }
+
+    /// True for the Read Atomic (RAMP) family: reader-side repair from
+    /// per-write metadata, two-phase (prepare/commit) writes.
+    pub fn is_ramp(self) -> bool {
+        matches!(self, ProtocolKind::RampFast | ProtocolKind::RampSmall)
+    }
+
+    /// True for protocols whose clients buffer writes until commit
+    /// (Read Committed write buffering, §5.1.1 — shared by RC, MAV and
+    /// both RAMP engines).
+    pub fn buffers_writes(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::ReadCommitted
+                | ProtocolKind::Mav
+                | ProtocolKind::RampFast
+                | ProtocolKind::RampSmall
         )
     }
 
@@ -45,6 +79,8 @@ impl ProtocolKind {
             ProtocolKind::Eventual => "eventual",
             ProtocolKind::ReadCommitted => "RC",
             ProtocolKind::Mav => "MAV",
+            ProtocolKind::RampFast => "RAMP-F",
+            ProtocolKind::RampSmall => "RAMP-S",
             ProtocolKind::Master => "master",
             ProtocolKind::TwoPhaseLocking => "2PL",
         }
@@ -52,10 +88,12 @@ impl ProtocolKind {
 
     /// All protocol kinds, HAT first (the order used in experiment
     /// tables).
-    pub const ALL: [ProtocolKind; 5] = [
+    pub const ALL: [ProtocolKind; 7] = [
         ProtocolKind::Eventual,
         ProtocolKind::ReadCommitted,
         ProtocolKind::Mav,
+        ProtocolKind::RampFast,
+        ProtocolKind::RampSmall,
         ProtocolKind::Master,
         ProtocolKind::TwoPhaseLocking,
     ];
@@ -90,6 +128,12 @@ pub struct ServiceModel {
     pub lock_us: f64,
     /// Cost of a predicate scan per matched record, µs.
     pub scan_record_us: f64,
+    /// Cost of a RAMP-Small first-round timestamp read (no value moved,
+    /// constant-size reply), µs.
+    pub ts_read_us: f64,
+    /// Cost of applying a RAMP commit marker (promote prepared →
+    /// visible), µs.
+    pub ramp_commit_us: f64,
 }
 
 impl Default for ServiceModel {
@@ -103,6 +147,8 @@ impl Default for ServiceModel {
             replicate_record_us: 120.0,
             lock_us: 20.0,
             scan_record_us: 20.0,
+            ts_read_us: 40.0,
+            ramp_commit_us: 40.0,
         }
     }
 }
@@ -120,6 +166,8 @@ impl ServiceModel {
             replicate_record_us: 0.0,
             lock_us: 0.0,
             scan_record_us: 0.0,
+            ts_read_us: 0.0,
+            ramp_commit_us: 0.0,
         }
     }
 
@@ -139,6 +187,24 @@ impl ServiceModel {
     /// Read service duration.
     pub fn read(&self) -> SimDuration {
         SimDuration::from_micros(self.read_us as u64)
+    }
+
+    /// RAMP-Small first-round (timestamp-only) read service duration.
+    pub fn ts_read(&self) -> SimDuration {
+        SimDuration::from_micros(self.ts_read_us as u64)
+    }
+
+    /// RAMP commit-marker service duration.
+    pub fn ramp_commit(&self) -> SimDuration {
+        SimDuration::from_micros(self.ramp_commit_us as u64)
+    }
+
+    /// Service duration of a RAMP prepare carrying `meta_bytes` of
+    /// write-set metadata: a plain durable write plus the per-byte
+    /// metadata cost (no MAV-style write amplification — the second
+    /// phase is a cheap commit marker, charged separately).
+    pub fn ramp_prepare(&self, meta_bytes: usize) -> SimDuration {
+        SimDuration::from_micros((self.write_us + self.meta_byte_us * meta_bytes as f64) as u64)
     }
 }
 
@@ -213,6 +279,10 @@ pub struct SystemConfig {
     /// Whether clients record full [`crate::TxnRecord`] histories (turn
     /// off for throughput runs).
     pub record_history: bool,
+    /// Per-key bound on server version chains. Multi-version readers
+    /// (RAMP's `get_at`, snapshot reads) only reach back a bounded
+    /// distance, so replicas keep at most this many versions per key.
+    pub version_chain_limit: usize,
 }
 
 impl SystemConfig {
@@ -227,6 +297,7 @@ impl SystemConfig {
             lock_timeout: SimDuration::from_secs(10),
             wan_rtt_bound: SimDuration::from_millis(400),
             record_history: true,
+            version_chain_limit: 64,
         }
     }
 
@@ -264,14 +335,30 @@ mod tests {
         assert!(ProtocolKind::Eventual.is_hat());
         assert!(ProtocolKind::ReadCommitted.is_hat());
         assert!(ProtocolKind::Mav.is_hat());
+        assert!(ProtocolKind::RampFast.is_hat(), "RA is HAT-compliant");
+        assert!(ProtocolKind::RampSmall.is_hat(), "RA is HAT-compliant");
         assert!(!ProtocolKind::Master.is_hat());
         assert!(!ProtocolKind::TwoPhaseLocking.is_hat());
+        assert!(ProtocolKind::RampFast.is_ramp() && ProtocolKind::RampSmall.is_ramp());
+        assert!(!ProtocolKind::Mav.is_ramp());
+        for p in [
+            ProtocolKind::ReadCommitted,
+            ProtocolKind::Mav,
+            ProtocolKind::RampFast,
+            ProtocolKind::RampSmall,
+        ] {
+            assert!(p.buffers_writes());
+        }
+        assert!(!ProtocolKind::Eventual.buffers_writes());
     }
 
     #[test]
     fn labels_match_paper_legend() {
         let labels: Vec<_> = ProtocolKind::ALL.iter().map(|p| p.label()).collect();
-        assert_eq!(labels, vec!["eventual", "RC", "MAV", "master", "2PL"]);
+        assert_eq!(
+            labels,
+            vec!["eventual", "RC", "MAV", "RAMP-F", "RAMP-S", "master", "2PL"]
+        );
     }
 
     #[test]
@@ -318,5 +405,18 @@ mod tests {
         let m = ServiceModel::zero();
         assert_eq!(m.read().as_micros(), 0);
         assert_eq!(m.mav_write(10_000).as_micros(), 0);
+        assert_eq!(m.ramp_prepare(10_000).as_micros(), 0);
+        assert_eq!(m.ts_read().as_micros(), 0);
+    }
+
+    #[test]
+    fn ramp_costs_sit_between_plain_and_mav() {
+        let m = ServiceModel::default();
+        // RAMP prepare pays metadata bytes but not MAV's write
+        // amplification; the second phase is a cheap marker.
+        assert!(m.ramp_prepare(100) > m.write());
+        assert!(m.ramp_prepare(100) < m.mav_write(100));
+        // A timestamp-only read is cheaper than a value read.
+        assert!(m.ts_read() < m.read());
     }
 }

@@ -110,6 +110,21 @@ pub trait TxnBackend {
     fn begin(&mut self, session: &Session) -> Result<(), HatError>;
     /// Executes an item read. `Ok(None)` is the initial `⊥` version.
     fn exec_get(&mut self, session: &Session, key: Key) -> Result<Option<Bytes>, HatError>;
+    /// Executes a one-shot multi-key read, returning one value per key
+    /// in request order. The default runs the keys sequentially;
+    /// backends override it for protocols with a native batch read
+    /// (RAMP-Small's `GET_ALL`, whose atomicity guarantee holds exactly
+    /// when the read set is fetched as one batch).
+    #[allow(clippy::type_complexity)]
+    fn exec_get_many(
+        &mut self,
+        session: &Session,
+        keys: Vec<Key>,
+    ) -> Result<Vec<Option<Bytes>>, HatError> {
+        keys.into_iter()
+            .map(|k| self.exec_get(session, k))
+            .collect()
+    }
     /// Executes (or buffers, per protocol) a write.
     fn exec_put(&mut self, session: &Session, key: Key, value: Bytes) -> Result<(), HatError>;
     /// Executes a predicate read over `prefix`.
@@ -284,6 +299,29 @@ impl TxnCtx<'_> {
     pub fn get_bytes(&mut self, key: &str) -> Result<Option<Bytes>, HatError> {
         let k = Key::from(key.to_owned());
         self.run_op(|b, s| b.exec_get(s, k))
+    }
+
+    /// One-shot multi-key read as UTF-8 strings, one entry per key in
+    /// request order (`None` for `⊥` or non-UTF-8 data). Under
+    /// RAMP-Small this is the paper's `GET_ALL`: both metadata and
+    /// value rounds are issued in parallel over the whole read set, the
+    /// mode in which its constant-size metadata guarantees read
+    /// atomicity. Other engines read the keys sequentially.
+    pub fn get_many(&mut self, keys: &[&str]) -> Result<Vec<Option<String>>, HatError> {
+        Ok(self
+            .get_many_bytes(keys)?
+            .into_iter()
+            .map(|v| v.and_then(|b| String::from_utf8(b.to_vec()).ok()))
+            .collect())
+    }
+
+    /// One-shot multi-key read, raw. An empty key list is a no-op.
+    pub fn get_many_bytes(&mut self, keys: &[&str]) -> Result<Vec<Option<Bytes>>, HatError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ks: Vec<Key> = keys.iter().map(|k| Key::from((*k).to_owned())).collect();
+        self.run_op(|b, s| b.exec_get_many(s, ks))
     }
 
     /// Writes a UTF-8 value.

@@ -71,7 +71,7 @@ pub use cluster::{ClusterLayout, ClusterSpec};
 pub use config::{ProtocolKind, RetryPolicy, ServiceModel, SystemConfig};
 pub use error::HatError;
 pub use frontend::{Frontend, Session, TxnBackend, TxnCtx};
-pub use messages::Msg;
+pub use messages::{Msg, VersionReq};
 pub use metrics::ClientMetrics;
 pub use node::Node;
 pub use protocol::{engine_for, ProtocolEngine, ServerView};

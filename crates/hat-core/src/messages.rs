@@ -4,6 +4,23 @@
 use crate::timestamp::Timestamp;
 use hat_storage::{Key, Record};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which version a RAMP second-round fetch asks for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VersionReq {
+    /// Exactly this stamp (RAMP-Fast repair: the sibling version named
+    /// in another record's metadata). The server may hold the reply
+    /// until the version arrives — it is guaranteed to be in flight.
+    Exact(Timestamp),
+    /// The newest committed version at or below this stamp (RAMP-Fast
+    /// ceiling repair: a later read must not expose a write-set a
+    /// previously returned read fractures).
+    AtOrBelow(Timestamp),
+    /// The newest version whose stamp is in this set (RAMP-Small second
+    /// round: the transaction's observed-timestamp set).
+    Among(Vec<Timestamp>),
+}
 
 /// Messages of the HAT deployment. One enum covers all protocols; servers
 /// ignore variants their protocol never receives.
@@ -44,6 +61,40 @@ pub enum Msg {
         /// The version to install.
         record: Record,
     },
+    /// RAMP-Small round 1: fetch the latest *committed stamp* of `key`
+    /// (no value moves — this is the constant-size metadata read).
+    GetTs {
+        /// Transaction issuing the read.
+        txn: Timestamp,
+        /// Op index within the transaction.
+        op: u32,
+        /// Key whose latest committed stamp is wanted.
+        key: Key,
+    },
+    /// RAMP second-round fetch: a specific version of `key`, selected by
+    /// `req` (exact sibling stamp, ceiling, or timestamp set).
+    GetVersion {
+        /// Transaction issuing the fetch.
+        txn: Timestamp,
+        /// Op index within the transaction.
+        op: u32,
+        /// Key to fetch.
+        key: Key,
+        /// Which version is wanted.
+        req: VersionReq,
+    },
+    /// RAMP commit marker: promote the prepared version of `key` stamped
+    /// `ts` to visible (phase 2 of the two-phase write).
+    Commit {
+        /// Committing transaction.
+        txn: Timestamp,
+        /// Op index (correlates the ack, which is a [`Msg::PutResp`]).
+        op: u32,
+        /// Key whose prepared version commits.
+        key: Key,
+        /// Stamp of the version committing.
+        ts: Timestamp,
+    },
     /// 2PL: acquire a lock on `key` at its lock master.
     Lock {
         /// Requesting transaction.
@@ -82,7 +133,26 @@ pub enum Msg {
         /// Matched `(key, version)` pairs in key order.
         matches: Vec<(Key, Record)>,
     },
-    /// Acknowledgement of [`Msg::Put`].
+    /// Response to [`Msg::GetTs`].
+    GetTsResp {
+        /// Transaction the read belongs to.
+        txn: Timestamp,
+        /// Op index echoed from the request.
+        op: u32,
+        /// Latest committed stamp (INITIAL when the key has no version).
+        ts: Timestamp,
+    },
+    /// Response to [`Msg::GetVersion`].
+    GetVersionResp {
+        /// Transaction the fetch belongs to.
+        txn: Timestamp,
+        /// Op index echoed from the request.
+        op: u32,
+        /// The version found, or `None` when nothing satisfies the
+        /// request.
+        found: Option<Record>,
+    },
+    /// Acknowledgement of [`Msg::Put`] (and of [`Msg::Commit`]).
     PutResp {
         /// Transaction the write belongs to.
         txn: Timestamp,
@@ -100,11 +170,15 @@ pub enum Msg {
     // ---- server → server ----
     /// Anti-entropy: a batch of versions for the receiving replica's
     /// partition, starting at the sender's log index `from_index`.
+    /// Entries are shared references into the sender's
+    /// [`crate::protocol::replication::ReplicationLog`] — batching a
+    /// retransmission clones `Arc`s, not records (the throughput hot
+    /// path: an unacked suffix is re-batched every anti-entropy tick).
     Replicate {
         /// Absolute index of the first record in the sender's log.
         from_index: u64,
         /// `(key, version)` pairs to install.
-        writes: Vec<(Key, Record)>,
+        writes: Vec<Arc<(Key, Record)>>,
     },
     /// Anti-entropy acknowledgement: the receiver has applied the
     /// sender's log up to `upto` (exclusive).
@@ -129,8 +203,11 @@ impl Msg {
         matches!(
             self,
             Msg::Get { .. }
+                | Msg::GetTs { .. }
+                | Msg::GetVersion { .. }
                 | Msg::Scan { .. }
                 | Msg::Put { .. }
+                | Msg::Commit { .. }
                 | Msg::Lock { .. }
                 | Msg::Unlock { .. }
         )
@@ -171,5 +248,27 @@ mod tests {
         };
         assert!(!resp.is_request());
         assert!(!resp.is_replication());
+        let ramp_reqs = [
+            Msg::GetTs {
+                txn: Timestamp::new(1, 1),
+                op: 0,
+                key: Key::from("x"),
+            },
+            Msg::GetVersion {
+                txn: Timestamp::new(1, 1),
+                op: 0,
+                key: Key::from("x"),
+                req: VersionReq::Exact(Timestamp::new(2, 1)),
+            },
+            Msg::Commit {
+                txn: Timestamp::new(1, 1),
+                op: 0,
+                key: Key::from("x"),
+                ts: Timestamp::new(1, 1),
+            },
+        ];
+        for m in ramp_reqs {
+            assert!(m.is_request() && !m.is_replication(), "{m:?}");
+        }
     }
 }

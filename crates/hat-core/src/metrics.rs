@@ -15,6 +15,22 @@ pub struct ClientMetrics {
     pub ops_completed: u64,
     /// Request retries (resends after the retry interval elapsed).
     pub retries: u64,
+    /// Client→server message rounds issued (every request round trip
+    /// the client waits on: reads, timestamp reads, version fetches,
+    /// write/commit phases, scans, locks). The coordination-cost
+    /// denominator for comparing protocols in `exp_ramp`.
+    pub msg_rounds: u64,
+    /// Second-round repair fetches (RAMP-Fast fracture repairs; 0 for
+    /// engines without reader-side repair). RAMP-Small's unconditional
+    /// second round counts in `msg_rounds`, not here.
+    pub repair_rounds: u64,
+    /// Metadata bytes moved on behalf of atomic visibility: sibling
+    /// write-set bytes attached to writes and returned with reads, and
+    /// timestamp-set bytes in RAMP-Small second rounds.
+    pub metadata_bytes: u64,
+    /// Reads whose fracture repair gave up (ceiling loop exhausted) —
+    /// must stay 0 in a correct RAMP-Fast run.
+    pub unrepaired_reads: u64,
     /// Transaction commit latency, milliseconds.
     pub txn_latency_ms: Histogram,
     /// Per-operation latency, milliseconds.
@@ -29,6 +45,10 @@ impl Default for ClientMetrics {
             aborted_internal: 0,
             ops_completed: 0,
             retries: 0,
+            msg_rounds: 0,
+            repair_rounds: 0,
+            metadata_bytes: 0,
+            unrepaired_reads: 0,
             txn_latency_ms: Histogram::for_latency_ms(),
             op_latency_ms: Histogram::for_latency_ms(),
         }
@@ -58,6 +78,10 @@ impl ClientMetrics {
         self.aborted_internal += other.aborted_internal;
         self.ops_completed += other.ops_completed;
         self.retries += other.retries;
+        self.msg_rounds += other.msg_rounds;
+        self.repair_rounds += other.repair_rounds;
+        self.metadata_bytes += other.metadata_bytes;
+        self.unrepaired_reads += other.unrepaired_reads;
         self.txn_latency_ms.merge(&other.txn_latency_ms);
         self.op_latency_ms.merge(&other.op_latency_ms);
     }
@@ -96,9 +120,16 @@ mod tests {
         b.record_commit(SimTime::ZERO, SimTime::from_millis(5));
         b.record_op(SimDuration::from_millis(1));
         b.retries = 3;
+        b.msg_rounds = 7;
+        b.repair_rounds = 2;
+        b.metadata_bytes = 640;
         a.merge(&b);
         assert_eq!(a.committed, 2);
         assert_eq!(a.ops_completed, 1);
         assert_eq!(a.retries, 3);
+        assert_eq!(a.msg_rounds, 7);
+        assert_eq!(a.repair_rounds, 2);
+        assert_eq!(a.metadata_bytes, 640);
+        assert_eq!(a.unrepaired_reads, 0);
     }
 }

@@ -20,12 +20,23 @@
 
 use crate::cluster::ClusterLayout;
 use crate::config::{ProtocolKind, ServiceModel, SystemConfig};
-use crate::messages::Msg;
+use crate::messages::{Msg, VersionReq};
 use crate::protocol::replication::ReplicationLog;
 use crate::protocol::twopl::Grant;
 use crate::timestamp::Timestamp;
 use hat_sim::{Ctx, NodeId, SimDuration};
 use hat_storage::{Key, Record, Store};
+
+/// What a [`ProtocolEngine::read_version`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VersionAnswer {
+    /// Answer now (`None` = nothing satisfies the request).
+    Ready(Option<Record>),
+    /// Hold the reply: the requested version is guaranteed to be in
+    /// flight (RAMP exact-stamp fetches); the engine replies itself,
+    /// through `ctx`, when the version arrives.
+    Parked,
+}
 
 /// Mutable view over the protocol-agnostic server state, handed to every
 /// engine hook. Borrowing a view (rather than the whole server) keeps the
@@ -70,6 +81,47 @@ pub trait ProtocolEngine: Send + std::fmt::Debug {
     fn write_cost(&self, service: &ServiceModel, record: &Record) -> SimDuration {
         let _ = record;
         service.write()
+    }
+
+    /// Serves a timestamp-only read (RAMP-Small round 1): the stamp of
+    /// the latest *visible* version, [`Timestamp::INITIAL`] when the key
+    /// has none. The default answers from the ordinary store.
+    fn read_ts(&mut self, view: &mut ServerView<'_>, key: &Key) -> Timestamp {
+        view.store
+            .latest(key)
+            .map(|r| r.stamp)
+            .unwrap_or(Timestamp::INITIAL)
+    }
+
+    /// Serves a second-round version fetch (RAMP repair reads). The
+    /// default resolves against the visible store and never parks;
+    /// engines with a prepared/pending set overlay it and may park
+    /// exact-stamp fetches until the version arrives. `from`/`txn`/`op`
+    /// identify the requester so a parking engine can reply later.
+    fn read_version(
+        &mut self,
+        view: &mut ServerView<'_>,
+        from: NodeId,
+        txn: Timestamp,
+        op: u32,
+        key: &Key,
+        req: &VersionReq,
+    ) -> VersionAnswer {
+        let _ = (from, txn, op);
+        VersionAnswer::Ready(resolve_version(view.store, key, req))
+    }
+
+    /// Applies a RAMP commit marker: promote the prepared version of
+    /// `key` stamped `ts` to visible. No-op for engines whose writes are
+    /// visible on install.
+    fn on_commit_mark(
+        &mut self,
+        view: &mut ServerView<'_>,
+        ctx: &mut Ctx<'_, Msg>,
+        key: Key,
+        ts: Timestamp,
+    ) {
+        let _ = (view, ctx, key, ts);
     }
 
     /// Installs a client write, emitting any protocol traffic through
@@ -175,6 +227,20 @@ pub fn lww_apply(view: &mut ServerView<'_>, key: Key, record: Record) {
     }
 }
 
+/// Shared resolution of a [`VersionReq`] against a plain visible store —
+/// the default [`ProtocolEngine::read_version`] behavior, also used by
+/// the RAMP engines for the committed part of their lookup.
+pub fn resolve_version(store: &dyn Store, key: &Key, req: &VersionReq) -> Option<Record> {
+    match req {
+        VersionReq::Exact(ts) => store.get_at(key, *ts),
+        VersionReq::AtOrBelow(ts) => store.latest_at_or_below(key, *ts),
+        VersionReq::Among(set) => set
+            .iter()
+            .filter_map(|ts| store.get_at(key, *ts))
+            .max_by_key(|r| r.stamp),
+    }
+}
+
 /// Builds the engine for a built-in protocol kind. This registry is the
 /// single place a new engine is wired up; custom engines can instead be
 /// injected through [`crate::Server::with_engine`] or
@@ -186,6 +252,8 @@ pub fn engine_for(kind: ProtocolKind) -> Box<dyn ProtocolEngine> {
             Box::new(crate::protocol::read_committed::ReadCommittedEngine)
         }
         ProtocolKind::Mav => Box::new(crate::protocol::mav::MavEngine::default()),
+        ProtocolKind::RampFast => Box::new(crate::protocol::ramp::RampFastEngine::default()),
+        ProtocolKind::RampSmall => Box::new(crate::protocol::ramp::RampSmallEngine::default()),
         ProtocolKind::Master => Box::new(crate::protocol::master::MasterEngine),
         ProtocolKind::TwoPhaseLocking => Box::new(crate::protocol::twopl::TwoPlEngine::default()),
     }

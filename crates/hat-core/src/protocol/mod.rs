@@ -9,6 +9,9 @@
 //!   routing).
 //! * [`mav`] — the two-phase Monotonic Atomic View algorithm of §5.1.2 /
 //!   Appendix B (pending/good sets, sibling acknowledgements).
+//! * [`ramp`] — the Read Atomic (RAMP) family: atomic visibility by
+//!   reader-side repair from per-write metadata instead of MAV's
+//!   server-side notification fan-in.
 //! * [`twopl`] — the distributed two-phase-locking lock table (the
 //!   unavailable serializable baseline of §6.1/§6.3).
 //! * [`replication`] — the anti-entropy buffer shared by all
@@ -18,13 +21,17 @@ pub mod engine;
 pub mod eventual;
 pub mod master;
 pub mod mav;
+pub mod ramp;
 pub mod read_committed;
 pub mod replication;
 pub mod twopl;
 
-pub use engine::{engine_for, lww_apply, ProtocolEngine, ServerView};
+pub use engine::{
+    engine_for, lww_apply, resolve_version, ProtocolEngine, ServerView, VersionAnswer,
+};
 pub use eventual::EventualEngine;
 pub use master::MasterEngine;
 pub use mav::MavEngine;
+pub use ramp::{RampCore, RampFastEngine, RampSmallEngine};
 pub use read_committed::ReadCommittedEngine;
 pub use twopl::TwoPlEngine;

@@ -13,14 +13,21 @@
 //! at-least-once; receivers apply writes idempotently.
 
 use hat_storage::{Key, Record};
+use std::sync::Arc;
 
 /// Largest number of records shipped in one anti-entropy batch.
 pub const MAX_BATCH: usize = 1024;
 
 /// Buffer of writes awaiting gossip, with acknowledged per-peer cursors.
+///
+/// Entries are `Arc`-shared: a batch is a vector of references into the
+/// log, so re-batching an unacknowledged suffix on every anti-entropy
+/// tick (the common case under replication lag or partition) clones
+/// pointers, not keys and values. Receivers clone the inner pair once,
+/// at apply time.
 #[derive(Debug, Clone)]
 pub struct ReplicationLog {
-    log: Vec<(Key, Record)>,
+    log: Vec<Arc<(Key, Record)>>,
     /// Index of the first log slot (everything below was compacted).
     base: u64,
     /// Per-peer acknowledged position (absolute index).
@@ -39,14 +46,15 @@ impl ReplicationLog {
 
     /// Records an accepted write for future gossip.
     pub fn push(&mut self, key: Key, record: Record) {
-        self.log.push((key, record));
+        self.log.push(Arc::new((key, record)));
     }
 
     /// The batch to send to `peer` right now: everything past its
     /// acknowledged position, capped at [`MAX_BATCH`]. Returns
     /// `(start_index, records)`; empty when the peer is caught up.
     /// Does *not* advance the cursor — only [`ReplicationLog::ack`] does.
-    pub fn batch_for(&self, peer: usize) -> (u64, Vec<(Key, Record)>) {
+    /// The returned entries share the log's allocations (`Arc` clones).
+    pub fn batch_for(&self, peer: usize) -> (u64, Vec<Arc<(Key, Record)>>) {
         let start = self.acked[peer].max(self.base);
         let offset = (start - self.base) as usize;
         let end = (offset + MAX_BATCH).min(self.log.len());

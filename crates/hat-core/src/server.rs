@@ -184,6 +184,11 @@ impl Server {
                 key,
                 record,
             } => self.handle_put(ctx, from, txn, op, key, record),
+            Msg::GetTs { txn, op, key } => self.handle_get_ts(ctx, from, txn, op, key),
+            Msg::GetVersion { txn, op, key, req } => {
+                self.handle_get_version(ctx, from, txn, op, key, req)
+            }
+            Msg::Commit { txn, op, key, ts } => self.handle_commit(ctx, from, txn, op, key, ts),
             Msg::Lock {
                 txn,
                 op,
@@ -220,6 +225,62 @@ impl Server {
         let found = engine.read(&mut view, &key, required);
         let hold = self.service(ctx.now(), cost);
         ctx.send_after(hold, from, Msg::GetResp { txn, op, found });
+    }
+
+    /// RAMP-Small round 1: latest committed stamp, constant-size reply.
+    fn handle_get_ts(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: Timestamp,
+        op: u32,
+        key: Key,
+    ) {
+        self.requests_served += 1;
+        let cost = self.config.service.ts_read();
+        let (engine, mut view) = self.engine_view();
+        let ts = engine.read_ts(&mut view, &key);
+        let hold = self.service(ctx.now(), cost);
+        ctx.send_after(hold, from, Msg::GetTsResp { txn, op, ts });
+    }
+
+    /// RAMP second-round fetch. A parked answer sends no reply now — the
+    /// engine answers through its own `ctx` when the version arrives.
+    fn handle_get_version(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: Timestamp,
+        op: u32,
+        key: Key,
+        req: crate::messages::VersionReq,
+    ) {
+        self.requests_served += 1;
+        let cost = self.config.service.read();
+        let (engine, mut view) = self.engine_view();
+        let answer = engine.read_version(&mut view, from, txn, op, &key, &req);
+        let hold = self.service(ctx.now(), cost);
+        if let crate::protocol::engine::VersionAnswer::Ready(found) = answer {
+            ctx.send_after(hold, from, Msg::GetVersionResp { txn, op, found });
+        }
+    }
+
+    /// RAMP commit marker: promote prepared → visible, ack like a put.
+    fn handle_commit(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: Timestamp,
+        op: u32,
+        key: Key,
+        ts: Timestamp,
+    ) {
+        self.requests_served += 1;
+        let cost = self.config.service.ramp_commit();
+        let (engine, mut view) = self.engine_view();
+        engine.on_commit_mark(&mut view, ctx, key, ts);
+        let hold = self.service(ctx.now(), cost);
+        ctx.send_after(hold, from, Msg::PutResp { txn, op });
     }
 
     fn handle_scan(
@@ -262,14 +323,20 @@ impl Server {
         ctx: &mut Ctx<'_, Msg>,
         from: NodeId,
         from_index: u64,
-        writes: Vec<(Key, Record)>,
+        writes: Vec<std::sync::Arc<(Key, Record)>>,
     ) {
         let cost = SimDuration::from_micros(
             (self.config.service.replicate_record_us * writes.len() as f64) as u64,
         );
         let hold = self.service(ctx.now(), cost);
         let upto = from_index + writes.len() as u64;
-        for (key, record) in writes {
+        for entry in writes {
+            // One owned copy per application; the batch itself shares
+            // the sender's allocations.
+            let (key, record) = match std::sync::Arc::try_unwrap(entry) {
+                Ok(pair) => pair,
+                Err(shared) => (*shared).clone(),
+            };
             let (engine, mut view) = self.engine_view();
             engine.apply_replicated_write(&mut view, ctx, key, record);
         }

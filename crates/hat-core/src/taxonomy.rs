@@ -43,6 +43,7 @@ pub enum Model {
     ItemCutIsolation,
     PredicateCutIsolation,
     MonotonicAtomicView,
+    ReadAtomic,
     MonotonicReads,
     MonotonicWrites,
     WritesFollowReads,
@@ -62,12 +63,17 @@ pub enum Model {
 
 impl Model {
     /// All models, in Table 3 order (HA, then sticky, then unavailable).
-    pub const ALL: [Model; 20] = [
+    /// The Read Atomic row is the RAMP follow-up addition: RA is proven
+    /// achievable with high availability (reader-side repair needs no
+    /// blocking coordination), slotting strictly between MAV and the
+    /// unavailable snapshot levels.
+    pub const ALL: [Model; 21] = [
         Model::ReadUncommitted,
         Model::ReadCommitted,
         Model::ItemCutIsolation,
         Model::PredicateCutIsolation,
         Model::MonotonicAtomicView,
+        Model::ReadAtomic,
         Model::MonotonicReads,
         Model::MonotonicWrites,
         Model::WritesFollowReads,
@@ -93,6 +99,7 @@ impl Model {
             Model::ItemCutIsolation => "I-CI",
             Model::PredicateCutIsolation => "P-CI",
             Model::MonotonicAtomicView => "MAV",
+            Model::ReadAtomic => "RA",
             Model::MonotonicReads => "MR",
             Model::MonotonicWrites => "MW",
             Model::WritesFollowReads => "WFR",
@@ -127,6 +134,7 @@ impl Model {
             | ItemCutIsolation
             | PredicateCutIsolation
             | MonotonicAtomicView
+            | ReadAtomic
             | MonotonicReads
             | MonotonicWrites
             | WritesFollowReads => Availability::HighlyAvailable,
@@ -161,6 +169,12 @@ pub const EDGES: &[(Model, Model)] = &[
     (Model::ItemCutIsolation, Model::ReadUncommitted),
     (Model::PredicateCutIsolation, Model::ItemCutIsolation),
     (Model::CursorStability, Model::MonotonicAtomicView),
+    // RA (RAMP): no fractured reads — strictly stronger than MAV's
+    // order-aware atomic view, still below SI/RR (no predicates, no
+    // lost-update prevention).
+    (Model::ReadAtomic, Model::MonotonicAtomicView),
+    (Model::SnapshotIsolation, Model::ReadAtomic),
+    (Model::RepeatableRead, Model::ReadAtomic),
     (Model::RepeatableRead, Model::PredicateCutIsolation),
     (Model::RepeatableRead, Model::MonotonicAtomicView),
     (Model::SnapshotIsolation, Model::MonotonicAtomicView),
@@ -355,6 +369,11 @@ mod tests {
         use Availability::*;
         assert_eq!(Model::ReadCommitted.availability(), HighlyAvailable);
         assert_eq!(Model::MonotonicAtomicView.availability(), HighlyAvailable);
+        assert_eq!(
+            Model::ReadAtomic.availability(),
+            HighlyAvailable,
+            "Table 3 RA row: Read Atomic is achievable with high availability"
+        );
         assert_eq!(Model::PredicateCutIsolation.availability(), HighlyAvailable);
         assert_eq!(Model::ReadYourWrites.availability(), Sticky);
         assert_eq!(Model::Pram.availability(), Sticky);
@@ -453,10 +472,12 @@ mod tests {
     fn hat_combination_count_is_stable() {
         // Figure 2's caption counts "144 possible HAT combinations"
         // (convention unspecified); our non-empty antichain count over
-        // the same 11 achievable models is 182 — same order of
-        // magnitude, locked in here so the lattice cannot silently drift.
+        // the paper's 11 achievable models was 182. Adding the RAMP
+        // follow-up's Read Atomic row (12 achievable models) grows the
+        // count to 239 — locked in here so the lattice cannot silently
+        // drift.
         let t = Taxonomy::new();
-        assert_eq!(t.count_hat_combinations(), 182);
+        assert_eq!(t.count_hat_combinations(), 239);
     }
 
     #[test]
@@ -465,8 +486,15 @@ mod tests {
         let maximal = t.maximal_hat_combinations();
         // §5.3: "If we combine all HAT and sticky guarantees, we have
         // transactional, causally consistent snapshot reads" — causal +
-        // P-CI (causal already entails MAV via PL-2L).
-        let favourite = vec![Model::PredicateCutIsolation, Model::Causal];
+        // P-CI (causal already entails MAV via PL-2L). The RAMP
+        // follow-up strengthens the combination with Read Atomic, which
+        // is incomparable to both: RA + causal + P-CI is the new
+        // strongest achievable point.
+        let favourite = vec![
+            Model::PredicateCutIsolation,
+            Model::ReadAtomic,
+            Model::Causal,
+        ];
         let mut sorted = favourite.clone();
         sorted.sort();
         assert!(

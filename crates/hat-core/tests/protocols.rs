@@ -91,6 +91,88 @@ fn mav_atomic_visibility() {
     );
 }
 
+/// The RAMP engines deliver the same atomic-visibility contract as MAV
+/// — without any server-side notification fan-in. Same probe as
+/// `mav_atomic_visibility`, for both variants: once a reader observes
+/// acct-a at round v, the same transaction's read of acct-b must be
+/// ≥ v (RAMP-Fast repairs from write-set metadata, RAMP-Small from its
+/// observed-timestamp set).
+#[test]
+fn ramp_engines_have_atomic_visibility() {
+    for protocol in [ProtocolKind::RampFast, ProtocolKind::RampSmall] {
+        let mut front = DeploymentBuilder::new(protocol)
+            .seed(3)
+            .clusters(ClusterSpec::va_or(3))
+            .sessions_per_cluster(1)
+            .build();
+        let writer = front.open_session(SessionOptions::default());
+        let reader = front.open_session(SessionOptions::default());
+        front.txn(&writer, |t| {
+            t.put("acct-a", "0")?;
+            t.put("acct-b", "0")
+        });
+        front.quiesce();
+        for round in 1..=5 {
+            let v = format!("{round}");
+            front.txn(&writer, |t| {
+                t.put("acct-a", &v)?;
+                t.put("acct-b", &v)
+            });
+            for _ in 0..3 {
+                let (a, b) = front.txn(&reader, |t| Ok((t.get("acct-a")?, t.get("acct-b")?)));
+                let a: u64 = a.unwrap_or_default().parse().unwrap_or(0);
+                let b: u64 = b.unwrap_or_default().parse().unwrap_or(0);
+                assert!(
+                    b >= a,
+                    "{protocol:?} round {round}: read a={a} then b={b}: atomic view violated"
+                );
+                front.run_for(SimDuration::from_millis(37));
+            }
+        }
+        let m = front.aggregate_metrics();
+        assert_eq!(m.unrepaired_reads, 0, "{protocol:?}: repairs must land");
+        assert!(m.msg_rounds > 0);
+        if protocol == ProtocolKind::RampFast {
+            assert!(
+                m.metadata_bytes > 0,
+                "RAMP-F moves write-set metadata on reads and writes"
+            );
+        }
+    }
+}
+
+/// RAMP writes are invisible until the commit markers land: a reader
+/// polling between the prepare phase and quiesce either sees the old
+/// value or the whole new write-set, never a prepared fragment.
+#[test]
+fn ramp_prepared_writes_are_invisible_until_committed() {
+    let mut front = DeploymentBuilder::new(ProtocolKind::RampFast)
+        .seed(11)
+        .clusters(ClusterSpec::single_dc(2, 2))
+        .sessions_per_cluster(1)
+        .build();
+    let writer = front.open_session(SessionOptions::default());
+    let reader = front.open_session(SessionOptions::default());
+    // A committed baseline.
+    front.txn(&writer, |t| {
+        t.put("p", "old")?;
+        t.put("q", "old")
+    });
+    front.quiesce();
+    front.txn(&writer, |t| {
+        t.put("p", "new")?;
+        t.put("q", "new")
+    });
+    // Immediately after commit returns, both markers are applied at the
+    // writer's cluster; the reader (other cluster, sticky) converges by
+    // gossip but must never see a mixed write-set.
+    for _ in 0..10 {
+        let (p, q) = front.txn(&reader, |t| Ok((t.get("p")?, t.get("q")?)));
+        assert_eq!(p, q, "fractured read of a two-phase RAMP write");
+        front.run_for(SimDuration::from_millis(5));
+    }
+}
+
 /// Master provides per-key linearizability: a committed write is
 /// immediately visible to every session (all ops route to the master).
 #[test]

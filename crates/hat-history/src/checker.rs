@@ -20,6 +20,9 @@ pub enum IsolationLevel {
     PredicateCutIsolation,
     /// Read Committed + OTV prohibited.
     MonotonicAtomicView,
+    /// Read Atomic (the RAMP paper's guarantee): Read Committed + no
+    /// fractured reads (which subsumes OTV).
+    ReadAtomic,
     /// Prohibits N-MR.
     MonotonicReads,
     /// Prohibits N-MW.
@@ -50,6 +53,7 @@ impl IsolationLevel {
             IsolationLevel::ItemCutIsolation => vec![Imp],
             IsolationLevel::PredicateCutIsolation => vec![Imp, Pmp],
             IsolationLevel::MonotonicAtomicView => vec![G0, G1a, G1b, G1c, Otv],
+            IsolationLevel::ReadAtomic => vec![G0, G1a, G1b, G1c, Otv, FracturedReads],
             IsolationLevel::MonotonicReads => vec![NonMonotonicReads],
             IsolationLevel::MonotonicWrites => vec![NonMonotonicWrites],
             IsolationLevel::ReadYourWrites => vec![MissingYourWrites],
@@ -64,9 +68,13 @@ impl IsolationLevel {
                 Mrwd,
             ],
             IsolationLevel::SnapshotIsolation => {
-                vec![G0, G1a, G1b, G1c, Pmp, Otv, LostUpdate]
+                vec![G0, G1a, G1b, G1c, Pmp, Otv, FracturedReads, LostUpdate]
             }
-            IsolationLevel::RepeatableRead => vec![G0, G1a, G1b, G1c, WriteSkew],
+            // RR dominates MAV and RA in the Figure 2 lattice, so its
+            // prohibited set includes their phenomena.
+            IsolationLevel::RepeatableRead => {
+                vec![G0, G1a, G1b, G1c, Otv, FracturedReads, WriteSkew]
+            }
             IsolationLevel::Serializable => vec![
                 G0,
                 G1a,
@@ -75,6 +83,7 @@ impl IsolationLevel {
                 Imp,
                 Pmp,
                 Otv,
+                FracturedReads,
                 NonMonotonicReads,
                 NonMonotonicWrites,
                 MissingYourWrites,
@@ -130,6 +139,7 @@ pub fn detect(phenomenon: Phenomenon, history: &History, dsg: &Dsg) -> Vec<Viola
         Phenomenon::Imp => phenomena::imp(history),
         Phenomenon::Pmp => phenomena::pmp(history),
         Phenomenon::Otv => phenomena::otv(history),
+        Phenomenon::FracturedReads => phenomena::fractured_reads(history),
         Phenomenon::NonMonotonicReads => phenomena::non_monotonic_reads(history),
         Phenomenon::NonMonotonicWrites => phenomena::non_monotonic_writes(history),
         Phenomenon::MissingYourWrites => phenomena::missing_your_writes(history),
@@ -201,10 +211,109 @@ mod tests {
             .any(|v| v.phenomenon == Phenomenon::LostUpdate));
     }
 
+    /// The stale sibling is read *before* the fractured transaction's
+    /// write is observed: order-aware OTV (hence MAV) passes, but the
+    /// read set still exposes a partial write-set — only Read Atomic
+    /// catches it.
+    fn backward_fracture_history() -> Vec<TxnRecord> {
+        let read = |k: &str, o, v: &str| OpRecord::Read {
+            key: Key::from(k.to_owned()),
+            observed: o,
+            value: Bytes::from(v.to_owned()),
+        };
+        let write = |k: &str, v: &str| OpRecord::Write {
+            key: Key::from(k.to_owned()),
+            value: Bytes::from(v.to_owned()),
+        };
+        let writer = Timestamp::new(5, 1);
+        vec![
+            TxnRecord {
+                id: writer,
+                session: 1,
+                session_seq: 0,
+                ops: vec![write("x", "new"), write("y", "new")],
+                outcome: TxnOutcome::Committed,
+            },
+            TxnRecord {
+                id: Timestamp::new(6, 2),
+                session: 2,
+                session_seq: 0,
+                // y read old first, then x from the writer: fractured.
+                ops: vec![read("y", Timestamp::INITIAL, ""), read("x", writer, "new")],
+                outcome: TxnOutcome::Committed,
+            },
+        ]
+    }
+
+    #[test]
+    fn read_atomic_catches_backward_fractures_mav_misses() {
+        let mav = check(
+            backward_fracture_history(),
+            IsolationLevel::MonotonicAtomicView,
+        );
+        assert!(mav.ok(), "OTV is order-aware and misses this: {mav}");
+        let ra = check(backward_fracture_history(), IsolationLevel::ReadAtomic);
+        assert!(!ra.ok(), "Read Atomic prohibits any partial write-set");
+        assert!(ra
+            .violations
+            .iter()
+            .all(|v| v.phenomenon == Phenomenon::FracturedReads));
+    }
+
+    #[test]
+    fn own_write_reads_are_not_fractures() {
+        // A txn that wrote y itself, read it back, and read an older x
+        // from a txn that also wrote y: read-your-writes wins, no flag.
+        let own = Timestamp::new(11, 2);
+        let writer = Timestamp::new(9, 1);
+        let h = vec![
+            TxnRecord {
+                id: writer,
+                session: 1,
+                session_seq: 0,
+                ops: vec![
+                    OpRecord::Write {
+                        key: Key::from("x"),
+                        value: Bytes::from("w"),
+                    },
+                    OpRecord::Write {
+                        key: Key::from("y"),
+                        value: Bytes::from("w"),
+                    },
+                ],
+                outcome: TxnOutcome::Committed,
+            },
+            TxnRecord {
+                id: own,
+                session: 2,
+                session_seq: 0,
+                ops: vec![
+                    OpRecord::Write {
+                        key: Key::from("y"),
+                        value: Bytes::from("mine"),
+                    },
+                    OpRecord::Read {
+                        key: Key::from("y"),
+                        observed: own,
+                        value: Bytes::from("mine"),
+                    },
+                    OpRecord::Read {
+                        key: Key::from("x"),
+                        observed: writer,
+                        value: Bytes::from("w"),
+                    },
+                ],
+                outcome: TxnOutcome::Committed,
+            },
+        ];
+        let ra = check(h, IsolationLevel::ReadAtomic);
+        assert!(ra.ok(), "{ra}");
+    }
+
     #[test]
     fn serializable_prohibits_everything() {
         let p = IsolationLevel::Serializable.prohibited();
-        assert_eq!(p.len(), 13);
+        assert_eq!(p.len(), 14);
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! * [`phenomena`] — detectors for G0 (dirty writes), G1a (aborted
 //!   reads), G1b (intermediate reads), G1c (circular information flow),
 //!   IMP/PMP (cut-isolation violations), OTV (observed transaction
-//!   vanishes — the MAV phenomenon), the session phenomena N-MR, N-MW,
-//!   MYR and MRWD, plus Lost Update and Write Skew.
+//!   vanishes — the MAV phenomenon), Fractured Reads (partial write-set
+//!   observed — the Read Atomic phenomenon of the RAMP follow-up work),
+//!   the session phenomena N-MR, N-MW, MYR and MRWD, plus Lost Update
+//!   and Write Skew.
 //! * [`checker`] — maps named isolation levels to their prohibited
 //!   phenomena (Appendix A definitions 17–41) and checks a history
 //!   against a level.

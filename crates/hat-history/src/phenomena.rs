@@ -23,6 +23,9 @@ pub enum Phenomenon {
     Pmp,
     /// OTV — observed transaction vanishes (MAV violation).
     Otv,
+    /// Fractured reads (RAMP Definition 2) — a transaction observes a
+    /// partial write-set (Read Atomic violation).
+    FracturedReads,
     /// N-MR — non-monotonic reads.
     NonMonotonicReads,
     /// N-MW — non-monotonic writes.
@@ -48,6 +51,7 @@ impl fmt::Display for Phenomenon {
             Phenomenon::Imp => "IMP (item-many-preceders)",
             Phenomenon::Pmp => "PMP (predicate-many-preceders)",
             Phenomenon::Otv => "OTV (observed transaction vanishes)",
+            Phenomenon::FracturedReads => "Fractured Reads (partial write-set observed)",
             Phenomenon::NonMonotonicReads => "N-MR (non-monotonic reads)",
             Phenomenon::NonMonotonicWrites => "N-MW (non-monotonic writes)",
             Phenomenon::MissingYourWrites => "MYR (missing your writes)",
@@ -253,6 +257,55 @@ pub fn otv(history: &History) -> Vec<Violation> {
             }
             if !observed.is_initial() && !observed_txns.contains(&observed) {
                 observed_txns.push(observed);
+            }
+        }
+    }
+    out
+}
+
+/// Fractured reads (the RAMP paper's Definition 2, the phenomenon Read
+/// Atomic isolation prohibits): transaction `Tj` reads `x` as written by
+/// committed transaction `Ti`, and also reads `y` at a version *older*
+/// than `Ti`'s write of `y`, where `Ti` wrote both — i.e. `Tj` observed
+/// a partial write-set. Unlike [`otv`] this is order-free over the
+/// transaction's whole read set: it also catches the case where the
+/// stale sibling was read *before* any of `Ti`'s writes were observed
+/// (the direction MAV's monotonic view permits but Read Atomic forbids).
+///
+/// Reads of the transaction's own buffered writes (`observed == id`)
+/// are exempt on both sides: read-your-writes takes precedence over
+/// snapshot membership, exactly as in the RAMP read-write extension.
+pub fn fractured_reads(history: &History) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &ri in &history.committed {
+        let r = &history.all[ri];
+        let reads: Vec<(&Key, Timestamp)> = r
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                OpRecord::Read { key, observed, .. } => Some((key, *observed)),
+                _ => None,
+            })
+            .collect();
+        for (i, &(key_i, from_ts)) in reads.iter().enumerate() {
+            // `from_ts` is the writer whose write-set membership we test.
+            if from_ts.is_initial() || from_ts == r.id || !history.writer_of.contains_key(&from_ts)
+            {
+                continue;
+            }
+            for (j, &(key_j, obs_j)) in reads.iter().enumerate() {
+                if i == j || obs_j == r.id || obs_j >= from_ts {
+                    continue;
+                }
+                if history.final_write.contains_key(&(from_ts, key_j.clone())) {
+                    out.push(Violation {
+                        phenomenon: Phenomenon::FracturedReads,
+                        txns: vec![r.id, from_ts],
+                        detail: format!(
+                            "read {key_i:?} from {from_ts} but {key_j:?} at older {obs_j}"
+                        ),
+                    });
+                }
             }
         }
     }

@@ -50,6 +50,9 @@ pub enum ClientCmd {
     Begin,
     /// Item read.
     Get(Key),
+    /// One-shot multi-key read (RAMP-Small `GET_ALL`; other protocols
+    /// are handled sequentially by the frontend and never send this).
+    GetMany(Vec<Key>),
     /// Write (buffered or sent, per protocol).
     Put(Key, Bytes),
     /// Predicate read.
@@ -73,6 +76,8 @@ pub enum ClientReply {
     Ack,
     /// Read result; `None` is the initial `⊥` version.
     Read(Option<Bytes>),
+    /// Batch read results, one per requested key in request order.
+    ReadMany(Vec<Option<Bytes>>),
     /// Write applied (or buffered).
     Wrote,
     /// Scan result.
@@ -104,6 +109,7 @@ pub struct InteractivePort {
 #[derive(Debug, Clone, Copy)]
 enum PendingCmd {
     Get,
+    GetMany(usize),
     Put,
     Scan,
     Commit,
@@ -343,6 +349,11 @@ fn apply_cmd(node: &mut Node, ctx: &mut Ctx<'_, Msg>, cmd: ClientCmd) -> CmdOutc
             client.issue_read(ctx, key);
             CmdOutcome::Pending(PendingCmd::Get)
         }
+        ClientCmd::GetMany(keys) => {
+            let n = keys.len();
+            client.issue_read_many(ctx, keys);
+            CmdOutcome::Pending(PendingCmd::GetMany(n))
+        }
         ClientCmd::Put(key, value) => {
             client.issue_write(ctx, key, value);
             CmdOutcome::Pending(PendingCmd::Put)
@@ -377,7 +388,7 @@ fn apply_cmd(node: &mut Node, ctx: &mut Ctx<'_, Msg>, cmd: ClientCmd) -> CmdOutc
 fn resolve_cmd(node: &mut Node, ctx: &mut Ctx<'_, Msg>, kind: PendingCmd) -> ClientReply {
     let client = node.as_client_mut().expect("interactive port on a client");
     match kind {
-        PendingCmd::Get | PendingCmd::Put | PendingCmd::Scan => {
+        PendingCmd::Get | PendingCmd::GetMany(_) | PendingCmd::Put | PendingCmd::Scan => {
             // A transaction finished mid-operation (2PL lock timeout →
             // external abort) fails the operation itself.
             if let Some(e) = client.op_interrupted() {
@@ -385,6 +396,7 @@ fn resolve_cmd(node: &mut Node, ctx: &mut Ctx<'_, Msg>, kind: PendingCmd) -> Cli
             }
             match kind {
                 PendingCmd::Get => ClientReply::Read(client.last_read_value()),
+                PendingCmd::GetMany(n) => ClientReply::ReadMany(client.last_read_values(n)),
                 PendingCmd::Put => ClientReply::Wrote,
                 PendingCmd::Scan => ClientReply::Scanned(client.last_scan().to_vec()),
                 PendingCmd::Commit => unreachable!(),

@@ -309,6 +309,26 @@ impl TxnBackend for RuntimeFrontend {
         }
     }
 
+    fn exec_get_many(
+        &mut self,
+        session: &Session,
+        keys: Vec<Key>,
+    ) -> Result<Vec<Option<Bytes>>, HatError> {
+        // Only RAMP-Small has a native one-shot batch read; everything
+        // else reads sequentially (the trait default).
+        if self.config.protocol != hat_core::ProtocolKind::RampSmall {
+            return keys
+                .into_iter()
+                .map(|k| self.exec_get(session, k))
+                .collect();
+        }
+        match self.roundtrip(session.index() as usize, ClientCmd::GetMany(keys))? {
+            ClientReply::ReadMany(vs) => Ok(vs),
+            ClientReply::Failed(e) => Err(e),
+            other => panic!("protocol mismatch: expected ReadMany, got {other:?}"),
+        }
+    }
+
     fn exec_put(&mut self, session: &Session, key: Key, value: Bytes) -> Result<(), HatError> {
         match self.roundtrip(session.index() as usize, ClientCmd::Put(key, value))? {
             ClientReply::Wrote => Ok(()),

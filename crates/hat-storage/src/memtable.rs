@@ -23,6 +23,12 @@ use std::collections::BTreeMap;
 pub struct Memtable {
     map: BTreeMap<Key, Vec<Record>>,
     versions: usize,
+    /// Per-key version-chain bound (`None` = unbounded). Multi-version
+    /// readers (RAMP `get_at`, snapshot reads) only ever reach back a
+    /// bounded distance, so retaining every version forever is pure
+    /// memory leak; the cap drops the oldest versions of a chain once it
+    /// grows past the bound, always keeping the newest `cap`.
+    cap: Option<usize>,
 }
 
 impl Memtable {
@@ -31,14 +37,24 @@ impl Memtable {
         Self::default()
     }
 
+    /// An empty table whose per-key version chains are bounded at `cap`
+    /// (the newest `cap` versions are retained).
+    pub fn with_version_cap(cap: usize) -> Self {
+        Memtable {
+            cap: Some(cap.max(1)),
+            ..Self::default()
+        }
+    }
+
     /// Inserts a version. A duplicate stamp for the same key *replaces*
     /// the stored value and returns `false`: replacement keeps redelivery
     /// idempotent while letting a transaction's later write of the same
     /// key supersede its intermediate write (both carry the transaction's
     /// timestamp; the final one must win).
     pub fn insert(&mut self, key: Key, record: Record) -> bool {
+        let cap = self.cap;
         let versions = self.map.entry(key).or_default();
-        match versions.binary_search_by(|r| r.stamp.cmp(&record.stamp)) {
+        let fresh = match versions.binary_search_by(|r| r.stamp.cmp(&record.stamp)) {
             Ok(pos) => {
                 versions[pos] = record;
                 false
@@ -48,7 +64,15 @@ impl Memtable {
                 self.versions += 1;
                 true
             }
+        };
+        if let Some(cap) = cap {
+            if versions.len() > cap {
+                let drop = versions.len() - cap;
+                versions.drain(..drop);
+                self.versions -= drop;
+            }
         }
+        fresh
     }
 
     /// The latest version of `key` (last-writer-wins winner), if any.
@@ -297,6 +321,29 @@ mod tests {
         m.insert(k("x"), rec(10, 0, "future"));
         assert_eq!(m.gc_below(VersionStamp::new(5, 0)), 0);
         assert_eq!(m.versions(b"x").len(), 1);
+    }
+
+    #[test]
+    fn version_cap_bounds_the_chain_keeping_newest() {
+        let mut m = Memtable::with_version_cap(3);
+        for s in 1..=10u64 {
+            m.insert(k("x"), rec(s, 0, &format!("v{s}")));
+        }
+        assert_eq!(m.versions(b"x").len(), 3);
+        assert_eq!(m.version_count(), 3);
+        // the newest three survive; by-timestamp reads within the bound
+        // still work
+        assert_eq!(
+            m.exact(b"x", VersionStamp::new(8, 0)).unwrap().value,
+            Bytes::from("v8")
+        );
+        assert!(m.exact(b"x", VersionStamp::new(7, 0)).is_none());
+        assert_eq!(m.latest(b"x").unwrap().stamp.seq, 10);
+        // re-inserting an evicted stamp is treated as a fresh version and
+        // immediately evicted again from the low end
+        m.insert(k("x"), rec(1, 0, "old"));
+        assert_eq!(m.versions(b"x").len(), 3);
+        assert_eq!(m.versions(b"x")[0].stamp.seq, 8);
     }
 
     #[test]

@@ -45,6 +45,15 @@ pub trait Store {
     /// The version stamped exactly `stamp`.
     fn exact(&self, key: &[u8], stamp: VersionStamp) -> Option<Record>;
 
+    /// Read a *specific* version by timestamp — the RAMP second-round
+    /// fetch (readers repair fractured reads by asking for the exact
+    /// sibling version named in another record's metadata). Alias of
+    /// [`Store::exact`] with a reader-facing name; engines that keep
+    /// auxiliary version sets (pending/prepared) layer those on top.
+    fn get_at(&self, key: &[u8], stamp: VersionStamp) -> Option<Record> {
+        self.exact(key, stamp)
+    }
+
     /// Latest version per key under `prefix` (predicate read).
     fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Key, Record)>;
 
@@ -76,6 +85,14 @@ impl MemStore {
     /// An empty volatile store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty volatile store whose per-key version chains are bounded
+    /// at `cap` newest versions (see [`Memtable::with_version_cap`]).
+    pub fn with_version_cap(cap: usize) -> Self {
+        MemStore {
+            table: Memtable::with_version_cap(cap),
+        }
     }
 }
 
