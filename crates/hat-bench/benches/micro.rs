@@ -22,7 +22,10 @@ fn bench_storage(c: &mut Criterion) {
                 for i in 0..1000u64 {
                     let key = Key::from(format!("user{:08}", i % 128));
                     store
-                        .put(key, Record::new(VersionStamp::new(i + 1, 1), "value"))
+                        .put(
+                            key,
+                            Record::new(VersionStamp::new(i + 1, 1), "value").into(),
+                        )
                         .unwrap();
                 }
                 store
@@ -35,7 +38,7 @@ fn bench_storage(c: &mut Criterion) {
         store
             .put(
                 Key::from(format!("user{:08}", i % 1000)),
-                Record::new(VersionStamp::new(i + 1, 1), "value"),
+                Record::new(VersionStamp::new(i + 1, 1), "value").into(),
             )
             .unwrap();
     }
@@ -82,7 +85,7 @@ fn bench_replication_log(c: &mut Criterion) {
             bytes::Bytes::from(vec![7u8; 1024]),
             siblings,
         );
-        log.push(key, record);
+        log.push(key, record.into());
     }
     g.bench_function("batch_for_arc", |b| {
         // Peer 0 never acks: the full suffix is re-batched every call,
@@ -94,8 +97,148 @@ fn bench_replication_log(c: &mut Criterion) {
             let (start, batch) = log.batch_for(0);
             // Clone out of the Arcs: the per-record cost the old
             // implementation paid on every tick.
-            let owned: Vec<(Key, Record)> = batch.iter().map(|e| (**e).clone()).collect();
+            let owned: Vec<(Key, Record)> = batch
+                .iter()
+                .map(|(k, r)| (k.clone(), (**r).clone()))
+                .collect();
             black_box((start, owned))
+        })
+    });
+    g.finish();
+}
+
+/// The zero-copy record path: a read hands back an `Arc` handle; the
+/// deep-clone baseline is what the pre-`SharedRecord` code paid to move
+/// the same record through a response (key + value + sibling list all
+/// copied). 1 KiB values with an 8-key write set, like a MAV/RAMP
+/// commit under YCSB-sized payloads.
+fn bench_record_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("record_path");
+    let mut store = MemStore::new();
+    for i in 0..1000u64 {
+        let siblings = (0..8)
+            .map(|s| Key::from(format!("user{:08}", i + s)))
+            .collect();
+        store
+            .put(
+                Key::from(format!("user{:08}", i)),
+                Record::with_siblings(
+                    VersionStamp::new(i + 1, 1),
+                    bytes::Bytes::from(vec![7u8; 1024]),
+                    siblings,
+                )
+                .into(),
+            )
+            .unwrap();
+    }
+    let keys: Vec<Key> = (0..1000u64)
+        .map(|i| Key::from(format!("user{i:08}")))
+        .collect();
+    g.bench_function("read_shared", |b| {
+        // What every engine read does now: clone the handle out of the
+        // store (a refcount bump), as `GetResp` will carry it.
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7) % 1000;
+            black_box(store.latest(&keys[i]))
+        })
+    });
+    g.bench_function("read_deep_clone_baseline", |b| {
+        // The old record path: every hop deep-copies the record.
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7) % 1000;
+            let rec = store.latest(&keys[i]);
+            black_box(rec.map(|r| (*r).clone()))
+        })
+    });
+    // The per-hop cost in isolation: a record crosses several ownership
+    // boundaries per transaction (store → response message → client →
+    // txn/session cache, and store → replication log → gossip message).
+    // Each hop used to clone the `Record` (sibling-vector allocation
+    // plus a refcount bump per key/value handle); now every hop is one
+    // `Arc` refcount bump.
+    let hop_rec: hat_storage::SharedRecord = Record::with_siblings(
+        VersionStamp::new(1, 1),
+        bytes::Bytes::from(vec![7u8; 1024]),
+        (0..8).map(|s| Key::from(format!("user{s:08}"))).collect(),
+    )
+    .into();
+    g.bench_function("hop_shared", |b| b.iter(|| black_box(hop_rec.clone())));
+    g.bench_function("hop_deep_clone_baseline", |b| {
+        b.iter(|| black_box((*hop_rec).clone()))
+    });
+    g.bench_function("write_fanout_shared", |b| {
+        // One write allocation shared by store + replication log (the
+        // server's accept path).
+        let rec: hat_storage::SharedRecord = Record::with_siblings(
+            VersionStamp::new(1, 1),
+            bytes::Bytes::from(vec![7u8; 1024]),
+            (0..8).map(|s| Key::from(format!("user{s:08}"))).collect(),
+        )
+        .into();
+        b.iter_batched(
+            || (MemStore::new(), ReplicationLog::new(2)),
+            |(mut store, mut log)| {
+                for i in 0..100u64 {
+                    let key = Key::from(format!("user{:08}", i));
+                    store.put(key.clone(), rec.clone()).unwrap();
+                    log.push(key, rec.clone());
+                }
+                (store, log)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Group commit + delta catch-up: building one compacted catch-up batch
+/// for a 10k-entry lag (hot overwrite workload, 1000 live keys) versus
+/// the per-record replay the old path performed (10 full `MAX_BATCH`
+/// rebatches, each deep-copied on the wire in the pre-Arc code). The
+/// comparison is sender-side CPU only; the point of compaction is the
+/// wire, where the single delta ships ~10× fewer records and zero
+/// round-trip acks (asserted numerically in
+/// `hat-core/tests/isolation_guarantees.rs`).
+fn bench_group_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_commit");
+    let mut log = ReplicationLog::new(1);
+    for i in 0..10_000u64 {
+        log.push(
+            Key::from(format!("user{:08}", i % 1000)),
+            Record::new(
+                VersionStamp::new(i + 1, 1),
+                bytes::Bytes::from(vec![7u8; 128]),
+            )
+            .into(),
+        );
+    }
+    g.bench_function("catchup_10k_lag_compacted", |b| {
+        b.iter(|| black_box(log.catchup_for(0)))
+    });
+    g.bench_function("replay_10k_lag_baseline", |b| {
+        // Per-record replay: the peer acks each MAX_BATCH chunk and the
+        // sender rebatches from the next cursor — ten round trips'
+        // worth of batch construction, with each record deep-copied
+        // onto the wire the way the pre-`SharedRecord` message types
+        // required.
+        b.iter(|| {
+            let mut peer_log = log.clone();
+            let mut total = 0usize;
+            loop {
+                let (start, batch) = peer_log.batch_for(0);
+                if batch.is_empty() {
+                    break;
+                }
+                let wire: Vec<(Key, Record)> = batch
+                    .iter()
+                    .map(|(k, r)| (k.clone(), (**r).clone()))
+                    .collect();
+                total += black_box(wire).len();
+                peer_log.ack(0, start + batch.len() as u64);
+            }
+            black_box(total)
         })
     });
     g.finish();
@@ -172,6 +315,6 @@ fn bench_history_checker(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_storage, bench_replication_log, bench_latency_model, bench_ycsb_generation, bench_history_checker
+    targets = bench_storage, bench_replication_log, bench_record_path, bench_group_commit, bench_latency_model, bench_ycsb_generation, bench_history_checker
 }
 criterion_main!(benches);

@@ -346,6 +346,18 @@ impl SimFrontend {
             .sum()
     }
 
+    /// Aggregated replication and group-commit counters across every
+    /// server of the deployment.
+    pub fn server_stats(&self) -> crate::server::ServerStats {
+        let mut total = crate::server::ServerStats::default();
+        for &s in self.layout.servers.iter().flatten() {
+            if let Some(srv) = self.engine.actor(s).as_server() {
+                total.merge(&srv.stats);
+            }
+        }
+        total
+    }
+
     fn abandon_client(&mut self, client: NodeId) {
         // Needs a full Ctx: abandoning releases any held 2PL locks.
         self.engine.with_actor_ctx(client, |node, ctx| {

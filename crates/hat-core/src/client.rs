@@ -29,7 +29,7 @@ use crate::timestamp::{Timestamp, TimestampGen};
 use crate::txn::{Op, OpRecord, TxnOutcome, TxnRecord, TxnSpec};
 use bytes::Bytes;
 use hat_sim::{Ctx, NodeId, SimTime};
-use hat_storage::{Key, Record};
+use hat_storage::{Key, Record, SharedRecord};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -99,7 +99,7 @@ enum PendingKind {
         /// Servers that have not responded yet.
         waiting: Vec<NodeId>,
         /// Accumulated matches from servers that responded.
-        acc: Vec<(Key, Record)>,
+        acc: Vec<(Key, SharedRecord)>,
     },
     /// A `Put` issued at operation time (eventual / master / 2PL data
     /// writes at commit are tracked via `commit_waiting` instead).
@@ -121,7 +121,7 @@ enum PendingKind {
         /// Outstanding round-2 ops → key.
         pending_val: BTreeMap<u32, Key>,
         /// Collected results (round 2, plus cache/buffer hits).
-        acc: BTreeMap<Key, Record>,
+        acc: BTreeMap<Key, SharedRecord>,
         /// Per-key replica (both rounds pinned to one server per key).
         targets: BTreeMap<Key, NodeId>,
         /// The round-2 `Among` set, kept for retransmissions.
@@ -192,7 +192,7 @@ struct ActiveTxn {
     /// Per-transaction read cache (item cut isolation + per-txn RYW).
     /// Ordered map: iteration order must not depend on hash seeds, or
     /// fixed-seed runs diverge across processes.
-    txn_cache: BTreeMap<Key, Record>,
+    txn_cache: BTreeMap<Key, SharedRecord>,
     /// MAV `required` vector (Appendix B). Ordered for determinism.
     required: BTreeMap<Key, Timestamp>,
     /// RAMP-Fast floors: for every key named in the metadata of a
@@ -216,7 +216,7 @@ struct ActiveTxn {
     pending: Option<PendingOp>,
     /// Commit phase: op ids of unacknowledged `Put`s and their payloads
     /// for retry. Ordered so commit-retry resend order is deterministic.
-    commit_waiting: BTreeMap<u32, (Key, Record, NodeId)>,
+    commit_waiting: BTreeMap<u32, (Key, SharedRecord, NodeId)>,
     /// Commit-phase retries so far (drives exponential backoff).
     commit_attempts: u32,
     /// Issue id of the live commit retry timer (stale timers are
@@ -238,7 +238,7 @@ pub struct Client {
     session_seq: u64,
     /// Cross-transaction cache for Monotonic/Causal sessions. Ordered
     /// for deterministic folds.
-    session_cache: BTreeMap<Key, Record>,
+    session_cache: BTreeMap<Key, SharedRecord>,
     /// Cross-transaction `required` floor for Causal sessions.
     causal_required: BTreeMap<Key, Timestamp>,
     current: Option<ActiveTxn>,
@@ -546,7 +546,7 @@ impl Client {
         let txn = self.current.as_mut().expect("no active txn");
         assert!(txn.pending.is_none(), "one op at a time");
         // Resolve buffer/cache hits locally; the rest fan out.
-        let mut acc: BTreeMap<Key, Record> = BTreeMap::new();
+        let mut acc: BTreeMap<Key, SharedRecord> = BTreeMap::new();
         let mut remote: Vec<Key> = Vec::new();
         let cache_ok = matches!(
             self.session.level,
@@ -557,7 +557,7 @@ impl Client {
                 continue;
             }
             if let Some((_, v)) = txn.write_buffer.iter().rev().find(|(k, _)| k == key) {
-                acc.insert(key.clone(), Record::new(txn.id, v.clone()));
+                acc.insert(key.clone(), Record::new(txn.id, v.clone()).into());
             } else if cache_ok && txn.txn_cache.contains_key(key) {
                 acc.insert(key.clone(), txn.txn_cache[key].clone());
             } else {
@@ -615,14 +615,14 @@ impl Client {
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
         keys: Vec<Key>,
-        acc: BTreeMap<Key, Record>,
+        acc: BTreeMap<Key, SharedRecord>,
         issued: SimTime,
     ) {
         for key in &keys {
             let mut record = acc
                 .get(key)
                 .cloned()
-                .unwrap_or_else(|| Record::new(Timestamp::INITIAL, Bytes::new()));
+                .unwrap_or_else(|| Record::new(Timestamp::INITIAL, Bytes::new()).into());
             self.session_clamp(key, &mut record);
             self.metrics.record_op(ctx.now().since(issued));
             self.tsgen.observe(record.stamp);
@@ -634,7 +634,7 @@ impl Client {
             txn.ops_done.push(OpRecord::Read {
                 key: key.clone(),
                 observed: record.stamp,
-                value: record.value,
+                value: record.value.clone(),
             });
         }
         self.step_plan(ctx);
@@ -705,7 +705,7 @@ impl Client {
                 let op = txn.op_seq;
                 txn.op_seq += 1;
                 let stamp = self.write_stamp();
-                let record = Record::new(stamp, value.clone());
+                let record: SharedRecord = Record::new(stamp, value.clone()).into();
                 let target = if self.config.protocol == ProtocolKind::Master {
                     self.layout.master(&key)
                 } else {
@@ -785,8 +785,12 @@ impl Client {
                 let txn = self.current.as_mut().unwrap();
                 let mut to_send = Vec::new();
                 for k in &keys {
-                    let record =
-                        Record::with_siblings(id, values.remove(k).unwrap(), siblings.clone());
+                    // The one allocation this write will ever get: the
+                    // retry buffer, the wire message, the server's store
+                    // and its replication log all share it.
+                    let record: SharedRecord =
+                        Record::with_siblings(id, values.remove(k).unwrap(), siblings.clone())
+                            .into();
                     let op = txn.op_seq;
                     txn.op_seq += 1;
                     to_send.push((op, k.clone(), record));
@@ -845,7 +849,7 @@ impl Client {
                     values.insert(k.clone(), v.clone());
                 }
                 for k in &keys {
-                    let record = Record::new(id, values.remove(k).unwrap());
+                    let record: SharedRecord = Record::new(id, values.remove(k).unwrap()).into();
                     let op = txn.op_seq;
                     txn.op_seq += 1;
                     to_send.push((op, k.clone(), record));
@@ -1091,7 +1095,7 @@ impl Client {
     /// — so a repair fetch cannot step a session backwards. When a
     /// repair and the session guarantee conflict, the session guarantee
     /// wins (it is the stronger, stickier contract).
-    fn session_clamp(&self, key: &Key, record: &mut Record) {
+    fn session_clamp(&self, key: &Key, record: &mut SharedRecord) {
         if matches!(
             self.session.level,
             SessionLevel::Monotonic | SessionLevel::Causal
@@ -1112,7 +1116,7 @@ impl Client {
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
         key: Key,
-        mut record: Record,
+        mut record: SharedRecord,
         issued: SimTime,
     ) {
         self.session_clamp(&key, &mut record);
@@ -1148,14 +1152,17 @@ impl Client {
         txn.ops_done.push(OpRecord::Read {
             key,
             observed: record.stamp,
-            value: record.value,
+            value: record.value.clone(),
         });
         self.step_plan(ctx);
     }
 
     /// RAMP commit phase 2: sends a commit marker to every replica the
     /// prepare phase wrote, reusing the commit-retry machinery (the
-    /// placeholder records carry the write stamp for resends).
+    /// placeholder records carry the write stamp for resends). With
+    /// group commit enabled ([`SystemConfig::commit_batch_size`] > 1),
+    /// every marker bound for one replica coalesces into a single
+    /// [`Msg::CommitBatch`].
     fn start_ramp_commit_phase(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let issue_id = self.next_issue(ctx, 0);
         self.metrics.msg_rounds += 1;
@@ -1166,24 +1173,65 @@ impl Client {
         let ts = txn.write_stamp.expect("ramp commit without writes");
         let id = txn.id;
         let targets = std::mem::take(&mut txn.ramp_commit_keys);
-        let mut to_send = Vec::with_capacity(targets.len());
+        // Every retry placeholder shares one empty record allocation.
+        let placeholder: SharedRecord = Record::new(ts, Bytes::new()).into();
+        let mut marks = Vec::with_capacity(targets.len());
         for (key, target) in targets {
             let op = txn.op_seq;
             txn.op_seq += 1;
             txn.commit_waiting
-                .insert(op, (key.clone(), Record::new(ts, Bytes::new()), target));
-            to_send.push((op, key, target));
+                .insert(op, (key.clone(), placeholder.clone(), target));
+            marks.push((op, key, target));
         }
-        for (op, key, target) in to_send {
-            ctx.send(
-                target,
-                Msg::Commit {
-                    txn: id,
-                    op,
-                    key,
-                    ts,
-                },
-            );
+        self.send_commit_marks(ctx, id, ts, marks);
+    }
+
+    /// Sends phase-2 commit marks, grouped per destination replica into
+    /// [`Msg::CommitBatch`] chunks of at most
+    /// [`SystemConfig::commit_batch_size`] marks. A batch size of 1 (or
+    /// 0) disables group commit and falls back to one [`Msg::Commit`]
+    /// per key. Both the initial send and commit-phase retries funnel
+    /// through here, so a resend coalesces exactly like the original.
+    fn send_commit_marks(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        id: Timestamp,
+        ts: Timestamp,
+        marks: Vec<(u32, Key, NodeId)>,
+    ) {
+        let batch = self.config.commit_batch_size;
+        if batch <= 1 {
+            for (op, key, target) in marks {
+                ctx.send(
+                    target,
+                    Msg::Commit {
+                        txn: id,
+                        op,
+                        key,
+                        ts,
+                    },
+                );
+            }
+            return;
+        }
+        // Ordered by destination so send order is deterministic.
+        let mut per_dest: BTreeMap<NodeId, Vec<(u32, Key)>> = BTreeMap::new();
+        for (op, key, target) in marks {
+            per_dest.entry(target).or_default().push((op, key));
+        }
+        for (target, dest_marks) in per_dest {
+            for chunk in dest_marks.chunks(batch) {
+                self.metrics.commit_batches += 1;
+                self.metrics.commit_batch_marks += chunk.len() as u64;
+                ctx.send(
+                    target,
+                    Msg::CommitBatch {
+                        txn: id,
+                        ts,
+                        marks: chunk.to_vec(),
+                    },
+                );
+            }
         }
     }
 
@@ -1276,7 +1324,7 @@ impl Client {
                     // Own writes become cached reads (read-your-writes).
                     for (k, v) in &txn.write_buffer {
                         self.session_cache
-                            .insert(k.clone(), Record::new(stamp, v.clone()));
+                            .insert(k.clone(), Record::new(stamp, v.clone()).into());
                     }
                 }
                 if self.session.level == SessionLevel::Causal {
@@ -1425,6 +1473,7 @@ impl Client {
             Msg::GetVersionResp { txn, op, found } => self.on_get_version_resp(ctx, txn, op, found),
             Msg::ScanResp { txn, op, matches } => self.on_scan_resp(ctx, from, txn, op, matches),
             Msg::PutResp { txn, op } => self.on_put_resp(ctx, txn, op),
+            Msg::CommitBatchResp { txn, ops } => self.on_commit_batch_resp(ctx, txn, ops),
             Msg::LockResp { txn, op } => self.on_lock_resp(ctx, txn, op),
             _ => {} // stray server traffic: ignore
         }
@@ -1456,7 +1505,7 @@ impl Client {
         ctx: &mut Ctx<'_, Msg>,
         txn_id: Timestamp,
         op: u32,
-        found: Option<Record>,
+        found: Option<SharedRecord>,
     ) {
         if !self.matches_pending(txn_id, op) {
             return; // stale (retried or finished)
@@ -1468,7 +1517,8 @@ impl Client {
             return;
         };
 
-        let mut record = found.unwrap_or_else(|| Record::new(Timestamp::INITIAL, Bytes::new()));
+        let mut record =
+            found.unwrap_or_else(|| Record::new(Timestamp::INITIAL, Bytes::new()).into());
         // Clamp before the repair decision so the fracture check runs
         // on what the session will actually observe (finish_read clamps
         // again; the clamp is idempotent).
@@ -1521,7 +1571,7 @@ impl Client {
             set.push(ts);
         }
         if set.is_empty() {
-            let record = Record::new(Timestamp::INITIAL, Bytes::new());
+            let record = Record::new(Timestamp::INITIAL, Bytes::new()).into();
             self.finish_read(ctx, key, record, pending.issued);
             return;
         }
@@ -1614,7 +1664,7 @@ impl Client {
 
     /// Batch round-2 bookkeeping: collect the version; once the last
     /// one arrives, record the whole batch.
-    fn on_batch_version(&mut self, ctx: &mut Ctx<'_, Msg>, op: u32, found: Option<Record>) {
+    fn on_batch_version(&mut self, ctx: &mut Ctx<'_, Msg>, op: u32, found: Option<SharedRecord>) {
         let txn = self.current.as_mut().unwrap();
         let pending = txn.pending.as_mut().unwrap();
         let PendingKind::RampBatch {
@@ -1648,7 +1698,7 @@ impl Client {
         ctx: &mut Ctx<'_, Msg>,
         txn_id: Timestamp,
         op: u32,
-        found: Option<Record>,
+        found: Option<SharedRecord>,
     ) {
         if !self.matches_pending(txn_id, op) {
             return;
@@ -1666,7 +1716,7 @@ impl Client {
             txn.pending = Some(pending);
             return;
         };
-        let record = found.unwrap_or_else(|| Record::new(Timestamp::INITIAL, Bytes::new()));
+        let record = found.unwrap_or_else(|| Record::new(Timestamp::INITIAL, Bytes::new()).into());
         if self.config.protocol == ProtocolKind::RampFast {
             if let Some(req) = self.ramp_fast_repair(&key, &record) {
                 if repairs < MAX_RAMP_REPAIRS {
@@ -1694,7 +1744,7 @@ impl Client {
         from: NodeId,
         txn_id: Timestamp,
         op: u32,
-        matches: Vec<(Key, Record)>,
+        matches: Vec<(Key, SharedRecord)>,
     ) {
         if !self.matches_pending(txn_id, op) {
             return;
@@ -1750,18 +1800,7 @@ impl Client {
         if is_commit_ack {
             let txn = self.current.as_mut().unwrap();
             txn.commit_waiting.remove(&op);
-            if txn.commit_waiting.is_empty() {
-                if self.config.protocol.is_ramp() && !txn.ramp_committing {
-                    // RAMP phase 2: every prepare is acknowledged; send
-                    // the commit markers that make the writes visible.
-                    self.start_ramp_commit_phase(ctx);
-                } else if self.config.protocol == ProtocolKind::TwoPhaseLocking {
-                    self.unlock_and_finish(ctx, TxnOutcome::Committed);
-                } else {
-                    self.finish_txn(ctx, TxnOutcome::Committed);
-                }
-                // driver mode continues inside finish_txn
-            }
+            self.after_commit_acks(ctx);
             return;
         }
         // Operation-time write ack (eventual / master).
@@ -1775,6 +1814,45 @@ impl Client {
             self.metrics.record_op(ctx.now().since(pending.issued));
             self.step_plan(ctx);
         }
+    }
+
+    /// Acknowledgement of a [`Msg::CommitBatch`]: every mark the batch
+    /// carried is acked at once.
+    fn on_commit_batch_resp(&mut self, ctx: &mut Ctx<'_, Msg>, txn_id: Timestamp, ops: Vec<u32>) {
+        let Some(txn) = self.current.as_mut() else {
+            return;
+        };
+        if txn.id != txn_id {
+            return;
+        }
+        let mut any = false;
+        for op in ops {
+            any |= txn.commit_waiting.remove(&op).is_some();
+        }
+        // A duplicate ack (batch retransmission) removes nothing and
+        // must not re-run the phase transition.
+        if any {
+            self.after_commit_acks(ctx);
+        }
+    }
+
+    /// Phase transition once the commit-wait set drains: RAMP moves from
+    /// prepare to commit markers, 2PL unlocks, everyone else finishes.
+    fn after_commit_acks(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let txn = self.current.as_mut().unwrap();
+        if !txn.commit_waiting.is_empty() {
+            return;
+        }
+        if self.config.protocol.is_ramp() && !txn.ramp_committing {
+            // RAMP phase 2: every prepare is acknowledged; send the
+            // commit markers that make the writes visible.
+            self.start_ramp_commit_phase(ctx);
+        } else if self.config.protocol == ProtocolKind::TwoPhaseLocking {
+            self.unlock_and_finish(ctx, TxnOutcome::Committed);
+        } else {
+            self.finish_txn(ctx, TxnOutcome::Committed);
+        }
+        // driver mode continues inside finish_txn
     }
 
     fn on_lock_resp(&mut self, ctx: &mut Ctx<'_, Msg>, txn_id: Timestamp, op: u32) {
@@ -1991,7 +2069,7 @@ impl Client {
                     txn: id,
                     op: pending.op,
                     key: key.clone(),
-                    record: Record::new(txn.write_stamp.unwrap_or(id), value.clone()),
+                    record: Record::new(txn.write_stamp.unwrap_or(id), value.clone()).into(),
                 },
                 PendingKind::RampTs { key } => Msg::GetTs {
                     txn: id,
@@ -2024,13 +2102,28 @@ impl Client {
             let ramp_phase2 = txn.ramp_committing;
             txn.commit_attempts += 1;
             let attempts = txn.commit_attempts;
-            let resend: Vec<(u32, Key, Record, NodeId)> = txn
+            let resend: Vec<(u32, Key, SharedRecord, NodeId)> = txn
                 .commit_waiting
                 .iter()
                 .map(|(op, (k, r, target))| (*op, k.clone(), r.clone(), *target))
                 .collect();
             let new_issue = self.next_issue(ctx, attempts);
             self.current.as_mut().unwrap().commit_issue = new_issue;
+            if ramp_phase2 {
+                // Phase-2 targets are pinned to where phase 1 prepared,
+                // so a resend just re-groups the outstanding marks —
+                // coalescing into batches exactly like the first send.
+                let ts = resend
+                    .first()
+                    .map(|(_, _, r, _)| r.stamp)
+                    .expect("non-empty commit_waiting");
+                let marks = resend
+                    .into_iter()
+                    .map(|(op, key, _, target)| (op, key, target))
+                    .collect();
+                self.send_commit_marks(ctx, id, ts, marks);
+                return;
+            }
             for (op, key, record, mut target) in resend {
                 // RAMP commits are two-phase against fixed replicas
                 // (phase 2 must land where phase 1 prepared), so they
@@ -2047,22 +2140,15 @@ impl Client {
                         .commit_waiting
                         .insert(op, (key.clone(), record.clone(), target));
                 }
-                let msg = if ramp_phase2 {
-                    Msg::Commit {
-                        txn: id,
-                        op,
-                        key,
-                        ts: record.stamp,
-                    }
-                } else {
+                ctx.send(
+                    target,
                     Msg::Put {
                         txn: id,
                         op,
                         key,
                         record,
-                    }
-                };
-                ctx.send(target, msg);
+                    },
+                );
             }
         }
     }

@@ -283,6 +283,17 @@ pub struct SystemConfig {
     /// (RAMP's `get_at`, snapshot reads) only reach back a bounded
     /// distance, so replicas keep at most this many versions per key.
     pub version_chain_limit: usize,
+    /// Group commit: the most commit marks a RAMP phase-2 client
+    /// coalesces into one [`crate::Msg::CommitBatch`] per destination
+    /// server. Values ≤ 1 disable batching (one [`crate::Msg::Commit`]
+    /// per key, the pre-group-commit wire behavior).
+    pub commit_batch_size: usize,
+    /// Anti-entropy lag (in log entries) above which a peer is caught up
+    /// with one delta-compressed batch (latest version per key, closed
+    /// over transaction stamps) instead of per-record replay. The default
+    /// matches `MAX_BATCH`, so compaction kicks in exactly when replay
+    /// would need more than one full batch.
+    pub delta_catchup_threshold: u64,
 }
 
 impl SystemConfig {
@@ -298,6 +309,8 @@ impl SystemConfig {
             wan_rtt_bound: SimDuration::from_millis(400),
             record_history: true,
             version_chain_limit: 64,
+            commit_batch_size: 64,
+            delta_catchup_threshold: crate::protocol::replication::MAX_BATCH as u64,
         }
     }
 

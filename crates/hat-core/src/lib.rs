@@ -75,6 +75,6 @@ pub use messages::{Msg, VersionReq};
 pub use metrics::ClientMetrics;
 pub use node::Node;
 pub use protocol::{engine_for, ProtocolEngine, ServerView};
-pub use server::Server;
+pub use server::{Server, ServerStats};
 pub use timestamp::{Timestamp, TimestampGen};
 pub use txn::{Op, OpRecord, TxnOutcome, TxnRecord, TxnSpec};

@@ -2,9 +2,8 @@
 //! servers, across all five protocol kinds.
 
 use crate::timestamp::Timestamp;
-use hat_storage::{Key, Record};
+use hat_storage::{Key, SharedRecord};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 
 /// Which version a RAMP second-round fetch asks for.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,7 +49,9 @@ pub enum Msg {
         prefix: Key,
     },
     /// Install a write. The record carries the transaction timestamp and
-    /// (for MAV) the sibling key list.
+    /// (for MAV) the sibling key list. The handle is the write's single
+    /// allocation: the client's commit buffer, this message, the server's
+    /// store, and the replication log all share it.
     Put {
         /// Transaction issuing the write.
         txn: Timestamp,
@@ -59,7 +60,7 @@ pub enum Msg {
         /// Key to write.
         key: Key,
         /// The version to install.
-        record: Record,
+        record: SharedRecord,
     },
     /// RAMP-Small round 1: fetch the latest *committed stamp* of `key`
     /// (no value moves — this is the constant-size metadata read).
@@ -95,6 +96,18 @@ pub enum Msg {
         /// Stamp of the version committing.
         ts: Timestamp,
     },
+    /// Group commit: every commit marker a transaction owes one server,
+    /// coalesced into a single message (phase 2 of the two-phase write
+    /// sends one `CommitBatch` per destination instead of one
+    /// [`Msg::Commit`] per key). Acked by [`Msg::CommitBatchResp`].
+    CommitBatch {
+        /// Committing transaction.
+        txn: Timestamp,
+        /// Stamp of the versions committing (the transaction timestamp).
+        ts: Timestamp,
+        /// `(op, key)` commit marks, in op order.
+        marks: Vec<(u32, Key)>,
+    },
     /// 2PL: acquire a lock on `key` at its lock master.
     Lock {
         /// Requesting transaction.
@@ -122,7 +135,7 @@ pub enum Msg {
         /// Op index echoed from the request.
         op: u32,
         /// The version read, or `None` for the initial `⊥` value.
-        found: Option<Record>,
+        found: Option<SharedRecord>,
     },
     /// Response to [`Msg::Scan`].
     ScanResp {
@@ -131,7 +144,7 @@ pub enum Msg {
         /// Op index echoed from the request.
         op: u32,
         /// Matched `(key, version)` pairs in key order.
-        matches: Vec<(Key, Record)>,
+        matches: Vec<(Key, SharedRecord)>,
     },
     /// Response to [`Msg::GetTs`].
     GetTsResp {
@@ -150,7 +163,7 @@ pub enum Msg {
         op: u32,
         /// The version found, or `None` when nothing satisfies the
         /// request.
-        found: Option<Record>,
+        found: Option<SharedRecord>,
     },
     /// Acknowledgement of [`Msg::Put`] (and of [`Msg::Commit`]).
     PutResp {
@@ -158,6 +171,14 @@ pub enum Msg {
         txn: Timestamp,
         /// Op index echoed from the request.
         op: u32,
+    },
+    /// Acknowledgement of [`Msg::CommitBatch`]: every mark in the batch
+    /// was applied.
+    CommitBatchResp {
+        /// Transaction the batch belongs to.
+        txn: Timestamp,
+        /// Op indexes of the acknowledged marks.
+        ops: Vec<u32>,
     },
     /// 2PL: the lock on `key` was granted to `txn`.
     LockResp {
@@ -170,7 +191,7 @@ pub enum Msg {
     // ---- server → server ----
     /// Anti-entropy: a batch of versions for the receiving replica's
     /// partition, starting at the sender's log index `from_index`.
-    /// Entries are shared references into the sender's
+    /// Entries are shared handles into the sender's
     /// [`crate::protocol::replication::ReplicationLog`] — batching a
     /// retransmission clones `Arc`s, not records (the throughput hot
     /// path: an unacked suffix is re-batched every anti-entropy tick).
@@ -178,7 +199,20 @@ pub enum Msg {
         /// Absolute index of the first record in the sender's log.
         from_index: u64,
         /// `(key, version)` pairs to install.
-        writes: Vec<Arc<(Key, Record)>>,
+        writes: Vec<(Key, SharedRecord)>,
+    },
+    /// Delta-compressed anti-entropy catch-up for a badly lagging peer:
+    /// instead of replaying every log entry above the peer's watermark,
+    /// the sender ships one compacted batch — the latest version of each
+    /// key written in the lag window, closed over transaction timestamps
+    /// so multi-key transactions arrive whole (MAV sibling counting and
+    /// RAMP promotion stay correct). Applying it is idempotent; the
+    /// receiver acks `upto` directly.
+    ReplicateDelta {
+        /// Log position (exclusive) the batch catches the peer up to.
+        upto: u64,
+        /// Compacted `(key, version)` pairs, in log order.
+        writes: Vec<(Key, SharedRecord)>,
     },
     /// Anti-entropy acknowledgement: the receiver has applied the
     /// sender's log up to `upto` (exclusive).
@@ -208,6 +242,7 @@ impl Msg {
                 | Msg::Scan { .. }
                 | Msg::Put { .. }
                 | Msg::Commit { .. }
+                | Msg::CommitBatch { .. }
                 | Msg::Lock { .. }
                 | Msg::Unlock { .. }
         )
@@ -217,7 +252,10 @@ impl Msg {
     pub fn is_replication(&self) -> bool {
         matches!(
             self,
-            Msg::Replicate { .. } | Msg::ReplicateAck { .. } | Msg::Notify { .. }
+            Msg::Replicate { .. }
+                | Msg::ReplicateDelta { .. }
+                | Msg::ReplicateAck { .. }
+                | Msg::Notify { .. }
         )
     }
 }
@@ -270,5 +308,16 @@ mod tests {
         for m in ramp_reqs {
             assert!(m.is_request() && !m.is_replication(), "{m:?}");
         }
+        let batch = Msg::CommitBatch {
+            txn: Timestamp::new(1, 1),
+            ts: Timestamp::new(1, 1),
+            marks: vec![(0, Key::from("x")), (1, Key::from("y"))],
+        };
+        assert!(batch.is_request() && !batch.is_replication());
+        let delta = Msg::ReplicateDelta {
+            upto: 7,
+            writes: Vec::new(),
+        };
+        assert!(delta.is_replication() && !delta.is_request());
     }
 }

@@ -31,6 +31,12 @@ pub struct ClientMetrics {
     /// Reads whose fracture repair gave up (ceiling loop exhausted) —
     /// must stay 0 in a correct RAMP-Fast run.
     pub unrepaired_reads: u64,
+    /// Group-commit batches sent (`Msg::CommitBatch`), including
+    /// retransmissions.
+    pub commit_batches: u64,
+    /// Total commit marks those batches carried; the mean batch size is
+    /// `commit_batch_marks / commit_batches`.
+    pub commit_batch_marks: u64,
     /// Transaction commit latency, milliseconds.
     pub txn_latency_ms: Histogram,
     /// Per-operation latency, milliseconds.
@@ -49,6 +55,8 @@ impl Default for ClientMetrics {
             repair_rounds: 0,
             metadata_bytes: 0,
             unrepaired_reads: 0,
+            commit_batches: 0,
+            commit_batch_marks: 0,
             txn_latency_ms: Histogram::for_latency_ms(),
             op_latency_ms: Histogram::for_latency_ms(),
         }
@@ -82,6 +90,8 @@ impl ClientMetrics {
         self.repair_rounds += other.repair_rounds;
         self.metadata_bytes += other.metadata_bytes;
         self.unrepaired_reads += other.unrepaired_reads;
+        self.commit_batches += other.commit_batches;
+        self.commit_batch_marks += other.commit_batch_marks;
         self.txn_latency_ms.merge(&other.txn_latency_ms);
         self.op_latency_ms.merge(&other.op_latency_ms);
     }

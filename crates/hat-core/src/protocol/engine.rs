@@ -25,13 +25,13 @@ use crate::protocol::replication::ReplicationLog;
 use crate::protocol::twopl::Grant;
 use crate::timestamp::Timestamp;
 use hat_sim::{Ctx, NodeId, SimDuration};
-use hat_storage::{Key, Record, Store};
+use hat_storage::{Key, Record, SharedRecord, Store};
 
 /// What a [`ProtocolEngine::read_version`] produced.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VersionAnswer {
     /// Answer now (`None` = nothing satisfies the request).
-    Ready(Option<Record>),
+    Ready(Option<SharedRecord>),
     /// Hold the reply: the requested version is guaranteed to be in
     /// flight (RAMP exact-stamp fetches); the engine replies itself,
     /// through `ctx`, when the version arrives.
@@ -72,7 +72,7 @@ pub trait ProtocolEngine: Send + std::fmt::Debug {
         view: &mut ServerView<'_>,
         key: &Key,
         required: Timestamp,
-    ) -> Option<Record> {
+    ) -> Option<SharedRecord> {
         let _ = required;
         view.store.latest(key)
     }
@@ -131,7 +131,7 @@ pub trait ProtocolEngine: Send + std::fmt::Debug {
         view: &mut ServerView<'_>,
         ctx: &mut Ctx<'_, Msg>,
         key: Key,
-        record: Record,
+        record: SharedRecord,
     ) {
         let _ = ctx;
         lww_apply(view, key, record);
@@ -146,7 +146,7 @@ pub trait ProtocolEngine: Send + std::fmt::Debug {
         view: &mut ServerView<'_>,
         ctx: &mut Ctx<'_, Msg>,
         key: Key,
-        record: Record,
+        record: SharedRecord,
     ) {
         let _ = ctx;
         let _ = view.store.put(key, record);
@@ -213,7 +213,7 @@ pub trait ProtocolEngine: Send + std::fmt::Debug {
 /// Gossips when the version is new *or* its value changed (a
 /// transaction's later write of the same key carries the same stamp but
 /// supersedes the value).
-pub fn lww_apply(view: &mut ServerView<'_>, key: Key, record: Record) {
+pub fn lww_apply(view: &mut ServerView<'_>, key: Key, record: SharedRecord) {
     let changed = view
         .store
         .exact(&key, record.stamp)
@@ -230,7 +230,7 @@ pub fn lww_apply(view: &mut ServerView<'_>, key: Key, record: Record) {
 /// Shared resolution of a [`VersionReq`] against a plain visible store —
 /// the default [`ProtocolEngine::read_version`] behavior, also used by
 /// the RAMP engines for the committed part of their lookup.
-pub fn resolve_version(store: &dyn Store, key: &Key, req: &VersionReq) -> Option<Record> {
+pub fn resolve_version(store: &dyn Store, key: &Key, req: &VersionReq) -> Option<SharedRecord> {
     match req {
         VersionReq::Exact(ts) => store.get_at(key, *ts),
         VersionReq::AtOrBelow(ts) => store.latest_at_or_below(key, *ts),

@@ -26,7 +26,7 @@ use crate::messages::Msg;
 use crate::protocol::engine::{ProtocolEngine, ServerView};
 use crate::timestamp::Timestamp;
 use hat_sim::{Ctx, NodeId, SimDuration};
-use hat_storage::{Key, Memtable, Record, Store};
+use hat_storage::{Key, Memtable, Record, SharedRecord, Store};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Outcome of receiving a write at a MAV replica.
@@ -38,7 +38,7 @@ pub struct ReceiveOutcome {
     pub first_receipt: bool,
     /// Versions promoted to `good` by this receipt (the receipt may have
     /// completed the acknowledgement count).
-    pub promoted: Vec<(Key, Record)>,
+    pub promoted: Vec<(Key, SharedRecord)>,
 }
 
 /// Per-replica MAV state (Appendix B's `pending`, `good` lives in the
@@ -85,9 +85,10 @@ impl MavState {
         &mut self,
         store: &mut dyn Store,
         key: Key,
-        record: Record,
+        record: impl Into<SharedRecord>,
         clusters: u32,
     ) -> ReceiveOutcome {
+        let record = record.into();
         let ts = record.stamp;
         // Dedup: already good or already pending → not a first receipt.
         if store.exact(&key, ts).is_some() || self.pending.exact(&key, ts).is_some() {
@@ -115,12 +116,12 @@ impl MavState {
         ts: Timestamp,
         origin: NodeId,
         key: Key,
-    ) -> Vec<(Key, Record)> {
+    ) -> Vec<(Key, SharedRecord)> {
         self.acks.entry(ts).or_default().insert((origin, key));
         self.try_promote(store, ts)
     }
 
-    fn try_promote(&mut self, store: &mut dyn Store, ts: Timestamp) -> Vec<(Key, Record)> {
+    fn try_promote(&mut self, store: &mut dyn Store, ts: Timestamp) -> Vec<(Key, SharedRecord)> {
         let (Some(&expected), Some(acks)) = (self.expected.get(&ts), self.acks.get(&ts)) else {
             return Vec::new();
         };
@@ -163,7 +164,12 @@ impl MavState {
     }
 
     /// Serves a read at `required` (Appendix B `GET`).
-    pub fn read(&mut self, store: &dyn Store, key: &Key, required: Timestamp) -> Option<Record> {
+    pub fn read(
+        &mut self,
+        store: &dyn Store,
+        key: &Key,
+        required: Timestamp,
+    ) -> Option<SharedRecord> {
         if required == Timestamp::INITIAL {
             return store.latest(key);
         }
@@ -225,13 +231,13 @@ impl MavEngine {
         view: &mut ServerView<'_>,
         ctx: &mut Ctx<'_, Msg>,
         key: Key,
-        record: Record,
+        record: SharedRecord,
         gossip: bool,
     ) {
         let ts = record.stamp;
         let siblings = record.siblings.clone();
-        // Only the gossip path needs a second copy of the record; the
-        // anti-entropy apply path (the convergence hot path) moves it.
+        // The gossip path shares the same allocation with the pending
+        // set — cloning the handle is a refcount bump.
         let gossip_copy = if gossip { Some(record.clone()) } else { None };
         let outcome = self.state.receive_write(
             view.store,
@@ -266,7 +272,7 @@ impl ProtocolEngine for MavEngine {
         view: &mut ServerView<'_>,
         key: &Key,
         required: Timestamp,
-    ) -> Option<Record> {
+    ) -> Option<SharedRecord> {
         self.state.read(view.store, key, required)
     }
 
@@ -280,7 +286,7 @@ impl ProtocolEngine for MavEngine {
         view: &mut ServerView<'_>,
         ctx: &mut Ctx<'_, Msg>,
         key: Key,
-        record: Record,
+        record: SharedRecord,
     ) {
         self.receive(view, ctx, key, record, true);
     }
@@ -290,7 +296,7 @@ impl ProtocolEngine for MavEngine {
         view: &mut ServerView<'_>,
         ctx: &mut Ctx<'_, Msg>,
         key: Key,
-        record: Record,
+        record: SharedRecord,
     ) {
         // Do not re-gossip: peers form a clique, the origin gossips to
         // everyone.
@@ -418,7 +424,9 @@ mod tests {
         let t2 = Timestamp::new(2, 1);
 
         // t1 is good
-        store.put(Key::from("x"), rec(t1, "good", &["x"])).unwrap();
+        store
+            .put(Key::from("x"), rec(t1, "good", &["x"]).into())
+            .unwrap();
         // t2 still pending
         mav.receive_write(
             &mut store,
@@ -452,7 +460,9 @@ mod tests {
         let mut store = MemStore::new();
         let mut mav = MavState::new();
         let t1 = Timestamp::new(1, 1);
-        store.put(Key::from("x"), rec(t1, "old", &["x"])).unwrap();
+        store
+            .put(Key::from("x"), rec(t1, "old", &["x"]).into())
+            .unwrap();
         let got = mav.read(&store, &Key::from("x"), Timestamp::new(9, 9));
         assert_eq!(got.unwrap().value, Bytes::from("old"));
         assert_eq!(mav.required_misses, 1);

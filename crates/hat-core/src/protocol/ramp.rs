@@ -44,7 +44,7 @@ use crate::messages::{Msg, VersionReq};
 use crate::protocol::engine::{resolve_version, ProtocolEngine, ServerView, VersionAnswer};
 use crate::timestamp::Timestamp;
 use hat_sim::{Ctx, NodeId, SimDuration};
-use hat_storage::{Key, Memtable, Record};
+use hat_storage::{Key, Memtable, Record, SharedRecord};
 use std::collections::BTreeMap;
 
 /// A reader waiting on a parked exact-stamp fetch.
@@ -102,12 +102,14 @@ impl RampCore {
         view: &mut ServerView<'_>,
         ctx: &mut Ctx<'_, Msg>,
         key: Key,
-        rec: Record,
+        rec: SharedRecord,
     ) {
         let ts = rec.stamp;
         if view.store.get_at(&key, ts).is_some() || self.prepared.exact(&key, ts).is_some() {
             return; // duplicate delivery
         }
+        // The prepared set, any parked-reader replies, and the eventual
+        // visible/gossip copies all share this one allocation.
         self.prepared.insert(key.clone(), rec.clone());
         self.prepared_age.insert((key.clone(), ts), 0);
         self.release_parked(view, ctx, &key, ts, &rec);
@@ -162,7 +164,7 @@ impl RampCore {
         view: &mut ServerView<'_>,
         ctx: &mut Ctx<'_, Msg>,
         key: Key,
-        rec: Record,
+        rec: SharedRecord,
     ) {
         let ts = rec.stamp;
         // A gossiped commit supersedes a local prepare of the same
@@ -185,7 +187,7 @@ impl RampCore {
         ctx: &mut Ctx<'_, Msg>,
         key: &Key,
         ts: Timestamp,
-        rec: &Record,
+        rec: &SharedRecord,
     ) {
         let Some(waiters) = self.parked.remove(&(key.clone(), ts)) else {
             return;
@@ -307,7 +309,7 @@ macro_rules! ramp_engine {
                 view: &mut ServerView<'_>,
                 key: &Key,
                 _required: Timestamp,
-            ) -> Option<Record> {
+            ) -> Option<SharedRecord> {
                 // Round 1 returns the latest *visible* version; repair
                 // decisions are the client's (that is the RAMP
                 // inversion). The `required` bound is unused — RAMP
@@ -325,7 +327,7 @@ macro_rules! ramp_engine {
                 view: &mut ServerView<'_>,
                 ctx: &mut Ctx<'_, Msg>,
                 key: Key,
-                record: Record,
+                record: SharedRecord,
             ) {
                 self.core.prepare(view, ctx, key, record);
             }
@@ -335,7 +337,7 @@ macro_rules! ramp_engine {
                 view: &mut ServerView<'_>,
                 ctx: &mut Ctx<'_, Msg>,
                 key: Key,
-                record: Record,
+                record: SharedRecord,
             ) {
                 self.core.apply_replicated(view, ctx, key, record);
             }
@@ -441,12 +443,15 @@ mod tests {
     fn prepared_versions_are_invisible_until_committed() {
         let ts = Timestamp::new(1, 1);
         with_engine(|e, view, ctx| {
-            e.apply_client_write(view, ctx, Key::from("x"), rec(ts, "v", &["x", "y"]));
+            e.apply_client_write(view, ctx, Key::from("x"), rec(ts, "v", &["x", "y"]).into());
             assert!(view.store.latest(b"x").is_none(), "prepare is invisible");
             assert_eq!(e.core.prepared_len(), 1);
             // exact fetch sees the prepared version
             let ans = e.read_version(view, 2, ts, 0, &Key::from("x"), &VersionReq::Exact(ts));
-            assert_eq!(ans, VersionAnswer::Ready(Some(rec(ts, "v", &["x", "y"]))));
+            assert_eq!(
+                ans,
+                VersionAnswer::Ready(Some(rec(ts, "v", &["x", "y"]).into()))
+            );
             // commit promotes it and queues gossip
             e.on_commit_mark(view, ctx, Key::from("x"), ts);
             assert_eq!(view.store.latest(b"x").unwrap().value, Bytes::from("v"));
@@ -469,7 +474,7 @@ mod tests {
             assert_eq!(ans, VersionAnswer::Parked);
             assert_eq!(e.core.parked_len(), 1);
             // the anti-entropy copy lands: the parked reader is answered
-            e.apply_replicated_write(view, ctx, Key::from("x"), rec(ts, "late", &["x"]));
+            e.apply_replicated_write(view, ctx, Key::from("x"), rec(ts, "late", &["x"]).into());
             assert_eq!(e.core.parked_len(), 0);
         });
         let replies: Vec<_> = sends
@@ -489,8 +494,10 @@ mod tests {
         let t2 = Timestamp::new(2, 1);
         let t3 = Timestamp::new(3, 1);
         with_engine(|e, view, ctx| {
-            view.store.put(Key::from("x"), rec(t1, "old", &[])).unwrap();
-            e.apply_client_write(view, ctx, Key::from("x"), rec(t2, "prepped", &[]));
+            view.store
+                .put(Key::from("x"), rec(t1, "old", &[]).into())
+                .unwrap();
+            e.apply_client_write(view, ctx, Key::from("x"), rec(t2, "prepped", &[]).into());
             // t3 has no version of x: ignored
             let ans = e.read_version(
                 view,
@@ -529,7 +536,12 @@ mod tests {
         // is answered at promotion-or-earlier, so nothing leaks.
         let ts = Timestamp::new(6, 1);
         let ((), sends) = with_engine(|e, view, ctx| {
-            e.apply_client_write(view, ctx, Key::from("x"), rec(ts, "orphan", &["x", "y"]));
+            e.apply_client_write(
+                view,
+                ctx,
+                Key::from("x"),
+                rec(ts, "orphan", &["x", "y"]).into(),
+            );
             // A remote reader parks on the sibling stamp meanwhile.
             let ans = e.read_version(view, 9, ts, 1, &Key::from("y"), &VersionReq::Exact(ts));
             assert_eq!(ans, VersionAnswer::Parked);
@@ -558,9 +570,9 @@ mod tests {
         let t2 = Timestamp::new(2, 1);
         with_engine(|e, view, ctx| {
             view.store
-                .put(Key::from("x"), rec(t1, "good", &[]))
+                .put(Key::from("x"), rec(t1, "good", &[]).into())
                 .unwrap();
-            e.apply_client_write(view, ctx, Key::from("x"), rec(t2, "prep", &[]));
+            e.apply_client_write(view, ctx, Key::from("x"), rec(t2, "prep", &[]).into());
             let r = e.read(view, &Key::from("x"), Timestamp::INITIAL).unwrap();
             assert_eq!(r.value, Bytes::from("good"));
             assert_eq!(e.read_ts(view, &Key::from("x")), t1);

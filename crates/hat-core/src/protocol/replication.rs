@@ -12,22 +12,23 @@
 //! place and the suffix is re-sent after healing. Delivery is therefore
 //! at-least-once; receivers apply writes idempotently.
 
-use hat_storage::{Key, Record};
-use std::sync::Arc;
+use hat_storage::{Key, SharedRecord};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Largest number of records shipped in one anti-entropy batch.
 pub const MAX_BATCH: usize = 1024;
 
 /// Buffer of writes awaiting gossip, with acknowledged per-peer cursors.
 ///
-/// Entries are `Arc`-shared: a batch is a vector of references into the
-/// log, so re-batching an unacknowledged suffix on every anti-entropy
-/// tick (the common case under replication lag or partition) clones
-/// pointers, not keys and values. Receivers clone the inner pair once,
-/// at apply time.
+/// Entries share the record allocation made at write time: a batch is a
+/// vector of `(key, handle)` pairs whose components are both refcounted,
+/// so re-batching an unacknowledged suffix on every anti-entropy tick
+/// (the common case under replication lag or partition) clones pointers,
+/// not keys and values — and the log itself never deep-copies the record
+/// it shares with the store.
 #[derive(Debug, Clone)]
 pub struct ReplicationLog {
-    log: Vec<Arc<(Key, Record)>>,
+    log: Vec<(Key, SharedRecord)>,
     /// Index of the first log slot (everything below was compacted).
     base: u64,
     /// Per-peer acknowledged position (absolute index).
@@ -45,8 +46,8 @@ impl ReplicationLog {
     }
 
     /// Records an accepted write for future gossip.
-    pub fn push(&mut self, key: Key, record: Record) {
-        self.log.push(Arc::new((key, record)));
+    pub fn push(&mut self, key: Key, record: SharedRecord) {
+        self.log.push((key, record));
     }
 
     /// The batch to send to `peer` right now: everything past its
@@ -54,11 +55,63 @@ impl ReplicationLog {
     /// `(start_index, records)`; empty when the peer is caught up.
     /// Does *not* advance the cursor — only [`ReplicationLog::ack`] does.
     /// The returned entries share the log's allocations (`Arc` clones).
-    pub fn batch_for(&self, peer: usize) -> (u64, Vec<Arc<(Key, Record)>>) {
+    pub fn batch_for(&self, peer: usize) -> (u64, Vec<(Key, SharedRecord)>) {
         let start = self.acked[peer].max(self.base);
         let offset = (start - self.base) as usize;
         let end = (offset + MAX_BATCH).min(self.log.len());
         (start, self.log[offset..end].to_vec())
+    }
+
+    /// How far `peer` lags behind the head of the log.
+    pub fn lag(&self, peer: usize) -> u64 {
+        self.head() - self.acked[peer].max(self.base)
+    }
+
+    /// Delta-compressed catch-up batch for a badly lagging `peer`: one
+    /// compacted batch covering its *entire* lag window, instead of
+    /// `lag / MAX_BATCH` round trips of per-record replay.
+    ///
+    /// Compaction keeps, for each key written in the window, its entry
+    /// with the greatest stamp — and then *closes the survivor set over
+    /// transaction timestamps*: every entry whose stamp survives for some
+    /// key is kept, so a multi-key transaction always arrives whole even
+    /// when another key it wrote was later overwritten. Without the
+    /// closure, MAV's sibling ack counting would wait forever for a
+    /// dropped sibling and RAMP's prepared-set promotion could strand a
+    /// fractured read. Entries at or below the peer's acked watermark are
+    /// never included (redelivery below the watermark is wasted work and
+    /// masks ack bugs).
+    ///
+    /// Returns `(upto, entries)` in log order; the receiver applies the
+    /// entries idempotently and acks `upto` directly.
+    pub fn catchup_for(&self, peer: usize) -> (u64, Vec<(Key, SharedRecord)>) {
+        let start = self.acked[peer].max(self.base);
+        let offset = (start - self.base) as usize;
+        let window = &self.log[offset..];
+        // Latest stamp per key in the window.
+        let mut best = BTreeMap::new();
+        for (key, record) in window {
+            let e = best.entry(key.clone()).or_insert(record.stamp);
+            if record.stamp > *e {
+                *e = record.stamp;
+            }
+        }
+        // Timestamp closure: a stamp that owns any key's latest version
+        // keeps all of its writes.
+        let surviving: BTreeSet<_> = best.into_values().collect();
+        // Last occurrence wins for duplicate (key, stamp) pairs — a
+        // redelivered entry replaces the stored value, so only the final
+        // occurrence matters.
+        let mut last_idx: BTreeMap<(&Key, _), usize> = BTreeMap::new();
+        for (i, (key, record)) in window.iter().enumerate() {
+            if surviving.contains(&record.stamp) {
+                last_idx.insert((key, record.stamp), i);
+            }
+        }
+        let mut keep: Vec<usize> = last_idx.into_values().collect();
+        keep.sort_unstable();
+        let entries = keep.into_iter().map(|i| window[i].clone()).collect();
+        (self.head(), entries)
     }
 
     /// Acknowledges that `peer` has applied records up to absolute index
@@ -104,9 +157,10 @@ mod tests {
     use super::*;
     use crate::timestamp::Timestamp;
     use bytes::Bytes;
+    use hat_storage::Record;
 
-    fn rec(seq: u64) -> Record {
-        Record::new(Timestamp::new(seq, 1), Bytes::from("v"))
+    fn rec(seq: u64) -> SharedRecord {
+        Record::new(Timestamp::new(seq, 1), Bytes::from("v")).into()
     }
 
     #[test]
@@ -177,5 +231,66 @@ mod tests {
         let (start, batch) = log.batch_for(0);
         assert_eq!(start, 100);
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn catchup_compacts_to_latest_version_per_key() {
+        let mut log = ReplicationLog::new(1);
+        // 10 keys, 100 writes each: only the last write of each key (all
+        // distinct stamps, so no closure growth) should survive.
+        for round in 0..100u64 {
+            for k in 0..10 {
+                log.push(Key::from(format!("k{k}")), rec(round * 10 + k + 1));
+            }
+        }
+        assert_eq!(log.lag(0), 1000);
+        let (upto, entries) = log.catchup_for(0);
+        assert_eq!(upto, 1000);
+        assert_eq!(entries.len(), 10, "one surviving version per key");
+        for (key, record) in &entries {
+            let k: u64 = std::str::from_utf8(&key[1..]).unwrap().parse().unwrap();
+            assert_eq!(record.stamp.seq, 99 * 10 + k + 1, "latest round survives");
+        }
+    }
+
+    #[test]
+    fn catchup_keeps_whole_transactions_via_stamp_closure() {
+        let mut log = ReplicationLog::new(1);
+        // txn A writes x and y at stamp 1; a later txn B overwrites x at
+        // stamp 2. y's latest is stamp 1, so stamp 1 survives — and the
+        // closure must keep A's write of x too (MAV counts both).
+        log.push(Key::from("x"), rec(1));
+        log.push(Key::from("y"), rec(1));
+        log.push(Key::from("x"), rec(2));
+        let (upto, entries) = log.catchup_for(0);
+        assert_eq!(upto, 3);
+        assert_eq!(entries.len(), 3, "stamp 1 fully retained, plus stamp 2");
+    }
+
+    #[test]
+    fn catchup_never_resends_below_the_watermark() {
+        let mut log = ReplicationLog::new(1);
+        for i in 0..20u64 {
+            log.push(Key::from(format!("k{i}")), rec(i + 1));
+        }
+        log.ack(0, 15);
+        let (upto, entries) = log.catchup_for(0);
+        assert_eq!(upto, 20);
+        assert_eq!(entries.len(), 5);
+        assert!(
+            entries.iter().all(|(_, r)| r.stamp.seq > 15),
+            "acked entries must not reappear: {entries:?}"
+        );
+    }
+
+    #[test]
+    fn catchup_last_duplicate_occurrence_wins() {
+        let mut log = ReplicationLog::new(1);
+        // same (key, stamp) delivered twice (redelivery): only one copy
+        // in the compacted batch.
+        log.push(Key::from("x"), rec(1));
+        log.push(Key::from("x"), rec(1));
+        let (_, entries) = log.catchup_for(0);
+        assert_eq!(entries.len(), 1);
     }
 }

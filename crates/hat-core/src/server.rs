@@ -25,12 +25,43 @@ use crate::protocol::engine::{engine_for, ProtocolEngine, ServerView};
 use crate::protocol::replication::ReplicationLog;
 use crate::timestamp::Timestamp;
 use hat_sim::{Ctx, NodeId, SimDuration, SimTime, TimerId};
-use hat_storage::{Key, Record, Store};
-use rand::Rng as _;
+use hat_storage::{Key, SharedRecord, Store};
 use std::sync::Arc;
 
 /// Timer tag for the anti-entropy tick.
 const TIMER_ANTI_ENTROPY: TimerId = 1;
+
+/// Replication-side counters, kept alongside `requests_served` so
+/// experiments can report the group-commit and delta-compression wins
+/// numerically (messages and bytes actually put on the wire).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Anti-entropy batches sent (`Replicate` + `ReplicateDelta`).
+    pub replication_msgs: u64,
+    /// Approximate serialized bytes of those batches (keys + records).
+    pub replication_bytes: u64,
+    /// Records shipped in those batches.
+    pub replication_records: u64,
+    /// How many of the batches were delta-compressed catch-ups.
+    pub catchup_batches: u64,
+    /// `CommitBatch` messages received.
+    pub commit_batches: u64,
+    /// Total commit marks carried by those batches (mean batch size =
+    /// `commit_batch_size / commit_batches`).
+    pub commit_batch_size: u64,
+}
+
+impl ServerStats {
+    /// Accumulates another server's counters (aggregate reporting).
+    pub fn merge(&mut self, other: &ServerStats) {
+        self.replication_msgs += other.replication_msgs;
+        self.replication_bytes += other.replication_bytes;
+        self.replication_records += other.replication_records;
+        self.catchup_batches += other.catchup_batches;
+        self.commit_batches += other.commit_batches;
+        self.commit_batch_size += other.commit_batch_size;
+    }
+}
 
 /// A replica server.
 pub struct Server {
@@ -45,6 +76,8 @@ pub struct Server {
     engine: Box<dyn ProtocolEngine>,
     /// Requests served (for load accounting in experiments).
     pub requests_served: u64,
+    /// Replication and group-commit counters.
+    pub stats: ServerStats,
 }
 
 impl Server {
@@ -83,6 +116,7 @@ impl Server {
             peers,
             engine,
             requests_served: 0,
+            stats: ServerStats::default(),
         }
     }
 
@@ -141,10 +175,14 @@ impl Server {
     /// Invoked once at simulation start.
     pub fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         // Stagger anti-entropy ticks so servers do not gossip in
-        // lock-step.
-        let jitter = ctx
-            .rng()
-            .gen_range(0..self.config.anti_entropy_interval.as_micros().max(1));
+        // lock-step. The offset is derived from the node id (a
+        // multiplicative hash spread over the interval) instead of drawn
+        // from the shared rng stream: the tick cadence is a fixed
+        // property of the deployment, and startup must not perturb the
+        // rng sequence the rest of the run consumes — adding a server
+        // would otherwise reshuffle every seeded schedule.
+        let interval = self.config.anti_entropy_interval.as_micros().max(1);
+        let jitter = (self.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % interval;
         ctx.set_timer(
             self.config.anti_entropy_interval + SimDuration::from_micros(jitter),
             TIMER_ANTI_ENTROPY,
@@ -155,9 +193,23 @@ impl Server {
     pub fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: TimerId) {
         if timer == TIMER_ANTI_ENTROPY {
             for (i, &peer) in self.peers.clone().iter().enumerate() {
-                let (from_index, writes) = self.repl.batch_for(i);
-                if !writes.is_empty() {
-                    ctx.send(peer, Msg::Replicate { from_index, writes });
+                // A peer lagging more than the threshold (e.g. freshly
+                // healed from a long partition) gets one compacted
+                // catch-up batch instead of `lag / MAX_BATCH` rounds of
+                // per-record replay.
+                if self.repl.lag(i) > self.config.delta_catchup_threshold {
+                    let (upto, writes) = self.repl.catchup_for(i);
+                    if !writes.is_empty() {
+                        self.stats.catchup_batches += 1;
+                        self.note_replication_batch(&writes);
+                        ctx.send(peer, Msg::ReplicateDelta { upto, writes });
+                    }
+                } else {
+                    let (from_index, writes) = self.repl.batch_for(i);
+                    if !writes.is_empty() {
+                        self.note_replication_batch(&writes);
+                        ctx.send(peer, Msg::Replicate { from_index, writes });
+                    }
                 }
             }
             self.repl.compact(1024);
@@ -165,6 +217,15 @@ impl Server {
             engine.on_anti_entropy_tick(&mut view, ctx);
             ctx.set_timer(self.config.anti_entropy_interval, TIMER_ANTI_ENTROPY);
         }
+    }
+
+    fn note_replication_batch(&mut self, writes: &[(Key, SharedRecord)]) {
+        self.stats.replication_msgs += 1;
+        self.stats.replication_records += writes.len() as u64;
+        self.stats.replication_bytes += writes
+            .iter()
+            .map(|(k, r)| 4 + k.len() as u64 + r.encoded_len() as u64)
+            .sum::<u64>();
     }
 
     /// Invoked when a message arrives. Thin dispatch: each message maps
@@ -189,6 +250,9 @@ impl Server {
                 self.handle_get_version(ctx, from, txn, op, key, req)
             }
             Msg::Commit { txn, op, key, ts } => self.handle_commit(ctx, from, txn, op, key, ts),
+            Msg::CommitBatch { txn, ts, marks } => {
+                self.handle_commit_batch(ctx, from, txn, ts, marks)
+            }
             Msg::Lock {
                 txn,
                 op,
@@ -198,6 +262,9 @@ impl Server {
             Msg::Unlock { txn, keys } => self.handle_unlock(ctx, txn, keys),
             Msg::Replicate { from_index, writes } => {
                 self.handle_replicate(ctx, from, from_index, writes)
+            }
+            Msg::ReplicateDelta { upto, writes } => {
+                self.handle_replicate_delta(ctx, from, upto, writes)
             }
             Msg::ReplicateAck { upto } => {
                 if let Some(i) = self.peers.iter().position(|&p| p == from) {
@@ -283,6 +350,33 @@ impl Server {
         ctx.send_after(hold, from, Msg::PutResp { txn, op });
     }
 
+    /// Group commit: apply every mark in the batch, then ack them all
+    /// with one message. Store work is unchanged (each mark is charged
+    /// its full commit cost); the saving is the per-message round trips.
+    fn handle_commit_batch(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: Timestamp,
+        ts: Timestamp,
+        marks: Vec<(u32, Key)>,
+    ) {
+        self.requests_served += 1;
+        self.stats.commit_batches += 1;
+        self.stats.commit_batch_size += marks.len() as u64;
+        let cost = SimDuration::from_micros(
+            (self.config.service.ramp_commit_us * marks.len() as f64) as u64,
+        );
+        let mut ops = Vec::with_capacity(marks.len());
+        for (op, key) in marks {
+            let (engine, mut view) = self.engine_view();
+            engine.on_commit_mark(&mut view, ctx, key, ts);
+            ops.push(op);
+        }
+        let hold = self.service(ctx.now(), cost);
+        ctx.send_after(hold, from, Msg::CommitBatchResp { txn, ops });
+    }
+
     fn handle_scan(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -308,7 +402,7 @@ impl Server {
         txn: Timestamp,
         op: u32,
         key: Key,
-        record: Record,
+        record: SharedRecord,
     ) {
         self.requests_served += 1;
         let cost = self.engine.write_cost(&self.config.service, &record);
@@ -323,27 +417,47 @@ impl Server {
         ctx: &mut Ctx<'_, Msg>,
         from: NodeId,
         from_index: u64,
-        writes: Vec<std::sync::Arc<(Key, Record)>>,
+        writes: Vec<(Key, SharedRecord)>,
     ) {
-        let cost = SimDuration::from_micros(
-            (self.config.service.replicate_record_us * writes.len() as f64) as u64,
-        );
-        let hold = self.service(ctx.now(), cost);
         let upto = from_index + writes.len() as u64;
-        for entry in writes {
-            // One owned copy per application; the batch itself shares
-            // the sender's allocations.
-            let (key, record) = match std::sync::Arc::try_unwrap(entry) {
-                Ok(pair) => pair,
-                Err(shared) => (*shared).clone(),
-            };
-            let (engine, mut view) = self.engine_view();
-            engine.apply_replicated_write(&mut view, ctx, key, record);
-        }
+        let hold = self.apply_replicated_batch(ctx, writes);
         // Acknowledge once applied: the sender's cursor advances and the
         // batch is never re-sent (unless this ack is lost — then the
         // receiver just applies the duplicates idempotently).
         ctx.send_after(hold, from, Msg::ReplicateAck { upto });
+    }
+
+    /// Delta-compressed catch-up: the batch covers the sender's log up to
+    /// `upto`, compacted to surviving versions. Application is the same
+    /// idempotent path as [`Server::handle_replicate`]; only the ack
+    /// position is explicit (the batch is shorter than the range it
+    /// covers).
+    fn handle_replicate_delta(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        upto: u64,
+        writes: Vec<(Key, SharedRecord)>,
+    ) {
+        let hold = self.apply_replicated_batch(ctx, writes);
+        ctx.send_after(hold, from, Msg::ReplicateAck { upto });
+    }
+
+    fn apply_replicated_batch(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        writes: Vec<(Key, SharedRecord)>,
+    ) -> SimDuration {
+        let cost = SimDuration::from_micros(
+            (self.config.service.replicate_record_us * writes.len() as f64) as u64,
+        );
+        for (key, record) in writes {
+            // The handle is shared with the sender's log and store; the
+            // receiver installs the same allocation.
+            let (engine, mut view) = self.engine_view();
+            engine.apply_replicated_write(&mut view, ctx, key, record);
+        }
+        self.service(ctx.now(), cost)
     }
 
     fn handle_notify(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, ts: Timestamp, key: Key) {

@@ -1,0 +1,78 @@
+//! Cross-frontend conformance: the same fixed-seed scripted workload,
+//! run through the simulator backend and the threaded backend, must
+//! produce *bit-identical* transaction records for every engine. This
+//! is the PR-6 regression net for the zero-copy record path and group
+//! commit — both refactors touched every message the client exchanges
+//! with servers, and "same records, byte for byte" is the strongest
+//! cheap statement that observable behavior did not move.
+//!
+//! The script is sequential (one op stream, quiesce between txns), so
+//! thread scheduling in the runtime backend cannot reorder anything:
+//! any divergence is a real behavioral difference, not nondeterminism.
+
+use hat_core::{ClusterSpec, DeploymentBuilder, Frontend, ProtocolKind, SessionOptions, TxnRecord};
+use hat_runtime::{BuildThreaded, RuntimeConfig};
+
+const ALL_ENGINES: [ProtocolKind; 7] = [
+    ProtocolKind::Eventual,
+    ProtocolKind::ReadCommitted,
+    ProtocolKind::Mav,
+    ProtocolKind::RampFast,
+    ProtocolKind::RampSmall,
+    ProtocolKind::Master,
+    ProtocolKind::TwoPhaseLocking,
+];
+
+fn builder(kind: ProtocolKind) -> DeploymentBuilder {
+    DeploymentBuilder::new(kind)
+        .seed(42)
+        .clusters(ClusterSpec::single_dc(2, 3))
+        .sessions_per_cluster(1)
+}
+
+/// The scripted workload, generic over the [`Frontend`]. Mixed
+/// single-key and multi-key transactions, read-your-writes probes and a
+/// prefix scan — enough to exercise reads, the commit path (batched
+/// under RAMP), and session clamping on every engine.
+fn run_script<F: Frontend>(front: &mut F) -> Vec<TxnRecord> {
+    let s = front.open_session(SessionOptions::default());
+    front.txn(&s, |t| {
+        t.put("acct:a", "100")?;
+        t.put("acct:b", "200")
+    });
+    front.quiesce();
+    for round in 0..5 {
+        let v = format!("round-{round}");
+        front.txn(&s, |t| {
+            t.put("acct:a", &v)?;
+            t.put("acct:b", &v)?;
+            t.put("audit", &v)
+        });
+        front.quiesce();
+        front.txn(&s, |t| Ok((t.get("acct:a")?, t.get("acct:b")?)));
+        front.quiesce();
+    }
+    front.txn(&s, |t| t.scan("acct:"));
+    front.quiesce();
+    front.take_records()
+}
+
+#[test]
+fn scripted_records_are_bit_identical_across_backends() {
+    for kind in ALL_ENGINES {
+        let mut sim = builder(kind).build();
+        let sim_records = run_script(&mut sim);
+
+        let mut threaded = builder(kind).build_threaded(RuntimeConfig::default());
+        let threaded_records = run_script(&mut threaded);
+
+        assert!(
+            !sim_records.is_empty(),
+            "{kind:?}: the script must commit transactions"
+        );
+        assert_eq!(
+            sim_records, threaded_records,
+            "{kind:?}: sim and threaded backends diverged on a fixed-seed script"
+        );
+    }
+}

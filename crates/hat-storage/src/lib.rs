@@ -31,5 +31,5 @@ pub mod wal;
 pub use error::StorageError;
 pub use memtable::Memtable;
 pub use store::{DurableStore, MemStore, Store, SyncPolicy};
-pub use version::{Key, Record, VersionStamp};
+pub use version::{Key, Record, SharedRecord, VersionStamp};
 pub use wal::{Wal, WalEntry};

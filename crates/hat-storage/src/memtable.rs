@@ -13,15 +13,19 @@
 //!   the newest at-or-below version per key (the paper's "older versions
 //!   can be asynchronously garbage collected", §5.1.2).
 
-use crate::version::{Key, Record, VersionStamp};
+use crate::version::{Key, SharedRecord, VersionStamp};
 use std::collections::BTreeMap;
 
 /// Multi-versioned ordered table. Not synchronized; callers wrap it in a
 /// lock if shared (the simulator is single-threaded, the runtime wraps
 /// stores in `parking_lot` mutexes).
+///
+/// Version chains hold [`SharedRecord`] handles, so a record installed
+/// here and later read back is never deep-copied — readers get a
+/// refcount bump on the allocation made at write time.
 #[derive(Debug, Clone, Default)]
 pub struct Memtable {
-    map: BTreeMap<Key, Vec<Record>>,
+    map: BTreeMap<Key, Vec<SharedRecord>>,
     versions: usize,
     /// Per-key version-chain bound (`None` = unbounded). Multi-version
     /// readers (RAMP `get_at`, snapshot reads) only ever reach back a
@@ -51,7 +55,8 @@ impl Memtable {
     /// idempotent while letting a transaction's later write of the same
     /// key supersede its intermediate write (both carry the transaction's
     /// timestamp; the final one must win).
-    pub fn insert(&mut self, key: Key, record: Record) -> bool {
+    pub fn insert(&mut self, key: Key, record: impl Into<SharedRecord>) -> bool {
+        let record = record.into();
         let cap = self.cap;
         let versions = self.map.entry(key).or_default();
         let fresh = match versions.binary_search_by(|r| r.stamp.cmp(&record.stamp)) {
@@ -76,12 +81,12 @@ impl Memtable {
     }
 
     /// The latest version of `key` (last-writer-wins winner), if any.
-    pub fn latest(&self, key: &[u8]) -> Option<&Record> {
+    pub fn latest(&self, key: &[u8]) -> Option<&SharedRecord> {
         self.map.get(key).and_then(|v| v.last())
     }
 
     /// The newest version of `key` with stamp `≤ bound`, if any.
-    pub fn latest_at_or_below(&self, key: &[u8], bound: VersionStamp) -> Option<&Record> {
+    pub fn latest_at_or_below(&self, key: &[u8], bound: VersionStamp) -> Option<&SharedRecord> {
         let versions = self.map.get(key)?;
         let idx = versions.partition_point(|r| r.stamp <= bound);
         idx.checked_sub(1).map(|i| &versions[i])
@@ -89,13 +94,13 @@ impl Memtable {
 
     /// The newest version of `key` with stamp `≥ bound`, if any (MAV's
     /// "pending stable write with a higher timestamp" lookup).
-    pub fn latest_at_or_above(&self, key: &[u8], bound: VersionStamp) -> Option<&Record> {
+    pub fn latest_at_or_above(&self, key: &[u8], bound: VersionStamp) -> Option<&SharedRecord> {
         let versions = self.map.get(key)?;
         versions.last().filter(|r| r.stamp >= bound)
     }
 
     /// The version of `key` with exactly stamp `stamp`, if present.
-    pub fn exact(&self, key: &[u8], stamp: VersionStamp) -> Option<&Record> {
+    pub fn exact(&self, key: &[u8], stamp: VersionStamp) -> Option<&SharedRecord> {
         let versions = self.map.get(key)?;
         versions
             .binary_search_by(|r| r.stamp.cmp(&stamp))
@@ -104,7 +109,7 @@ impl Memtable {
     }
 
     /// Removes the version of `key` stamped `stamp`, returning it.
-    pub fn remove(&mut self, key: &[u8], stamp: VersionStamp) -> Option<Record> {
+    pub fn remove(&mut self, key: &[u8], stamp: VersionStamp) -> Option<SharedRecord> {
         let versions = self.map.get_mut(key)?;
         let idx = versions.binary_search_by(|r| r.stamp.cmp(&stamp)).ok()?;
         let rec = versions.remove(idx);
@@ -116,14 +121,14 @@ impl Memtable {
     }
 
     /// All versions of `key`, oldest first.
-    pub fn versions(&self, key: &[u8]) -> &[Record] {
+    pub fn versions(&self, key: &[u8]) -> &[SharedRecord] {
         self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Latest version of every key whose bytes start with `prefix`,
     /// in key order. This is the predicate-read primitive: a `SELECT
     /// WHERE key LIKE 'prefix%'` over last-writer-wins state.
-    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Key, &Record)> {
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Key, &SharedRecord)> {
         self.range_scan(prefix, |k| k.starts_with(prefix))
     }
 
@@ -133,7 +138,7 @@ impl Memtable {
         &self,
         prefix: &[u8],
         bound: VersionStamp,
-    ) -> Vec<(Key, &Record)> {
+    ) -> Vec<(Key, &SharedRecord)> {
         let mut out = Vec::new();
         for (k, versions) in self.map.range(Key::copy_from_slice(prefix)..) {
             if !k.starts_with(prefix) {
@@ -147,7 +152,7 @@ impl Memtable {
         out
     }
 
-    fn range_scan(&self, start: &[u8], keep: impl Fn(&[u8]) -> bool) -> Vec<(Key, &Record)> {
+    fn range_scan(&self, start: &[u8], keep: impl Fn(&[u8]) -> bool) -> Vec<(Key, &SharedRecord)> {
         let mut out = Vec::new();
         for (k, versions) in self.map.range(Key::copy_from_slice(start)..) {
             if !keep(k) {
@@ -194,7 +199,7 @@ impl Memtable {
 
     /// Iterates `(key, versions)` in key order (used by checkpointing and
     /// anti-entropy).
-    pub fn iter(&self) -> impl Iterator<Item = (&Key, &[Record])> {
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &[SharedRecord])> {
         self.map.iter().map(|(k, v)| (k, v.as_slice()))
     }
 }
@@ -202,6 +207,7 @@ impl Memtable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::version::Record;
     use bytes::Bytes;
 
     fn rec(seq: u64, writer: u32, val: &str) -> Record {

@@ -8,7 +8,7 @@
 
 use crate::error::Result;
 use crate::memtable::Memtable;
-use crate::version::{Key, Record, VersionStamp};
+use crate::version::{Key, SharedRecord, VersionStamp};
 use crate::wal::{Wal, WalEntry};
 use std::path::{Path, PathBuf};
 
@@ -25,40 +25,47 @@ pub enum SyncPolicy {
 
 /// Replica-local multi-version storage.
 ///
-/// Returned records are owned clones: callers are protocol state machines
-/// that immediately serialize values into messages, so borrowing buys
-/// nothing and owning keeps the trait object-safe.
+/// Reads return [`SharedRecord`] handles to the allocation made at write
+/// time: cloning one out of the table is a refcount bump, not a deep copy
+/// of value bytes and sibling lists. Callers are protocol state machines
+/// that thread the handle straight into messages and caches, so the
+/// record's single allocation is shared across the whole hot path while
+/// the trait stays object-safe.
 pub trait Store {
     /// Installs a version. Returns `true` if newly installed, `false` if
     /// the (key, stamp) pair was already present (idempotent redelivery).
-    fn put(&mut self, key: Key, record: Record) -> Result<bool>;
+    fn put(&mut self, key: Key, record: SharedRecord) -> Result<bool>;
 
     /// Last-writer-wins read.
-    fn latest(&self, key: &[u8]) -> Option<Record>;
+    fn latest(&self, key: &[u8]) -> Option<SharedRecord>;
 
     /// Newest version at or below `bound` (snapshot read).
-    fn latest_at_or_below(&self, key: &[u8], bound: VersionStamp) -> Option<Record>;
+    fn latest_at_or_below(&self, key: &[u8], bound: VersionStamp) -> Option<SharedRecord>;
 
     /// Newest version, provided its stamp is at or above `bound`.
-    fn latest_at_or_above(&self, key: &[u8], bound: VersionStamp) -> Option<Record>;
+    fn latest_at_or_above(&self, key: &[u8], bound: VersionStamp) -> Option<SharedRecord>;
 
     /// The version stamped exactly `stamp`.
-    fn exact(&self, key: &[u8], stamp: VersionStamp) -> Option<Record>;
+    fn exact(&self, key: &[u8], stamp: VersionStamp) -> Option<SharedRecord>;
 
     /// Read a *specific* version by timestamp — the RAMP second-round
     /// fetch (readers repair fractured reads by asking for the exact
     /// sibling version named in another record's metadata). Alias of
     /// [`Store::exact`] with a reader-facing name; engines that keep
     /// auxiliary version sets (pending/prepared) layer those on top.
-    fn get_at(&self, key: &[u8], stamp: VersionStamp) -> Option<Record> {
+    fn get_at(&self, key: &[u8], stamp: VersionStamp) -> Option<SharedRecord> {
         self.exact(key, stamp)
     }
 
     /// Latest version per key under `prefix` (predicate read).
-    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Key, Record)>;
+    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Key, SharedRecord)>;
 
     /// Snapshot predicate read bounded at `bound`.
-    fn scan_prefix_at_or_below(&self, prefix: &[u8], bound: VersionStamp) -> Vec<(Key, Record)>;
+    fn scan_prefix_at_or_below(
+        &self,
+        prefix: &[u8],
+        bound: VersionStamp,
+    ) -> Vec<(Key, SharedRecord)>;
 
     /// Garbage-collects versions dominated below `bound`; returns count
     /// dropped.
@@ -97,29 +104,33 @@ impl MemStore {
 }
 
 impl Store for MemStore {
-    fn put(&mut self, key: Key, record: Record) -> Result<bool> {
+    fn put(&mut self, key: Key, record: SharedRecord) -> Result<bool> {
         Ok(self.table.insert(key, record))
     }
-    fn latest(&self, key: &[u8]) -> Option<Record> {
+    fn latest(&self, key: &[u8]) -> Option<SharedRecord> {
         self.table.latest(key).cloned()
     }
-    fn latest_at_or_below(&self, key: &[u8], bound: VersionStamp) -> Option<Record> {
+    fn latest_at_or_below(&self, key: &[u8], bound: VersionStamp) -> Option<SharedRecord> {
         self.table.latest_at_or_below(key, bound).cloned()
     }
-    fn latest_at_or_above(&self, key: &[u8], bound: VersionStamp) -> Option<Record> {
+    fn latest_at_or_above(&self, key: &[u8], bound: VersionStamp) -> Option<SharedRecord> {
         self.table.latest_at_or_above(key, bound).cloned()
     }
-    fn exact(&self, key: &[u8], stamp: VersionStamp) -> Option<Record> {
+    fn exact(&self, key: &[u8], stamp: VersionStamp) -> Option<SharedRecord> {
         self.table.exact(key, stamp).cloned()
     }
-    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Key, Record)> {
+    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Key, SharedRecord)> {
         self.table
             .scan_prefix(prefix)
             .into_iter()
             .map(|(k, r)| (k, r.clone()))
             .collect()
     }
-    fn scan_prefix_at_or_below(&self, prefix: &[u8], bound: VersionStamp) -> Vec<(Key, Record)> {
+    fn scan_prefix_at_or_below(
+        &self,
+        prefix: &[u8],
+        bound: VersionStamp,
+    ) -> Vec<(Key, SharedRecord)> {
         self.table
             .scan_prefix_at_or_below(prefix, bound)
             .into_iter()
@@ -191,7 +202,7 @@ impl DurableStore {
                 for record in versions {
                     ckpt.append(&WalEntry::Put {
                         key: key.clone(),
-                        record: record.clone(),
+                        record: record.as_ref().clone(),
                     })?;
                 }
             }
@@ -230,36 +241,42 @@ impl DurableStore {
 }
 
 impl Store for DurableStore {
-    fn put(&mut self, key: Key, record: Record) -> Result<bool> {
+    fn put(&mut self, key: Key, record: SharedRecord) -> Result<bool> {
         // Log before applying: a version is never visible unless the WAL
-        // can reproduce it.
+        // can reproduce it. The WAL entry is the one remaining deep copy
+        // on the write path — a serialization boundary, not a hot-path
+        // clone.
         self.wal.append(&WalEntry::Put {
             key: key.clone(),
-            record: record.clone(),
+            record: record.as_ref().clone(),
         })?;
         self.maybe_sync()?;
         Ok(self.table.insert(key, record))
     }
-    fn latest(&self, key: &[u8]) -> Option<Record> {
+    fn latest(&self, key: &[u8]) -> Option<SharedRecord> {
         self.table.latest(key).cloned()
     }
-    fn latest_at_or_below(&self, key: &[u8], bound: VersionStamp) -> Option<Record> {
+    fn latest_at_or_below(&self, key: &[u8], bound: VersionStamp) -> Option<SharedRecord> {
         self.table.latest_at_or_below(key, bound).cloned()
     }
-    fn latest_at_or_above(&self, key: &[u8], bound: VersionStamp) -> Option<Record> {
+    fn latest_at_or_above(&self, key: &[u8], bound: VersionStamp) -> Option<SharedRecord> {
         self.table.latest_at_or_above(key, bound).cloned()
     }
-    fn exact(&self, key: &[u8], stamp: VersionStamp) -> Option<Record> {
+    fn exact(&self, key: &[u8], stamp: VersionStamp) -> Option<SharedRecord> {
         self.table.exact(key, stamp).cloned()
     }
-    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Key, Record)> {
+    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Key, SharedRecord)> {
         self.table
             .scan_prefix(prefix)
             .into_iter()
             .map(|(k, r)| (k, r.clone()))
             .collect()
     }
-    fn scan_prefix_at_or_below(&self, prefix: &[u8], bound: VersionStamp) -> Vec<(Key, Record)> {
+    fn scan_prefix_at_or_below(
+        &self,
+        prefix: &[u8],
+        bound: VersionStamp,
+    ) -> Vec<(Key, SharedRecord)> {
         self.table
             .scan_prefix_at_or_below(prefix, bound)
             .into_iter()
@@ -283,6 +300,7 @@ impl Store for DurableStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::version::Record;
     use bytes::Bytes;
 
     fn tmpdir() -> PathBuf {
@@ -298,8 +316,8 @@ mod tests {
         d
     }
 
-    fn rec(seq: u64, val: &str) -> Record {
-        Record::new(VersionStamp::new(seq, 1), Bytes::from(val.to_owned()))
+    fn rec(seq: u64, val: &str) -> SharedRecord {
+        Record::new(VersionStamp::new(seq, 1), Bytes::from(val.to_owned())).into()
     }
 
     #[test]
@@ -401,7 +419,8 @@ mod tests {
                     VersionStamp::new(1, 2),
                     Bytes::from("v"),
                     vec![Key::from("x"), Key::from("y")],
-                ),
+                )
+                .into(),
             )
             .unwrap();
         }

@@ -12,10 +12,22 @@
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A key in the store. Keys are arbitrary byte strings; string keys are
 /// the common case (`Key::from("x")`).
 pub type Key = Bytes;
+
+/// A shared handle to a stored record.
+///
+/// A record is allocated once — when a client write is applied — and then
+/// travels the entire read/replication path (memtable chains, replication
+/// log entries, in-flight messages, client caches) as this refcounted
+/// handle. Cloning it bumps a counter instead of deep-copying value bytes
+/// and sibling lists; the only remaining deep copy is the WAL append,
+/// which is a serialization boundary. `Record: From` makes both
+/// `rec.into()` and `Arc::new(rec)` work at construction sites.
+pub type SharedRecord = Arc<Record>;
 
 /// A globally unique, totally ordered write timestamp: `(seq, writer)`.
 ///

@@ -29,13 +29,19 @@ fn checkpoint_plus_wal_recovery_preserves_versions() {
     {
         let mut s = DurableStore::open(&dir, SyncPolicy::Always).unwrap();
         for i in 1..=50u64 {
-            s.put(Key::from(format!("k{}", i % 10)), rec(i, &format!("v{i}")))
-                .unwrap();
+            s.put(
+                Key::from(format!("k{}", i % 10)),
+                rec(i, &format!("v{i}")).into(),
+            )
+            .unwrap();
         }
         s.checkpoint().unwrap();
         for i in 51..=80u64 {
-            s.put(Key::from(format!("k{}", i % 10)), rec(i, &format!("v{i}")))
-                .unwrap();
+            s.put(
+                Key::from(format!("k{}", i % 10)),
+                rec(i, &format!("v{i}")).into(),
+            )
+            .unwrap();
         }
         // no clean shutdown: the store is simply dropped
     }
@@ -60,7 +66,8 @@ fn torn_wal_tail_after_checkpoint_recovers_prefix() {
     {
         let mut s = DurableStore::open(&dir, SyncPolicy::Always).unwrap();
         for i in 1..=20u64 {
-            s.put(Key::from("x"), rec(i, &format!("v{i}"))).unwrap();
+            s.put(Key::from("x"), rec(i, &format!("v{i}")).into())
+                .unwrap();
         }
     }
     // tear the last few bytes off the WAL
@@ -81,7 +88,7 @@ fn interrupted_checkpoint_is_invisible() {
     let dir = tmpdir("ckpt");
     {
         let mut s = DurableStore::open(&dir, SyncPolicy::Always).unwrap();
-        s.put(Key::from("a"), rec(1, "one")).unwrap();
+        s.put(Key::from("a"), rec(1, "one").into()).unwrap();
     }
     // simulate the crash: a stray checkpoint.tmp with arbitrary content
     {
@@ -110,7 +117,7 @@ fn repeated_restart_cycles_are_stable() {
         assert_eq!(s.version_count() as u64, expect, "cycle {cycle}");
         for i in 0..7u64 {
             let seq = cycle * 7 + i + 1;
-            s.put(Key::from(format!("k{}", seq % 3)), rec(seq, "v"))
+            s.put(Key::from(format!("k{}", seq % 3)), rec(seq, "v").into())
                 .unwrap();
         }
         expect += 7;
@@ -131,7 +138,8 @@ fn gc_after_recovery() {
     {
         let mut s = DurableStore::open(&dir, SyncPolicy::Always).unwrap();
         for i in 1..=10u64 {
-            s.put(Key::from("x"), rec(i, &format!("v{i}"))).unwrap();
+            s.put(Key::from("x"), rec(i, &format!("v{i}")).into())
+                .unwrap();
         }
     }
     let mut s = DurableStore::open(&dir, SyncPolicy::Always).unwrap();

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Runs the hat-bench micro suite and captures the results as a JSON
+# snapshot, so the perf trajectory can be tracked across PRs.
+#
+# Usage:
+#   scripts/bench_snapshot.sh [output.json] [label]
+#
+# Example:
+#   scripts/bench_snapshot.sh BENCH_pr6.json pr6
+#
+# The workspace criterion shim prints one line per benchmark:
+#   <name>  mean <dur>  min <dur>  (<n> samples)
+# This script converts those lines into a stable JSON document:
+#   { "label": ..., "benches": [ { "name", "mean_ns", "min_ns", "samples" } ] }
+set -euo pipefail
+
+OUT="${1:-BENCH_snapshot.json}"
+LABEL="${2:-$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || echo snapshot)}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+cargo bench -p hat-bench --bench micro 2>/dev/null >"$RAW"
+
+python3 - "$OUT" "$LABEL" "$RAW" <<'PY'
+import json, re, sys
+
+out_path, label, raw_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+UNITS = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+def to_ns(dur: str) -> float:
+    m = re.fullmatch(r"([0-9.]+)(ns|µs|us|ms|s)", dur)
+    if not m:
+        raise ValueError(f"unparseable duration: {dur!r}")
+    return float(m.group(1)) * UNITS[m.group(2)]
+
+line_re = re.compile(
+    r"^(?P<name>\S+)\s+mean\s+(?P<mean>[0-9.]+(?:ns|µs|us|ms|s))"
+    r"\s+min\s+(?P<min>[0-9.]+(?:ns|µs|us|ms|s))\s+\((?P<n>\d+) samples\)"
+)
+
+benches = []
+for line in open(raw_path):
+    m = line_re.match(line.strip())
+    if m:
+        benches.append(
+            {
+                "name": m.group("name"),
+                "mean_ns": round(to_ns(m.group("mean")), 3),
+                "min_ns": round(to_ns(m.group("min")), 3),
+                "samples": int(m.group("n")),
+            }
+        )
+
+if not benches:
+    sys.exit("no benchmark lines parsed from `cargo bench` output")
+
+doc = {"label": label, "bench": "micro", "benches": benches}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}: {len(benches)} benchmarks")
+PY

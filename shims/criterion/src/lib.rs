@@ -9,7 +9,27 @@
 //! number of samples and prints mean/min per iteration — enough to spot
 //! order-of-magnitude regressions by eye.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// Smoke mode (`--test` on the bench binary's command line, matching
+/// real criterion): every benchmark runs exactly one sample, so CI can
+/// prove the benches still execute without paying measurement time.
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables smoke mode. [`criterion_main!`] calls this from
+/// the generated `main` based on the process arguments.
+pub fn set_smoke_mode(on: bool) {
+    SMOKE.store(on, Ordering::Relaxed);
+}
+
+fn effective_samples(configured: u64) -> u64 {
+    if SMOKE.load(Ordering::Relaxed) {
+        1
+    } else {
+        configured
+    }
+}
 
 /// Opaque value sink preventing the optimizer from deleting benched work.
 pub fn black_box<T>(x: T) -> T {
@@ -136,7 +156,7 @@ impl Criterion {
 
     fn run(&mut self, name: String, mut f: impl FnMut(&mut Bencher)) {
         let mut bencher = Bencher {
-            samples: self.sample_size,
+            samples: effective_samples(self.sample_size),
             results: Vec::new(),
         };
         f(&mut bencher);
@@ -198,6 +218,9 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            // `--test` runs every bench once (real criterion's smoke
+            // mode), which is what CI's bench-smoke job invokes.
+            $crate::set_smoke_mode(std::env::args().any(|a| a == "--test"));
             $($group();)+
         }
     };
@@ -220,5 +243,15 @@ mod tests {
     fn harness_runs_and_reports() {
         let mut c = Criterion::default().sample_size(3);
         quick(&mut c);
+    }
+
+    #[test]
+    fn smoke_mode_runs_one_sample() {
+        set_smoke_mode(true);
+        let mut ran = 0u64;
+        let mut c = Criterion::default().sample_size(50);
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        set_smoke_mode(false);
+        assert_eq!(ran, 1, "smoke mode must clamp to one sample");
     }
 }
