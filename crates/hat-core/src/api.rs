@@ -27,7 +27,8 @@ use bytes::Bytes;
 use hat_sim::{
     Engine, EngineConfig, LatencyModel, NodeId, PartitionSchedule, SimDuration, SimTime, Topology,
 };
-use hat_storage::{Key, MemStore};
+use hat_storage::{DurableStore, Key, MemStore, Store, SyncPolicy, Wal};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Builder for a HAT deployment, parameterized by protocol and — at
@@ -44,6 +45,7 @@ pub struct DeploymentBuilder {
     partitions: PartitionSchedule,
     drivers: Vec<Box<dyn TxnSource>>,
     engine_factory: Option<Arc<dyn Fn() -> Box<dyn ProtocolEngine> + Send + Sync>>,
+    durable: Option<(PathBuf, SyncPolicy)>,
 }
 
 impl DeploymentBuilder {
@@ -62,6 +64,7 @@ impl DeploymentBuilder {
             partitions: PartitionSchedule::none(),
             drivers: Vec::new(),
             engine_factory: None,
+            durable: None,
         }
     }
 
@@ -143,12 +146,26 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Backs every server with a [`DurableStore`] rooted at
+    /// `dir/server-<id>` instead of a volatile [`MemStore`]: writes are
+    /// WAL-logged before they are acknowledged, and a server rebuilt by
+    /// [`SimFrontend::restart_server`] recovers its memtable from the
+    /// log (including deliberately-torn tails). This is the paper's
+    /// durable configuration, and the substrate crash-restart nemesis
+    /// schedules require.
+    pub fn durable(mut self, dir: impl Into<PathBuf>, policy: SyncPolicy) -> Self {
+        self.durable = Some((dir.into(), policy));
+        self
+    }
+
     /// Builds the deployment on the discrete-event simulator backend.
     ///
     /// # Panics
     /// Panics if clusters have unequal sizes (positional anti-entropy
     /// peering requires equal partition counts) or no servers/clients.
     pub fn build(self) -> SimFrontend {
+        let engine_factory = self.engine_factory.clone();
+        let durable = self.durable.clone();
         let (engine_config, topology, actors, layout, config) = self.build_parts();
         let engine = Engine::new(engine_config, topology, actors);
         SimFrontend {
@@ -156,6 +173,8 @@ impl DeploymentBuilder {
             layout,
             config,
             opened: 0,
+            engine_factory,
+            durable,
         }
     }
 
@@ -217,25 +236,19 @@ impl DeploymentBuilder {
         let mut actors: Vec<Node> = Vec::with_capacity(topology.len());
         for cluster in 0..n_clusters {
             for &id in &layout.servers[cluster] {
-                // Replica stores keep a bounded version chain: RAMP's
-                // by-timestamp reads only reach back a bounded distance.
-                let store = || Box::new(MemStore::with_version_cap(config.version_chain_limit));
+                let store = make_store(&self.durable, id, config.version_chain_limit);
                 let server = match &self.engine_factory {
                     Some(factory) => Server::with_engine(
                         id,
                         cluster,
                         Arc::clone(&layout),
                         Arc::clone(&config),
-                        store(),
+                        store,
                         factory(),
                     ),
-                    None => Server::new(
-                        id,
-                        cluster,
-                        Arc::clone(&layout),
-                        Arc::clone(&config),
-                        store(),
-                    ),
+                    None => {
+                        Server::new(id, cluster, Arc::clone(&layout), Arc::clone(&config), store)
+                    }
                 };
                 actors.push(Node::Server(server));
             }
@@ -273,6 +286,28 @@ impl DeploymentBuilder {
 /// Default engine seed when the builder is not given one.
 const DEFAULT_SEED: u64 = 0x4A7_5EED;
 
+/// Builds the store for server `id`: WAL-backed when the deployment is
+/// durable, otherwise a plain memtable. Each server logs into its own
+/// subdirectory so crash-restart can recover one replica independently.
+fn make_store(
+    durable: &Option<(PathBuf, SyncPolicy)>,
+    id: NodeId,
+    version_cap: usize,
+) -> Box<dyn Store + Send> {
+    match durable {
+        Some((dir, policy)) => Box::new(
+            DurableStore::open(server_store_dir(dir, id), *policy)
+                .expect("open durable server store"),
+        ),
+        None => Box::new(MemStore::with_version_cap(version_cap)),
+    }
+}
+
+/// Per-server durable-store directory under the deployment root.
+fn server_store_dir(dir: &Path, id: NodeId) -> PathBuf {
+    dir.join(format!("server-{id}"))
+}
+
 /// The simulator-backed [`Frontend`]: a running deployment on the
 /// deterministic discrete-event engine.
 pub struct SimFrontend {
@@ -280,6 +315,8 @@ pub struct SimFrontend {
     layout: Arc<ClusterLayout>,
     config: Arc<SystemConfig>,
     opened: usize,
+    engine_factory: Option<Arc<dyn Fn() -> Box<dyn ProtocolEngine> + Send + Sync>>,
+    durable: Option<(PathBuf, SyncPolicy)>,
 }
 
 impl SimFrontend {
@@ -354,8 +391,99 @@ impl SimFrontend {
             if let Some(srv) = self.engine.actor(s).as_server() {
                 total.merge(&srv.stats);
             }
+            // Partition drops and crash counts live in the engine's fault
+            // ledger, not the actor: they survive actor replacement.
+            let faults = self.engine.fault_stats(s);
+            total.msgs_dropped_by_partition += faults.dropped_by_partition;
+            total.crashes += faults.crashes;
         }
         total
+    }
+
+    /// Hard-crashes server `node`: in-flight deliveries and armed timers
+    /// die with it. Volatile state (memtables, RAMP prepared sets, locks)
+    /// is lost; only the WAL of a durable deployment survives.
+    ///
+    /// Panics if `node` is not a server or is already crashed.
+    pub fn crash_server(&mut self, node: NodeId) {
+        assert!(
+            self.engine.actor(node).as_server().is_some(),
+            "crash_server: node {node} is not a server"
+        );
+        self.engine.crash(node);
+    }
+
+    /// Leaves `bytes` of a torn partial frame at the tail of a crashed
+    /// server's WAL — the write that was in flight when the crash hit.
+    /// Recovery detects and discards it. Synced (acknowledged) records
+    /// are never touched: destroying those would be disk corruption, a
+    /// fault outside what crash recovery promises to mask. Only valid on
+    /// durable deployments while the server is down.
+    pub fn tear_wal_tail(&mut self, node: NodeId, bytes: u64) {
+        assert!(
+            self.engine.is_crashed(node),
+            "tear_wal_tail: server {node} must be crashed first"
+        );
+        let (dir, _) = self
+            .durable
+            .as_ref()
+            .expect("tear_wal_tail: deployment is not durable");
+        Wal::tear_tail(DurableStore::wal_path(server_store_dir(dir, node)), bytes)
+            .expect("tear WAL tail");
+    }
+
+    /// Rebuilds a crashed server from its recovered store and boots it.
+    ///
+    /// On a durable deployment the new incarnation replays its WAL
+    /// (checkpoint + valid log prefix; a torn tail is detected and
+    /// discarded) and re-seeds its replication log from the recovered
+    /// versions so surviving records re-gossip. Peers rewind their
+    /// cursors for this node, re-sending everything they still retain:
+    /// records the torn tail lost are the newest, so they sit above every
+    /// peer's compaction horizon. Application is idempotent.
+    pub fn restart_server(&mut self, node: NodeId) {
+        assert!(
+            self.engine.is_crashed(node),
+            "restart_server: server {node} is not crashed"
+        );
+        let cluster = self
+            .layout
+            .cluster_of(node)
+            .expect("restart_server: node has no cluster");
+        // Cumulative replay count across incarnations: the fresh server's
+        // stats start from this crash's recovery, add prior lifetimes.
+        let prior_replayed = self
+            .engine
+            .actor(node)
+            .as_server()
+            .map(|s| s.stats.wal_records_replayed)
+            .unwrap_or(0);
+        let store = make_store(&self.durable, node, self.config.version_chain_limit);
+        let mut server = match &self.engine_factory {
+            Some(factory) => Server::with_engine(
+                node,
+                cluster,
+                Arc::clone(&self.layout),
+                Arc::clone(&self.config),
+                store,
+                factory(),
+            ),
+            None => Server::new(
+                node,
+                cluster,
+                Arc::clone(&self.layout),
+                Arc::clone(&self.config),
+                store,
+            ),
+        };
+        server.stats.wal_records_replayed += prior_replayed;
+        server.mark_restarted();
+        for peer in self.layout.anti_entropy_peers(node) {
+            if let Some(srv) = self.engine.actor_mut(peer).as_server_mut() {
+                srv.reset_peer_cursor(node);
+            }
+        }
+        self.engine.restart_with(node, Node::Server(server));
     }
 
     fn abandon_client(&mut self, client: NodeId) {

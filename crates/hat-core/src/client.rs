@@ -387,7 +387,7 @@ impl Client {
             Some(TxnOutcome::AbortedInternal) => Err(HatError::InternalAbort {
                 reason: "transaction aborted".into(),
             }),
-            None => {
+            Some(TxnOutcome::Indeterminate) | None => {
                 self.abandon(ctx);
                 Err(HatError::Unavailable { key: None })
             }
@@ -1338,7 +1338,11 @@ impl Client {
                     }
                 }
             }
-            TxnOutcome::AbortedExternal => self.metrics.aborted_external += 1,
+            // Indeterminate outcomes are minted in `abandon`, never
+            // here; counted with external aborts if that ever changes.
+            TxnOutcome::AbortedExternal | TxnOutcome::Indeterminate => {
+                self.metrics.aborted_external += 1
+            }
             TxnOutcome::AbortedInternal => self.metrics.aborted_internal += 1,
         }
         if self.config.record_history {
@@ -1395,6 +1399,12 @@ impl Client {
         // other session until the run ends.
         self.release_locks(ctx);
         let mut txn = self.current.take().expect("checked above");
+        // Abandoning mid-commit is not an abort: some replicas may have
+        // durably installed the writes before the round stalled, so the
+        // transaction's effects are indeterminate and later reads of
+        // them are legitimate. Abandoning mid-execution (writes still in
+        // the client buffer for commit-time engines) stays an abort.
+        let commit_in_flight = txn.phase == Phase::Committing || !txn.commit_waiting.is_empty();
         txn.pending = None;
         txn.commit_waiting.clear();
         self.metrics.aborted_external += 1;
@@ -1404,7 +1414,11 @@ impl Client {
                 session: self.client_idx,
                 session_seq: self.session_seq,
                 ops: std::mem::take(&mut txn.ops_done),
-                outcome: TxnOutcome::AbortedExternal,
+                outcome: if commit_in_flight {
+                    TxnOutcome::Indeterminate
+                } else {
+                    TxnOutcome::AbortedExternal
+                },
             });
         }
         self.session_seq += 1;

@@ -2,6 +2,7 @@
 //! servers, across all five protocol kinds.
 
 use crate::timestamp::Timestamp;
+use hat_sim::NodeId;
 use hat_storage::{Key, SharedRecord};
 use serde::{Deserialize, Serialize};
 
@@ -220,6 +221,21 @@ pub enum Msg {
         /// Acknowledged log position.
         upto: u64,
     },
+    /// Crash-recovery bootstrap: a restarted replica asks a gossip peer
+    /// for a full state dump. Needed because peers never re-gossip
+    /// writes they did not originate — a record this server accepted,
+    /// gossiped out, and then lost to a torn WAL tail survives only in
+    /// peers' *stores*, where no incremental log path can reach it.
+    /// Retried on a timer until a response arrives (the request itself
+    /// may be lost to a concurrent partition).
+    RecoverReq,
+    /// Bootstrap response: every version of the sender's store. One
+    /// message rather than a chunked stream — acceptable at simulation
+    /// scale, and the idempotent apply path makes duplicates free.
+    RecoverResp {
+        /// The sender's full version set, in key order.
+        writes: Vec<(Key, SharedRecord)>,
+    },
     /// MAV: a replica announces it has received transaction `ts`'s write
     /// of `key` (Appendix B's `notify(w.ts)`, keyed so retransmissions
     /// count once).
@@ -228,6 +244,21 @@ pub enum Msg {
         ts: Timestamp,
         /// The key whose write the sender received.
         key: Key,
+    },
+    /// MAV: the complete acknowledgement set a replica collected before
+    /// promoting transaction `ts`. Sent in answer to a *duplicate*
+    /// notification for an already-promoted transaction — the sender of
+    /// that duplicate is replaying notifications on its anti-entropy
+    /// timer because it is still pending, which means the notifications
+    /// it is missing were lost (e.g. to a one-way partition) *and* every
+    /// replica that could re-send them has already promoted and stopped
+    /// replaying. The summary lets the stuck replica finish its count
+    /// from a peer's records instead.
+    NotifySummary {
+        /// The promoted transaction.
+        ts: Timestamp,
+        /// Every `(origin, key)` notification the sender collected.
+        acks: Vec<(NodeId, Key)>,
     },
 }
 
@@ -255,7 +286,10 @@ impl Msg {
             Msg::Replicate { .. }
                 | Msg::ReplicateDelta { .. }
                 | Msg::ReplicateAck { .. }
+                | Msg::RecoverReq
+                | Msg::RecoverResp { .. }
                 | Msg::Notify { .. }
+                | Msg::NotifySummary { .. }
         )
     }
 }

@@ -26,6 +26,14 @@ impl Node {
         }
     }
 
+    /// Mutable server access.
+    pub fn as_server_mut(&mut self) -> Option<&mut Server> {
+        match self {
+            Node::Server(s) => Some(s),
+            Node::Client(_) => None,
+        }
+    }
+
     /// The client inside, if this is a client node.
     pub fn as_client(&self) -> Option<&Client> {
         match self {

@@ -164,6 +164,31 @@ pub trait ProtocolEngine: Send + std::fmt::Debug {
         let _ = (view, ctx, from, ts, key);
     }
 
+    /// True if a client write of `key` by `txn` may be installed now.
+    /// Locking engines fence here: a commit write whose exclusive lock
+    /// is no longer on the table (the server crashed and rebuilt an
+    /// empty table) must not install, because the lock may already have
+    /// been re-granted to a younger transaction. Lock-free engines admit
+    /// everything.
+    fn write_admissible(&self, txn: Timestamp, key: &Key) -> bool {
+        let _ = (txn, key);
+        true
+    }
+
+    /// Handles a peer's complete acknowledgement set for a transaction
+    /// it already promoted (MAV's answer to a duplicate notification —
+    /// the recovery path for notifications lost to one-way partitions).
+    fn on_notify_summary(
+        &mut self,
+        view: &mut ServerView<'_>,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        ts: Timestamp,
+        acks: Vec<(NodeId, Key)>,
+    ) {
+        let _ = (view, ctx, from, ts, acks);
+    }
+
     /// Handles a lock request, returning the grants to acknowledge now
     /// (empty means queued — the grant is returned by a later
     /// [`ProtocolEngine::on_unlock`]). Engines without locking ignore

@@ -20,6 +20,14 @@
 //! anywhere implies every sibling replica holds its write at least in
 //! `pending`. This is the "entirely master-less and operations never
 //! block due to replica coordination" property the paper claims.
+//!
+//! Durability boundary: a client write is acknowledged while it sits in
+//! the volatile `pending` set — only promotion to the good set goes
+//! through the (possibly WAL-backed) store. A crash in the window
+//! between ack and promotion can therefore lose the write, which is
+//! faithful to the paper's in-memory protocol but weaker than the LWW
+//! engines, whose installs hit the log before the ack. The crash-restart
+//! end-to-end test pins this boundary down explicitly.
 
 use crate::config::ServiceModel;
 use crate::messages::Msg;
@@ -143,6 +151,37 @@ impl MavState {
         // state; we retain expected/acks so dedup stays cheap. They are
         // garbage-collected by `gc_acks`.
         promoted
+    }
+
+    /// True if `ts` has already been notified for `origin`/`key` — a
+    /// duplicate notification. Duplicates arriving for an already
+    /// promoted transaction identify a sender stuck replaying
+    /// notifications it never got answered for (see
+    /// [`Msg::NotifySummary`]).
+    pub fn has_ack(&self, ts: Timestamp, origin: NodeId, key: &Key) -> bool {
+        self.acks
+            .get(&ts)
+            .is_some_and(|s| s.contains(&(origin, key.clone())))
+    }
+
+    /// True once `ts` reached its notification quorum here: the counters
+    /// are retained after promotion precisely so this stays answerable.
+    pub fn is_promoted(&self, ts: Timestamp) -> bool {
+        match (self.expected.get(&ts), self.acks.get(&ts)) {
+            (Some(&expected), Some(acks)) => {
+                (acks.len() as u32) >= expected && !self.pending_by_ts.contains_key(&ts)
+            }
+            _ => false,
+        }
+    }
+
+    /// The complete acknowledgement set collected for `ts` (empty if
+    /// unknown or garbage-collected).
+    pub fn ack_set(&self, ts: Timestamp) -> Vec<(NodeId, Key)> {
+        self.acks
+            .get(&ts)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
     }
 
     /// Writes still pending, with their sibling lists — the server
@@ -306,12 +345,37 @@ impl ProtocolEngine for MavEngine {
     fn on_notify(
         &mut self,
         view: &mut ServerView<'_>,
-        _ctx: &mut Ctx<'_, Msg>,
+        ctx: &mut Ctx<'_, Msg>,
         from: NodeId,
         ts: Timestamp,
         key: Key,
     ) {
+        let duplicate = self.state.has_ack(ts, from, &key);
         let _promoted = self.state.receive_notify(view.store, ts, from, key);
+        // A duplicate notification for a transaction we already promoted
+        // means the sender is replaying on its anti-entropy timer — it
+        // is still pending, and the replicas whose notifications it lost
+        // (to a one-way partition, say) have promoted and gone quiet.
+        // Answer with our complete acknowledgement set so it can finish
+        // its count. First-time notifications never trigger this, so the
+        // fault-free path sends nothing extra.
+        if duplicate && self.state.is_promoted(ts) {
+            let acks = self.state.ack_set(ts);
+            ctx.send(from, Msg::NotifySummary { ts, acks });
+        }
+    }
+
+    fn on_notify_summary(
+        &mut self,
+        view: &mut ServerView<'_>,
+        _ctx: &mut Ctx<'_, Msg>,
+        _from: NodeId,
+        ts: Timestamp,
+        acks: Vec<(NodeId, Key)>,
+    ) {
+        for (origin, key) in acks {
+            let _ = self.state.receive_notify(view.store, ts, origin, key);
+        }
     }
 
     fn on_anti_entropy_tick(&mut self, view: &mut ServerView<'_>, ctx: &mut Ctx<'_, Msg>) {

@@ -114,6 +114,14 @@ impl ReplicationLog {
         (self.head(), entries)
     }
 
+    /// Rewinds `peer`'s cursor to the oldest retained entry, forcing a
+    /// full resend of the retained log. Used when a peer restarts after
+    /// a crash: acknowledged records may have been lost with its torn
+    /// WAL tail, and at-least-once redelivery is the repair.
+    pub fn rewind(&mut self, peer: usize) {
+        self.acked[peer] = self.base;
+    }
+
     /// Acknowledges that `peer` has applied records up to absolute index
     /// `upto` (exclusive). Stale acks are ignored.
     pub fn ack(&mut self, peer: usize, upto: u64) {
@@ -231,6 +239,27 @@ mod tests {
         let (start, batch) = log.batch_for(0);
         assert_eq!(start, 100);
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn rewind_forces_resend_of_retained_log() {
+        let mut log = ReplicationLog::new(2);
+        for i in 0..50u64 {
+            log.push(Key::from(format!("k{i}")), rec(i + 1));
+        }
+        log.ack(0, 50);
+        log.ack(1, 50);
+        assert!(log.batch_for(0).1.is_empty());
+        log.compact(10); // base moves to 40
+        log.rewind(0);
+        let (start, batch) = log.batch_for(0);
+        assert_eq!(start, 40, "resend starts at the compaction base");
+        assert_eq!(batch.len(), 10);
+        // peer 1 unaffected
+        assert!(log.batch_for(1).1.is_empty());
+        // re-acks after rewind advance normally
+        log.ack(0, 50);
+        assert!(log.batch_for(0).1.is_empty());
     }
 
     #[test]

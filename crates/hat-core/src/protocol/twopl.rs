@@ -194,6 +194,17 @@ impl LockTable {
         grants
     }
 
+    /// True if `txn` currently holds `key` exclusively. The write-path
+    /// fence: a commit write arriving without its exclusive lock on the
+    /// table means the lock was lost — the server crashed and rebuilt an
+    /// empty table — and the key may since have been re-granted.
+    pub fn holds_exclusive(&self, key: &Key, txn: Timestamp) -> bool {
+        self.locks
+            .get(key)
+            .and_then(|s| s.holds(txn))
+            .unwrap_or(false)
+    }
+
     /// Number of keys with active lock state.
     pub fn active_locks(&self) -> usize {
         self.locks.len()
@@ -220,6 +231,10 @@ impl TwoPlEngine {
 impl ProtocolEngine for TwoPlEngine {
     fn name(&self) -> &'static str {
         "2PL"
+    }
+
+    fn write_admissible(&self, txn: Timestamp, key: &Key) -> bool {
+        self.locks.holds_exclusive(key, txn)
     }
 
     fn on_lock(

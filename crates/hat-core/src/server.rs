@@ -31,6 +31,9 @@ use std::sync::Arc;
 /// Timer tag for the anti-entropy tick.
 const TIMER_ANTI_ENTROPY: TimerId = 1;
 
+/// Timer tag for the crash-recovery bootstrap retry loop.
+const TIMER_RECOVERY: TimerId = 2;
+
 /// Replication-side counters, kept alongside `requests_served` so
 /// experiments can report the group-commit and delta-compression wins
 /// numerically (messages and bytes actually put on the wire).
@@ -49,6 +52,16 @@ pub struct ServerStats {
     /// Total commit marks carried by those batches (mean batch size =
     /// `commit_batch_size / commit_batches`).
     pub commit_batch_size: u64,
+    /// Messages destined to this server dropped by an active network
+    /// partition (filled from the engine's per-node fault counters by
+    /// [`crate::SimFrontend::server_stats`]).
+    pub msgs_dropped_by_partition: u64,
+    /// Times this server has been crashed by a fault injector.
+    pub crashes: u64,
+    /// WAL/checkpoint records replayed into this server's store at
+    /// recovery, accumulated across restarts. Nonzero proves a restarted
+    /// server is serving log-recovered state rather than an empty store.
+    pub wal_records_replayed: u64,
 }
 
 impl ServerStats {
@@ -60,6 +73,9 @@ impl ServerStats {
         self.catchup_batches += other.catchup_batches;
         self.commit_batches += other.commit_batches;
         self.commit_batch_size += other.commit_batch_size;
+        self.msgs_dropped_by_partition += other.msgs_dropped_by_partition;
+        self.crashes += other.crashes;
+        self.wal_records_replayed += other.wal_records_replayed;
     }
 }
 
@@ -74,6 +90,9 @@ pub struct Server {
     repl: ReplicationLog,
     peers: Vec<NodeId>,
     engine: Box<dyn ProtocolEngine>,
+    /// Peers still owed a crash-recovery bootstrap dump (empty except
+    /// right after a restart; see [`Server::mark_restarted`]).
+    recovering: Vec<NodeId>,
     /// Requests served (for load accounting in experiments).
     pub requests_served: u64,
     /// Replication and group-commit counters.
@@ -105,6 +124,22 @@ impl Server {
         engine: Box<dyn ProtocolEngine>,
     ) -> Self {
         let peers = layout.anti_entropy_peers(id);
+        let mut repl = ReplicationLog::new(peers.len());
+        // Recovery wiring: a store opened over an existing WAL (a
+        // restarted server) seeds the replication buffer with every
+        // recovered version, so writes accepted before the crash but
+        // never gossiped re-enter anti-entropy. Peers apply duplicates
+        // idempotently; a fresh volatile store recovers nothing and this
+        // is a no-op.
+        let stats = ServerStats {
+            wal_records_replayed: store.recovered_records(),
+            ..ServerStats::default()
+        };
+        if stats.wal_records_replayed > 0 {
+            for (key, record) in store.all_versions() {
+                repl.push(key, record);
+            }
+        }
         Server {
             id,
             cluster,
@@ -112,12 +147,24 @@ impl Server {
             config,
             store,
             busy_until: SimTime::ZERO,
-            repl: ReplicationLog::new(peers.len()),
+            repl,
             peers,
             engine,
+            recovering: Vec::new(),
             requests_served: 0,
-            stats: ServerStats::default(),
+            stats,
         }
+    }
+
+    /// Flags this server as a post-crash incarnation: on start it
+    /// requests a full bootstrap dump from every gossip peer (retried on
+    /// a timer until each peer answers). The reseeded replication log
+    /// and the peers' rewound cursors repair everything the *logs* still
+    /// hold; the dump repairs the rest — records this server originated,
+    /// gossiped out, and then lost to a torn WAL tail, which survive
+    /// only in peers' stores.
+    pub fn mark_restarted(&mut self) {
+        self.recovering = self.peers.clone();
     }
 
     /// The node id.
@@ -144,6 +191,18 @@ impl Server {
     /// MAV run; 0 by definition for engines without the concept).
     pub fn mav_required_misses(&self) -> u64 {
         self.engine.required_misses()
+    }
+
+    /// Rewinds the replication cursor for `peer` to the oldest retained
+    /// log entry. Called on every gossip neighbor of a just-restarted
+    /// server: the restarted node may have lost its newest applied
+    /// records to a torn WAL tail *after* acknowledging them, so
+    /// previously-acked suffixes must be re-sent (application is
+    /// idempotent; the delta catch-up path compacts the resend).
+    pub fn reset_peer_cursor(&mut self, peer: NodeId) {
+        if let Some(i) = self.peers.iter().position(|&p| p == peer) {
+            self.repl.rewind(i);
+        }
     }
 
     /// Splits the server into its engine and the [`ServerView`] the
@@ -187,6 +246,12 @@ impl Server {
             self.config.anti_entropy_interval + SimDuration::from_micros(jitter),
             TIMER_ANTI_ENTROPY,
         );
+        if !self.recovering.is_empty() {
+            for &peer in &self.recovering {
+                ctx.send(peer, Msg::RecoverReq);
+            }
+            ctx.set_timer(self.config.anti_entropy_interval, TIMER_RECOVERY);
+        }
     }
 
     /// Invoked when a timer fires.
@@ -216,6 +281,13 @@ impl Server {
             let (engine, mut view) = self.engine_view();
             engine.on_anti_entropy_tick(&mut view, ctx);
             ctx.set_timer(self.config.anti_entropy_interval, TIMER_ANTI_ENTROPY);
+        } else if timer == TIMER_RECOVERY && !self.recovering.is_empty() {
+            // A bootstrap request (or its response) may have been lost to
+            // a concurrent partition; keep asking until each peer answers.
+            for &peer in &self.recovering.clone() {
+                ctx.send(peer, Msg::RecoverReq);
+            }
+            ctx.set_timer(self.config.anti_entropy_interval, TIMER_RECOVERY);
         }
     }
 
@@ -271,7 +343,10 @@ impl Server {
                     self.repl.ack(i, upto);
                 }
             }
+            Msg::RecoverReq => self.handle_recover_req(ctx, from),
+            Msg::RecoverResp { writes } => self.handle_recover_resp(ctx, from, writes),
             Msg::Notify { ts, key } => self.handle_notify(ctx, from, ts, key),
+            Msg::NotifySummary { ts, acks } => self.handle_notify_summary(ctx, from, ts, acks),
             // Responses are never addressed to servers.
             _ => {}
         }
@@ -405,6 +480,15 @@ impl Server {
         record: SharedRecord,
     ) {
         self.requests_served += 1;
+        if !self.engine.write_admissible(txn, &key) {
+            // Lock fencing (2PL): the exclusive lock backing this commit
+            // write is gone — this server crashed and lost its lock
+            // table, and the key may since have been re-granted. Do not
+            // install, and do not ack: the client's op deadline turns
+            // the commit round into an indeterminate abandon, exactly
+            // as if the server were unreachable.
+            return;
+        }
         let cost = self.engine.write_cost(&self.config.service, &record);
         let (engine, mut view) = self.engine_view();
         engine.apply_client_write(&mut view, ctx, key, record);
@@ -460,11 +544,66 @@ impl Server {
         self.service(ctx.now(), cost)
     }
 
+    /// Bootstrap dump for a restarted peer: ship the whole store. The
+    /// service charge scales with the dump size, so recovery load shows
+    /// up in the queueing model like any other replication traffic.
+    fn handle_recover_req(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId) {
+        let writes = self.store.all_versions();
+        let cost = SimDuration::from_micros(
+            (self.config.service.replicate_record_us * writes.len() as f64) as u64,
+        );
+        let hold = self.service(ctx.now(), cost);
+        ctx.send_after(hold, from, Msg::RecoverResp { writes });
+    }
+
+    /// Applies a bootstrap dump. Versions already present are skipped
+    /// outright; a version this store has never seen is installed through
+    /// the normal replicated-write hook *and* pushed into the local
+    /// replication log. The push is the one sanctioned exception to the
+    /// never-re-gossip rule: a record this server originated and lost
+    /// may also be missing from peers its pre-crash gossip never reached,
+    /// and only a re-broadcast from here can heal them (duplicates apply
+    /// idempotently everywhere).
+    fn handle_recover_resp(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        writes: Vec<(Key, SharedRecord)>,
+    ) {
+        self.recovering.retain(|&p| p != from);
+        let cost = SimDuration::from_micros(
+            (self.config.service.replicate_record_us * writes.len() as f64) as u64,
+        );
+        for (key, record) in writes {
+            if self.store.exact(&key, record.stamp).is_some() {
+                continue;
+            }
+            self.repl.push(key.clone(), record.clone());
+            let (engine, mut view) = self.engine_view();
+            engine.apply_replicated_write(&mut view, ctx, key, record);
+        }
+        let _ = self.service(ctx.now(), cost);
+    }
+
     fn handle_notify(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, ts: Timestamp, key: Key) {
         let cost = SimDuration::from_micros(self.config.service.notify_us as u64);
         let _ = self.service(ctx.now(), cost);
         let (engine, mut view) = self.engine_view();
         engine.on_notify(&mut view, ctx, from, ts, key);
+    }
+
+    fn handle_notify_summary(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        ts: Timestamp,
+        acks: Vec<(NodeId, Key)>,
+    ) {
+        let per = self.config.service.notify_us as u64;
+        let cost = SimDuration::from_micros(per * acks.len().max(1) as u64);
+        let _ = self.service(ctx.now(), cost);
+        let (engine, mut view) = self.engine_view();
+        engine.on_notify_summary(&mut view, ctx, from, ts, acks);
     }
 
     fn handle_lock(

@@ -102,6 +102,11 @@ pub enum TxnOutcome {
     AbortedInternal,
     /// Aborted by the system (external: timeout, deadlock victim...).
     AbortedExternal,
+    /// The commit round never resolved (timeout, partition, server
+    /// crash): the writes may or may not be durably installed. Neither
+    /// committed nor aborted — anomaly checkers must not treat reads of
+    /// an indeterminate transaction's writes as aborted reads.
+    Indeterminate,
 }
 
 /// What one executed operation observed or installed.

@@ -106,10 +106,18 @@ pub fn g0(history: &History, dsg: &Dsg) -> Vec<Violation> {
 /// G1a: a committed transaction read a version written by an aborted
 /// transaction (Definition 18).
 pub fn g1a(history: &History) -> Vec<Violation> {
+    // Only determinate aborts count: an `Indeterminate` transaction
+    // (commit round lost to a partition or crash) may well have
+    // installed its writes, so observing them is not an aborted read.
     let aborted: HashMap<Timestamp, ()> = history
         .all
         .iter()
-        .filter(|r| r.outcome != TxnOutcome::Committed)
+        .filter(|r| {
+            matches!(
+                r.outcome,
+                TxnOutcome::AbortedInternal | TxnOutcome::AbortedExternal
+            )
+        })
         .map(|r| (r.id, ()))
         .collect();
     let mut out = Vec::new();

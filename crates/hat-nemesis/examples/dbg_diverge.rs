@@ -1,0 +1,34 @@
+//! Debug harness: run one (engine, schedule) pair at a fixed seed and
+//! print the violation list. Edit locally when chasing a conformance
+//! failure; the committed configuration reproduces nothing.
+
+use hat_core::ProtocolKind;
+use hat_nemesis::{advertised_level, run, CrashRestart, NemesisOpts};
+use hat_sim::SimDuration;
+
+fn main() {
+    let opts = NemesisOpts {
+        seed: 0xBAD_CAFE,
+        ..NemesisOpts::default()
+    };
+    let r = run(
+        ProtocolKind::TwoPhaseLocking,
+        &CrashRestart {
+            period: SimDuration::from_millis(140),
+            downtime: SimDuration::from_millis(50),
+            torn_tail: 48,
+        },
+        &opts,
+    );
+    println!(
+        "committed={} unavailable={} aborted={} violations={} converged={}",
+        r.committed, r.unavailable, r.aborted, r.violations, r.converged
+    );
+    let report = hat_history::check(
+        r.records.clone(),
+        advertised_level(ProtocolKind::TwoPhaseLocking),
+    );
+    for v in &report.violations {
+        println!("{v}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic fault injection for HAT deployments.
+//!
+//! A *nemesis* is a seeded, fully deterministic adversarial schedule —
+//! a time-ordered list of [`Fault`]s composed from rolling partitions,
+//! asymmetric (one-way) link loss, per-node clock skew, latency spikes,
+//! and crash-restart with WAL replay and torn log tails. The
+//! [`runner`] drives every protocol engine through a schedule while a
+//! closed-loop workload keeps committing, then heals the deployment,
+//! waits for anti-entropy to settle, and asserts:
+//!
+//! 1. the engine's **advertised isolation level** still holds over the
+//!    recorded history (`hat-history`'s phenomenon checkers — Table 3
+//!    of the paper, plus the RAMP follow-up's Read Atomic row);
+//! 2. every replica **converges** to the same per-key newest version;
+//! 3. a restarted replica provably serves **WAL-recovered state**
+//!    (`wal_records_replayed > 0`).
+//!
+//! HAT systems promise exactly this: availability and their (weak but
+//! honest) isolation guarantees *through* partitions and node failures,
+//! not merely in their absence. The nemesis harness is the executable
+//! form of that claim.
+//!
+//! Determinism: schedules are pure functions of the cluster layout and
+//! the horizon; the simulator consumes one seeded rng stream; faults
+//! never draw from it (clock skew offsets hash the node id, latency
+//! scaling multiplies the sampled value without extra draws). Two runs
+//! with the same seed are bit-identical — a failing schedule replays
+//! exactly from `(schedule, engine, seed)`, which every assertion
+//! message includes.
+
+pub mod runner;
+pub mod schedule;
+
+pub use runner::{advertised_level, converged, run, NemesisOpts, NemesisReport};
+pub use schedule::{
+    standard_catalog, Compose, CrashRestart, Fault, Flapping, LatencySpikes, Nemesis, Rolling,
+    SkewClocks,
+};

@@ -1,0 +1,352 @@
+//! Drives one engine through one nemesis schedule and checks the wreck.
+
+use crate::schedule::{Fault, Nemesis};
+use hat_core::{
+    ClusterSpec, DeploymentBuilder, Frontend, HatError, ProtocolKind, Session, SessionOptions,
+    SimFrontend, SystemConfig, TxnRecord,
+};
+use hat_history::{check, IsolationLevel};
+use hat_sim::{LatencyModel, NodeId, Partition, SimDuration, SimTime};
+use hat_storage::{Key, SyncPolicy, VersionStamp};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shape and pacing of a nemesis run. The defaults provision a paper
+/// deployment (VA + OR, two servers each, two sessions per cluster) with
+/// WAN latency scaled down 10× so a whole adversarial run fits in under
+/// a second of simulated time.
+#[derive(Debug, Clone)]
+pub struct NemesisOpts {
+    /// Engine seed (the single rng stream; same seed ⇒ bit-identical run).
+    pub seed: u64,
+    /// Fault-injection window.
+    pub horizon: SimDuration,
+    /// Gap between workload rounds.
+    pub tick: SimDuration,
+    /// Servers per cluster (two clusters, VA and OR).
+    pub servers_per_cluster: usize,
+    /// Hot-keyspace size the workload cycles over.
+    pub keys: usize,
+}
+
+impl Default for NemesisOpts {
+    fn default() -> Self {
+        NemesisOpts {
+            seed: 0x0ADE_57ED,
+            horizon: SimDuration::from_millis(600),
+            tick: SimDuration::from_millis(15),
+            servers_per_cluster: 2,
+            keys: 6,
+        }
+    }
+}
+
+/// What one `(engine, schedule, seed)` run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NemesisReport {
+    /// Engine under test.
+    pub protocol: ProtocolKind,
+    /// Schedule name.
+    pub schedule: String,
+    /// Engine seed.
+    pub seed: u64,
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transactions that failed unavailable (paper §2 availability:
+    /// blocked on an unreachable replica).
+    pub unavailable: u64,
+    /// Transactions aborted by the system (lock timeouts, validation).
+    pub aborted: u64,
+    /// Isolation level the history was checked at.
+    pub level: IsolationLevel,
+    /// Phenomenon violations found at that level (must be 0).
+    pub violations: usize,
+    /// Messages dropped by active partitions, across servers.
+    pub msgs_dropped_by_partition: u64,
+    /// Server crashes injected.
+    pub crashes: u64,
+    /// WAL records replayed by restarted servers (must be > 0 whenever
+    /// `crashes > 0`: restarts provably serve log-recovered state).
+    pub wal_records_replayed: u64,
+    /// Every replica group agreed on per-key newest versions post-heal.
+    pub converged: bool,
+    /// The full recorded history (for bit-identical same-seed checks).
+    pub records: Vec<TxnRecord>,
+}
+
+impl NemesisReport {
+    /// Availability + correctness in one predicate: the advertised level
+    /// held, replicas converged, progress was made, and every crash
+    /// restart served recovered state.
+    pub fn ok(&self) -> bool {
+        self.violations == 0
+            && self.converged
+            && self.committed > 0
+            && (self.crashes == 0 || self.wal_records_replayed > 0)
+    }
+}
+
+/// The strongest isolation level each engine's nemesis history must be
+/// clean at — Table 3's advertised guarantees (plus the RAMP follow-up's
+/// Read Atomic row). Mirrors the conformance suite: the nemesis workload
+/// reads multi-key pairs through one-shot `get_many`, so both RAMP
+/// variants are held to full Read Atomic.
+pub fn advertised_level(protocol: ProtocolKind) -> IsolationLevel {
+    match protocol {
+        ProtocolKind::Eventual => IsolationLevel::ReadUncommitted,
+        ProtocolKind::ReadCommitted => IsolationLevel::ReadCommitted,
+        ProtocolKind::Mav => IsolationLevel::MonotonicAtomicView,
+        ProtocolKind::RampFast => IsolationLevel::ReadAtomic,
+        ProtocolKind::RampSmall => IsolationLevel::ReadAtomic,
+        ProtocolKind::Master => IsolationLevel::ReadUncommitted,
+        ProtocolKind::TwoPhaseLocking => IsolationLevel::Serializable,
+    }
+}
+
+/// Monotonic run counter: every run gets a private durable-store
+/// directory even when tests run concurrently in one process.
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(protocol: ProtocolKind, seed: u64) -> PathBuf {
+    let n = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "hat-nemesis-{}-{protocol:?}-{seed}-{n}",
+        std::process::id()
+    ))
+}
+
+/// Runs `protocol` through `nemesis` and returns the report. The
+/// deployment is always durable (WAL-backed stores), so crash faults
+/// have a log to tear and restarts have one to replay.
+pub fn run(protocol: ProtocolKind, nemesis: &dyn Nemesis, opts: &NemesisOpts) -> NemesisReport {
+    let dir = fresh_dir(protocol, opts.seed);
+    let report = run_in(protocol, nemesis, opts, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+fn run_in(
+    protocol: ProtocolKind,
+    nemesis: &dyn Nemesis,
+    opts: &NemesisOpts,
+    dir: &Path,
+) -> NemesisReport {
+    let mut cfg = SystemConfig::new(protocol);
+    // Fast failure detection: an unreachable replica should cost an
+    // unavailability data point, not half the horizon. Both bounds stay
+    // an order of magnitude above the (scaled) WAN round trip.
+    cfg.op_deadline = SimDuration::from_millis(40);
+    cfg.lock_timeout = SimDuration::from_millis(25);
+    let mut front = DeploymentBuilder::new(protocol)
+        .seed(opts.seed)
+        .clusters(ClusterSpec::va_or(opts.servers_per_cluster))
+        .sessions_per_cluster(2)
+        .config(cfg)
+        .latency(LatencyModel {
+            wan_scale: 0.1,
+            ..LatencyModel::default()
+        })
+        .durable(dir.to_path_buf(), SyncPolicy::Always)
+        .build();
+    let sessions: Vec<Session> = (0..4)
+        .map(|_| front.open_session(SessionOptions::default()))
+        .collect();
+
+    let schedule = nemesis.schedule(front.layout(), opts.horizon);
+    let mut crashed: BTreeSet<NodeId> = BTreeSet::new();
+    let mut next = 0usize;
+    let (mut committed, mut unavailable, mut aborted) = (0u64, 0u64, 0u64);
+    let end = SimTime::ZERO + opts.horizon;
+    let mut round = 0usize;
+    while front.now() < end {
+        while next < schedule.len() && schedule[next].0 <= front.now() {
+            apply(&mut front, &schedule[next].1, &mut crashed);
+            next += 1;
+        }
+        workload_round(
+            &mut front,
+            &sessions,
+            round,
+            opts.keys,
+            &mut committed,
+            &mut unavailable,
+            &mut aborted,
+        );
+        round += 1;
+        front.run_for(opts.tick);
+    }
+    // Fire anything left (typically the restarts paired with the last
+    // crashes), then heal: revive stragglers, restore latency, let every
+    // bounded partition expire, and give anti-entropy + bootstrap
+    // recovery time to settle.
+    for (_, fault) in &schedule[next..] {
+        if let Fault::Restart { node } = fault {
+            if crashed.remove(node) {
+                front.restart_server(*node);
+            }
+        }
+    }
+    for node in std::mem::take(&mut crashed) {
+        front.restart_server(node);
+    }
+    front.engine_mut().set_latency_factor(1.0);
+    let max_cut = schedule
+        .iter()
+        .filter_map(|(t, f)| match f {
+            Fault::Partition { duration, .. } => Some(*t + *duration),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    if max_cut > front.now() {
+        front.run_for(max_cut.since(front.now()));
+    }
+    front.quiesce();
+    front.quiesce();
+
+    let records = front.take_records();
+    let level = advertised_level(protocol);
+    let report = check(records.clone(), level);
+    let stats = front.server_stats();
+    NemesisReport {
+        protocol,
+        schedule: nemesis.name(),
+        seed: opts.seed,
+        committed,
+        unavailable,
+        aborted,
+        level,
+        violations: report.violations.len(),
+        msgs_dropped_by_partition: stats.msgs_dropped_by_partition,
+        crashes: stats.crashes,
+        wal_records_replayed: stats.wal_records_replayed,
+        converged: converged(&front),
+        records,
+    }
+}
+
+fn apply(front: &mut SimFrontend, fault: &Fault, crashed: &mut BTreeSet<NodeId>) {
+    let now = front.now();
+    match fault {
+        Fault::Partition {
+            a,
+            b,
+            duration,
+            one_way,
+        } => {
+            let p = if *one_way {
+                Partition::one_way(now, now + *duration, a.iter().copied(), b.iter().copied())
+            } else {
+                Partition::new(now, now + *duration, a.iter().copied(), b.iter().copied())
+            };
+            front.engine_mut().partitions_mut().add(p);
+        }
+        Fault::SkewClock { node, offset_us } => {
+            front.engine_mut().set_clock_offset(*node, *offset_us);
+        }
+        Fault::LatencyScale { factor } => front.engine_mut().set_latency_factor(*factor),
+        Fault::Crash { node, torn_tail } => {
+            if crashed.insert(*node) {
+                front.crash_server(*node);
+                if *torn_tail > 0 {
+                    front.tear_wal_tail(*node, *torn_tail);
+                }
+            }
+        }
+        Fault::Restart { node } => {
+            if crashed.remove(node) {
+                front.restart_server(*node);
+            }
+        }
+    }
+}
+
+/// One closed-loop round: every session runs a read-modify-write over a
+/// rotating key pair, then a one-shot `get_many` of the same pair (the
+/// atomic-visibility probe — fractured reads show up here).
+#[allow(clippy::too_many_arguments)]
+fn workload_round(
+    front: &mut SimFrontend,
+    sessions: &[Session],
+    round: usize,
+    keys: usize,
+    committed: &mut u64,
+    unavailable: &mut u64,
+    aborted: &mut u64,
+) {
+    for (ci, s) in sessions.iter().enumerate() {
+        let a = format!("nk{}", (round + ci) % keys);
+        let b = format!("nk{}", (round + ci + 1) % keys);
+        let w = front.try_txn(s, |t| {
+            let _ = t.get(&a)?;
+            t.put(&a, &format!("r{round}c{ci}a"))?;
+            t.put(&b, &format!("r{round}c{ci}b"))
+        });
+        tally(w.map(|_| ()), committed, unavailable, aborted);
+        let r = front.try_txn(s, |t| {
+            let _ = t.get_many(&[&a, &b])?;
+            Ok(())
+        });
+        tally(r, committed, unavailable, aborted);
+    }
+}
+
+fn tally(
+    outcome: Result<(), HatError>,
+    committed: &mut u64,
+    unavailable: &mut u64,
+    aborted: &mut u64,
+) {
+    match outcome {
+        Ok(()) => *committed += 1,
+        Err(HatError::Unavailable { .. }) => *unavailable += 1,
+        Err(_) => *aborted += 1,
+    }
+}
+
+/// Post-heal replica agreement. Replication groups are positional
+/// (server `i` of each cluster owns the same key partition), so the
+/// fingerprint — per-key newest `(stamp, value)` — must match across
+/// clusters at each position. Public so crash-restart end-to-end tests
+/// can assert it on deployments they drive themselves.
+pub fn converged(front: &SimFrontend) -> bool {
+    let layout = front.layout();
+    let positions = layout.servers.iter().map(|c| c.len()).max().unwrap_or(0);
+    for pos in 0..positions {
+        let mut group: Vec<BTreeMap<Key, (VersionStamp, Vec<u8>)>> = Vec::new();
+        for cluster in &layout.servers {
+            let Some(&id) = cluster.get(pos) else {
+                continue;
+            };
+            let Some(srv) = front.engine().actor(id).as_server() else {
+                continue;
+            };
+            let mut newest: BTreeMap<Key, (VersionStamp, Vec<u8>)> = BTreeMap::new();
+            for (key, record) in srv.store().all_versions() {
+                let entry = (record.stamp, record.value.to_vec());
+                match newest.get(&key) {
+                    Some((stamp, _)) if *stamp >= record.stamp => {}
+                    _ => {
+                        newest.insert(key, entry);
+                    }
+                }
+            }
+            group.push(newest);
+        }
+        if group.windows(2).any(|w| w[0] != w[1]) {
+            if std::env::var_os("NEMESIS_DEBUG").is_some() {
+                for (i, g) in group.iter().enumerate() {
+                    for (k, (s, _)) in g {
+                        eprintln!(
+                            "pos{pos} replica{i} {:?} -> {s:?}",
+                            String::from_utf8_lossy(k)
+                        );
+                    }
+                }
+            }
+            return false;
+        }
+    }
+    true
+}

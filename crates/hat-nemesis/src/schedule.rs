@@ -1,0 +1,459 @@
+//! Fault vocabulary and the combinators that compose schedules.
+
+use hat_core::ClusterLayout;
+use hat_sim::{NodeId, SimDuration, SimTime};
+
+/// One injectable fault, applied at a scheduled instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Cut `a` from `b` for `duration` (both directions), or only the
+    /// `a → b` direction when `one_way` — an asymmetric link failure:
+    /// `b` keeps hearing from `a`'s side is silent. Partitions are
+    /// bounded, so every schedule self-heals.
+    Partition {
+        /// One side of the cut.
+        a: Vec<NodeId>,
+        /// The other side (the blocked *destination* when one-way).
+        b: Vec<NodeId>,
+        /// How long the cut lasts.
+        duration: SimDuration,
+        /// Drop only `a → b` traffic.
+        one_way: bool,
+    },
+    /// Skew `node`'s local clock by `offset_us` microseconds (negative =
+    /// behind). Affects only what the node *reads* as wall time — HAT
+    /// guarantees are clock-free, and the harness proves it.
+    SkewClock {
+        /// The node whose clock drifts.
+        node: NodeId,
+        /// Signed drift in microseconds.
+        offset_us: i64,
+    },
+    /// Multiply every cross-node latency sample by `factor` (1.0
+    /// restores normal service).
+    LatencyScale {
+        /// The multiplier (≥ 0, non-finite values are ignored).
+        factor: f64,
+    },
+    /// Hard-crash server `node`, leaving `torn_tail` bytes of a partial
+    /// WAL — the torn write a real machine leaves when power dies
+    /// mid-append. Volatile state (RAMP prepared sets, 2PL lock tables,
+    /// MAV pending queues) is lost outright.
+    Crash {
+        /// The server to kill.
+        node: NodeId,
+        /// Bytes of the partially-flushed frame left torn at the WAL
+        /// tail (0 = clean crash). Never covers acknowledged records.
+        torn_tail: u64,
+    },
+    /// Restart a previously crashed server: reopen its store (replaying
+    /// checkpoint + surviving WAL prefix) and rejoin the cluster via the
+    /// bootstrap recovery protocol.
+    Restart {
+        /// The server to revive.
+        node: NodeId,
+    },
+}
+
+/// A deterministic fault schedule generator. Implementations must be
+/// pure: the same layout and horizon always produce the same schedule
+/// (no clocks, no ambient randomness — derive any per-node variation
+/// from node ids).
+pub trait Nemesis {
+    /// Human-readable schedule name (appears in every failure message).
+    fn name(&self) -> String;
+
+    /// The time-ordered fault list for a deployment shaped by `layout`,
+    /// covering `[0, horizon)`. Faults must self-heal within a bounded
+    /// tail after `horizon` (bounded partitions, every `Crash` paired
+    /// with a later `Restart`); the runner restarts any still-crashed
+    /// node during its heal phase as a backstop.
+    fn schedule(&self, layout: &ClusterLayout, horizon: SimDuration) -> Vec<(SimTime, Fault)>;
+}
+
+/// Every server of every cluster, in id order.
+fn all_servers(layout: &ClusterLayout) -> Vec<NodeId> {
+    layout.servers.iter().flatten().copied().collect()
+}
+
+/// Deterministic per-node spread in `[-max, +max]` (multiplicative
+/// hash of the node id — not the run rng, which faults must not touch).
+fn node_spread(node: NodeId, max: i64) -> i64 {
+    if max == 0 {
+        return 0;
+    }
+    let h = (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16;
+    (h % (2 * max as u64 + 1)) as i64 - max
+}
+
+/// Rolling single-node isolation: each server in turn is cut off from
+/// every other node (servers *and* clients) for `outage`, one victim
+/// per `period`, cycling until the horizon. The classic "one replica at
+/// a time" maintenance-gone-wrong schedule.
+#[derive(Debug, Clone)]
+pub struct Rolling {
+    /// Gap between consecutive victims.
+    pub period: SimDuration,
+    /// How long each victim stays isolated (≤ `period` keeps cuts
+    /// non-overlapping).
+    pub outage: SimDuration,
+}
+
+impl Nemesis for Rolling {
+    fn name(&self) -> String {
+        "rolling-partition".into()
+    }
+
+    fn schedule(&self, layout: &ClusterLayout, horizon: SimDuration) -> Vec<(SimTime, Fault)> {
+        let servers = all_servers(layout);
+        let mut everyone = servers.clone();
+        everyone.extend(layout.clients.iter().copied());
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO + self.period;
+        let mut i = 0usize;
+        while t < SimTime::ZERO + horizon {
+            let victim = servers[i % servers.len()];
+            let rest: Vec<NodeId> = everyone.iter().copied().filter(|&n| n != victim).collect();
+            out.push((
+                t,
+                Fault::Partition {
+                    a: vec![victim],
+                    b: rest,
+                    duration: self.outage,
+                    one_way: false,
+                },
+            ));
+            t += self.period;
+            i += 1;
+        }
+        out
+    }
+}
+
+/// Flapping asymmetric inter-cluster link: every `period`, cluster 0's
+/// servers lose their *outbound* path to cluster 1 for half the period,
+/// then it comes back — the replies still flow, the requests vanish.
+/// Exercises one-way partitions and rapid heal/cut cycling (routing
+/// flaps, asymmetric firewall rules).
+#[derive(Debug, Clone)]
+pub struct Flapping {
+    /// Full flap cycle length (down for `period / 2`, up for the rest).
+    pub period: SimDuration,
+}
+
+impl Nemesis for Flapping {
+    fn name(&self) -> String {
+        "flapping-one-way-link".into()
+    }
+
+    fn schedule(&self, layout: &ClusterLayout, horizon: SimDuration) -> Vec<(SimTime, Fault)> {
+        if layout.servers.len() < 2 {
+            return Vec::new();
+        }
+        let a = layout.servers[0].clone();
+        let b = layout.servers[1].clone();
+        let down = SimDuration::from_micros(self.period.as_micros() / 2);
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO + down;
+        while t < SimTime::ZERO + horizon {
+            out.push((
+                t,
+                Fault::Partition {
+                    a: a.clone(),
+                    b: b.clone(),
+                    duration: down,
+                    one_way: true,
+                },
+            ));
+            t += self.period;
+        }
+        out
+    }
+}
+
+/// Per-node clock skew, applied once at the start: each node's local
+/// clock drifts by a deterministic offset in `[-max_us, +max_us]`.
+/// HAT protocols stamp versions with logical `(seq, writer)` pairs, so
+/// every guarantee must survive arbitrary skew — this schedule is the
+/// regression test for anyone tempted to reach for wall clocks.
+#[derive(Debug, Clone)]
+pub struct SkewClocks {
+    /// Maximum absolute drift in microseconds.
+    pub max_us: i64,
+}
+
+impl Nemesis for SkewClocks {
+    fn name(&self) -> String {
+        "clock-skew".into()
+    }
+
+    fn schedule(&self, layout: &ClusterLayout, _horizon: SimDuration) -> Vec<(SimTime, Fault)> {
+        let mut nodes = all_servers(layout);
+        nodes.extend(layout.clients.iter().copied());
+        nodes
+            .into_iter()
+            .map(|node| {
+                (
+                    SimTime::ZERO,
+                    Fault::SkewClock {
+                        node,
+                        offset_us: node_spread(node, self.max_us),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Crash-restart cycling: every `period`, the next server (round-robin)
+/// is hard-crashed, a `torn_tail`-byte partial frame is left on its WAL, and it
+/// restarts after `downtime` — recovering its store from the surviving
+/// log prefix and re-joining via the bootstrap protocol.
+#[derive(Debug, Clone)]
+pub struct CrashRestart {
+    /// Gap between consecutive crashes.
+    pub period: SimDuration,
+    /// How long each victim stays down (< `period`: the victim must be
+    /// back before the next one falls, or a 2-server cluster would lose
+    /// both replicas at once).
+    pub downtime: SimDuration,
+    /// Bytes torn off the WAL tail at each crash.
+    pub torn_tail: u64,
+}
+
+impl Nemesis for CrashRestart {
+    fn name(&self) -> String {
+        "crash-restart-torn-wal".into()
+    }
+
+    fn schedule(&self, layout: &ClusterLayout, horizon: SimDuration) -> Vec<(SimTime, Fault)> {
+        let servers = all_servers(layout);
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO + self.period;
+        let mut i = 0usize;
+        while t < SimTime::ZERO + horizon {
+            let node = servers[i % servers.len()];
+            out.push((
+                t,
+                Fault::Crash {
+                    node,
+                    torn_tail: self.torn_tail,
+                },
+            ));
+            out.push((t + self.downtime, Fault::Restart { node }));
+            t += self.period;
+            i += 1;
+        }
+        out
+    }
+}
+
+/// Periodic latency spikes: cross-node latency multiplies by `factor`
+/// for the first half of every `period`, then recovers. Stresses
+/// timeout-sensitive paths (2PL lock waits, op deadlines) without
+/// dropping a single message.
+#[derive(Debug, Clone)]
+pub struct LatencySpikes {
+    /// Full spike cycle (spiked for `period / 2`, normal for the rest).
+    pub period: SimDuration,
+    /// Latency multiplier while spiked.
+    pub factor: f64,
+}
+
+impl Nemesis for LatencySpikes {
+    fn name(&self) -> String {
+        "latency-spikes".into()
+    }
+
+    fn schedule(&self, _layout: &ClusterLayout, horizon: SimDuration) -> Vec<(SimTime, Fault)> {
+        let half = SimDuration::from_micros(self.period.as_micros() / 2);
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO + half;
+        while t < SimTime::ZERO + horizon {
+            out.push((
+                t,
+                Fault::LatencyScale {
+                    factor: self.factor,
+                },
+            ));
+            out.push((t + half, Fault::LatencyScale { factor: 1.0 }));
+            t += self.period;
+        }
+        out
+    }
+}
+
+/// Runs several nemeses at once: the union of their schedules, stably
+/// sorted by fire time (ties keep constituent order). This is where the
+/// harness earns its keep — a crash *during* a partition *under* clock
+/// skew is the adversary none of the single-fault tests construct.
+pub struct Compose {
+    /// The constituent schedule generators.
+    pub parts: Vec<Box<dyn Nemesis>>,
+}
+
+impl Compose {
+    /// Composes `parts` into one schedule.
+    pub fn new(parts: Vec<Box<dyn Nemesis>>) -> Self {
+        Compose { parts }
+    }
+}
+
+impl Nemesis for Compose {
+    fn name(&self) -> String {
+        self.parts
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    fn schedule(&self, layout: &ClusterLayout, horizon: SimDuration) -> Vec<(SimTime, Fault)> {
+        let mut out: Vec<(SimTime, Fault)> = self
+            .parts
+            .iter()
+            .flat_map(|p| p.schedule(layout, horizon))
+            .collect();
+        out.sort_by_key(|(t, _)| *t);
+        out
+    }
+}
+
+/// The five canonical schedules every engine must survive: rolling
+/// partitions, a flapping one-way link, cluster-wide clock skew,
+/// crash-restart with torn WAL tails, and all of it composed at once.
+/// The conformance suite and the `exp_nemesis` experiment binary share
+/// this catalog, so a schedule added here is exercised by both.
+pub fn standard_catalog() -> Vec<Box<dyn Nemesis>> {
+    vec![
+        Box::new(Rolling {
+            period: SimDuration::from_millis(80),
+            outage: SimDuration::from_millis(40),
+        }),
+        Box::new(Flapping {
+            period: SimDuration::from_millis(60),
+        }),
+        Box::new(SkewClocks { max_us: 500_000 }),
+        Box::new(CrashRestart {
+            period: SimDuration::from_millis(140),
+            downtime: SimDuration::from_millis(50),
+            torn_tail: 48,
+        }),
+        Box::new(Compose::new(vec![
+            Box::new(Rolling {
+                period: SimDuration::from_millis(160),
+                outage: SimDuration::from_millis(40),
+            }),
+            Box::new(SkewClocks { max_us: 250_000 }),
+            Box::new(CrashRestart {
+                period: SimDuration::from_millis(200),
+                downtime: SimDuration::from_millis(60),
+                torn_tail: 32,
+            }),
+            Box::new(LatencySpikes {
+                period: SimDuration::from_millis(120),
+                factor: 6.0,
+            }),
+        ])),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_core::{ClusterSpec, DeploymentBuilder, ProtocolKind};
+
+    fn layout() -> std::sync::Arc<ClusterLayout> {
+        let front = DeploymentBuilder::new(ProtocolKind::Eventual)
+            .clusters(ClusterSpec::va_or(2))
+            .sessions_per_cluster(2)
+            .build();
+        std::sync::Arc::new(front.layout().clone())
+    }
+
+    #[test]
+    fn schedules_are_pure_functions_of_layout_and_horizon() {
+        let l = layout();
+        let h = SimDuration::from_millis(500);
+        let n = Compose::new(vec![
+            Box::new(Rolling {
+                period: SimDuration::from_millis(80),
+                outage: SimDuration::from_millis(40),
+            }),
+            Box::new(CrashRestart {
+                period: SimDuration::from_millis(120),
+                downtime: SimDuration::from_millis(50),
+                torn_tail: 48,
+            }),
+            Box::new(SkewClocks { max_us: 250_000 }),
+        ]);
+        assert_eq!(n.schedule(&l, h), n.schedule(&l, h));
+        assert!(!n.schedule(&l, h).is_empty());
+    }
+
+    #[test]
+    fn compose_merges_sorted_and_names_every_part() {
+        let l = layout();
+        let h = SimDuration::from_millis(400);
+        let n = Compose::new(vec![
+            Box::new(Flapping {
+                period: SimDuration::from_millis(60),
+            }),
+            Box::new(LatencySpikes {
+                period: SimDuration::from_millis(100),
+                factor: 8.0,
+            }),
+        ]);
+        let s = n.schedule(&l, h);
+        assert!(s.windows(2).all(|w| w[0].0 <= w[1].0), "schedule unsorted");
+        assert_eq!(n.name(), "flapping-one-way-link+latency-spikes");
+    }
+
+    #[test]
+    fn crash_restart_pairs_every_crash_with_a_later_restart() {
+        let l = layout();
+        let s = CrashRestart {
+            period: SimDuration::from_millis(100),
+            downtime: SimDuration::from_millis(40),
+            torn_tail: 32,
+        }
+        .schedule(&l, SimDuration::from_millis(600));
+        let crashes: Vec<_> = s
+            .iter()
+            .filter_map(|(t, f)| match f {
+                Fault::Crash { node, .. } => Some((*t, *node)),
+                _ => None,
+            })
+            .collect();
+        assert!(!crashes.is_empty());
+        for (t, node) in crashes {
+            assert!(
+                s.iter().any(
+                    |(rt, f)| matches!(f, Fault::Restart { node: n } if *n == node) && *rt > t
+                ),
+                "crash of {node} at {t:?} has no later restart"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_is_bounded_and_deterministic() {
+        let l = layout();
+        let s = SkewClocks { max_us: 1_000 }.schedule(&l, SimDuration::from_millis(100));
+        for (_, f) in &s {
+            match f {
+                Fault::SkewClock { offset_us, .. } => assert!(offset_us.abs() <= 1_000),
+                other => panic!("unexpected fault {other:?}"),
+            }
+        }
+        // At least two nodes actually drift apart.
+        let offsets: std::collections::BTreeSet<i64> = s
+            .iter()
+            .map(|(_, f)| match f {
+                Fault::SkewClock { offset_us, .. } => *offset_us,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(offsets.len() > 1, "all nodes got the same skew");
+    }
+}

@@ -44,6 +44,7 @@ pub struct Ctx<'a, M> {
     /// Id of the actor being invoked.
     pub self_id: NodeId,
     now: SimTime,
+    clock_offset: i64,
     rng: &'a mut StdRng,
     outbox: Vec<(SimDuration, NodeId, M)>,
     timer_requests: Vec<(SimDuration, TimerId)>,
@@ -53,6 +54,18 @@ impl<'a, M> Ctx<'a, M> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The node's *local* wall clock: true simulated time shifted by the
+    /// node's clock offset (see [`Engine::set_clock_offset`]). Event
+    /// ordering, timers and service holds always use the true clock
+    /// ([`Ctx::now`]); `local_now` is what a node would report if asked
+    /// for the time — the hook nemesis clock-skew schedules perturb.
+    /// HAT guarantees are clock-free, so skewing this must never change
+    /// a run's outcome.
+    pub fn local_now(&self) -> SimTime {
+        let t = self.now.as_micros() as i64;
+        SimTime(t.saturating_add(self.clock_offset).max(0) as u64)
     }
 
     /// Sends `msg` to `to`. Delivery latency is drawn from the latency
@@ -89,6 +102,7 @@ impl<'a, M> Ctx<'a, M> {
         Ctx {
             self_id,
             now,
+            clock_offset: 0,
             rng,
             outbox: Vec::new(),
             timer_requests: Vec::new(),
@@ -131,8 +145,36 @@ pub struct NetStats {
     pub sent: u64,
     /// Messages delivered to their destination.
     pub delivered: u64,
-    /// Messages dropped by an active partition.
+    /// Messages dropped by an active partition (or addressed to a
+    /// crashed node).
     pub dropped: u64,
+}
+
+/// Per-node fault bookkeeping: crash state, incarnation, clock skew and
+/// drop counters attributed to the node as message *destination*.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeFault {
+    crashed: bool,
+    /// Incarnation count; bumped on every restart so timers armed by a
+    /// previous incarnation never fire into the new one.
+    gen: u64,
+    /// Local wall-clock offset in microseconds (may be negative).
+    clock_offset: i64,
+    dropped_by_partition: u64,
+    dropped_by_crash: u64,
+    crashes: u64,
+}
+
+/// Snapshot of one node's fault counters (see [`Engine::fault_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeFaultStats {
+    /// Messages destined to this node dropped by an active partition.
+    pub dropped_by_partition: u64,
+    /// Messages destined to this node dropped because it was crashed at
+    /// delivery time.
+    pub dropped_by_crash: u64,
+    /// Times this node has been crashed.
+    pub crashes: u64,
 }
 
 /// The simulation engine: owns the actors, the clock, the event queue and
@@ -145,6 +187,10 @@ pub struct Engine<A: Actor> {
     rng: StdRng,
     config: EngineConfig,
     stats: NetStats,
+    faults: Vec<NodeFault>,
+    /// Multiplier applied to sampled cross-node latency — the latency-
+    /// spike fault. 1.0 is the healthy network.
+    latency_factor: f64,
     started: bool,
 }
 
@@ -161,6 +207,7 @@ impl<A: Actor> Engine<A> {
             "one actor required per topology node"
         );
         let rng = StdRng::seed_from_u64(config.seed);
+        let faults = vec![NodeFault::default(); actors.len()];
         Engine {
             topology,
             actors,
@@ -169,6 +216,8 @@ impl<A: Actor> Engine<A> {
             rng,
             config,
             stats: NetStats::default(),
+            faults,
+            latency_factor: 1.0,
             started: false,
         }
     }
@@ -181,6 +230,80 @@ impl<A: Actor> Engine<A> {
     /// Network statistics so far.
     pub fn net_stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// Mutable access to the partition schedule — nemesis schedules
+    /// inject and heal cuts mid-run through this.
+    pub fn partitions_mut(&mut self) -> &mut PartitionSchedule {
+        &mut self.config.partitions
+    }
+
+    /// Sets the latency multiplier applied to every cross-node message
+    /// from now on (latency-spike fault; 1.0 restores the healthy
+    /// network). Sampling still consumes the same rng stream, so toggling
+    /// the factor never reshuffles an otherwise-identical run.
+    pub fn set_latency_factor(&mut self, factor: f64) {
+        self.latency_factor = if factor.is_finite() && factor > 0.0 {
+            factor
+        } else {
+            1.0
+        };
+    }
+
+    /// Sets `node`'s local wall-clock offset in microseconds (clock-skew
+    /// fault). Only [`Ctx::local_now`] observes the offset; the true
+    /// event clock is unaffected, so runs stay bit-identical per seed.
+    pub fn set_clock_offset(&mut self, node: NodeId, offset_us: i64) {
+        self.faults[node as usize].clock_offset = offset_us;
+    }
+
+    /// Fault counters attributed to `node`.
+    pub fn fault_stats(&self, node: NodeId) -> NodeFaultStats {
+        let f = &self.faults[node as usize];
+        NodeFaultStats {
+            dropped_by_partition: f.dropped_by_partition,
+            dropped_by_crash: f.dropped_by_crash,
+            crashes: f.crashes,
+        }
+    }
+
+    /// True while `node` is crashed (between [`Engine::crash`] and
+    /// [`Engine::restart_with`]).
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.faults[node as usize].crashed
+    }
+
+    /// Crashes `node`: from now until restart, messages addressed to it
+    /// are dropped at delivery time and its pending timers are
+    /// discarded. The actor's in-memory state stays in place but is
+    /// never invoked again — [`Engine::restart_with`] replaces it
+    /// wholesale, which is where recovery-from-durable-state happens.
+    ///
+    /// # Panics
+    /// Panics if `node` is already crashed.
+    pub fn crash(&mut self, node: NodeId) {
+        let f = &mut self.faults[node as usize];
+        assert!(!f.crashed, "node {node} is already crashed");
+        f.crashed = true;
+        f.crashes += 1;
+    }
+
+    /// Restarts a crashed `node` with a fresh actor (typically rebuilt
+    /// from recovered durable state). The node's incarnation is bumped —
+    /// timers armed before the crash never fire into the new actor — and
+    /// the new actor's `on_start` runs immediately, as on boot.
+    ///
+    /// # Panics
+    /// Panics if `node` is not crashed.
+    pub fn restart_with(&mut self, node: NodeId, actor: A) {
+        let f = &mut self.faults[node as usize];
+        assert!(f.crashed, "restart_with requires a crashed node");
+        f.crashed = false;
+        f.gen += 1;
+        self.actors[node as usize] = actor;
+        if self.started {
+            self.invoke(node, |actor, ctx| actor.on_start(ctx));
+        }
     }
 
     /// The time of the earliest pending event, if any.
@@ -216,9 +339,11 @@ impl<A: Actor> Engine<A> {
 
     /// Runs a single actor callback, then routes its outputs.
     fn invoke(&mut self, id: NodeId, f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>)) {
+        let gen = self.faults[id as usize].gen;
         let mut ctx = Ctx {
             self_id: id,
             now: self.now,
+            clock_offset: self.faults[id as usize].clock_offset,
             rng: &mut self.rng,
             outbox: Vec::new(),
             timer_requests: Vec::new(),
@@ -238,6 +363,7 @@ impl<A: Actor> Engine<A> {
                 Event::TimerFire {
                     node: id,
                     timer: tag,
+                    gen,
                 },
             );
         }
@@ -248,6 +374,7 @@ impl<A: Actor> Engine<A> {
         let release = self.now + hold;
         if self.config.partitions.blocks(from, to, release) {
             self.stats.dropped += 1;
+            self.faults[to as usize].dropped_by_partition += 1;
             return;
         }
         let latency = if from == to {
@@ -255,7 +382,12 @@ impl<A: Actor> Engine<A> {
         } else {
             let a = self.topology.site(from);
             let b = self.topology.site(to);
-            self.config.latency.sample_one_way(a, b, &mut self.rng)
+            let sampled = self.config.latency.sample_one_way(a, b, &mut self.rng);
+            if self.latency_factor != 1.0 {
+                SimDuration::from_micros((sampled.as_micros() as f64 * self.latency_factor) as u64)
+            } else {
+                sampled
+            }
         };
         self.queue
             .push(release + latency, Event::Deliver { to, from, msg });
@@ -287,10 +419,26 @@ impl<A: Actor> Engine<A> {
         self.now = time;
         match event {
             Event::Deliver { to, from, msg } => {
+                // A message in flight toward a crashed node is lost at
+                // delivery time (the kernel that would have received it
+                // is gone). Messages sent before the crash but arriving
+                // after a restart are delivered — that's a delayed
+                // packet, which real networks produce too.
+                if self.faults[to as usize].crashed {
+                    self.stats.dropped += 1;
+                    self.faults[to as usize].dropped_by_crash += 1;
+                    return true;
+                }
                 self.stats.delivered += 1;
                 self.invoke(to, |actor, ctx| actor.on_message(ctx, from, msg));
             }
-            Event::TimerFire { node, timer } => {
+            Event::TimerFire { node, timer, gen } => {
+                // Timers die with their incarnation: swallowed while the
+                // node is down, and never delivered to a later
+                // incarnation (the restart's `on_start` arms its own).
+                if self.faults[node as usize].crashed || self.faults[node as usize].gen != gen {
+                    return true;
+                }
                 self.invoke(node, |actor, ctx| actor.on_timer(ctx, timer));
             }
         }
@@ -503,6 +651,137 @@ mod tests {
         let tags: Vec<TimerId> = e.actor(0).fired.iter().map(|f| f.0).collect();
         assert_eq!(tags, vec![1, 2, 3]);
         assert_eq!(e.actor(0).fired[2].1, SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn crashed_node_drops_deliveries_and_timers() {
+        let mut engine = two_node_engine(EngineConfig::default());
+        engine.run_until(SimTime::from_millis(1)); // started, ping in flight
+        engine.crash(1);
+        assert!(engine.is_crashed(1));
+        engine.run_to_quiescence();
+        // the initial ping was in flight toward node 1 when it crashed
+        assert_eq!(engine.actor(1).deliveries.len(), 0);
+        let f = engine.fault_stats(1);
+        assert_eq!(f.crashes, 1);
+        assert_eq!(f.dropped_by_crash, 1);
+        assert_eq!(engine.net_stats().dropped, 1);
+    }
+
+    #[test]
+    fn restart_runs_on_start_and_kills_stale_timers() {
+        struct Beeper {
+            beeps: u32,
+            armed: bool,
+        }
+        impl Actor for Beeper {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if self.armed {
+                    ctx.set_timer(SimDuration::from_millis(100), 7);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _t: TimerId) {
+                self.beeps += 1;
+                ctx.set_timer(SimDuration::from_millis(100), 7);
+            }
+        }
+        let mut topo = Topology::new();
+        topo.add_node(Site::new(Region::Virginia, 0));
+        let mut e = Engine::new(
+            EngineConfig::default(),
+            topo,
+            vec![Beeper {
+                beeps: 0,
+                armed: true,
+            }],
+        );
+        e.run_until(SimTime::from_millis(250)); // beeps at 100, 200
+        assert_eq!(e.actor(0).beeps, 2);
+        e.crash(0);
+        e.run_until(SimTime::from_millis(450)); // timer at 300 swallowed
+                                                // restart with a disarmed beeper: the pre-crash timer chain must
+                                                // NOT resume into the new incarnation
+        e.restart_with(
+            0,
+            Beeper {
+                beeps: 0,
+                armed: false,
+            },
+        );
+        e.run_until(SimTime::from_millis(1000));
+        assert_eq!(e.actor(0).beeps, 0, "stale timer fired into restart");
+        assert_eq!(e.fault_stats(0).crashes, 1);
+    }
+
+    #[test]
+    fn clock_offset_shifts_local_now_only() {
+        struct Sampler {
+            seen: Vec<(SimTime, SimTime)>,
+        }
+        impl Actor for Sampler {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(SimDuration::from_millis(50), 1);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _t: TimerId) {
+                self.seen.push((ctx.now(), ctx.local_now()));
+            }
+        }
+        let mut topo = Topology::new();
+        topo.add_node(Site::new(Region::Virginia, 0));
+        let mut e = Engine::new(
+            EngineConfig::default(),
+            topo,
+            vec![Sampler { seen: vec![] }],
+        );
+        e.set_clock_offset(0, -20_000); // 20ms behind
+        e.run_to_quiescence();
+        let (now, local) = e.actor(0).seen[0];
+        assert_eq!(now, SimTime::from_millis(50), "true clock unskewed");
+        assert_eq!(local, SimTime::from_millis(30), "local clock skewed");
+        // negative offsets clamp at zero rather than underflowing
+        e.set_clock_offset(0, i64::MIN);
+        e.with_actor_ctx(0, |_, ctx| assert_eq!(ctx.local_now(), SimTime::ZERO));
+    }
+
+    #[test]
+    fn latency_factor_slows_delivery_without_consuming_extra_rng() {
+        let run = |factor: f64| {
+            let mut e = two_node_engine(EngineConfig::default());
+            e.set_latency_factor(factor);
+            e.run_to_quiescence();
+            (e.now(), e.actor(1).deliveries[0])
+        };
+        let (end_1x, first_1x) = run(1.0);
+        let (end_4x, first_4x) = run(4.0);
+        assert!(first_4x > first_1x, "spike must slow the first delivery");
+        assert!(end_4x > end_1x);
+        // same seed, same number of rng draws: scaling preserves the
+        // sampled sequence, so 4x is exactly 4x on the first hop
+        assert_eq!(first_4x.as_micros(), first_1x.as_micros() * 4);
+    }
+
+    #[test]
+    fn one_way_partition_drops_only_forward_traffic() {
+        let cfg = EngineConfig {
+            partitions: PartitionSchedule::from_partitions(vec![Partition::one_way(
+                SimTime::ZERO,
+                SimTime(u64::MAX),
+                [0],
+                [1],
+            )]),
+            ..EngineConfig::default()
+        };
+        let mut engine = two_node_engine(cfg);
+        engine.run_to_quiescence();
+        // node 0's opening ping is dropped; node 1 never replies because
+        // it never hears anything — asymmetric silence
+        assert_eq!(engine.actor(1).deliveries.len(), 0);
+        assert_eq!(engine.fault_stats(1).dropped_by_partition, 1);
+        assert_eq!(engine.fault_stats(0).dropped_by_partition, 0);
     }
 
     #[test]

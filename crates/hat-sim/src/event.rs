@@ -17,8 +17,15 @@ pub type TimerSeq = u64;
 pub enum Event<M> {
     /// Delivery of message `msg` from node `from` to node `to`.
     Deliver { to: NodeId, from: NodeId, msg: M },
-    /// A timer set by `node` fires; `timer` is the id returned at set time.
-    TimerFire { node: NodeId, timer: TimerSeq },
+    /// A timer set by `node` fires; `timer` is the id returned at set
+    /// time. `gen` is the node's incarnation when the timer was set: a
+    /// timer armed before a crash must not fire into the restarted
+    /// incarnation.
+    TimerFire {
+        node: NodeId,
+        timer: TimerSeq,
+        gen: u64,
+    },
 }
 
 struct Entry<M> {
@@ -107,11 +114,19 @@ mod tests {
         let mut q: EventQueue<()> = EventQueue::new();
         q.push(
             SimTime::from_millis(5),
-            Event::TimerFire { node: 0, timer: 0 },
+            Event::TimerFire {
+                node: 0,
+                timer: 0,
+                gen: 0,
+            },
         );
         q.push(
             SimTime::from_millis(1),
-            Event::TimerFire { node: 1, timer: 1 },
+            Event::TimerFire {
+                node: 1,
+                timer: 1,
+                gen: 0,
+            },
         );
         q.push(
             SimTime::from_millis(3),
@@ -132,7 +147,14 @@ mod tests {
         let mut q: EventQueue<()> = EventQueue::new();
         let t = SimTime::from_millis(1);
         for i in 0..10u64 {
-            q.push(t, Event::TimerFire { node: 0, timer: i });
+            q.push(
+                t,
+                Event::TimerFire {
+                    node: 0,
+                    timer: i,
+                    gen: 0,
+                },
+            );
         }
         let popped: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
@@ -150,7 +172,11 @@ mod tests {
         assert_eq!(q.peek_time(), None);
         q.push(
             SimTime::from_millis(2),
-            Event::TimerFire { node: 0, timer: 0 },
+            Event::TimerFire {
+                node: 0,
+                timer: 0,
+                gen: 0,
+            },
         );
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
         assert_eq!(q.len(), 1);

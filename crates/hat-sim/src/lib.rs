@@ -33,7 +33,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
-pub use engine::{Actor, Ctx, Engine, EngineConfig, TimerId};
+pub use engine::{Actor, Ctx, Engine, EngineConfig, NetStats, NodeFaultStats, TimerId};
 pub use event::{Event, EventQueue};
 pub use latency::{LatencyModel, LinkClass, Region, RegionPair, ALL_REGIONS};
 pub use partition::{Partition, PartitionSchedule};

@@ -13,7 +13,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A single partition event: during `[start, end)` no message may cross
-/// between `side_a` and `side_b` (in either direction).
+/// between `side_a` and `side_b` (in either direction — or, when
+/// `one_way` is set, only from `side_a` toward `side_b`).
 ///
 /// Nodes listed on neither side are unaffected by this partition. `end`
 /// may be [`SimTime`]`(u64::MAX)` to model an indefinite partition.
@@ -27,6 +28,10 @@ pub struct Partition {
     pub side_a: BTreeSet<NodeId>,
     /// The other side of the cut.
     pub side_b: BTreeSet<NodeId>,
+    /// When set, only `side_a → side_b` traffic is cut; replies still
+    /// flow `side_b → side_a`. Models asymmetric link failures (a common
+    /// real-world failure mode nemesis schedules exercise).
+    pub one_way: bool,
 }
 
 impl Partition {
@@ -42,6 +47,25 @@ impl Partition {
             end,
             side_a: a.into_iter().collect(),
             side_b: b.into_iter().collect(),
+            one_way: false,
+        }
+    }
+
+    /// Builds an asymmetric partition: during `[start, end)` messages
+    /// from `from_side` toward `to_side` are dropped, while the reverse
+    /// direction stays healthy.
+    pub fn one_way(
+        start: SimTime,
+        end: SimTime,
+        from_side: impl IntoIterator<Item = NodeId>,
+        to_side: impl IntoIterator<Item = NodeId>,
+    ) -> Self {
+        Partition {
+            start,
+            end,
+            side_a: from_side.into_iter().collect(),
+            side_b: to_side.into_iter().collect(),
+            one_way: true,
         }
     }
 
@@ -60,8 +84,11 @@ impl Partition {
         if t < self.start || t >= self.end {
             return false;
         }
-        (self.side_a.contains(&from) && self.side_b.contains(&to))
-            || (self.side_b.contains(&from) && self.side_a.contains(&to))
+        let a_to_b = self.side_a.contains(&from) && self.side_b.contains(&to);
+        if self.one_way {
+            return a_to_b;
+        }
+        a_to_b || (self.side_b.contains(&from) && self.side_a.contains(&to))
     }
 }
 
@@ -135,6 +162,34 @@ mod tests {
         let p = Partition::forever(t(5), [0], [1]);
         assert!(p.blocks(0, 1, SimTime(u64::MAX - 1)));
         assert!(!p.blocks(0, 1, t(4)));
+    }
+
+    #[test]
+    fn one_way_blocks_single_direction() {
+        let p = Partition::one_way(t(10), t(20), [0, 1], [2, 3]);
+        // a → b is cut…
+        assert!(p.blocks(0, 2, t(10)));
+        assert!(p.blocks(1, 3, t(15)));
+        // …but b → a flows (the asymmetry under test)
+        assert!(!p.blocks(2, 0, t(15)));
+        assert!(!p.blocks(3, 1, t(15)));
+        // window edges behave like the symmetric case
+        assert!(!p.blocks(0, 2, t(9)));
+        assert!(!p.blocks(0, 2, t(20)));
+        // unrelated nodes unaffected
+        assert!(!p.blocks(0, 7, t(15)));
+        assert!(!p.blocks(7, 2, t(15)));
+    }
+
+    #[test]
+    fn one_way_composes_into_symmetric_cut() {
+        // Two opposing one-way partitions behave like one symmetric cut.
+        let mut s = PartitionSchedule::none();
+        s.add(Partition::one_way(t(0), t(10), [0], [1]));
+        s.add(Partition::one_way(t(0), t(10), [1], [0]));
+        assert!(s.blocks(0, 1, t(5)));
+        assert!(s.blocks(1, 0, t(5)));
+        assert!(!s.blocks(0, 1, t(10)));
     }
 
     #[test]

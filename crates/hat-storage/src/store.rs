@@ -80,6 +80,18 @@ pub trait Store {
     /// Forces buffered writes to stable storage (no-op for volatile
     /// stores).
     fn sync(&mut self) -> Result<()>;
+
+    /// Every stored version of every key, in key order. Used to reseed
+    /// a restarted server's replication buffer from recovered state —
+    /// whole version chains, not just per-key latest, so multi-key
+    /// transactions re-gossip intact.
+    fn all_versions(&self) -> Vec<(Key, SharedRecord)>;
+
+    /// How many records recovery replayed into this store when it was
+    /// opened (0 for volatile stores, which never recover anything).
+    fn recovered_records(&self) -> u64 {
+        0
+    }
 }
 
 /// Purely in-memory store.
@@ -149,6 +161,17 @@ impl Store for MemStore {
     fn sync(&mut self) -> Result<()> {
         Ok(())
     }
+    fn all_versions(&self) -> Vec<(Key, SharedRecord)> {
+        dump_versions(&self.table)
+    }
+}
+
+/// Key-ordered dump of every version chain (shared handles, no copies).
+fn dump_versions(table: &Memtable) -> Vec<(Key, SharedRecord)> {
+    table
+        .iter()
+        .flat_map(|(k, versions)| versions.iter().map(move |r| (k.clone(), r.clone())))
+        .collect()
 }
 
 /// WAL-backed durable store with checkpoint compaction.
@@ -162,6 +185,7 @@ pub struct DurableStore {
     wal: Wal,
     policy: SyncPolicy,
     puts_since_sync: u32,
+    recovered: u64,
 }
 
 impl DurableStore {
@@ -171,10 +195,16 @@ impl DurableStore {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let mut table = Memtable::new();
+        let mut recovered = 0u64;
+        // A crash mid-append leaves a torn final frame; cut it before
+        // appending again, or new frames would land after the damage and
+        // be unreachable to the next replay.
+        Wal::truncate_torn_tail(dir.join("wal"))?;
         for source in [dir.join("checkpoint"), dir.join("wal")] {
             for entry in Wal::replay(&source)? {
                 if let WalEntry::Put { key, record } = entry {
                     table.insert(key, record);
+                    recovered += 1;
                 }
             }
         }
@@ -185,7 +215,14 @@ impl DurableStore {
             wal,
             policy,
             puts_since_sync: 0,
+            recovered,
         })
+    }
+
+    /// Path of the active WAL file inside a store directory — the file a
+    /// torn-tail fault injector truncates between crash and recovery.
+    pub fn wal_path(dir: impl AsRef<Path>) -> PathBuf {
+        dir.as_ref().join("wal")
     }
 
     /// Writes a checkpoint of the entire table and truncates the WAL.
@@ -294,6 +331,12 @@ impl Store for DurableStore {
     }
     fn sync(&mut self) -> Result<()> {
         self.wal.sync()
+    }
+    fn all_versions(&self) -> Vec<(Key, SharedRecord)> {
+        dump_versions(&self.table)
+    }
+    fn recovered_records(&self) -> u64 {
+        self.recovered
     }
 }
 
@@ -405,6 +448,55 @@ mod tests {
             s.scan_prefix_at_or_below(b"p/", VersionStamp::new(1, 9))
                 .len(),
             1
+        );
+    }
+
+    #[test]
+    fn recovered_records_counts_replayed_versions() {
+        let dir = tmpdir();
+        {
+            let mut s = DurableStore::open(&dir, SyncPolicy::Always).unwrap();
+            assert_eq!(s.recovered_records(), 0, "fresh store recovers nothing");
+            s.put(Key::from("x"), rec(1, "one")).unwrap();
+            s.put(Key::from("x"), rec(2, "two")).unwrap();
+            s.put(Key::from("y"), rec(3, "three")).unwrap();
+        }
+        let s = DurableStore::open(&dir, SyncPolicy::Always).unwrap();
+        assert_eq!(s.recovered_records(), 3);
+        assert_eq!(MemStore::new().recovered_records(), 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_recovery_drops_only_the_last_record() {
+        let dir = tmpdir();
+        {
+            let mut s = DurableStore::open(&dir, SyncPolicy::Always).unwrap();
+            s.put(Key::from("a"), rec(1, "keep")).unwrap();
+            s.put(Key::from("b"), rec(2, "torn")).unwrap();
+        }
+        Wal::chop_tail(DurableStore::wal_path(&dir), 3).unwrap();
+        let s = DurableStore::open(&dir, SyncPolicy::Always).unwrap();
+        assert_eq!(s.recovered_records(), 1);
+        assert_eq!(s.latest(b"a").unwrap().value, Bytes::from("keep"));
+        assert!(s.latest(b"b").is_none(), "torn record must not recover");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn all_versions_dumps_whole_chains() {
+        let mut s = MemStore::new();
+        s.put(Key::from("x"), rec(1, "a")).unwrap();
+        s.put(Key::from("x"), rec(2, "b")).unwrap();
+        s.put(Key::from("y"), rec(3, "c")).unwrap();
+        let dump = s.all_versions();
+        assert_eq!(dump.len(), 3);
+        assert_eq!(
+            dump.iter()
+                .map(|(k, r)| (k.as_ref().to_vec(), r.stamp.seq))
+                .collect::<Vec<_>>(),
+            vec![(b"x".to_vec(), 1), (b"x".to_vec(), 2), (b"y".to_vec(), 3)],
+            "key order, version order within key"
         );
     }
 

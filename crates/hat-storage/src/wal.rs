@@ -216,6 +216,80 @@ impl Wal {
         &self.path
     }
 
+    /// Chops `bytes` off the end of the log at `path` — the torn-write
+    /// fault: a crash mid-append leaves a partial final frame, which
+    /// [`Wal::replay`] must discard while keeping the valid prefix.
+    /// Chopping more bytes than the file holds empties it. No-op on a
+    /// missing file.
+    pub fn chop_tail(path: impl AsRef<Path>, bytes: u64) -> Result<()> {
+        let file = match OpenOptions::new().write(true).open(path.as_ref()) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let len = file.metadata()?.len();
+        file.set_len(len.saturating_sub(bytes))?;
+        file.sync_data()?;
+        Ok(())
+    }
+
+    /// Appends `junk` bytes of a partial frame to the log at `path` —
+    /// the torn-write fault: a crash mid-append leaves a final frame
+    /// whose header promises more bytes than reached the disk.
+    /// [`Wal::replay`] discards it and [`Wal::truncate_torn_tail`]
+    /// removes it. Synced (acknowledged) records are never affected —
+    /// that is what distinguishes a torn tail from disk corruption,
+    /// which no recovery protocol can be expected to mask. No-op when
+    /// `junk` is 0 or the file does not exist.
+    pub fn tear_tail(path: impl AsRef<Path>, junk: u64) -> Result<()> {
+        if junk == 0 {
+            return Ok(());
+        }
+        let mut file = match OpenOptions::new().append(true).open(path.as_ref()) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut frame = Vec::with_capacity(junk as usize);
+        if junk >= 8 {
+            let body = (junk - 8) as u32;
+            // Promise more payload than was flushed: a guaranteed short
+            // read at replay, independent of the junk's content.
+            frame.extend_from_slice(&(body + 64).to_le_bytes());
+            frame.extend_from_slice(&0u32.to_le_bytes());
+            frame.resize(junk as usize, 0xAA);
+        } else {
+            frame.resize(junk as usize, 0xAA);
+        }
+        file.write_all(&frame)?;
+        file.sync_data()?;
+        Ok(())
+    }
+
+    /// Truncates the log at `path` to its valid frame prefix, removing a
+    /// torn tail left by a crash mid-append. Returns the bytes removed.
+    /// Recovery must run this before appending to a replayed log —
+    /// otherwise new frames would land *after* the torn one and be
+    /// unreachable to a future replay.
+    pub fn truncate_torn_tail(path: impl AsRef<Path>) -> Result<u64> {
+        let mut data = Vec::new();
+        match File::open(path.as_ref()) {
+            Ok(mut f) => {
+                f.read_to_end(&mut data)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e.into()),
+        }
+        let (_, valid) = scan(&data)?;
+        let trimmed = data.len() as u64 - valid;
+        if trimmed > 0 {
+            let file = OpenOptions::new().write(true).open(path.as_ref())?;
+            file.set_len(valid)?;
+            file.sync_data()?;
+        }
+        Ok(trimmed)
+    }
+
     /// Replays the log at `path`, returning decoded entries.
     ///
     /// A framing/checksum failure at the tail is treated as a torn write:
@@ -230,7 +304,16 @@ impl Wal {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(e.into()),
         }
-        let mut entries = Vec::new();
+        let (entries, _) = scan(&data)?;
+        Ok(entries)
+    }
+}
+
+/// Walks the frame sequence in `data`, returning the decoded entries and
+/// the byte length of the valid prefix (a torn tail ends it early).
+fn scan(data: &[u8]) -> Result<(Vec<WalEntry>, u64)> {
+    let mut entries = Vec::new();
+    {
         let mut offset = 0usize;
         let mut tail_error: Option<u64> = None;
         while offset < data.len() {
@@ -271,8 +354,10 @@ impl Wal {
                 }
             }
         }
-        let _ = tail_error; // torn tails are expected after crashes
-        Ok(entries)
+        // Torn tails are expected after crashes: the valid prefix ends
+        // where the first damaged frame starts.
+        let valid = tail_error.unwrap_or(data.len() as u64);
+        Ok((entries, valid))
     }
 }
 
@@ -331,6 +416,33 @@ mod tests {
             let enc = encode_entry(&entry);
             assert_eq!(decode_entry(&enc), Some(entry));
         }
+    }
+
+    #[test]
+    fn tear_tail_spares_synced_records_and_recovery_truncates() {
+        let dir = tmpdir();
+        let path = dir.join("wal");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&put("a", 1, "v1", &[])).unwrap();
+            wal.append(&put("b", 2, "v2", &[])).unwrap();
+            wal.sync().unwrap();
+        }
+        for junk in [3u64, 48] {
+            Wal::tear_tail(&path, junk).unwrap();
+            // Replay discards the torn frame, keeps every synced record.
+            assert_eq!(Wal::replay(&path).unwrap().len(), 2, "junk={junk}");
+            // Recovery cuts the damage so future appends stay reachable.
+            let trimmed = Wal::truncate_torn_tail(&path).unwrap();
+            assert_eq!(trimmed, junk);
+        }
+        assert_eq!(Wal::truncate_torn_tail(&path).unwrap(), 0, "clean log");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&put("c", 3, "v3", &[])).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        assert_eq!(Wal::replay(&path).unwrap().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -210,6 +210,35 @@ macro_rules! prop_assert_ne {
     ($($tt:tt)*) => { assert_ne!($($tt)*) };
 }
 
+/// Armed while a property body runs; if the body panics, the unwind
+/// drops this guard and it prints the failing `(test, seed, case)`
+/// triple. The rng stream is derived deterministically from the seed,
+/// so the triple replays the failure exactly: rerun the named test and
+/// the same case index regenerates the same inputs.
+#[doc(hidden)]
+pub struct FailureContext {
+    /// Fully-qualified test name (also the seed derivation input).
+    pub test: &'static str,
+    /// The rng seed the whole run was derived from.
+    pub seed: u64,
+    /// Zero-based index of the failing case within the run.
+    pub case: u32,
+}
+
+impl Drop for FailureContext {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest failure: test={} seed={:#x} case={} — \
+                 inputs are regenerated deterministically from the seed, \
+                 so rerunning this test reproduces the failure at the \
+                 same case index",
+                self.test, self.seed, self.case
+            );
+        }
+    }
+}
+
 /// Declares property tests: each `fn name(arg in strategy, ...) { body }`
 /// becomes a `#[test]` running `cases` generated inputs.
 #[macro_export]
@@ -237,12 +266,14 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                let mut rng = <$crate::prelude::StdRng as $crate::prelude::SeedableRng>::seed_from_u64(
-                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
-                );
-                for _case in 0..config.cases {
+                let test = concat!(module_path!(), "::", stringify!($name));
+                let seed = $crate::seed_for(test);
+                let mut rng = <$crate::prelude::StdRng as $crate::prelude::SeedableRng>::seed_from_u64(seed);
+                for case in 0..config.cases {
+                    let guard = $crate::FailureContext { test, seed, case };
                     $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
                     $body
+                    ::core::mem::forget(guard);
                 }
             }
         )+
