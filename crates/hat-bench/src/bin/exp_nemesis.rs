@@ -39,13 +39,16 @@ fn main() {
         ..NemesisOpts::default()
     };
     println!(
-        "{:48} {:16} {:>7} {:>7} {:>7} {:>6} {:>7} {:>7} {:>8} {:>5}",
+        "{:48} {:16} {:>7} {:>7} {:>7} {:>6} {:>8} {:>8} {:>8} {:>7} {:>7} {:>8} {:>5}",
         "schedule",
         "engine",
         "commit",
         "unavail",
         "abort",
         "viol",
+        "p50 ms",
+        "p99 ms",
+        "p999 ms",
         "dropped",
         "crashes",
         "replayed",
@@ -56,13 +59,16 @@ fn main() {
         for protocol in ProtocolKind::ALL {
             let r = run(protocol, nemesis.as_ref(), &opts);
             println!(
-                "{:48} {:16} {:>7} {:>7} {:>7} {:>6} {:>7} {:>7} {:>8} {:>5}",
+                "{:48} {:16} {:>7} {:>7} {:>7} {:>6} {:>8.2} {:>8.2} {:>8.2} {:>7} {:>7} {:>8} {:>5}",
                 r.schedule,
                 format!("{protocol:?}"),
                 r.committed,
                 r.unavailable,
                 r.aborted,
                 r.violations,
+                r.commit_latency.p50,
+                r.commit_latency.p99,
+                r.commit_latency.p999,
                 r.msgs_dropped_by_partition,
                 r.crashes,
                 r.wal_records_replayed,

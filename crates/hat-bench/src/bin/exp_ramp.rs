@@ -30,6 +30,10 @@ use hat_sim::SimDuration;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke" || a == "--quick");
+    // `--json` emits one JSON object per (mix, engine) line instead of
+    // the table — consumed by scripts/bench_snapshot.sh to track the
+    // latency-percentile trajectory across PRs.
+    let json = std::env::args().any(|a| a == "--json");
     let mixes: &[(&str, f64)] = &[
         ("read-heavy 90/10", 0.9),
         ("balanced 50/50", 0.5),
@@ -40,18 +44,21 @@ fn main() {
         ProtocolKind::RampFast,
         ProtocolKind::RampSmall,
     ];
-    println!(
-        "{:>18} {:8} {:>9} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9}",
-        "mix",
-        "engine",
-        "txn/s",
-        "p50 ms",
-        "p99 ms",
-        "rounds/tx",
-        "meta B/tx",
-        "repairs",
-        "commits"
-    );
+    if !json {
+        println!(
+            "{:>18} {:8} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9}",
+            "mix",
+            "engine",
+            "txn/s",
+            "p50 ms",
+            "p99 ms",
+            "p999 ms",
+            "rounds/tx",
+            "meta B/tx",
+            "repairs",
+            "commits"
+        );
+    }
     for &(label, read_prop) in mixes {
         for protocol in protocols {
             let clients = if smoke { 8 } else { 64 };
@@ -64,16 +71,41 @@ fn main() {
                 cfg.duration = SimDuration::from_millis(250);
             }
             let r = run_ycsb(&cfg);
-            print_row(label, &r);
+            if json {
+                print_json(label, &r);
+            } else {
+                print_row(label, &r);
+            }
             sanity(&r, protocol, smoke);
         }
-        println!();
+        if !json {
+            println!();
+        }
     }
-    println!("rounds/tx counts client→server request rounds (reads, repair fetches,");
-    println!("prepare and commit phases); MAV's sibling-notification fan-in is");
-    println!("server→server and does not appear in client rounds — that asymmetry");
-    println!("is the point: RAMP buys atomic visibility with reader-side rounds");
-    println!("and metadata instead of write-side notification storms.");
+    if !json {
+        println!("rounds/tx counts client→server request rounds (reads, repair fetches,");
+        println!("prepare and commit phases); MAV's sibling-notification fan-in is");
+        println!("server→server and does not appear in client rounds — that asymmetry");
+        println!("is the point: RAMP buys atomic visibility with reader-side rounds");
+        println!("and metadata instead of write-side notification storms.");
+    }
+}
+
+fn print_json(mix: &str, r: &YcsbRunResult) {
+    println!(
+        "{{\"mix\":\"{}\",\"engine\":\"{}\",\"tps\":{:.1},\"p50_ms\":{:.3},\
+         \"p95_ms\":{:.3},\"p99_ms\":{:.3},\"p999_ms\":{:.3},\"max_ms\":{:.3},\
+         \"commits\":{}}}",
+        mix,
+        r.protocol.label(),
+        r.throughput_tps,
+        r.p50_latency_ms,
+        r.p95_latency_ms,
+        r.p99_latency_ms,
+        r.p999_latency_ms,
+        r.max_latency_ms,
+        r.committed
+    );
 }
 
 fn print_row(mix: &str, r: &YcsbRunResult) {
@@ -85,12 +117,13 @@ fn print_row(mix: &str, r: &YcsbRunResult) {
         }
     };
     println!(
-        "{:>18} {:8} {:>9.0} {:>9.2} {:>9.2} {:>10.2} {:>10.1} {:>9} {:>9}",
+        "{:>18} {:8} {:>9.0} {:>9.2} {:>9.2} {:>9.2} {:>10.2} {:>10.1} {:>9} {:>9}",
         mix,
         r.protocol.label(),
         r.throughput_tps,
         r.p50_latency_ms,
         r.p99_latency_ms,
+        r.p999_latency_ms,
         per_txn(r.msg_rounds),
         per_txn(r.metadata_bytes),
         r.repair_rounds,

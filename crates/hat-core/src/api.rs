@@ -18,6 +18,7 @@ use crate::cluster::{ClusterLayout, ClusterSpec};
 use crate::config::{ProtocolKind, RetryPolicy, SystemConfig};
 use crate::error::HatError;
 use crate::frontend::{Frontend, Session, TxnBackend};
+use crate::messages::Msg;
 use crate::metrics::ClientMetrics;
 use crate::node::Node;
 use crate::protocol::ProtocolEngine;
@@ -28,6 +29,7 @@ use hat_sim::{
     Engine, EngineConfig, LatencyModel, NodeId, PartitionSchedule, SimDuration, SimTime, Topology,
 };
 use hat_storage::{DurableStore, Key, MemStore, Store, SyncPolicy, Wal};
+use hat_trace::{DropReason, TraceEvent, TraceEventKind, TraceSink};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -166,8 +168,48 @@ impl DeploymentBuilder {
     pub fn build(self) -> SimFrontend {
         let engine_factory = self.engine_factory.clone();
         let durable = self.durable.clone();
-        let (engine_config, topology, actors, layout, config) = self.build_parts();
-        let engine = Engine::new(engine_config, topology, actors);
+        let (engine_config, topology, actors, layout, config, trace) = self.build_parts();
+        let mut engine = Engine::new(engine_config, topology, actors);
+        if trace.is_enabled() {
+            // Network-level events come from the substrate, not the
+            // actors: the engine reports every send/deliver/drop and the
+            // closure translates them into trace vocabulary. The hook is
+            // rng-neutral, so enabling it cannot perturb a seeded run.
+            let sink = trace.clone();
+            engine.set_net_tracer(move |t, from, to, msg: &Msg, hop| {
+                let kind = match hop {
+                    hat_sim::NetHop::Send => TraceEventKind::MsgSend {
+                        from,
+                        to,
+                        label: msg.label(),
+                        bytes: msg.approx_bytes(),
+                    },
+                    hat_sim::NetHop::Deliver => TraceEventKind::MsgRecv {
+                        from,
+                        to,
+                        label: msg.label(),
+                        bytes: msg.approx_bytes(),
+                    },
+                    hat_sim::NetHop::DropPartition => TraceEventKind::MsgDrop {
+                        from,
+                        to,
+                        label: msg.label(),
+                        reason: DropReason::Partition,
+                    },
+                    hat_sim::NetHop::DropCrash => TraceEventKind::MsgDrop {
+                        from,
+                        to,
+                        label: msg.label(),
+                        reason: DropReason::Crashed,
+                    },
+                };
+                let node = match hop {
+                    hat_sim::NetHop::Deliver | hat_sim::NetHop::DropCrash => to,
+                    _ => from,
+                };
+                sink.record(t.as_micros(), node, kind);
+            });
+        }
         SimFrontend {
             engine,
             layout,
@@ -175,12 +217,15 @@ impl DeploymentBuilder {
             opened: 0,
             engine_factory,
             durable,
+            trace,
         }
     }
 
     /// Builds the deployment pieces without an engine — used by external
     /// runtimes (e.g. `hat-runtime`'s threaded executor) that drive the
-    /// same actors themselves.
+    /// same actors themselves. The returned [`TraceSink`] is the
+    /// deployment-wide sink already installed on every actor: a no-op
+    /// handle unless [`SystemConfig::trace`] is set.
     #[allow(clippy::type_complexity)]
     pub fn build_parts(
         self,
@@ -190,6 +235,7 @@ impl DeploymentBuilder {
         Vec<Node>,
         Arc<ClusterLayout>,
         Arc<SystemConfig>,
+        TraceSink,
     ) {
         let sizes: Vec<usize> = self.spec.clusters.iter().map(|(_, n)| *n).collect();
         assert!(!sizes.is_empty(), "need at least one cluster");
@@ -233,11 +279,17 @@ impl DeploymentBuilder {
             self.drivers.into_iter().map(Some).collect();
         drivers.resize_with(n_clients, || None);
 
+        let trace = if config.trace {
+            TraceSink::enabled()
+        } else {
+            TraceSink::disabled()
+        };
+
         let mut actors: Vec<Node> = Vec::with_capacity(topology.len());
         for cluster in 0..n_clusters {
             for &id in &layout.servers[cluster] {
                 let store = make_store(&self.durable, id, config.version_chain_limit);
-                let server = match &self.engine_factory {
+                let mut server = match &self.engine_factory {
                     Some(factory) => Server::with_engine(
                         id,
                         cluster,
@@ -250,6 +302,7 @@ impl DeploymentBuilder {
                         Server::new(id, cluster, Arc::clone(&layout), Arc::clone(&config), store)
                     }
                 };
+                server.set_trace_sink(trace.clone());
                 actors.push(Node::Server(server));
             }
         }
@@ -266,6 +319,7 @@ impl DeploymentBuilder {
             if let Some(d) = drivers[i].take() {
                 c = c.with_driver(d);
             }
+            c.set_trace_sink(trace.clone());
             actors.push(Node::Client(c));
         }
 
@@ -279,6 +333,7 @@ impl DeploymentBuilder {
             actors,
             layout,
             config,
+            trace,
         )
     }
 }
@@ -317,6 +372,7 @@ pub struct SimFrontend {
     opened: usize,
     engine_factory: Option<Arc<dyn Fn() -> Box<dyn ProtocolEngine> + Send + Sync>>,
     durable: Option<(PathBuf, SyncPolicy)>,
+    trace: TraceSink,
 }
 
 impl SimFrontend {
@@ -344,6 +400,18 @@ impl SimFrontend {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
+    }
+
+    /// The deployment-wide trace sink (no-op unless the configuration
+    /// enabled [`SystemConfig::trace`]).
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Snapshot of the structured trace so far, ordered by
+    /// `(time, sequence)`. Empty when tracing is disabled.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.events()
     }
 
     /// Direct engine access (tests, experiments).
@@ -410,6 +478,8 @@ impl SimFrontend {
             self.engine.actor(node).as_server().is_some(),
             "crash_server: node {node} is not a server"
         );
+        self.trace
+            .record(self.engine.now().as_micros(), node, TraceEventKind::Crash);
         self.engine.crash(node);
     }
 
@@ -478,6 +548,9 @@ impl SimFrontend {
         };
         server.stats.wal_records_replayed += prior_replayed;
         server.mark_restarted();
+        server.set_trace_sink(self.trace.clone());
+        self.trace
+            .record(self.engine.now().as_micros(), node, TraceEventKind::Restart);
         for peer in self.layout.anti_entropy_peers(node) {
             if let Some(srv) = self.engine.actor_mut(peer).as_server_mut() {
                 srv.reset_peer_cursor(node);

@@ -30,6 +30,7 @@ use crate::txn::{Op, OpRecord, TxnOutcome, TxnRecord, TxnSpec};
 use bytes::Bytes;
 use hat_sim::{Ctx, NodeId, SimTime};
 use hat_storage::{Key, Record, SharedRecord};
+use hat_trace::{OpKind, TraceEventKind, TraceSink, TxnId};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -249,6 +250,10 @@ pub struct Client {
     records: Vec<TxnRecord>,
     driver: Option<Box<dyn TxnSource>>,
     issue_counter: u64,
+    /// Structured-event sink. Disabled (no-op) unless the deployment was
+    /// built with `SystemConfig::trace`; recording never touches the rng,
+    /// so traced runs stay bit-identical to untraced ones.
+    trace: TraceSink,
 }
 
 /// Timer tag bit marking a 2PL lock timeout (vs a retry timer).
@@ -282,7 +287,26 @@ impl Client {
             records: Vec::new(),
             driver: None,
             issue_counter: 0,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Installs the shared trace sink (deployment builders call this
+    /// when `SystemConfig::trace` is set).
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The transaction id the *current* (or next) transaction carries in
+    /// trace events: `(writer id, session sequence)` — joinable against
+    /// `TxnRecord::{session, session_seq}`.
+    fn trace_txn(&self) -> TxnId {
+        TxnId::new(self.client_idx, self.session_seq)
+    }
+
+    /// Records one trace event stamped with `now` (no-op when disabled).
+    fn trace_ev(&self, now: SimTime, kind: TraceEventKind) {
+        self.trace.record(now.as_micros(), self.id, kind);
     }
 
     /// Installs a closed-loop transaction source (driver mode).
@@ -455,6 +479,12 @@ impl Client {
             self.id
         );
         let id = self.tsgen.next();
+        self.trace_ev(
+            now,
+            TraceEventKind::TxnBegin {
+                txn: self.trace_txn(),
+            },
+        );
         self.current = Some(ActiveTxn {
             id,
             write_stamp: None,
@@ -482,6 +512,26 @@ impl Client {
     /// Issues an item read. May complete immediately (buffered write /
     /// cache hit), in which case no network round happens.
     pub fn issue_read(&mut self, ctx: &mut Ctx<'_, Msg>, key: Key) {
+        let tid = self.trace_txn();
+        self.trace_ev(
+            ctx.now(),
+            TraceEventKind::OpStart {
+                txn: tid,
+                kind: OpKind::Get,
+            },
+        );
+        let trace = self.trace.clone();
+        let node = self.id;
+        let local_end = |now: SimTime| {
+            trace.record(
+                now.as_micros(),
+                node,
+                TraceEventKind::OpEnd {
+                    txn: tid,
+                    kind: OpKind::Get,
+                },
+            );
+        };
         let txn = self.current.as_mut().expect("no active txn");
         assert!(txn.pending.is_none(), "one op at a time");
         // Per-transaction read-your-writes from the write buffer
@@ -493,6 +543,7 @@ impl Client {
                 value: v.clone(),
             };
             txn.ops_done.push(rec);
+            local_end(ctx.now());
             return;
         }
         // Item cut isolation: same-transaction repeat reads hit the cache.
@@ -507,6 +558,7 @@ impl Client {
                     value: cached.value.clone(),
                 };
                 txn.ops_done.push(rec);
+                local_end(ctx.now());
                 return;
             }
         }
@@ -543,6 +595,13 @@ impl Client {
         if keys.is_empty() {
             return;
         }
+        self.trace_ev(
+            ctx.now(),
+            TraceEventKind::OpStart {
+                txn: self.trace_txn(),
+                kind: OpKind::GetMany,
+            },
+        );
         let txn = self.current.as_mut().expect("no active txn");
         assert!(txn.pending.is_none(), "one op at a time");
         // Resolve buffer/cache hits locally; the rest fan out.
@@ -618,13 +677,21 @@ impl Client {
         acc: BTreeMap<Key, SharedRecord>,
         issued: SimTime,
     ) {
+        self.trace_ev(
+            ctx.now(),
+            TraceEventKind::OpEnd {
+                txn: self.trace_txn(),
+                kind: OpKind::GetMany,
+            },
+        );
         for key in &keys {
             let mut record = acc
                 .get(key)
                 .cloned()
                 .unwrap_or_else(|| Record::new(Timestamp::INITIAL, Bytes::new()).into());
             self.session_clamp(key, &mut record);
-            self.metrics.record_op(ctx.now().since(issued));
+            self.metrics
+                .record_op(OpKind::GetMany, ctx.now().since(issued));
             self.tsgen.observe(record.stamp);
             let txn = self.current.as_mut().unwrap();
             if !record.stamp.is_initial() && record.stamp != txn.id {
@@ -644,6 +711,13 @@ impl Client {
     /// servers of the chosen cluster (the keyspace is hash-partitioned,
     /// so any server holds only part of the prefix).
     pub fn issue_scan(&mut self, ctx: &mut Ctx<'_, Msg>, prefix: Key) {
+        self.trace_ev(
+            ctx.now(),
+            TraceEventKind::OpStart {
+                txn: self.trace_txn(),
+                kind: OpKind::Scan,
+            },
+        );
         let txn = self.current.as_mut().expect("no active txn");
         assert!(txn.pending.is_none(), "one op at a time");
         let op = txn.op_seq;
@@ -687,6 +761,16 @@ impl Client {
     /// Issues a write. Buffering protocols complete immediately;
     /// eventual/master send the write now; 2PL acquires the lock first.
     pub fn issue_write(&mut self, ctx: &mut Ctx<'_, Msg>, key: Key, value: Bytes) {
+        let tid = self.trace_txn();
+        self.trace_ev(
+            ctx.now(),
+            TraceEventKind::OpStart {
+                txn: tid,
+                kind: OpKind::Put,
+            },
+        );
+        let trace = self.trace.clone();
+        let node = self.id;
         let txn = self.current.as_mut().expect("no active txn");
         assert!(txn.pending.is_none(), "one op at a time");
         match self.config.protocol {
@@ -696,8 +780,16 @@ impl Client {
             | ProtocolKind::RampSmall => {
                 // Buffer until commit (Read Committed write buffering;
                 // the RAMP engines flush the buffer as their prepare
-                // phase).
+                // phase). Completes locally — the span is instantaneous.
                 Self::buffer_write(txn, key, value);
+                trace.record(
+                    ctx.now().as_micros(),
+                    node,
+                    TraceEventKind::OpEnd {
+                        txn: tid,
+                        kind: OpKind::Put,
+                    },
+                );
             }
             ProtocolKind::Eventual | ProtocolKind::Master => {
                 // Visible before commit: Read Uncommitted semantics for
@@ -747,6 +839,13 @@ impl Client {
     /// Starts commit. Buffering protocols flush the write buffer; 2PL
     /// flushes then unlocks; others finish immediately.
     pub fn start_commit(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.trace_ev(
+            ctx.now(),
+            TraceEventKind::OpStart {
+                txn: self.trace_txn(),
+                kind: OpKind::Commit,
+            },
+        );
         let txn = self.current.as_mut().expect("no active txn");
         assert!(txn.pending.is_none(), "outstanding op at commit");
         txn.phase = Phase::Committing;
@@ -1120,7 +1219,14 @@ impl Client {
         issued: SimTime,
     ) {
         self.session_clamp(&key, &mut record);
-        self.metrics.record_op(ctx.now().since(issued));
+        self.metrics.record_op(OpKind::Get, ctx.now().since(issued));
+        self.trace_ev(
+            ctx.now(),
+            TraceEventKind::OpEnd {
+                txn: self.trace_txn(),
+                kind: OpKind::Get,
+            },
+        );
         self.tsgen.observe(record.stamp);
         let protocol = self.config.protocol;
         let txn = self.current.as_mut().unwrap();
@@ -1244,6 +1350,13 @@ impl Client {
         value: Option<Bytes>,
     ) {
         let target = self.layout.master(&key);
+        self.trace_ev(
+            ctx.now(),
+            TraceEventKind::LockWait {
+                txn: self.trace_txn(),
+                key: String::from_utf8_lossy(&key).into_owned(),
+            },
+        );
         let issue_id = self.next_issue(ctx, 0);
         self.metrics.msg_rounds += 1;
         // Lock timeout (deadlock breaker / unavailability bound).
@@ -1298,6 +1411,23 @@ impl Client {
     /// Completes the transaction: metrics, history, session state, and —
     /// in driver mode — the next plan.
     fn finish_txn(&mut self, ctx: &mut Ctx<'_, Msg>, outcome: TxnOutcome) {
+        let tid = self.trace_txn();
+        self.trace_ev(
+            ctx.now(),
+            match outcome {
+                TxnOutcome::Committed => TraceEventKind::TxnCommit { txn: tid },
+                TxnOutcome::AbortedInternal => TraceEventKind::TxnAbort {
+                    txn: tid,
+                    internal: true,
+                },
+                TxnOutcome::AbortedExternal | TxnOutcome::Indeterminate => {
+                    TraceEventKind::TxnAbort {
+                        txn: tid,
+                        internal: false,
+                    }
+                }
+            },
+        );
         let mut txn = self.current.take().expect("no active txn");
         txn.phase = Phase::Done(outcome);
         // The stamp this txn's writes actually carried (read-only txns
@@ -1407,6 +1537,13 @@ impl Client {
         let commit_in_flight = txn.phase == Phase::Committing || !txn.commit_waiting.is_empty();
         txn.pending = None;
         txn.commit_waiting.clear();
+        self.trace_ev(
+            ctx.now(),
+            TraceEventKind::TxnAbandon {
+                txn: self.trace_txn(),
+                indeterminate: commit_in_flight,
+            },
+        );
         self.metrics.aborted_external += 1;
         if self.config.record_history {
             self.records.push(TxnRecord {
@@ -1785,7 +1922,15 @@ impl Client {
             unreachable!("checked above");
         };
         acc.sort_by(|a, b| a.0.cmp(&b.0));
-        self.metrics.record_op(ctx.now().since(pending.issued));
+        self.metrics
+            .record_op(OpKind::Scan, ctx.now().since(pending.issued));
+        self.trace_ev(
+            ctx.now(),
+            TraceEventKind::OpEnd {
+                txn: self.trace_txn(),
+                kind: OpKind::Scan,
+            },
+        );
         for (_, r) in &acc {
             self.tsgen.observe(r.stamp);
         }
@@ -1825,7 +1970,15 @@ impl Client {
                 txn.pending = Some(pending);
                 return;
             }
-            self.metrics.record_op(ctx.now().since(pending.issued));
+            self.metrics
+                .record_op(OpKind::Put, ctx.now().since(pending.issued));
+            self.trace_ev(
+                ctx.now(),
+                TraceEventKind::OpEnd {
+                    txn: self.trace_txn(),
+                    kind: OpKind::Put,
+                },
+            );
             self.step_plan(ctx);
         }
     }
@@ -1885,6 +2038,16 @@ impl Client {
             return;
         };
         txn.locks_held.push((key.clone(), pending.target));
+        self.metrics
+            .lock_latency_ms
+            .record(ctx.now().since(pending.issued).as_millis_f64());
+        self.trace_ev(
+            ctx.now(),
+            TraceEventKind::LockGrant {
+                txn: self.trace_txn(),
+                key: String::from_utf8_lossy(&key).into_owned(),
+            },
+        );
         match then {
             LockFollowup::Read => {
                 // Read at the lock master (it has the authoritative copy).
@@ -1920,7 +2083,15 @@ impl Client {
                     .expect("write lock carries value");
                 let txn = self.current.as_mut().unwrap();
                 Self::buffer_write(txn, key, value);
-                self.metrics.record_op(ctx.now().since(pending.issued));
+                self.metrics
+                    .record_op(OpKind::Put, ctx.now().since(pending.issued));
+                self.trace_ev(
+                    ctx.now(),
+                    TraceEventKind::OpEnd {
+                        txn: self.trace_txn(),
+                        kind: OpKind::Put,
+                    },
+                );
                 self.step_plan(ctx);
             }
         }
@@ -1973,6 +2144,12 @@ impl Client {
             .unwrap_or(false);
         if retry_pending {
             self.metrics.retries += 1;
+            self.trace_ev(
+                ctx.now(),
+                TraceEventKind::OpRetry {
+                    txn: self.trace_txn(),
+                },
+            );
             let txn = self.current.as_mut().unwrap();
             let mut pending = txn.pending.take().unwrap();
             let id = txn.id;
@@ -2112,6 +2289,9 @@ impl Client {
         // during commit must not).
         if !txn.commit_waiting.is_empty() && txn.commit_issue == issue_id {
             self.metrics.retries += 1;
+            let tid = self.trace_txn();
+            self.trace_ev(ctx.now(), TraceEventKind::OpRetry { txn: tid });
+            let txn = self.current.as_mut().unwrap();
             let id = txn.id;
             let ramp_phase2 = txn.ramp_committing;
             txn.commit_attempts += 1;

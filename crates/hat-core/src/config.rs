@@ -294,6 +294,14 @@ pub struct SystemConfig {
     /// matches `MAX_BATCH`, so compaction kicks in exactly when replay
     /// would need more than one full batch.
     pub delta_catchup_threshold: u64,
+    /// Structured tracing. When `false` (the default) every node carries
+    /// a no-op [`hat_trace::TraceSink`] — recording is a branch on a
+    /// `None`, no allocation, no lock. When `true` the deployment builder
+    /// installs one shared sink on every client, server, and the network,
+    /// exported via the frontend. Tracing observes the same seeded
+    /// schedule either way: same-seed runs are bit-identical with it on
+    /// or off.
+    pub trace: bool,
 }
 
 impl SystemConfig {
@@ -311,6 +319,7 @@ impl SystemConfig {
             version_chain_limit: 64,
             commit_batch_size: 64,
             delta_catchup_threshold: crate::protocol::replication::MAX_BATCH as u64,
+            trace: false,
         }
     }
 

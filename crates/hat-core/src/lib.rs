@@ -78,3 +78,10 @@ pub use protocol::{engine_for, ProtocolEngine, ServerView};
 pub use server::{Server, ServerStats};
 pub use timestamp::{Timestamp, TimestampGen};
 pub use txn::{Op, OpRecord, TxnOutcome, TxnRecord, TxnSpec};
+
+// Re-export the tracing vocabulary so downstream crates (runtime,
+// nemesis, bench) speak it without a direct hat-trace dependency.
+pub use hat_trace::{
+    events_recorded_total, format_txn_window, format_window, spans, DropReason, OpKind, OpSpan,
+    TraceEvent, TraceEventKind, TraceSink, TxnId, TxnSpan,
+};

@@ -279,6 +279,89 @@ impl Msg {
         )
     }
 
+    /// Short stable label for tracing (the variant name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Msg::Get { .. } => "Get",
+            Msg::Scan { .. } => "Scan",
+            Msg::Put { .. } => "Put",
+            Msg::GetTs { .. } => "GetTs",
+            Msg::GetVersion { .. } => "GetVersion",
+            Msg::Commit { .. } => "Commit",
+            Msg::CommitBatch { .. } => "CommitBatch",
+            Msg::Lock { .. } => "Lock",
+            Msg::Unlock { .. } => "Unlock",
+            Msg::GetResp { .. } => "GetResp",
+            Msg::ScanResp { .. } => "ScanResp",
+            Msg::GetTsResp { .. } => "GetTsResp",
+            Msg::GetVersionResp { .. } => "GetVersionResp",
+            Msg::PutResp { .. } => "PutResp",
+            Msg::CommitBatchResp { .. } => "CommitBatchResp",
+            Msg::LockResp { .. } => "LockResp",
+            Msg::Replicate { .. } => "Replicate",
+            Msg::ReplicateDelta { .. } => "ReplicateDelta",
+            Msg::ReplicateAck { .. } => "ReplicateAck",
+            Msg::RecoverReq => "RecoverReq",
+            Msg::RecoverResp { .. } => "RecoverResp",
+            Msg::Notify { .. } => "Notify",
+            Msg::NotifySummary { .. } => "NotifySummary",
+        }
+    }
+
+    /// Approximate wire size in bytes, using the same accounting as
+    /// `ServerStats::note_replication_batch` (`4 + key + encoded record`
+    /// per version, 12 bytes per timestamp). Tracing-only: nothing
+    /// protocol-visible depends on it.
+    pub fn approx_bytes(&self) -> u64 {
+        const TS: u64 = 12;
+        fn rec(r: &SharedRecord) -> u64 {
+            r.encoded_len() as u64
+        }
+        fn versions(writes: &[(Key, SharedRecord)]) -> u64 {
+            writes
+                .iter()
+                .map(|(k, r)| 4 + k.len() as u64 + rec(r))
+                .sum()
+        }
+        match self {
+            Msg::Get { key, .. } => TS + TS + 4 + key.len() as u64,
+            Msg::Scan { prefix, .. } => TS + 4 + prefix.len() as u64,
+            Msg::Put { key, record, .. } => TS + 4 + key.len() as u64 + rec(record),
+            Msg::GetTs { key, .. } => TS + 4 + key.len() as u64,
+            Msg::GetVersion { key, req, .. } => {
+                let req_bytes = match req {
+                    VersionReq::Exact(_) | VersionReq::AtOrBelow(_) => TS,
+                    VersionReq::Among(set) => TS * set.len() as u64,
+                };
+                TS + 4 + key.len() as u64 + req_bytes
+            }
+            Msg::Commit { key, .. } => TS + TS + 4 + key.len() as u64,
+            Msg::CommitBatch { marks, .. } => {
+                TS + TS + marks.iter().map(|(_, k)| 4 + k.len() as u64).sum::<u64>()
+            }
+            Msg::Lock { key, .. } => TS + 5 + key.len() as u64,
+            Msg::Unlock { keys, .. } => TS + keys.iter().map(|k| 4 + k.len() as u64).sum::<u64>(),
+            Msg::GetResp { found, .. } | Msg::GetVersionResp { found, .. } => {
+                TS + 4 + found.as_ref().map_or(0, rec)
+            }
+            Msg::ScanResp { matches, .. } => TS + 4 + versions(matches),
+            Msg::GetTsResp { .. } => TS + 4 + TS,
+            Msg::PutResp { .. } => TS + 4,
+            Msg::CommitBatchResp { ops, .. } => TS + 4 * ops.len() as u64,
+            Msg::LockResp { .. } => TS + 4,
+            Msg::Replicate { writes, .. } | Msg::ReplicateDelta { writes, .. } => {
+                8 + versions(writes)
+            }
+            Msg::ReplicateAck { .. } => 8,
+            Msg::RecoverReq => 1,
+            Msg::RecoverResp { writes } => versions(writes),
+            Msg::Notify { key, .. } => TS + 4 + key.len() as u64,
+            Msg::NotifySummary { acks, .. } => {
+                TS + acks.iter().map(|(_, k)| 8 + k.len() as u64).sum::<u64>()
+            }
+        }
+    }
+
     /// True for server-to-server traffic.
     pub fn is_replication(&self) -> bool {
         matches!(

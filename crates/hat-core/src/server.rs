@@ -26,6 +26,7 @@ use crate::protocol::replication::ReplicationLog;
 use crate::timestamp::Timestamp;
 use hat_sim::{Ctx, NodeId, SimDuration, SimTime, TimerId};
 use hat_storage::{Key, SharedRecord, Store};
+use hat_trace::{TraceEventKind, TraceSink};
 use std::sync::Arc;
 
 /// Timer tag for the anti-entropy tick.
@@ -97,6 +98,8 @@ pub struct Server {
     pub requests_served: u64,
     /// Replication and group-commit counters.
     pub stats: ServerStats,
+    /// Structured trace sink (no-op unless `SystemConfig::trace`).
+    trace: TraceSink,
 }
 
 impl Server {
@@ -153,7 +156,13 @@ impl Server {
             recovering: Vec::new(),
             requests_served: 0,
             stats,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Installs the deployment-wide trace sink (shared with clients).
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// Flags this server as a post-crash incarnation: on start it
@@ -233,6 +242,15 @@ impl Server {
 
     /// Invoked once at simulation start.
     pub fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.stats.wal_records_replayed > 0 {
+            self.trace.record(
+                ctx.now().as_micros(),
+                self.id,
+                TraceEventKind::WalReplay {
+                    records: self.stats.wal_records_replayed,
+                },
+            );
+        }
         // Stagger anti-entropy ticks so servers do not gossip in
         // lock-step. The offset is derived from the node id (a
         // multiplicative hash spread over the interval) instead of drawn
@@ -267,12 +285,14 @@ impl Server {
                     if !writes.is_empty() {
                         self.stats.catchup_batches += 1;
                         self.note_replication_batch(&writes);
+                        self.trace_anti_entropy(ctx.now(), peer, &writes, true);
                         ctx.send(peer, Msg::ReplicateDelta { upto, writes });
                     }
                 } else {
                     let (from_index, writes) = self.repl.batch_for(i);
                     if !writes.is_empty() {
                         self.note_replication_batch(&writes);
+                        self.trace_anti_entropy(ctx.now(), peer, &writes, false);
                         ctx.send(peer, Msg::Replicate { from_index, writes });
                     }
                 }
@@ -291,6 +311,34 @@ impl Server {
         }
     }
 
+    /// Emits one `AntiEntropyRound` trace event for a push to `peer`,
+    /// with the same byte accounting as [`Self::note_replication_batch`].
+    fn trace_anti_entropy(
+        &self,
+        now: SimTime,
+        peer: NodeId,
+        writes: &[(Key, SharedRecord)],
+        delta: bool,
+    ) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let bytes = writes
+            .iter()
+            .map(|(k, r)| 4 + k.len() as u64 + r.encoded_len() as u64)
+            .sum::<u64>();
+        self.trace.record(
+            now.as_micros(),
+            self.id,
+            TraceEventKind::AntiEntropyRound {
+                peer,
+                records: writes.len() as u64,
+                bytes,
+                delta,
+            },
+        );
+    }
+
     fn note_replication_batch(&mut self, writes: &[(Key, SharedRecord)]) {
         self.stats.replication_msgs += 1;
         self.stats.replication_records += writes.len() as u64;
@@ -303,6 +351,28 @@ impl Server {
     /// Invoked when a message arrives. Thin dispatch: each message maps
     /// to one engine hook plus service-time accounting.
     pub fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        // WAL growth is observed as a delta across the whole dispatch so
+        // every write path (puts, commit marks, replication applies) is
+        // covered in one place. Zero-cost when tracing is off.
+        let wal_before = if self.trace.is_enabled() {
+            self.store.wal_bytes()
+        } else {
+            0
+        };
+        self.dispatch(ctx, from, msg);
+        if self.trace.is_enabled() {
+            let appended = self.store.wal_bytes().saturating_sub(wal_before);
+            if appended > 0 {
+                self.trace.record(
+                    ctx.now().as_micros(),
+                    self.id,
+                    TraceEventKind::WalAppend { bytes: appended },
+                );
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
         match msg {
             Msg::Get {
                 txn,

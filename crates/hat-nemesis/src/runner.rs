@@ -2,11 +2,11 @@
 
 use crate::schedule::{Fault, Nemesis};
 use hat_core::{
-    ClusterSpec, DeploymentBuilder, Frontend, HatError, ProtocolKind, Session, SessionOptions,
-    SimFrontend, SystemConfig, TxnRecord,
+    format_txn_window, ClusterSpec, DeploymentBuilder, Frontend, HatError, ProtocolKind, Session,
+    SessionOptions, SimFrontend, SystemConfig, TraceEventKind, TxnId, TxnRecord,
 };
 use hat_history::{check, IsolationLevel};
-use hat_sim::{LatencyModel, NodeId, Partition, SimDuration, SimTime};
+use hat_sim::{LatencyModel, LatencyPercentiles, NodeId, Partition, SimDuration, SimTime};
 use hat_storage::{Key, SyncPolicy, VersionStamp};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
@@ -71,6 +71,8 @@ pub struct NemesisReport {
     pub wal_records_replayed: u64,
     /// Every replica group agreed on per-key newest versions post-heal.
     pub converged: bool,
+    /// Commit-latency tail percentiles aggregated across sessions.
+    pub commit_latency: LatencyPercentiles,
     /// The full recorded history (for bit-identical same-seed checks).
     pub records: Vec<TxnRecord>,
 }
@@ -138,6 +140,10 @@ fn run_in(
     // an order of magnitude above the (scaled) WAN round trip.
     cfg.op_deadline = SimDuration::from_millis(40);
     cfg.lock_timeout = SimDuration::from_millis(25);
+    // Always trace: the sink is rng-neutral (same-seed runs stay
+    // bit-identical), and a conformance failure can then dump the
+    // fault-annotated timeline around the violating transaction.
+    cfg.trace = true;
     let mut front = DeploymentBuilder::new(protocol)
         .seed(opts.seed)
         .clusters(ClusterSpec::va_or(opts.servers_per_cluster))
@@ -208,6 +214,16 @@ fn run_in(
     let records = front.take_records();
     let level = advertised_level(protocol);
     let report = check(records.clone(), level);
+    if !report.violations.is_empty() {
+        dump_violation_traces(
+            &front,
+            &report.violations,
+            &records,
+            protocol,
+            nemesis,
+            opts,
+        );
+    }
     let stats = front.server_stats();
     NemesisReport {
         protocol,
@@ -222,12 +238,44 @@ fn run_in(
         crashes: stats.crashes,
         wal_records_replayed: stats.wal_records_replayed,
         converged: converged(&front),
+        commit_latency: front.aggregate_metrics().commit_percentiles(),
         records,
+    }
+}
+
+/// On a conformance failure, prints the fault-annotated trace timeline
+/// around each violating transaction (capped at three) so the report is
+/// debuggable without a re-run: which partitions/crashes were open, what
+/// the client retried, and which messages were dropped.
+fn dump_violation_traces(
+    front: &SimFrontend,
+    violations: &[hat_history::Violation],
+    records: &[TxnRecord],
+    protocol: ProtocolKind,
+    nemesis: &dyn Nemesis,
+    opts: &NemesisOpts,
+) {
+    let events = front.trace_events();
+    for v in violations.iter().take(3) {
+        eprintln!(
+            "[schedule={} seed={:#x}] {protocol:?}: {v}",
+            nemesis.name(),
+            opts.seed
+        );
+        if let Some(rec) = v
+            .txns
+            .iter()
+            .find_map(|t| records.iter().find(|r| r.id == *t))
+        {
+            let txn = TxnId::new(rec.session, rec.session_seq);
+            eprint!("{}", format_txn_window(&events, txn, 50_000));
+        }
     }
 }
 
 fn apply(front: &mut SimFrontend, fault: &Fault, crashed: &mut BTreeSet<NodeId>) {
     let now = front.now();
+    let trace = front.trace_sink().clone();
     match fault {
         Fault::Partition {
             a,
@@ -235,6 +283,23 @@ fn apply(front: &mut SimFrontend, fault: &Fault, crashed: &mut BTreeSet<NodeId>)
             duration,
             one_way,
         } => {
+            let desc = format!(
+                "partition {a:?}{}{b:?}",
+                if *one_way { " -/-> " } else { " <-/-> " }
+            );
+            let reporter = a.first().copied().unwrap_or(0);
+            trace.record(
+                now.as_micros(),
+                reporter,
+                TraceEventKind::FaultBegin { desc: desc.clone() },
+            );
+            // Bounded faults know their end now; stamping the close
+            // event at its future time keeps the sorted timeline honest.
+            trace.record(
+                (now + *duration).as_micros(),
+                reporter,
+                TraceEventKind::FaultEnd { desc },
+            );
             let p = if *one_way {
                 Partition::one_way(now, now + *duration, a.iter().copied(), b.iter().copied())
             } else {
@@ -243,11 +308,37 @@ fn apply(front: &mut SimFrontend, fault: &Fault, crashed: &mut BTreeSet<NodeId>)
             front.engine_mut().partitions_mut().add(p);
         }
         Fault::SkewClock { node, offset_us } => {
+            trace.record(
+                now.as_micros(),
+                *node,
+                TraceEventKind::FaultBegin {
+                    desc: format!("clock skew {offset_us}us on node {node}"),
+                },
+            );
             front.engine_mut().set_clock_offset(*node, *offset_us);
         }
-        Fault::LatencyScale { factor } => front.engine_mut().set_latency_factor(*factor),
+        Fault::LatencyScale { factor } => {
+            let kind = if *factor > 1.0 {
+                TraceEventKind::FaultBegin {
+                    desc: format!("latency x{factor}"),
+                }
+            } else {
+                TraceEventKind::FaultEnd {
+                    desc: format!("latency x{factor}"),
+                }
+            };
+            trace.record(now.as_micros(), 0, kind);
+            front.engine_mut().set_latency_factor(*factor)
+        }
         Fault::Crash { node, torn_tail } => {
             if crashed.insert(*node) {
+                trace.record(
+                    now.as_micros(),
+                    *node,
+                    TraceEventKind::FaultBegin {
+                        desc: format!("crash node {node} (torn tail {torn_tail}B)"),
+                    },
+                );
                 front.crash_server(*node);
                 if *torn_tail > 0 {
                     front.tear_wal_tail(*node, *torn_tail);
@@ -256,6 +347,13 @@ fn apply(front: &mut SimFrontend, fault: &Fault, crashed: &mut BTreeSet<NodeId>)
         }
         Fault::Restart { node } => {
             if crashed.remove(node) {
+                trace.record(
+                    now.as_micros(),
+                    *node,
+                    TraceEventKind::FaultEnd {
+                        desc: format!("restart node {node}"),
+                    },
+                );
                 front.restart_server(*node);
             }
         }

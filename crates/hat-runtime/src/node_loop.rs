@@ -8,7 +8,9 @@
 //! the simulator instead of only replaying canned `TxnSource` plans.
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use hat_core::{ClientMetrics, HatError, Msg, Node, SessionOptions, TxnRecord};
+use hat_core::{
+    ClientMetrics, HatError, Msg, Node, SessionOptions, TraceEventKind, TraceSink, TxnRecord,
+};
 use hat_sim::{Actor, Ctx, NodeId, SimTime, TimerId};
 use hat_storage::Key;
 use rand::rngs::StdRng;
@@ -173,6 +175,7 @@ pub fn run_node(
     mut rng: StdRng,
     epoch: Instant,
     interactive: Option<InteractivePort>,
+    trace: TraceSink,
 ) -> Node {
     let mut heap: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
     let mut seq = 0u64;
@@ -187,7 +190,9 @@ pub fn run_node(
         let mut ctx = Ctx::detached(id, now_sim(epoch), &mut rng);
         node.on_start(&mut ctx);
         let (sends, timers) = ctx.into_outputs();
-        dispatch_outputs(id, sends, timers, &router, &mut heap, &mut seq);
+        dispatch_outputs(
+            id, sends, timers, &router, &mut heap, &mut seq, &trace, epoch,
+        );
     }
 
     loop {
@@ -197,11 +202,27 @@ pub fn run_node(
             let Reverse(s) = heap.pop().unwrap();
             let mut ctx = Ctx::detached(id, now_sim(epoch), &mut rng);
             match s.due {
-                Due::Deliver { from, msg } => node.on_message(&mut ctx, from, msg),
+                Due::Deliver { from, msg } => {
+                    if trace.is_enabled() {
+                        trace.record(
+                            now_sim(epoch).as_micros(),
+                            id,
+                            TraceEventKind::MsgRecv {
+                                from,
+                                to: id,
+                                label: msg.label(),
+                                bytes: msg.approx_bytes(),
+                            },
+                        );
+                    }
+                    node.on_message(&mut ctx, from, msg)
+                }
                 Due::Timer(tag) => node.on_timer(&mut ctx, tag),
             }
             let (sends, timers) = ctx.into_outputs();
-            dispatch_outputs(id, sends, timers, &router, &mut heap, &mut seq);
+            dispatch_outputs(
+                id, sends, timers, &router, &mut heap, &mut seq, &trace, epoch,
+            );
         }
         // interactive port: resolve a finished command, accept new ones
         if let Some(port) = &interactive {
@@ -216,6 +237,7 @@ pub fn run_node(
                 &mut seq,
                 &mut rng,
                 epoch,
+                &trace,
             );
         }
         if stop.load(Ordering::Relaxed) {
@@ -269,6 +291,7 @@ fn service_interactive(
     seq: &mut u64,
     rng: &mut StdRng,
     epoch: Instant,
+    trace: &TraceSink,
 ) {
     let busy = |node: &Node| node.as_client().map(|c| c.busy()).unwrap_or(false);
 
@@ -278,7 +301,7 @@ fn service_interactive(
             let mut ctx = Ctx::detached(id, SimTime(epoch.elapsed().as_micros() as u64), rng);
             let reply = resolve_cmd(node, &mut ctx, kind);
             let (sends, timers) = ctx.into_outputs();
-            dispatch_outputs(id, sends, timers, router, heap, seq);
+            dispatch_outputs(id, sends, timers, router, heap, seq, trace, epoch);
             let _ = port.reply_tx.send((cmd_seq, reply));
         } else if Instant::now() >= deadline {
             *pending_cmd = None;
@@ -289,7 +312,7 @@ fn service_interactive(
                 c.abandon(&mut ctx);
             }
             let (sends, timers) = ctx.into_outputs();
-            dispatch_outputs(id, sends, timers, router, heap, seq);
+            dispatch_outputs(id, sends, timers, router, heap, seq, trace, epoch);
             let _ = port.reply_tx.send((
                 cmd_seq,
                 ClientReply::Failed(HatError::Unavailable { key: None }),
@@ -318,7 +341,7 @@ fn service_interactive(
             }
         };
         let (sends, timers) = ctx.into_outputs();
-        dispatch_outputs(id, sends, timers, router, heap, seq);
+        dispatch_outputs(id, sends, timers, router, heap, seq, trace, epoch);
         if let Some(reply) = reply {
             let _ = port.reply_tx.send((cmd_seq, reply));
         }
@@ -409,6 +432,7 @@ fn resolve_cmd(node: &mut Node, ctx: &mut Ctx<'_, Msg>, kind: PendingCmd) -> Cli
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dispatch_outputs(
     id: NodeId,
     sends: Vec<(hat_sim::SimDuration, NodeId, Msg)>,
@@ -416,9 +440,23 @@ fn dispatch_outputs(
     router: &Router,
     heap: &mut BinaryHeap<Reverse<Scheduled>>,
     seq: &mut u64,
+    trace: &TraceSink,
+    epoch: Instant,
 ) {
     let now = Instant::now();
     for (hold, to, msg) in sends {
+        if trace.is_enabled() {
+            trace.record(
+                epoch.elapsed().as_micros() as u64,
+                id,
+                TraceEventKind::MsgSend {
+                    from: id,
+                    to,
+                    label: msg.label(),
+                    bytes: msg.approx_bytes(),
+                },
+            );
+        }
         let at = now + Duration::from_micros(hold.as_micros()) + router.delay(id, to);
         // A full inbox or a disconnected peer behaves like a lossy
         // network — HAT protocols tolerate both.

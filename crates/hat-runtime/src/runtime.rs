@@ -5,7 +5,7 @@ use crate::node_loop::{run_node, ClientCmd, ClientReply, Envelope, InteractivePo
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hat_core::{
     ClientMetrics, ClusterLayout, DeploymentBuilder, Frontend, HatError, Node, Session,
-    SessionOptions, SystemConfig, TxnBackend, TxnRecord,
+    SessionOptions, SystemConfig, TraceEvent, TraceSink, TxnBackend, TxnRecord,
 };
 use hat_sim::{LatencyModel, NodeId, SimDuration, Topology};
 use hat_storage::Key;
@@ -51,6 +51,7 @@ pub struct Runtime {
     stop: Arc<AtomicBool>,
     clients: Vec<NodeId>,
     started: Instant,
+    trace: TraceSink,
 }
 
 /// The frontend's per-client handle into a node thread. Commands go
@@ -86,7 +87,7 @@ impl Runtime {
         Arc<SystemConfig>,
         Duration,
     ) {
-        let (_engine_cfg, topology, nodes, layout, sys) = builder.build_parts();
+        let (_engine_cfg, topology, nodes, layout, sys, trace) = builder.build_parts();
         let clients = layout.clients.clone();
         let n = topology.len();
 
@@ -132,10 +133,13 @@ impl Runtime {
             let rng = StdRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37));
             let id = i as NodeId;
             let port = node_ports[i].take();
+            let node_trace = trace.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("hat-node-{i}"))
-                    .spawn(move || run_node(node, id, rx, router, stop, rng, started, port))
+                    .spawn(move || {
+                        run_node(node, id, rx, router, stop, rng, started, port, node_trace)
+                    })
                     .expect("spawn node thread"),
             );
         }
@@ -145,6 +149,7 @@ impl Runtime {
                 stop,
                 clients,
                 started,
+                trace,
             },
             ports,
             layout,
@@ -161,6 +166,12 @@ impl Runtime {
     /// Elapsed wall-clock time since spawn.
     pub fn elapsed(&self) -> Duration {
         self.started.elapsed()
+    }
+
+    /// The deployment-wide trace sink (no-op unless
+    /// `SystemConfig::trace` was set on the builder's configuration).
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// Stops all nodes and collects them. Returns `(nodes, aggregated
@@ -243,6 +254,28 @@ impl RuntimeFrontend {
     /// metrics, all transaction records)`.
     pub fn shutdown(mut self) -> (Vec<Node>, ClientMetrics, Vec<TxnRecord>) {
         self.rt.take().expect("runtime running").shutdown()
+    }
+
+    /// The deployment-wide trace sink (no-op unless
+    /// `SystemConfig::trace` was set on the builder's configuration).
+    pub fn trace_sink(&self) -> &TraceSink {
+        self.rt.as_ref().expect("runtime running").trace_sink()
+    }
+
+    /// Snapshot of the structured trace so far, ordered by
+    /// `(time, sequence)`. Empty when tracing is disabled.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace_sink().events()
+    }
+
+    /// Fallible [`Frontend::session_metrics`]: reports an unreachable or
+    /// wedged client thread as [`HatError::Unavailable`] instead of
+    /// panicking.
+    pub fn try_session_metrics(&self, session: &Session) -> Result<ClientMetrics, HatError> {
+        match self.roundtrip(session.index() as usize, ClientCmd::Metrics)? {
+            ClientReply::Metrics(m) => Ok(*m),
+            other => panic!("protocol mismatch: expected Metrics, got {other:?}"),
+        }
     }
 
     /// Sends `cmd` to client slot `idx` and waits for *its* reply,
@@ -391,38 +424,37 @@ impl Frontend for RuntimeFrontend {
     }
 
     fn session_metrics(&self, session: &Session) -> ClientMetrics {
-        // A dead or wedged node must fail loudly here: silently
-        // returning defaults would let assertions blame the workload
-        // instead of the node.
-        match self.roundtrip(session.index() as usize, ClientCmd::Metrics) {
-            Ok(ClientReply::Metrics(m)) => *m,
-            Ok(other) => panic!("protocol mismatch: expected Metrics, got {other:?}"),
-            Err(e) => panic!(
-                "client thread {} unreachable for metrics: {e}",
-                session.index()
-            ),
-        }
+        // An unreachable node yields empty metrics rather than a panic:
+        // callers that must distinguish a dead thread from an idle one
+        // use `try_session_metrics`, whose error says which it was.
+        self.try_session_metrics(session).unwrap_or_default()
     }
 
     fn aggregate_metrics(&self) -> ClientMetrics {
+        // Merge what answered: one wedged client thread should not take
+        // down end-of-run reporting for the whole deployment (its final
+        // counters are still recovered at `shutdown()`, which joins the
+        // thread instead of asking it).
         let mut total = ClientMetrics::default();
         for idx in 0..self.ports.len() {
             match self.roundtrip(idx, ClientCmd::Metrics) {
                 Ok(ClientReply::Metrics(m)) => total.merge(&m),
                 Ok(other) => panic!("protocol mismatch: expected Metrics, got {other:?}"),
-                Err(e) => panic!("client thread {idx} unreachable for metrics: {e}"),
+                Err(_) => continue,
             }
         }
         total
     }
 
     fn take_records(&mut self) -> Vec<TxnRecord> {
+        // Same merge-what-answered policy as `aggregate_metrics`: an
+        // unreachable thread keeps its records until `shutdown()`.
         let mut all = Vec::new();
         for idx in 0..self.ports.len() {
             match self.roundtrip(idx, ClientCmd::TakeRecords) {
                 Ok(ClientReply::Records(r)) => all.extend(r),
                 Ok(other) => panic!("protocol mismatch: expected Records, got {other:?}"),
-                Err(e) => panic!("client thread {idx} unreachable for records: {e}"),
+                Err(_) => continue,
             }
         }
         all.sort_by_key(|r| (r.session, r.session_seq));

@@ -76,3 +76,53 @@ fn scripted_records_are_bit_identical_across_backends() {
         );
     }
 }
+
+/// Same conformance statement with the trace sink armed: tracing is
+/// rng-neutral on the simulator and allocation-only on the threaded
+/// runtime, so the records must not move. The threaded trace itself is
+/// timing-dependent, but its canonical projection — each client's
+/// ordered begin/commit/abort sequence — must match across same-script
+/// runs and carry one commit per record.
+#[test]
+fn tracing_leaves_records_identical_and_projection_stable() {
+    use hat_core::{SystemConfig, TraceEventKind};
+
+    let traced_builder = |kind: ProtocolKind| {
+        let mut cfg = SystemConfig::new(kind);
+        cfg.trace = true;
+        builder(kind).config(cfg)
+    };
+
+    for kind in [ProtocolKind::ReadCommitted, ProtocolKind::RampSmall] {
+        let mut sim = builder(kind).build();
+        let plain_records = run_script(&mut sim);
+
+        let mut a = traced_builder(kind).build_threaded(RuntimeConfig::default());
+        let records_a = run_script(&mut a);
+        let proj_a = a.trace_sink().canonical_projection();
+
+        let mut b = traced_builder(kind).build_threaded(RuntimeConfig::default());
+        let records_b = run_script(&mut b);
+        let proj_b = b.trace_sink().canonical_projection();
+
+        assert_eq!(
+            plain_records, records_a,
+            "{kind:?}: tracing changed the threaded backend's records"
+        );
+        assert_eq!(records_a, records_b);
+        assert_eq!(
+            proj_a, proj_b,
+            "{kind:?}: canonical trace projection diverged across same-script runs"
+        );
+        let commits: usize = proj_a
+            .values()
+            .flatten()
+            .filter(|k| matches!(k, TraceEventKind::TxnCommit { .. }))
+            .count();
+        assert_eq!(
+            commits,
+            records_a.len(),
+            "{kind:?}: every record must appear as a traced commit"
+        );
+    }
+}

@@ -177,6 +177,28 @@ pub struct NodeFaultStats {
     pub crashes: u64,
 }
 
+/// What happened to a message at a network hop, as seen by a
+/// [`NetTracer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetHop {
+    /// The message left the sender (before latency sampling).
+    Send,
+    /// The message reached a live destination actor.
+    Deliver,
+    /// An active partition dropped the message at send time.
+    DropPartition,
+    /// The destination was crashed at delivery time.
+    DropCrash,
+}
+
+/// Observer hook for network activity: `(now, from, to, msg, hop)`.
+///
+/// The engine stays trace-agnostic — callers (e.g. `hat-core`'s
+/// deployment builder) install a closure that translates messages into
+/// whatever event vocabulary they use. The hook is called *outside* all
+/// rng use: it observes, it must never perturb determinism.
+pub type NetTracer<M> = Box<dyn FnMut(SimTime, NodeId, NodeId, &M, NetHop)>;
+
 /// The simulation engine: owns the actors, the clock, the event queue and
 /// the network model.
 pub struct Engine<A: Actor> {
@@ -192,6 +214,7 @@ pub struct Engine<A: Actor> {
     /// spike fault. 1.0 is the healthy network.
     latency_factor: f64,
     started: bool,
+    net_tracer: Option<NetTracer<A::Msg>>,
 }
 
 impl<A: Actor> Engine<A> {
@@ -219,7 +242,18 @@ impl<A: Actor> Engine<A> {
             faults,
             latency_factor: 1.0,
             started: false,
+            net_tracer: None,
         }
+    }
+
+    /// Installs a [`NetTracer`] observing every send, delivery and drop.
+    /// The tracer runs outside all rng sampling, so installing one (or
+    /// not) never changes a seeded run's schedule.
+    pub fn set_net_tracer(
+        &mut self,
+        tracer: impl FnMut(SimTime, NodeId, NodeId, &A::Msg, NetHop) + 'static,
+    ) {
+        self.net_tracer = Some(Box::new(tracer));
     }
 
     /// Current simulated time.
@@ -375,7 +409,13 @@ impl<A: Actor> Engine<A> {
         if self.config.partitions.blocks(from, to, release) {
             self.stats.dropped += 1;
             self.faults[to as usize].dropped_by_partition += 1;
+            if let Some(t) = self.net_tracer.as_mut() {
+                t(self.now, from, to, &msg, NetHop::DropPartition);
+            }
             return;
+        }
+        if let Some(t) = self.net_tracer.as_mut() {
+            t(self.now, from, to, &msg, NetHop::Send);
         }
         let latency = if from == to {
             SimDuration::from_micros((self.config.latency.local_rtt_ms * 500.0) as u64)
@@ -427,9 +467,15 @@ impl<A: Actor> Engine<A> {
                 if self.faults[to as usize].crashed {
                     self.stats.dropped += 1;
                     self.faults[to as usize].dropped_by_crash += 1;
+                    if let Some(t) = self.net_tracer.as_mut() {
+                        t(self.now, from, to, &msg, NetHop::DropCrash);
+                    }
                     return true;
                 }
                 self.stats.delivered += 1;
+                if let Some(t) = self.net_tracer.as_mut() {
+                    t(self.now, from, to, &msg, NetHop::Deliver);
+                }
                 self.invoke(to, |actor, ctx| actor.on_message(ctx, from, msg));
             }
             Event::TimerFire { node, timer, gen } => {

@@ -33,10 +33,12 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
-pub use engine::{Actor, Ctx, Engine, EngineConfig, NetStats, NodeFaultStats, TimerId};
+pub use engine::{
+    Actor, Ctx, Engine, EngineConfig, NetHop, NetStats, NetTracer, NodeFaultStats, TimerId,
+};
 pub use event::{Event, EventQueue};
 pub use latency::{LatencyModel, LinkClass, Region, RegionPair, ALL_REGIONS};
 pub use partition::{Partition, PartitionSchedule};
-pub use stats::{percentile, Histogram, Summary};
+pub use stats::{percentile, Histogram, LatencyPercentiles, Summary};
 pub use time::{SimDuration, SimTime};
 pub use topology::{NodeId, Site, Topology};

@@ -62,6 +62,36 @@ impl Summary {
     }
 }
 
+/// The fixed percentile set every latency report in the repo uses
+/// (paper-style tail latency: median, p90, p99, p999, max), extracted
+/// from a [`Histogram`] by [`Histogram::percentiles`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyPercentiles {
+    /// Number of samples the percentiles summarize.
+    pub count: u64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub p999: f64,
+    pub max: f64,
+}
+
+impl LatencyPercentiles {
+    /// All-zero summary of an empty sample.
+    pub fn empty() -> Self {
+        LatencyPercentiles {
+            count: 0,
+            mean: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            p999: 0.0,
+            max: 0.0,
+        }
+    }
+}
+
 /// A log-scaled histogram over positive values.
 ///
 /// Buckets are geometric: bucket `i` covers `[min * g^i, min * g^(i+1))`
@@ -163,6 +193,25 @@ impl Histogram {
         self.max_seen
     }
 
+    /// The standard tail-latency summary (p50/p90/p99/p999 + mean/max).
+    pub fn percentiles(&self) -> LatencyPercentiles {
+        if self.total == 0 {
+            return LatencyPercentiles::empty();
+        }
+        // A quantile reports its bucket's upper edge, which can sit just
+        // above the true maximum — clamp so p999 ≤ max always holds.
+        let q = |q: f64| self.quantile(q).min(self.max_seen);
+        LatencyPercentiles {
+            count: self.total,
+            mean: self.mean(),
+            p50: q(0.5),
+            p90: q(0.9),
+            p99: q(0.99),
+            p999: q(0.999),
+            max: self.max_seen,
+        }
+    }
+
     /// Returns `(value, cumulative_fraction)` pairs describing the CDF,
     /// one point per non-empty bucket. Suitable for plotting Figure 1.
     pub fn cdf(&self) -> Vec<(f64, f64)> {
@@ -262,6 +311,87 @@ mod tests {
             assert!(w[0].1 <= w[1].1);
         }
         assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::for_latency_ms();
+        for v in [0.3, 2.0, 41.5, 900.0] {
+            a.record(v);
+        }
+        let before = a.clone();
+        a.merge(&Histogram::for_latency_ms());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+        assert_eq!(a.max(), before.max());
+        assert_eq!(a.cdf(), before.cdf());
+        // Merging *into* an empty histogram reproduces the source too.
+        let mut empty = Histogram::for_latency_ms();
+        empty.merge(&before);
+        assert_eq!(empty.cdf(), before.cdf());
+        assert_eq!(empty.quantile(0.5), before.quantile(0.5));
+    }
+
+    #[test]
+    fn merge_is_associative_and_lossless() {
+        let mk = |vals: &[f64]| {
+            let mut h = Histogram::for_latency_ms();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[0.005, 0.12, 3.4]); // includes an underflow sample
+        let b = mk(&[7.7, 7.7, 250.0]);
+        let c = mk(&[1e9]); // clamps into the last bucket
+                            // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.cdf(), right.cdf());
+        assert_eq!(left.percentiles(), right.percentiles());
+        // Lossless vs recording everything into one histogram.
+        let all = mk(&[0.005, 0.12, 3.4, 7.7, 7.7, 250.0, 1e9]);
+        assert_eq!(left.cdf(), all.cdf());
+        assert_eq!(left.count(), all.count());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_preserves_bucket_boundaries() {
+        // A value landing exactly on a bucket edge must stay in the same
+        // bucket whether it was recorded before or after a merge.
+        let mut a = Histogram::new(1.0, 100.0, 0.01);
+        let edge = 1.0 * (1.0 + 2.0 * 0.01); // upper edge of bucket 0
+        a.record(edge);
+        let mut b = Histogram::new(1.0, 100.0, 0.01);
+        b.record(edge);
+        let direct_q = a.quantile(1.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.quantile(1.0), direct_q);
+        assert_eq!(a.quantile(0.5), direct_q);
+    }
+
+    #[test]
+    fn percentiles_summary_shape() {
+        assert_eq!(Histogram::for_latency_ms().percentiles().count, 0);
+        let mut h = Histogram::for_latency_ms();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let p = h.percentiles();
+        assert_eq!(p.count, 1000);
+        assert!(p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.p999);
+        assert!(p.p999 <= p.max);
+        assert!((p.p90 - 900.0).abs() / 900.0 < 0.05, "p90 {}", p.p90);
+        assert!((p.p999 - 999.0).abs() / 999.0 < 0.05, "p999 {}", p.p999);
     }
 
     #[test]

@@ -92,6 +92,13 @@ pub trait Store {
     fn recovered_records(&self) -> u64 {
         0
     }
+
+    /// Bytes currently in the write-ahead log backing this store (0 for
+    /// volatile stores). Observers diff this across writes to attribute
+    /// WAL append traffic without the store knowing about tracing.
+    fn wal_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// Purely in-memory store.
@@ -337,6 +344,9 @@ impl Store for DurableStore {
     }
     fn recovered_records(&self) -> u64 {
         self.recovered
+    }
+    fn wal_bytes(&self) -> u64 {
+        self.wal.len()
     }
 }
 

@@ -1,0 +1,94 @@
+//! Observability tour: run a traced deployment, print per-op latency
+//! percentiles, and export the transaction timeline as Chrome-trace
+//! JSON (open it in `about:tracing` or <https://ui.perfetto.dev>).
+//!
+//! Run: `cargo run --release --example observability [out.json]`
+//!
+//! The example also demonstrates — and asserts — the zero-cost-when-off
+//! contract: a second, untraced deployment runs the same workload and
+//! the process-wide trace-event counter must not move.
+
+use hatdb::core::{ClusterSpec, DeploymentBuilder, ProtocolKind, SessionOptions, SystemConfig};
+use hatdb::trace::{events_recorded_total, spans};
+use hatdb::Frontend;
+
+fn build(trace: bool) -> hatdb::SimFrontend {
+    let mut cfg = SystemConfig::new(ProtocolKind::Mav);
+    cfg.trace = trace;
+    DeploymentBuilder::new(ProtocolKind::Mav)
+        .seed(0x0B5E_71ED)
+        .clusters(ClusterSpec::va_or(2))
+        .sessions_per_cluster(1)
+        .config(cfg)
+        .build()
+}
+
+fn workload(front: &mut hatdb::SimFrontend) {
+    let va = front.open_session(SessionOptions::default());
+    let or = front.open_session(SessionOptions::default());
+    for round in 0..5 {
+        let v = format!("balance-{round}");
+        front.txn(&va, |t| {
+            t.put("acct:alice", &v)?;
+            t.put("acct:bob", &v)
+        });
+        front.quiesce();
+        front.txn(&or, |t| {
+            let _ = t.get("acct:alice")?;
+            let _ = t.get("acct:bob")?;
+            Ok(())
+        });
+    }
+    front.quiesce();
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace.json".to_string());
+
+    // --- Traced run -----------------------------------------------------
+    let mut front = build(true);
+    workload(&mut front);
+
+    let metrics = front.aggregate_metrics();
+    println!("commit latency: {:?}", metrics.commit_percentiles());
+    for (kind, p) in metrics.op_percentiles() {
+        println!(
+            "{:>8}: n={} p50={:.2}ms p90={:.2}ms p99={:.2}ms p999={:.2}ms max={:.2}ms",
+            kind.label(),
+            p.count,
+            p.p50,
+            p.p90,
+            p.p99,
+            p.p999,
+            p.max
+        );
+    }
+
+    let events = front.trace_events();
+    let tree = spans(&events);
+    let complete = tree.iter().filter(|s| s.is_complete()).count();
+    println!(
+        "trace: {} events, {} txn spans ({} complete)",
+        events.len(),
+        tree.len(),
+        complete
+    );
+    assert!(complete >= 1, "traced run must yield a complete txn span");
+
+    std::fs::write(&out, front.trace_sink().to_chrome_json()).expect("write trace JSON");
+    println!("chrome trace written to {out} — open in about:tracing or Perfetto");
+
+    // --- Untraced run: the sink must be a true no-op --------------------
+    let before = events_recorded_total();
+    let mut plain = build(false);
+    workload(&mut plain);
+    let after = events_recorded_total();
+    assert_eq!(
+        before, after,
+        "disabled tracing recorded events ({before} -> {after})"
+    );
+    assert!(plain.trace_events().is_empty());
+    println!("untraced run recorded 0 events (counter {before} -> {after})");
+}

@@ -1,30 +1,38 @@
 #!/usr/bin/env bash
-# Runs the hat-bench micro suite and captures the results as a JSON
-# snapshot, so the perf trajectory can be tracked across PRs.
+# Runs the hat-bench micro suite plus the RAMP latency experiment and
+# captures the results as a JSON snapshot, so the perf trajectory can be
+# tracked across PRs.
 #
 # Usage:
 #   scripts/bench_snapshot.sh [output.json] [label]
 #
 # Example:
-#   scripts/bench_snapshot.sh BENCH_pr6.json pr6
+#   scripts/bench_snapshot.sh BENCH_pr8.json pr8
 #
 # The workspace criterion shim prints one line per benchmark:
 #   <name>  mean <dur>  min <dur>  (<n> samples)
-# This script converts those lines into a stable JSON document:
-#   { "label": ..., "benches": [ { "name", "mean_ns", "min_ns", "samples" } ] }
+# `exp_ramp --smoke --json` prints one JSON object per (mix, engine):
+#   {"mix":...,"engine":...,"tps":...,"p50_ms":...,...,"commits":...}
+# This script merges both into a stable JSON document:
+#   { "label": ...,
+#     "benches": [ { "name", "mean_ns", "min_ns", "samples" } ],
+#     "latency": [ { "mix", "engine", "tps", "p50_ms", "p95_ms",
+#                    "p99_ms", "p999_ms", "max_ms", "commits" } ] }
 set -euo pipefail
 
 OUT="${1:-BENCH_snapshot.json}"
 LABEL="${2:-$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || echo snapshot)}"
 
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+LAT="$(mktemp)"
+trap 'rm -f "$RAW" "$LAT"' EXIT
 cargo bench -p hat-bench --bench micro 2>/dev/null >"$RAW"
+cargo run --release -p hat-bench --bin exp_ramp -- --smoke --json 2>/dev/null >"$LAT"
 
-python3 - "$OUT" "$LABEL" "$RAW" <<'PY'
+python3 - "$OUT" "$LABEL" "$RAW" "$LAT" <<'PY'
 import json, re, sys
 
-out_path, label, raw_path = sys.argv[1], sys.argv[2], sys.argv[3]
+out_path, label, raw_path, lat_path = sys.argv[1:5]
 
 UNITS = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -55,9 +63,18 @@ for line in open(raw_path):
 if not benches:
     sys.exit("no benchmark lines parsed from `cargo bench` output")
 
-doc = {"label": label, "bench": "micro", "benches": benches}
+latency = []
+for line in open(lat_path):
+    line = line.strip()
+    if line.startswith("{"):
+        latency.append(json.loads(line))
+
+if not latency:
+    sys.exit("no latency lines parsed from `exp_ramp --json` output")
+
+doc = {"label": label, "bench": "micro", "benches": benches, "latency": latency}
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
-print(f"wrote {out_path}: {len(benches)} benchmarks")
+print(f"wrote {out_path}: {len(benches)} benchmarks, {len(latency)} latency rows")
 PY

@@ -73,6 +73,7 @@ pub use hat_history as history;
 pub use hat_runtime as runtime;
 pub use hat_sim as sim;
 pub use hat_storage as storage;
+pub use hat_trace as trace;
 pub use hat_workloads as workloads;
 
 pub use hat_core::{
