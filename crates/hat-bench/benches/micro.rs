@@ -244,6 +244,65 @@ fn bench_group_commit(c: &mut Criterion) {
     g.finish();
 }
 
+/// Shard routing: `cluster_of` sits on every message dispatch (the
+/// server resolves the receiving cluster to decide ownership), so it
+/// must stay an O(1) table lookup. The scan baseline is the cost the
+/// pre-table implementation paid — a walk over every server list — and
+/// exists so a regression back to scanning shows up as a step change at
+/// a 4×64 deployment rather than hiding inside protocol noise.
+fn bench_shard_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_routing");
+    let clusters = 4usize;
+    let servers_each = 64usize;
+    let mut next = 0u32;
+    let servers: Vec<Vec<hat_sim::NodeId>> = (0..clusters)
+        .map(|_| {
+            (0..servers_each)
+                .map(|_| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+                .collect()
+        })
+        .collect();
+    let layout = hat_core::ClusterLayout::new(servers.clone(), vec![next, next + 1], vec![0, 1]);
+    let ids: Vec<hat_sim::NodeId> = (0..(clusters * servers_each) as u32).collect();
+    g.bench_function("cluster_of_table", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 17) % ids.len();
+            black_box(layout.cluster_of(ids[i]))
+        })
+    });
+    g.bench_function("cluster_of_scan_baseline", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 17) % ids.len();
+            let id = ids[i];
+            black_box(servers.iter().position(|c| c.contains(&id)))
+        })
+    });
+    let keys: Vec<Key> = (0..1000u64)
+        .map(|i| Key::from(format!("user{i:08}")))
+        .collect();
+    g.bench_function("ring_owner_position", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7) % keys.len();
+            black_box(layout.ring().owner_position(&keys[i]))
+        })
+    });
+    g.bench_function("master_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7) % keys.len();
+            black_box(layout.master(&keys[i]))
+        })
+    });
+    g.finish();
+}
+
 fn bench_latency_model(c: &mut Criterion) {
     let model = LatencyModel::default();
     let mut rng = StdRng::seed_from_u64(1);
@@ -315,6 +374,6 @@ fn bench_history_checker(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_storage, bench_replication_log, bench_record_path, bench_group_commit, bench_latency_model, bench_ycsb_generation, bench_history_checker
+    targets = bench_storage, bench_replication_log, bench_record_path, bench_group_commit, bench_shard_routing, bench_latency_model, bench_ycsb_generation, bench_history_checker
 }
 criterion_main!(benches);

@@ -188,6 +188,7 @@ fn unavailable_protocols_block() {
             Err(HatError::Unavailable { .. }) => "unavailable (blocked)",
             Err(HatError::ExternalAbort { .. }) => "external abort (lock timeout)",
             Err(HatError::InternalAbort { .. }) => "internal abort?",
+            Err(HatError::InvalidDeployment { .. }) => "invalid deployment?!",
             Ok(_) => "committed?!",
         };
         println!("{:10} under partition: {verdict}", protocol.label());

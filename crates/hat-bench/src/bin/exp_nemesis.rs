@@ -18,8 +18,10 @@
 //! * `violations` is zero everywhere: faults cost availability, never
 //!   the advertised isolation.
 //!
-//! Run: `cargo run -p hat-bench --release --bin exp_nemesis [--smoke]`
-//! (`--smoke` is the CI configuration: shorter horizon, fewer keys).
+//! Run: `cargo run -p hat-bench --release --bin exp_nemesis [--smoke]
+//! [--schedule <substring>]` (`--smoke` is the CI configuration:
+//! shorter horizon, fewer keys; `--schedule` filters the catalog by
+//! name substring, e.g. `--schedule handoff` for the shard-smoke job).
 //! Exits non-zero if any pair fails its claims, so CI can gate on it.
 
 use hat_core::ProtocolKind;
@@ -27,7 +29,12 @@ use hat_nemesis::{run, standard_catalog, NemesisOpts};
 use hat_sim::SimDuration;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke" || a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
+    let filter: Option<&str> = args
+        .iter()
+        .position(|a| a == "--schedule")
+        .map(|i| args.get(i + 1).expect("--schedule needs a name").as_str());
     let opts = NemesisOpts {
         seed: 0xBAD_CAFE,
         horizon: if smoke {
@@ -55,7 +62,14 @@ fn main() {
         "ok"
     );
     let mut failures = Vec::new();
+    let mut ran = 0usize;
     for nemesis in &standard_catalog() {
+        if let Some(f) = filter {
+            if !nemesis.name().contains(f) {
+                continue;
+            }
+        }
+        ran += 1;
         for protocol in ProtocolKind::ALL {
             let r = run(protocol, nemesis.as_ref(), &opts);
             println!(
@@ -87,6 +101,10 @@ fn main() {
                 ));
             }
         }
+    }
+    if ran == 0 {
+        eprintln!("no schedule matches filter {:?}", filter.unwrap_or(""));
+        std::process::exit(1);
     }
     if !failures.is_empty() {
         eprintln!("\n{} failing pair(s):", failures.len());

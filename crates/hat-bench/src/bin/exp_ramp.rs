@@ -21,6 +21,17 @@
 //!   experiment exists to avoid; its write amplification also shows up
 //!   as lower write-heavy throughput.
 //!
+//! The second axis is **shard scaling** (§6.3's "millions of keys"
+//! regime): the same two-region deployment grown from 1 to 16 shards
+//! per cluster, closed-loop clients growing with it. RAMP-F's
+//! coordination rides on the messages the transaction already sends, so
+//! its throughput should track the shard count near-linearly; MAV's
+//! sibling notifications fan out to every server holding a sibling key
+//! — at 1 shard they collapse onto the writing server, at 16 they are
+//! |write-set| × |clusters| extra serviced messages per transaction —
+//! so its curve flattens as shards (and therefore write-set spread)
+//! grow.
+//!
 //! Run: `cargo run -p hat-bench --release --bin exp_ramp [--smoke]`
 //! (`--smoke` is the CI configuration: small keyspace, short window).
 
@@ -88,12 +99,92 @@ fn main() {
         println!("server→server and does not appear in client rounds — that asymmetry");
         println!("is the point: RAMP buys atomic visibility with reader-side rounds");
         println!("and metadata instead of write-side notification storms.");
+        println!();
+    }
+    shard_scaling(smoke, json);
+}
+
+/// Shard-scaling sweep: RAMP-F vs MAV on 2 clusters × {1,2,4,8,16}
+/// shards, balanced 50/50 mix, clients growing with the shard count so
+/// the offered load scales with the deployment.
+fn shard_scaling(smoke: bool, json: bool) {
+    let shard_counts: &[usize] = if smoke { &[1, 8] } else { &[1, 2, 4, 8, 16] };
+    let protocols = [ProtocolKind::RampFast, ProtocolKind::Mav];
+    if !json {
+        println!(
+            "{:>18} {:8} {:>7} {:>9} {:>9} {:>9} {:>9} {:>8}",
+            "axis", "engine", "shards", "txn/s", "p50 ms", "p99 ms", "commits", "scale"
+        );
+    }
+    for protocol in protocols {
+        let mut base_tps = 0.0f64;
+        for &shards in shard_counts {
+            let clients = if smoke { 4 * shards } else { 8 * shards };
+            let mut cfg =
+                YcsbRunConfig::paper_defaults(protocol, ClusterSpec::va_or(shards), clients);
+            cfg.ycsb.read_proportion = 0.5;
+            cfg.seed = 0x5AAD ^ shards as u64;
+            if smoke {
+                cfg.ycsb.num_keys = 400;
+                cfg.ycsb.value_size = 32;
+                cfg.duration = SimDuration::from_millis(250);
+            }
+            let r = run_ycsb(&cfg);
+            if base_tps == 0.0 {
+                base_tps = r.throughput_tps;
+            }
+            let scale = r.throughput_tps / base_tps;
+            if json {
+                print_shard_json(shards, scale, &r);
+            } else {
+                println!(
+                    "{:>18} {:8} {:>7} {:>9.0} {:>9.2} {:>9.2} {:>9} {:>7.2}x",
+                    "shard-scaling",
+                    r.protocol.label(),
+                    shards,
+                    r.throughput_tps,
+                    r.p50_latency_ms,
+                    r.p99_latency_ms,
+                    r.committed,
+                    scale
+                );
+            }
+            assert!(
+                r.committed > 0,
+                "{protocol:?} @ {shards} shards: no transactions committed"
+            );
+        }
+        if !json {
+            println!();
+        }
+    }
+    if !json {
+        println!("scale is throughput relative to the engine's own 1-shard run; clients");
+        println!("grow with shards, so a flat curve means the engine burns the added");
+        println!("hardware on coordination (MAV's sibling fan-in) rather than commits.");
     }
 }
 
-fn print_json(mix: &str, r: &YcsbRunResult) {
+fn print_shard_json(shards: usize, scale: f64, r: &YcsbRunResult) {
     println!(
-        "{{\"mix\":\"{}\",\"engine\":\"{}\",\"tps\":{:.1},\"p50_ms\":{:.3},\
+        "{{\"axis\":\"shard-scaling\",\"engine\":\"{}\",\"shards\":{},\"clients\":{},\
+         \"tps\":{:.1},\"scale\":{:.3},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"commits\":{}}}",
+        r.protocol.label(),
+        shards,
+        r.clients,
+        r.throughput_tps,
+        scale,
+        r.p50_latency_ms,
+        r.p99_latency_ms,
+        r.committed
+    );
+}
+
+fn print_json(mix: &str, r: &YcsbRunResult) {
+    // `shards` is the per-cluster server count (the mix axis runs the
+    // paper's fixed 2-shard deployment; the shard axis sweeps it).
+    println!(
+        "{{\"mix\":\"{}\",\"engine\":\"{}\",\"shards\":2,\"tps\":{:.1},\"p50_ms\":{:.3},\
          \"p95_ms\":{:.3},\"p99_ms\":{:.3},\"p999_ms\":{:.3},\"max_ms\":{:.3},\
          \"commits\":{}}}",
         mix,

@@ -163,12 +163,20 @@ impl DeploymentBuilder {
     /// Builds the deployment on the discrete-event simulator backend.
     ///
     /// # Panics
-    /// Panics if clusters have unequal sizes (positional anti-entropy
-    /// peering requires equal partition counts) or no servers/clients.
+    /// Panics if the spec is rejected by [`DeploymentBuilder::try_build`]
+    /// (unequal cluster sizes, a zero-server cluster, no session slots).
     pub fn build(self) -> SimFrontend {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the deployment on the simulator backend, rejecting an
+    /// unusable spec with [`HatError::InvalidDeployment`] instead of
+    /// panicking — a zero-server cluster, say, would otherwise only
+    /// surface as a routing panic on the first key touched.
+    pub fn try_build(self) -> Result<SimFrontend, HatError> {
         let engine_factory = self.engine_factory.clone();
         let durable = self.durable.clone();
-        let (engine_config, topology, actors, layout, config, trace) = self.build_parts();
+        let (engine_config, topology, actors, layout, config, trace) = self.try_build_parts()?;
         let mut engine = Engine::new(engine_config, topology, actors);
         if trace.is_enabled() {
             // Network-level events come from the substrate, not the
@@ -210,7 +218,7 @@ impl DeploymentBuilder {
                 sink.record(t.as_micros(), node, kind);
             });
         }
-        SimFrontend {
+        Ok(SimFrontend {
             engine,
             layout,
             config,
@@ -218,7 +226,7 @@ impl DeploymentBuilder {
             engine_factory,
             durable,
             trace,
-        }
+        })
     }
 
     /// Builds the deployment pieces without an engine — used by external
@@ -226,6 +234,9 @@ impl DeploymentBuilder {
     /// same actors themselves. The returned [`TraceSink`] is the
     /// deployment-wide sink already installed on every actor: a no-op
     /// handle unless [`SystemConfig::trace`] is set.
+    ///
+    /// # Panics
+    /// Panics on a spec [`DeploymentBuilder::try_build_parts`] rejects.
     #[allow(clippy::type_complexity)]
     pub fn build_parts(
         self,
@@ -237,12 +248,47 @@ impl DeploymentBuilder {
         Arc<SystemConfig>,
         TraceSink,
     ) {
+        self.try_build_parts().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`DeploymentBuilder::build_parts`]: validates the
+    /// deployment spec and returns [`HatError::InvalidDeployment`] for a
+    /// spec the layout cannot route over (no clusters, a zero-server
+    /// cluster, unequal cluster sizes — positional anti-entropy peering
+    /// requires equal partition counts — or zero session slots).
+    #[allow(clippy::type_complexity)]
+    pub fn try_build_parts(
+        self,
+    ) -> Result<
+        (
+            EngineConfig,
+            Topology,
+            Vec<Node>,
+            Arc<ClusterLayout>,
+            Arc<SystemConfig>,
+            TraceSink,
+        ),
+        HatError,
+    > {
         let sizes: Vec<usize> = self.spec.clusters.iter().map(|(_, n)| *n).collect();
-        assert!(!sizes.is_empty(), "need at least one cluster");
-        assert!(
-            sizes.iter().all(|&n| n == sizes[0] && n > 0),
-            "clusters must be equal-sized and non-empty, got {sizes:?}"
-        );
+        if sizes.is_empty() {
+            return Err(HatError::InvalidDeployment {
+                reason: "spec declares no clusters".into(),
+            });
+        }
+        if sizes.contains(&0) {
+            return Err(HatError::InvalidDeployment {
+                reason: format!("spec declares a zero-server cluster: {sizes:?}"),
+            });
+        }
+        if sizes.iter().any(|&n| n != sizes[0]) {
+            return Err(HatError::InvalidDeployment {
+                reason: format!(
+                    "clusters must be equal-sized (positional anti-entropy \
+                     peering pairs replicas by index), got {sizes:?}"
+                ),
+            });
+        }
         let n_clusters = sizes.len();
 
         let mut topology = Topology::new();
@@ -255,7 +301,12 @@ impl DeploymentBuilder {
         } else {
             self.drivers.len()
         };
-        assert!(n_clients > 0, "need at least one session slot");
+        if n_clients == 0 {
+            return Err(HatError::InvalidDeployment {
+                reason: "deployment provisions no session slots".into(),
+            });
+        }
+        // Homes derived for any client count: round-robin over clusters.
         let mut clients = Vec::with_capacity(n_clients);
         let mut client_home = Vec::with_capacity(n_clients);
         for i in 0..n_clients {
@@ -264,11 +315,7 @@ impl DeploymentBuilder {
             clients.push(topology.add_node(site));
             client_home.push(home);
         }
-        let layout = Arc::new(ClusterLayout {
-            servers,
-            clients: clients.clone(),
-            client_home,
-        });
+        let layout = Arc::new(ClusterLayout::new(servers, clients.clone(), client_home));
         let mut config = self.config;
         if let Some(retry) = self.retry {
             config.retry = retry;
@@ -323,7 +370,7 @@ impl DeploymentBuilder {
             actors.push(Node::Client(c));
         }
 
-        (
+        Ok((
             EngineConfig {
                 seed: self.seed,
                 latency: self.latency,
@@ -334,7 +381,7 @@ impl DeploymentBuilder {
             layout,
             config,
             trace,
-        )
+        ))
     }
 }
 
@@ -559,6 +606,37 @@ impl SimFrontend {
         self.engine.restart_with(node, Node::Server(server));
     }
 
+    /// Starts a live handoff of ring token `token` to the replica at
+    /// `to_position`, in every cluster simultaneously (handoffs are
+    /// symmetric so replicas of a key stay positional across clusters).
+    /// The `BeginHandoff` is broadcast to every server of each cluster;
+    /// only the token's *current* owner acts on it — which makes chained
+    /// handoffs (A→B, later B→C or B→A) work without the caller
+    /// tracking who owns what. A no-op when the owner already is at
+    /// `to_position` or a handoff for the token is in flight.
+    ///
+    /// # Panics
+    /// Panics if `to_position` is not a valid position in the ring.
+    pub fn begin_handoff(&mut self, token: u32, to_position: u32) {
+        assert!(
+            (to_position as usize) < self.layout.shards_per_cluster(),
+            "begin_handoff: position {to_position} out of range"
+        );
+        for cluster in 0..self.layout.num_clusters() {
+            let to = self.layout.servers[cluster][to_position as usize];
+            for &server in &self.layout.servers[cluster].clone() {
+                if self.engine.is_crashed(server) {
+                    continue;
+                }
+                self.engine.with_actor_ctx(server, |node, ctx| {
+                    if let Some(s) = node.as_server_mut() {
+                        s.begin_handoff(ctx, token, to);
+                    }
+                });
+            }
+        }
+    }
+
     fn abandon_client(&mut self, client: NodeId) {
         // Needs a full Ctx: abandoning releases any held 2PL locks.
         self.engine.with_actor_ctx(client, |node, ctx| {
@@ -585,8 +663,11 @@ impl SimFrontend {
     }
 
     /// Steps the engine until `client` has no outstanding network round,
-    /// or the operation deadline passes.
-    fn wait_idle(&mut self, client: NodeId) -> Result<(), HatError> {
+    /// or the operation deadline passes. On deadline the error names the
+    /// key being operated on (when the caller knows one), so a sticky
+    /// client whose home cluster has crashed every replica surfaces
+    /// *which* item was unreachable instead of a bare timeout.
+    fn wait_idle(&mut self, client: NodeId, key: Option<&Key>) -> Result<(), HatError> {
         let deadline = self.engine.now() + self.config.op_deadline;
         loop {
             let busy = self
@@ -602,7 +683,11 @@ impl SimFrontend {
                 Some(t) if t <= deadline => {
                     self.engine.step();
                 }
-                _ => return Err(HatError::Unavailable { key: None }),
+                _ => {
+                    return Err(HatError::Unavailable {
+                        key: key.map(|k| String::from_utf8_lossy(k).into_owned()),
+                    })
+                }
             }
         }
     }
@@ -620,10 +705,11 @@ impl TxnBackend for SimFrontend {
 
     fn exec_get(&mut self, session: &Session, key: Key) -> Result<Option<Bytes>, HatError> {
         let client = session.node();
+        let attributed = key.clone();
         self.engine.with_actor_ctx(client, |node, ctx| {
             node.as_client_mut().unwrap().issue_read(ctx, key)
         });
-        self.wait_idle(client)?;
+        self.wait_idle(client, Some(&attributed))?;
         self.check_interrupted(client)?;
         Ok(self
             .engine
@@ -648,10 +734,11 @@ impl TxnBackend for SimFrontend {
         }
         let n = keys.len();
         let client = session.node();
+        let attributed = keys.first().cloned();
         self.engine.with_actor_ctx(client, |node, ctx| {
             node.as_client_mut().unwrap().issue_read_many(ctx, keys)
         });
-        self.wait_idle(client)?;
+        self.wait_idle(client, attributed.as_ref())?;
         self.check_interrupted(client)?;
         Ok(self
             .engine
@@ -663,19 +750,21 @@ impl TxnBackend for SimFrontend {
 
     fn exec_put(&mut self, session: &Session, key: Key, value: Bytes) -> Result<(), HatError> {
         let client = session.node();
+        let attributed = key.clone();
         self.engine.with_actor_ctx(client, |node, ctx| {
             node.as_client_mut().unwrap().issue_write(ctx, key, value)
         });
-        self.wait_idle(client)?;
+        self.wait_idle(client, Some(&attributed))?;
         self.check_interrupted(client)
     }
 
     fn exec_scan(&mut self, session: &Session, prefix: Key) -> Result<Vec<(Key, Bytes)>, HatError> {
         let client = session.node();
+        let attributed = prefix.clone();
         self.engine.with_actor_ctx(client, |node, ctx| {
             node.as_client_mut().unwrap().issue_scan(ctx, prefix)
         });
-        self.wait_idle(client)?;
+        self.wait_idle(client, Some(&attributed))?;
         self.check_interrupted(client)?;
         Ok(self
             .engine
@@ -697,7 +786,7 @@ impl TxnBackend for SimFrontend {
         self.engine.with_actor_ctx(client, |node, ctx| {
             node.as_client_mut().unwrap().start_commit(ctx)
         });
-        if let Err(e) = self.wait_idle(client) {
+        if let Err(e) = self.wait_idle(client, None) {
             self.abandon_client(client);
             return Err(e);
         }

@@ -225,6 +225,11 @@ struct ActiveTxn {
     commit_issue: u64,
     /// 2PL: lock masters holding our locks (for unlock).
     locks_held: Vec<(Key, NodeId)>,
+    /// 2PL commit: true while the `commit_waiting` entries are
+    /// [`Msg::LockCheck`] validations of read-locked keys (sent before
+    /// the write flush). A `false` answer — the master crashed and lost
+    /// the lock — aborts the transaction instead of committing.
+    locks_validating: bool,
 }
 
 /// The client actor.
@@ -254,6 +259,11 @@ pub struct Client {
     /// built with `SystemConfig::trace`; recording never touches the rng,
     /// so traced runs stay bit-identical to untraced ones.
     trace: TraceSink,
+    /// Shard-routing overrides learnt from [`Msg::WrongShard`] NACKs:
+    /// ring token → new owner *position*. A handoff moves a token's
+    /// position in every cluster at once (handoffs are positional), so
+    /// one override redirects the token's replica in all clusters.
+    shard_overrides: BTreeMap<u32, u32>,
 }
 
 /// Timer tag bit marking a 2PL lock timeout (vs a retry timer).
@@ -288,6 +298,7 @@ impl Client {
             driver: None,
             issue_counter: 0,
             trace: TraceSink::disabled(),
+            shard_overrides: BTreeMap::new(),
         }
     }
 
@@ -505,6 +516,7 @@ impl Client {
             commit_attempts: 0,
             commit_issue: 0,
             locks_held: Vec::new(),
+            locks_validating: false,
         });
         id
     }
@@ -799,7 +811,7 @@ impl Client {
                 let stamp = self.write_stamp();
                 let record: SharedRecord = Record::new(stamp, value.clone()).into();
                 let target = if self.config.protocol == ProtocolKind::Master {
-                    self.layout.master(&key)
+                    self.route_master(&key)
                 } else {
                     self.pick_replica(ctx, &key)
                 };
@@ -908,7 +920,7 @@ impl Client {
                 };
                 for (op, k, record) in to_send {
                     let target = if protocol.is_ramp() {
-                        self.layout.replica_in_cluster(&k, ramp_cluster)
+                        self.route_in_cluster(&k, ramp_cluster)
                     } else {
                         self.pick_replica(ctx, &k)
                     };
@@ -931,47 +943,97 @@ impl Client {
                 }
             }
             ProtocolKind::TwoPhaseLocking => {
-                let txn = self.current.as_mut().unwrap();
-                if txn.write_buffer.is_empty() {
-                    self.unlock_and_finish(ctx, TxnOutcome::Committed);
+                let txn = self.current.as_ref().unwrap();
+                // Keys locked for reading only. Their locks back the
+                // serializability of the read set, but nothing on the
+                // write path ever re-checks them: a crashed master
+                // rebuilds an empty lock table, a conflicting writer
+                // gets the key, and this transaction would commit write
+                // skew. Validate them before publishing anything.
+                let read_only: Vec<(Key, NodeId)> = txn
+                    .locks_held
+                    .iter()
+                    .filter(|(k, _)| !txn.write_buffer.iter().any(|(wk, _)| wk == k))
+                    .cloned()
+                    .collect();
+                // A single-lock read-only transaction is trivially
+                // serializable at its read point; skip the round.
+                if read_only.is_empty()
+                    || (txn.write_buffer.is_empty() && txn.locks_held.len() <= 1)
+                {
+                    self.flush_twopl_writes(ctx);
                     return;
-                }
-                let id = self.write_stamp();
-                let txn = self.current.as_mut().unwrap();
-                let mut to_send = Vec::new();
-                let mut keys: Vec<Key> = Vec::new();
-                let mut values: BTreeMap<Key, Bytes> = BTreeMap::new();
-                for (k, v) in &txn.write_buffer {
-                    if !keys.contains(k) {
-                        keys.push(k.clone());
-                    }
-                    values.insert(k.clone(), v.clone());
-                }
-                for k in &keys {
-                    let record: SharedRecord = Record::new(id, values.remove(k).unwrap()).into();
-                    let op = txn.op_seq;
-                    txn.op_seq += 1;
-                    to_send.push((op, k.clone(), record));
                 }
                 let issue_id = self.next_issue(ctx, 0);
                 self.metrics.msg_rounds += 1;
-                self.current.as_mut().unwrap().commit_issue = issue_id;
-                for (op, k, record) in to_send {
-                    let target = self.layout.master(&k);
-                    let txn = self.current.as_mut().unwrap();
-                    txn.commit_waiting
-                        .insert(op, (k.clone(), record.clone(), target));
-                    ctx.send(
-                        target,
-                        Msg::Put {
-                            txn: txn.id,
-                            op,
-                            key: k,
-                            record,
-                        },
+                let txn = self.current.as_mut().unwrap();
+                txn.locks_validating = true;
+                txn.commit_issue = issue_id;
+                let id = txn.id;
+                let mut to_send = Vec::new();
+                for (k, master) in read_only {
+                    let op = txn.op_seq;
+                    txn.op_seq += 1;
+                    // Placeholder record: validation entries ride the
+                    // commit-wait machinery (drain + retry) but are
+                    // never installed anywhere.
+                    txn.commit_waiting.insert(
+                        op,
+                        (k.clone(), Record::new(id, Bytes::new()).into(), master),
                     );
+                    to_send.push((op, k, master));
+                }
+                for (op, key, master) in to_send {
+                    ctx.send(master, Msg::LockCheck { txn: id, op, key });
                 }
             }
+        }
+    }
+
+    /// Flushes the 2PL write buffer as stamped `Put`s to each key's
+    /// lock master (read-only transactions just unlock and finish).
+    /// Runs after commit-time lock validation when the transaction
+    /// holds read locks, immediately otherwise.
+    fn flush_twopl_writes(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let txn = self.current.as_mut().unwrap();
+        if txn.write_buffer.is_empty() {
+            self.unlock_and_finish(ctx, TxnOutcome::Committed);
+            return;
+        }
+        let id = self.write_stamp();
+        let txn = self.current.as_mut().unwrap();
+        let mut to_send = Vec::new();
+        let mut keys: Vec<Key> = Vec::new();
+        let mut values: BTreeMap<Key, Bytes> = BTreeMap::new();
+        for (k, v) in &txn.write_buffer {
+            if !keys.contains(k) {
+                keys.push(k.clone());
+            }
+            values.insert(k.clone(), v.clone());
+        }
+        for k in &keys {
+            let record: SharedRecord = Record::new(id, values.remove(k).unwrap()).into();
+            let op = txn.op_seq;
+            txn.op_seq += 1;
+            to_send.push((op, k.clone(), record));
+        }
+        let issue_id = self.next_issue(ctx, 0);
+        self.metrics.msg_rounds += 1;
+        self.current.as_mut().unwrap().commit_issue = issue_id;
+        for (op, k, record) in to_send {
+            let target = self.layout.master(&k);
+            let txn = self.current.as_mut().unwrap();
+            txn.commit_waiting
+                .insert(op, (k.clone(), record.clone(), target));
+            ctx.send(
+                target,
+                Msg::Put {
+                    txn: txn.id,
+                    op,
+                    key: k,
+                    record,
+                },
+            );
         }
     }
 
@@ -1036,15 +1098,35 @@ impl Client {
         required
     }
 
+    /// Resolves `key` to a server of `cluster`, honouring shard
+    /// overrides learnt from [`Msg::WrongShard`] NACKs: a token
+    /// mid-handoff routes to its new owner position, everything else
+    /// follows the layout ring.
+    fn route_in_cluster(&self, key: &Key, cluster: usize) -> NodeId {
+        if !self.shard_overrides.is_empty() {
+            if let Some(&pos) = self.shard_overrides.get(&self.layout.ring().token_of(key)) {
+                return self.layout.servers[cluster][pos as usize];
+            }
+        }
+        self.layout.replica_in_cluster(key, cluster)
+    }
+
+    /// The master replica of `key`, honouring shard overrides.
+    fn route_master(&self, key: &Key) -> NodeId {
+        self.route_in_cluster(key, self.layout.master_cluster(key))
+    }
+
     /// Chooses the replica to contact for `key`.
     fn pick_replica(&mut self, ctx: &mut Ctx<'_, Msg>, key: &Key) -> NodeId {
         match self.config.protocol {
-            ProtocolKind::Master => self.layout.master(key),
+            ProtocolKind::Master => self.route_master(key),
+            // 2PL is exempt from shard cutover (lock tables stay pinned
+            // to the ring owner), so its routing ignores overrides.
             ProtocolKind::TwoPhaseLocking => self.layout.master(key),
-            _ if self.session.sticky => self.layout.replica_in_cluster(key, self.home),
+            _ if self.session.sticky => self.route_in_cluster(key, self.home),
             _ => {
                 let c = ctx.rng().gen_range(0..self.layout.num_clusters());
-                self.layout.replica_in_cluster(key, c)
+                self.route_in_cluster(key, c)
             }
         }
     }
@@ -1625,9 +1707,127 @@ impl Client {
             Msg::ScanResp { txn, op, matches } => self.on_scan_resp(ctx, from, txn, op, matches),
             Msg::PutResp { txn, op } => self.on_put_resp(ctx, txn, op),
             Msg::CommitBatchResp { txn, ops } => self.on_commit_batch_resp(ctx, txn, ops),
-            Msg::LockResp { txn, op } => self.on_lock_resp(ctx, txn, op),
+            Msg::LockResp { txn, op, floor } => self.on_lock_resp(ctx, txn, op, floor),
+            Msg::LockCheckResp { txn, op, ok } => self.on_lock_check_resp(ctx, txn, op, ok),
+            Msg::WrongShard {
+                txn,
+                op,
+                key,
+                owner,
+            } => self.on_wrong_shard(ctx, txn, op, key, owner),
             _ => {} // stray server traffic: ignore
         }
+    }
+
+    /// A server NACKed an op because the key's shard token was handed
+    /// off to a new owner. Learn the override — every future route of
+    /// that token (in any cluster) follows it — then resend the NACKed
+    /// request to the owner. A stale NACK (the op already completed or
+    /// was retried elsewhere) still teaches the route but resends
+    /// nothing.
+    fn on_wrong_shard(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        txn_id: Timestamp,
+        op: u32,
+        key: Key,
+        owner: NodeId,
+    ) {
+        if let Some(pos) = self.layout.position_of(owner) {
+            self.shard_overrides
+                .insert(self.layout.ring().token_of(&key), pos);
+        }
+        self.metrics.shard_redirects += 1;
+        self.trace_ev(
+            ctx.now(),
+            TraceEventKind::ShardRedirect {
+                txn: self.trace_txn(),
+                owner,
+            },
+        );
+        // Redirect the matching single pending op.
+        if self.matches_pending(txn_id, op) {
+            let required = self.required_floor(&key);
+            let txn = self.current.as_mut().unwrap();
+            let id = txn.id;
+            let write_stamp = txn.write_stamp;
+            let pending = txn.pending.as_mut().unwrap();
+            let msg = match &mut pending.kind {
+                PendingKind::Read { key } => Some(Msg::Get {
+                    txn: id,
+                    op,
+                    key: key.clone(),
+                    required,
+                }),
+                PendingKind::WriteNow { key, value } => Some(Msg::Put {
+                    txn: id,
+                    op,
+                    key: key.clone(),
+                    record: Record::new(write_stamp.unwrap_or(id), value.clone()).into(),
+                }),
+                PendingKind::RampTs { key } => Some(Msg::GetTs {
+                    txn: id,
+                    op,
+                    key: key.clone(),
+                }),
+                // Only round-1 sub-requests are NACKed (round 2 is
+                // pinned to where round 1 answered); repoint this key's
+                // replica and resend its timestamp probe.
+                PendingKind::RampBatch {
+                    pending_ts,
+                    targets,
+                    ..
+                } => pending_ts.get(&op).cloned().map(|k| {
+                    targets.insert(k.clone(), owner);
+                    Msg::GetTs {
+                        txn: id,
+                        op,
+                        key: k,
+                    }
+                }),
+                // Scans are scatter-gather (old and new owner both
+                // answer), RAMP round 2 and 2PL locks are pinned:
+                // servers never NACK them.
+                _ => None,
+            };
+            if let Some(msg) = msg {
+                if !matches!(pending.kind, PendingKind::RampBatch { .. }) {
+                    pending.target = owner;
+                }
+                ctx.send(owner, msg);
+            }
+            return;
+        }
+        // Commit-phase put (RC/MAV flush or a RAMP prepare): repoint
+        // the stored target and resend. RAMP phase 2 must land where
+        // phase 1 prepared, so the pinned `ramp_commit_keys` entry
+        // moves with it. Once phase 2 has started the prepare already
+        // landed somewhere — a late NACK only teaches the route.
+        let Some(txn) = self.current.as_mut() else {
+            return;
+        };
+        if txn.id != txn_id || txn.ramp_committing {
+            return;
+        }
+        let Some(entry) = txn.commit_waiting.get_mut(&op) else {
+            return;
+        };
+        entry.2 = owner;
+        let (k, record) = (entry.0.clone(), entry.1.clone());
+        for t in txn.ramp_commit_keys.iter_mut() {
+            if t.0 == k {
+                t.1 = owner;
+            }
+        }
+        ctx.send(
+            owner,
+            Msg::Put {
+                txn: txn_id,
+                op,
+                key: k,
+                record,
+            },
+        );
     }
 
     fn matches_pending(&self, txn: Timestamp, op: u32) -> bool {
@@ -1921,7 +2121,11 @@ impl Client {
         else {
             unreachable!("checked above");
         };
-        acc.sort_by(|a, b| a.0.cmp(&b.0));
+        // Mid-handoff the old and new owner of a token both answer the
+        // scatter with the token's keys: keep the freshest version of
+        // each key.
+        acc.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.stamp.cmp(&a.1.stamp)));
+        acc.dedup_by(|a, b| a.0 == b.0);
         self.metrics
             .record_op(OpKind::Scan, ctx.now().since(pending.issued));
         self.trace_ev(
@@ -2015,17 +2219,36 @@ impl Client {
             // commit markers that make the writes visible.
             self.start_ramp_commit_phase(ctx);
         } else if self.config.protocol == ProtocolKind::TwoPhaseLocking {
-            self.unlock_and_finish(ctx, TxnOutcome::Committed);
+            if txn.locks_validating {
+                // Every read lock is confirmed still on its master's
+                // table; now the writes may be published.
+                txn.locks_validating = false;
+                self.flush_twopl_writes(ctx);
+            } else {
+                self.unlock_and_finish(ctx, TxnOutcome::Committed);
+            }
         } else {
             self.finish_txn(ctx, TxnOutcome::Committed);
         }
         // driver mode continues inside finish_txn
     }
 
-    fn on_lock_resp(&mut self, ctx: &mut Ctx<'_, Msg>, txn_id: Timestamp, op: u32) {
+    fn on_lock_resp(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        txn_id: Timestamp,
+        op: u32,
+        floor: Timestamp,
+    ) {
         if !self.matches_pending(txn_id, op) {
             return;
         }
+        // Lamport-advance past the granted key's current version even if
+        // this transaction never reads it: the commit stamp must dominate
+        // every locked key's version, or a *blind* write could carry a
+        // stamp that last-writer-wins orders behind the version it
+        // overwrote, inverting the lock serialization order.
+        self.tsgen.observe(floor);
         let txn = self.current.as_mut().unwrap();
         let pending = txn.pending.take().unwrap();
         let PendingKind::Lock {
@@ -2095,6 +2318,33 @@ impl Client {
                 self.step_plan(ctx);
             }
         }
+    }
+
+    /// Answer to a commit-time [`Msg::LockCheck`]. `ok` drains the
+    /// validation set like a commit ack; `!ok` means the lock master
+    /// crashed and lost this transaction's lock — the read set may
+    /// already be overwritten by a freshly granted writer, so the
+    /// transaction aborts instead of publishing write skew.
+    fn on_lock_check_resp(&mut self, ctx: &mut Ctx<'_, Msg>, txn_id: Timestamp, op: u32, ok: bool) {
+        let valid = self
+            .current
+            .as_ref()
+            .map(|t| t.id == txn_id && t.locks_validating && t.commit_waiting.contains_key(&op))
+            .unwrap_or(false);
+        if !valid {
+            return;
+        }
+        let txn = self.current.as_mut().unwrap();
+        if !ok {
+            txn.locks_validating = false;
+            txn.commit_waiting.clear();
+            txn.pending = None;
+            self.release_locks(ctx);
+            self.finish_txn(ctx, TxnOutcome::AbortedExternal);
+            return;
+        }
+        txn.commit_waiting.remove(&op);
+        self.after_commit_acks(ctx);
     }
 
     fn unlock_and_finish(&mut self, ctx: &mut Ctx<'_, Msg>, outcome: TxnOutcome) {
@@ -2294,6 +2544,7 @@ impl Client {
             let txn = self.current.as_mut().unwrap();
             let id = txn.id;
             let ramp_phase2 = txn.ramp_committing;
+            let validating = txn.locks_validating;
             txn.commit_attempts += 1;
             let attempts = txn.commit_attempts;
             let resend: Vec<(u32, Key, SharedRecord, NodeId)> = txn
@@ -2316,6 +2567,14 @@ impl Client {
                     .map(|(op, key, _, target)| (op, key, target))
                     .collect();
                 self.send_commit_marks(ctx, id, ts, marks);
+                return;
+            }
+            if validating {
+                // 2PL lock-validation phase: re-ask the lock masters,
+                // never re-send writes (nothing is published yet).
+                for (op, key, _, target) in resend {
+                    ctx.send(target, Msg::LockCheck { txn: id, op, key });
+                }
                 return;
             }
             for (op, key, record, mut target) in resend {

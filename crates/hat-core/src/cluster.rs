@@ -4,9 +4,12 @@
 //! servers that each contain a single, fully replicated copy of the data
 //! — typically across datacenters and stick all clients within a
 //! datacenter to their respective cluster." Within a cluster, data is
-//! hash-partitioned across servers. So every key has exactly one replica
-//! per cluster, and its replica set has one server in each cluster.
+//! hash-partitioned across servers — here via the consistent-hash
+//! [`ShardRing`], so every key has exactly one replica per cluster, its
+//! replica set has one server (the same position) in each cluster, and
+//! resizing a cluster remaps only ~1/N of the keyspace.
 
+use crate::shard::ShardRing;
 use hat_sim::{NodeId, Region, Site};
 use hat_storage::Key;
 use serde::{Deserialize, Serialize};
@@ -74,9 +77,56 @@ pub struct ClusterLayout {
     pub clients: Vec<NodeId>,
     /// Home cluster index of each client (parallel to `clients`).
     pub client_home: Vec<usize>,
+    /// The consistent-hash ring mapping keys to server positions.
+    /// Shared by every cluster (clusters are equal-sized), which keeps
+    /// replica sets and anti-entropy peering positional.
+    ring: ShardRing,
+    /// Dense `NodeId → cluster index` (None for clients): message paths
+    /// resolve the receiving cluster on every dispatch, so this must be
+    /// O(1) rather than a scan over every server list.
+    cluster_by_node: Vec<Option<u32>>,
+    /// Dense `NodeId → position within its cluster` (None for clients).
+    position_by_node: Vec<Option<u32>>,
 }
 
 impl ClusterLayout {
+    /// Builds a layout, computing the shard ring and the O(1) node
+    /// lookup tables. Callers validate the spec first
+    /// ([`crate::DeploymentBuilder::try_build`] reports a typed error);
+    /// these asserts are the backstop for hand-built layouts.
+    pub fn new(servers: Vec<Vec<NodeId>>, clients: Vec<NodeId>, client_home: Vec<usize>) -> Self {
+        assert!(!servers.is_empty(), "need at least one cluster");
+        let per_cluster = servers[0].len();
+        assert!(
+            per_cluster > 0 && servers.iter().all(|c| c.len() == per_cluster),
+            "clusters must be equal-sized and non-empty"
+        );
+        assert_eq!(clients.len(), client_home.len(), "one home per client");
+        let max_id = servers
+            .iter()
+            .flatten()
+            .chain(clients.iter())
+            .copied()
+            .max()
+            .unwrap_or(0) as usize;
+        let mut cluster_by_node = vec![None; max_id + 1];
+        let mut position_by_node = vec![None; max_id + 1];
+        for (c, cluster) in servers.iter().enumerate() {
+            for (pos, &id) in cluster.iter().enumerate() {
+                cluster_by_node[id as usize] = Some(c as u32);
+                position_by_node[id as usize] = Some(pos as u32);
+            }
+        }
+        ClusterLayout {
+            ring: ShardRing::new(per_cluster),
+            servers,
+            clients,
+            client_home,
+            cluster_by_node,
+            position_by_node,
+        }
+    }
+
     /// Number of clusters (= replicas per key).
     pub fn num_clusters(&self) -> usize {
         self.servers.len()
@@ -87,35 +137,57 @@ impl ClusterLayout {
         self.servers.iter().map(|c| c.len()).sum()
     }
 
-    /// The replica of `key` within `cluster` (hash partitioning).
-    pub fn replica_in_cluster(&self, key: &Key, cluster: usize) -> NodeId {
-        let servers = &self.servers[cluster];
-        servers[(fnv1a(key) % servers.len() as u64) as usize]
+    /// Servers (= shards) per cluster.
+    pub fn shards_per_cluster(&self) -> usize {
+        self.servers[0].len()
     }
 
-    /// All replicas of `key`: one server per cluster.
+    /// The shard ring (base token placement, before handoff overrides).
+    pub fn ring(&self) -> &ShardRing {
+        &self.ring
+    }
+
+    /// The replica of `key` within `cluster` (consistent-hash
+    /// partitioning over server positions).
+    pub fn replica_in_cluster(&self, key: &Key, cluster: usize) -> NodeId {
+        self.servers[cluster][self.ring.owner_position(key) as usize]
+    }
+
+    /// All replicas of `key`: one server (the same position) per
+    /// cluster.
     pub fn replicas(&self, key: &Key) -> Vec<NodeId> {
         (0..self.num_clusters())
             .map(|c| self.replica_in_cluster(key, c))
             .collect()
     }
 
-    /// The designated master replica of `key` (deterministic
-    /// pseudo-random cluster choice, as in the prototype's "randomly
-    /// designated master replica for each key").
-    pub fn master(&self, key: &Key) -> NodeId {
+    /// The cluster holding `key`'s designated master (deterministic
+    /// pseudo-random choice, as in the prototype's "randomly designated
+    /// master replica for each key").
+    pub fn master_cluster(&self, key: &Key) -> usize {
         // A second, independent hash picks the master cluster so masters
         // spread across clusters rather than all landing in cluster 0.
         let h = fnv1a(key).rotate_left(17) ^ 0x9E37_79B9_7F4A_7C15;
-        let cluster = (h % self.num_clusters() as u64) as usize;
-        self.replica_in_cluster(key, cluster)
+        (h % self.num_clusters() as u64) as usize
     }
 
-    /// Cluster index of server `id`, if it is a server.
+    /// The designated master replica of `key`.
+    pub fn master(&self, key: &Key) -> NodeId {
+        self.replica_in_cluster(key, self.master_cluster(key))
+    }
+
+    /// Cluster index of server `id`, if it is a server. O(1).
     pub fn cluster_of(&self, id: NodeId) -> Option<usize> {
-        self.servers
-            .iter()
-            .position(|servers| servers.contains(&id))
+        self.cluster_by_node
+            .get(id as usize)
+            .copied()
+            .flatten()
+            .map(|c| c as usize)
+    }
+
+    /// Position of server `id` within its cluster, if it is a server.
+    pub fn position_of(&self, id: NodeId) -> Option<u32> {
+        self.position_by_node.get(id as usize).copied().flatten()
     }
 
     /// The home cluster of client node `id`.
@@ -136,18 +208,14 @@ impl ClusterLayout {
     /// server in every *other* cluster, given a representative key is not
     /// needed: peers are positional (server index within cluster).
     pub fn anti_entropy_peers(&self, server: NodeId) -> Vec<NodeId> {
-        let Some(cluster) = self.cluster_of(server) else {
+        let (Some(cluster), Some(pos)) = (self.cluster_of(server), self.position_of(server)) else {
             return Vec::new();
         };
-        let pos = self.servers[cluster]
-            .iter()
-            .position(|&s| s == server)
-            .unwrap();
         self.servers
             .iter()
             .enumerate()
             .filter(|(c, _)| *c != cluster)
-            .filter_map(|(_, servers)| servers.get(pos).copied())
+            .filter_map(|(_, servers)| servers.get(pos as usize).copied())
             .collect()
     }
 }
@@ -156,7 +224,11 @@ impl ClusterLayout {
 mod tests {
     use super::*;
 
-    fn layout(clusters: usize, servers_each: usize) -> ClusterLayout {
+    fn layout_with_clients(
+        clusters: usize,
+        servers_each: usize,
+        n_clients: usize,
+    ) -> ClusterLayout {
         let mut next = 0u32;
         let servers: Vec<Vec<NodeId>> = (0..clusters)
             .map(|_| {
@@ -169,11 +241,15 @@ mod tests {
                     .collect()
             })
             .collect();
-        ClusterLayout {
-            servers,
-            clients: vec![next, next + 1],
-            client_home: vec![0, 1 % clusters],
-        }
+        let clients: Vec<NodeId> = (0..n_clients as u32).map(|i| next + i).collect();
+        // Homes are derived for any client count (round-robin over
+        // clusters), not hardcoded for exactly two clients.
+        let client_home = (0..n_clients).map(|i| i % clusters).collect();
+        ClusterLayout::new(servers, clients, client_home)
+    }
+
+    fn layout(clusters: usize, servers_each: usize) -> ClusterLayout {
+        layout_with_clients(clusters, servers_each, 2)
     }
 
     #[test]
@@ -251,5 +327,62 @@ mod tests {
         // lock in the hash so partitioning never silently changes
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn cluster_and_position_lookups_are_consistent() {
+        let l = layout(3, 4);
+        for (c, cluster) in l.servers.iter().enumerate() {
+            for (pos, &id) in cluster.iter().enumerate() {
+                assert_eq!(l.cluster_of(id), Some(c));
+                assert_eq!(l.position_of(id), Some(pos as u32));
+            }
+        }
+        for &client in &l.clients {
+            assert_eq!(l.cluster_of(client), None);
+            assert_eq!(l.position_of(client), None);
+        }
+        // ids beyond the dense table are not servers either
+        assert_eq!(l.cluster_of(10_000), None);
+    }
+
+    #[test]
+    fn homes_derived_for_any_client_count() {
+        let l = layout_with_clients(3, 2, 7);
+        assert_eq!(l.clients.len(), 7);
+        for (i, &client) in l.clients.iter().enumerate() {
+            assert_eq!(l.home_of(client), i % 3);
+        }
+    }
+
+    #[test]
+    fn replicas_are_positional_across_clusters() {
+        // The shared ring places a key at the same position in every
+        // cluster, which is what keeps anti-entropy peering positional.
+        let l = layout(3, 5);
+        for i in 0..50 {
+            let key = Key::from(format!("pos-{i}"));
+            let reps = l.replicas(&key);
+            let positions: Vec<u32> = reps.iter().map(|&r| l.position_of(r).unwrap()).collect();
+            assert!(positions.windows(2).all(|w| w[0] == w[1]), "{positions:?}");
+        }
+    }
+
+    #[test]
+    fn resize_remaps_a_bounded_fraction() {
+        // The consistent-hash contract at the layout level: growing a
+        // cluster from n to n+1 servers moves ~1/(n+1) of the keyspace,
+        // where modulo placement moved ~all of it.
+        let small = layout(1, 8);
+        let grown = layout(1, 9);
+        let samples = 2000;
+        let moved = (0..samples)
+            .filter(|i| {
+                let key = Key::from(format!("resize-{i}"));
+                small.ring().owner_position(&key) != grown.ring().owner_position(&key)
+            })
+            .count();
+        assert!(moved <= 2 * samples / 8, "moved {moved}/{samples}");
+        assert!(moved > 0);
     }
 }

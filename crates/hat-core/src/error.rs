@@ -31,6 +31,14 @@ pub enum HatError {
         /// The application-provided reason.
         reason: String,
     },
+    /// The deployment description is unusable (for example a
+    /// [`crate::ClusterSpec`] declaring a zero-server cluster):
+    /// rejected at build time instead of panicking on the first routed
+    /// key.
+    InvalidDeployment {
+        /// What was wrong with the spec.
+        reason: String,
+    },
 }
 
 impl fmt::Display for HatError {
@@ -42,6 +50,7 @@ impl fmt::Display for HatError {
             HatError::Unavailable { key: None } => write!(f, "unavailable: operation timed out"),
             HatError::ExternalAbort { reason } => write!(f, "external abort: {reason}"),
             HatError::InternalAbort { reason } => write!(f, "internal abort: {reason}"),
+            HatError::InvalidDeployment { reason } => write!(f, "invalid deployment: {reason}"),
         }
     }
 }
@@ -50,10 +59,14 @@ impl std::error::Error for HatError {}
 
 impl HatError {
     /// True if this abort counts against transactional availability
-    /// (§4.2): unavailability and external aborts do; internal aborts are
-    /// the transaction's own doing.
+    /// (§4.2): unavailability and external aborts do; internal aborts
+    /// are the transaction's own doing and configuration errors never
+    /// reach a running transaction.
     pub fn violates_availability(&self) -> bool {
-        !matches!(self, HatError::InternalAbort { .. })
+        !matches!(
+            self,
+            HatError::InternalAbort { .. } | HatError::InvalidDeployment { .. }
+        )
     }
 }
 

@@ -60,6 +60,7 @@ pub mod metrics;
 pub mod node;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 pub mod survey;
 pub mod taxonomy;
 pub mod timestamp;
@@ -76,6 +77,7 @@ pub use metrics::ClientMetrics;
 pub use node::Node;
 pub use protocol::{engine_for, ProtocolEngine, ServerView};
 pub use server::{Server, ServerStats};
+pub use shard::ShardRing;
 pub use timestamp::{Timestamp, TimestampGen};
 pub use txn::{Op, OpRecord, TxnOutcome, TxnRecord, TxnSpec};
 

@@ -127,6 +127,22 @@ pub enum Msg {
         /// Keys to release.
         keys: Vec<Key>,
     },
+    /// 2PL commit-time validation: is `txn`'s lock on `key` still on
+    /// the master's table? A crash wipes the volatile lock table, so a
+    /// read lock can vanish mid-transaction and a conflicting writer
+    /// can be granted the key before the reader commits — write skew
+    /// the write-path fence ([`crate::protocol::ProtocolEngine::
+    /// write_admissible`]) cannot see, because the reader never writes
+    /// the key. The client checks every read-locked key before flushing
+    /// its commit writes and aborts on any `ok: false` answer.
+    LockCheck {
+        /// Transaction validating its lock.
+        txn: Timestamp,
+        /// Op index (correlates the response).
+        op: u32,
+        /// Key whose lock is being validated.
+        key: Key,
+    },
 
     // ---- server → client ----
     /// Response to [`Msg::Get`].
@@ -187,6 +203,26 @@ pub enum Msg {
         txn: Timestamp,
         /// Op index echoed from the request.
         op: u32,
+        /// Lamport floor: the granted key's current version stamp
+        /// ([`Timestamp::INITIAL`] when the key has no version). The
+        /// client observes it into its clock so the commit stamp
+        /// Lamport-dominates every locked key's current version — a
+        /// *blind* write (locked X, never read) would otherwise carry a
+        /// stamp ordered only against the transaction's read set, and
+        /// last-writer-wins could place it *behind* the version it
+        /// overwrote, inverting the lock serialization order.
+        floor: Timestamp,
+    },
+    /// Response to [`Msg::LockCheck`]. `ok: false` means the lock is no
+    /// longer on the table (the master crashed and rebuilt an empty
+    /// one) — the transaction must abort instead of committing.
+    LockCheckResp {
+        /// Transaction echoed from the request.
+        txn: Timestamp,
+        /// Op index echoed from the request.
+        op: u32,
+        /// Whether the lock is still held.
+        ok: bool,
     },
 
     // ---- server → server ----
@@ -260,6 +296,54 @@ pub enum Msg {
         /// Every `(origin, key)` notification the sender collected.
         acks: Vec<(NodeId, Key)>,
     },
+
+    // ---- shard handoff ----
+    /// Control: start handing `token`'s ownership to `to` (a server in
+    /// the same cluster). Injected by the deployment frontend — the
+    /// nemesis schedules these mid-transaction — at the token's current
+    /// owner; a receiver that does not own the token ignores it.
+    BeginHandoff {
+        /// Ring token (vnode arc) to move.
+        token: u32,
+        /// The new owner.
+        to: NodeId,
+    },
+    /// Handoff stream: records of the migrating token, starting at
+    /// index `from_seq` of the sender's handoff queue (snapshot followed
+    /// by late writes). Chunks are resent from the acked cursor every
+    /// anti-entropy tick until acknowledged; the receiver applies them
+    /// idempotently.
+    ShardTransfer {
+        /// The migrating token.
+        token: u32,
+        /// Absolute queue index of the first record in `writes`.
+        from_seq: u64,
+        /// `(key, version)` pairs to install at the new owner.
+        writes: Vec<(Key, SharedRecord)>,
+    },
+    /// Handoff acknowledgement: the new owner has applied the sender's
+    /// handoff queue up to `upto` (exclusive).
+    ShardTransferAck {
+        /// The migrating token.
+        token: u32,
+        /// Acknowledged queue position.
+        upto: u64,
+    },
+
+    // ---- server → client (routing) ----
+    /// NACK: the requested key's shard has been handed off; retry at
+    /// `owner`. The client updates its routing overrides and resends
+    /// immediately, without waiting for the retry timer.
+    WrongShard {
+        /// Transaction the rejected request belonged to.
+        txn: Timestamp,
+        /// Op index echoed from the request.
+        op: u32,
+        /// The key whose shard moved.
+        key: Key,
+        /// The shard's current owner in this cluster.
+        owner: NodeId,
+    },
 }
 
 impl Msg {
@@ -276,6 +360,7 @@ impl Msg {
                 | Msg::CommitBatch { .. }
                 | Msg::Lock { .. }
                 | Msg::Unlock { .. }
+                | Msg::LockCheck { .. }
         )
     }
 
@@ -291,6 +376,8 @@ impl Msg {
             Msg::CommitBatch { .. } => "CommitBatch",
             Msg::Lock { .. } => "Lock",
             Msg::Unlock { .. } => "Unlock",
+            Msg::LockCheck { .. } => "LockCheck",
+            Msg::LockCheckResp { .. } => "LockCheckResp",
             Msg::GetResp { .. } => "GetResp",
             Msg::ScanResp { .. } => "ScanResp",
             Msg::GetTsResp { .. } => "GetTsResp",
@@ -305,6 +392,10 @@ impl Msg {
             Msg::RecoverResp { .. } => "RecoverResp",
             Msg::Notify { .. } => "Notify",
             Msg::NotifySummary { .. } => "NotifySummary",
+            Msg::BeginHandoff { .. } => "BeginHandoff",
+            Msg::ShardTransfer { .. } => "ShardTransfer",
+            Msg::ShardTransferAck { .. } => "ShardTransferAck",
+            Msg::WrongShard { .. } => "WrongShard",
         }
     }
 
@@ -341,6 +432,8 @@ impl Msg {
             }
             Msg::Lock { key, .. } => TS + 5 + key.len() as u64,
             Msg::Unlock { keys, .. } => TS + keys.iter().map(|k| 4 + k.len() as u64).sum::<u64>(),
+            Msg::LockCheck { key, .. } => TS + 4 + key.len() as u64,
+            Msg::LockCheckResp { .. } => TS + 5,
             Msg::GetResp { found, .. } | Msg::GetVersionResp { found, .. } => {
                 TS + 4 + found.as_ref().map_or(0, rec)
             }
@@ -348,7 +441,7 @@ impl Msg {
             Msg::GetTsResp { .. } => TS + 4 + TS,
             Msg::PutResp { .. } => TS + 4,
             Msg::CommitBatchResp { ops, .. } => TS + 4 * ops.len() as u64,
-            Msg::LockResp { .. } => TS + 4,
+            Msg::LockResp { .. } => 2 * TS + 4,
             Msg::Replicate { writes, .. } | Msg::ReplicateDelta { writes, .. } => {
                 8 + versions(writes)
             }
@@ -359,6 +452,10 @@ impl Msg {
             Msg::NotifySummary { acks, .. } => {
                 TS + acks.iter().map(|(_, k)| 8 + k.len() as u64).sum::<u64>()
             }
+            Msg::BeginHandoff { .. } => 8,
+            Msg::ShardTransfer { writes, .. } => 12 + versions(writes),
+            Msg::ShardTransferAck { .. } => 12,
+            Msg::WrongShard { key, .. } => TS + 4 + key.len() as u64 + 4,
         }
     }
 
@@ -373,6 +470,9 @@ impl Msg {
                 | Msg::RecoverResp { .. }
                 | Msg::Notify { .. }
                 | Msg::NotifySummary { .. }
+                | Msg::BeginHandoff { .. }
+                | Msg::ShardTransfer { .. }
+                | Msg::ShardTransferAck { .. }
         )
     }
 }
@@ -436,5 +536,21 @@ mod tests {
             writes: Vec::new(),
         };
         assert!(delta.is_replication() && !delta.is_request());
+        let transfer = Msg::ShardTransfer {
+            token: 3,
+            from_seq: 0,
+            writes: Vec::new(),
+        };
+        assert!(transfer.is_replication() && !transfer.is_request());
+        assert!(Msg::ShardTransferAck { token: 3, upto: 1 }.is_replication());
+        assert!(Msg::BeginHandoff { token: 3, to: 1 }.is_replication());
+        let nack = Msg::WrongShard {
+            txn: Timestamp::new(1, 1),
+            op: 0,
+            key: Key::from("x"),
+            owner: 2,
+        };
+        // a routing NACK is a response, not a request or replication
+        assert!(!nack.is_request() && !nack.is_replication());
     }
 }

@@ -35,6 +35,9 @@ pub struct ClientMetrics {
     /// Reads whose fracture repair gave up (ceiling loop exhausted) —
     /// must stay 0 in a correct RAMP-Fast run.
     pub unrepaired_reads: u64,
+    /// `WrongShard` NACKs received: requests that raced a live shard
+    /// handoff and were redirected to the token's new owner.
+    pub shard_redirects: u64,
     /// Group-commit batches sent (`Msg::CommitBatch`), including
     /// retransmissions.
     pub commit_batches: u64,
@@ -69,6 +72,7 @@ impl Default for ClientMetrics {
             repair_rounds: 0,
             metadata_bytes: 0,
             unrepaired_reads: 0,
+            shard_redirects: 0,
             commit_batches: 0,
             commit_batch_marks: 0,
             txn_latency_ms: Histogram::for_latency_ms(),
@@ -159,6 +163,7 @@ impl ClientMetrics {
         self.repair_rounds += other.repair_rounds;
         self.metadata_bytes += other.metadata_bytes;
         self.unrepaired_reads += other.unrepaired_reads;
+        self.shard_redirects += other.shard_redirects;
         self.commit_batches += other.commit_batches;
         self.commit_batch_marks += other.commit_batch_marks;
         self.txn_latency_ms.merge(&other.txn_latency_ms);

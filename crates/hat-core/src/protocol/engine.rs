@@ -175,6 +175,18 @@ pub trait ProtocolEngine: Send + std::fmt::Debug {
         true
     }
 
+    /// True if `txn` still holds a lock (any mode) on `key`. The
+    /// read-path counterpart of [`ProtocolEngine::write_admissible`]:
+    /// at commit time a 2PL client validates every read-locked key with
+    /// a [`Msg::LockCheck`], because a crashed-and-restarted master has
+    /// an empty lock table and may have re-granted the key to a
+    /// conflicting writer while this transaction still believes it
+    /// holds the read lock. Lock-free engines vacuously say yes.
+    fn lock_valid(&self, txn: Timestamp, key: &Key) -> bool {
+        let _ = (txn, key);
+        true
+    }
+
     /// Handles a peer's complete acknowledgement set for a transaction
     /// it already promoted (MAV's answer to a duplicate notification —
     /// the recovery path for notifications lost to one-way partitions).

@@ -400,11 +400,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn layout() -> ClusterLayout {
-        ClusterLayout {
-            servers: vec![vec![0], vec![1]],
-            clients: vec![2],
-            client_home: vec![0],
-        }
+        ClusterLayout::new(vec![vec![0], vec![1]], vec![2], vec![0])
     }
 
     fn rec(ts: Timestamp, val: &str, sibs: &[&str]) -> Record {

@@ -135,6 +135,15 @@ impl ReplicationLog {
         self.base + self.log.len() as u64
     }
 
+    /// The retained entry at absolute index `i`, or `None` if it has
+    /// been compacted away. Lets the server mirror newly pushed writes
+    /// into an in-progress shard handoff stream without the engines
+    /// knowing handoffs exist.
+    pub fn entry(&self, i: u64) -> Option<&(Key, SharedRecord)> {
+        i.checked_sub(self.base)
+            .and_then(|o| self.log.get(o as usize))
+    }
+
     /// Number of retained records.
     pub fn len(&self) -> usize {
         self.log.len()

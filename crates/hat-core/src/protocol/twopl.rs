@@ -18,7 +18,7 @@ use hat_storage::Key;
 use std::collections::{HashMap, VecDeque};
 
 /// A lock grant to report back to a waiting client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Grant {
     /// Client node to notify.
     pub client: NodeId,
@@ -26,6 +26,10 @@ pub struct Grant {
     pub txn: Timestamp,
     /// Op index echoed back.
     pub op: u32,
+    /// Key granted — the server looks up its current version stamp so
+    /// the [`crate::messages::Msg::LockResp`] can carry a Lamport floor
+    /// (see the `floor` field there for why blind writes need it).
+    pub key: Key,
 }
 
 #[derive(Debug, Clone)]
@@ -183,6 +187,7 @@ impl LockTable {
                 client: w.client,
                 txn: w.txn,
                 op: w.op,
+                key: key.clone(),
             });
             if w.exclusive {
                 break;
@@ -202,6 +207,18 @@ impl LockTable {
         self.locks
             .get(key)
             .and_then(|s| s.holds(txn))
+            .unwrap_or(false)
+    }
+
+    /// True if `txn` holds `key` in any mode. The read-path fence: at
+    /// commit time the client validates every read-locked key, because
+    /// a crash wipes this (volatile) table and a vanished shared lock
+    /// lets a conflicting writer in mid-transaction — write skew the
+    /// exclusive-lock fence cannot catch.
+    pub fn holds_any(&self, key: &Key, txn: Timestamp) -> bool {
+        self.locks
+            .get(key)
+            .map(|s| s.holds(txn).is_some())
             .unwrap_or(false)
     }
 
@@ -237,6 +254,10 @@ impl ProtocolEngine for TwoPlEngine {
         self.locks.holds_exclusive(key, txn)
     }
 
+    fn lock_valid(&self, txn: Timestamp, key: &Key) -> bool {
+        self.locks.holds_any(key, txn)
+    }
+
     fn on_lock(
         &mut self,
         _view: &mut ServerView<'_>,
@@ -246,8 +267,13 @@ impl ProtocolEngine for TwoPlEngine {
         key: Key,
         exclusive: bool,
     ) -> Vec<Grant> {
-        match self.locks.acquire(key, txn, op, exclusive, client) {
-            Acquire::Granted => vec![Grant { client, txn, op }],
+        match self.locks.acquire(key.clone(), txn, op, exclusive, client) {
+            Acquire::Granted => vec![Grant {
+                client,
+                txn,
+                op,
+                key,
+            }],
             Acquire::Queued => Vec::new(), // grant arrives at release time
         }
     }

@@ -17,9 +17,27 @@
 //! All accepted writes are buffered in a [`ReplicationLog`] and gossiped
 //! to the positional peer replica in every other cluster on an
 //! anti-entropy timer (§5.1.4 convergence).
+//!
+//! ## Live shard handoff
+//!
+//! Within a cluster the keyspace is owned by ring position (see
+//! [`crate::ShardRing`]). A handoff moves one ring token from this
+//! server to another replica in the same cluster while traffic flows:
+//! the old owner snapshots the token's records and streams them in
+//! acknowledged chunks ([`Msg::ShardTransfer`]) off the anti-entropy
+//! timer, mirroring every write it keeps accepting meanwhile into the
+//! stream's tail. Only when the receiver has acknowledged *everything*
+//! — snapshot and tail, in one atomic check at ack time — does the old
+//! owner cut over: from then on it answers requests for the token with
+//! [`Msg::WrongShard`] naming the new owner, so the receiver starts
+//! with a byte-complete copy and no read can observe a gap. Two-phase
+//! locking is exempt from the cutover (its lock tables are pinned to
+//! the original placement; splitting one across a live flip would
+//! forfeit serializability), so under 2PL handoffs stream copies but
+//! never move request routing.
 
 use crate::cluster::ClusterLayout;
-use crate::config::SystemConfig;
+use crate::config::{ProtocolKind, SystemConfig};
 use crate::messages::Msg;
 use crate::protocol::engine::{engine_for, ProtocolEngine, ServerView};
 use crate::protocol::replication::ReplicationLog;
@@ -27,6 +45,7 @@ use crate::timestamp::Timestamp;
 use hat_sim::{Ctx, NodeId, SimDuration, SimTime, TimerId};
 use hat_storage::{Key, SharedRecord, Store};
 use hat_trace::{TraceEventKind, TraceSink};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Timer tag for the anti-entropy tick.
@@ -34,6 +53,9 @@ const TIMER_ANTI_ENTROPY: TimerId = 1;
 
 /// Timer tag for the crash-recovery bootstrap retry loop.
 const TIMER_RECOVERY: TimerId = 2;
+
+/// Records shipped per [`Msg::ShardTransfer`] chunk.
+const HANDOFF_CHUNK: usize = 256;
 
 /// Replication-side counters, kept alongside `requests_served` so
 /// experiments can report the group-commit and delta-compression wins
@@ -63,6 +85,12 @@ pub struct ServerStats {
     /// recovery, accumulated across restarts. Nonzero proves a restarted
     /// server is serving log-recovered state rather than an empty store.
     pub wal_records_replayed: u64,
+    /// Shard handoffs this server has completed as the *sending* side
+    /// (the receiver acknowledged the full stream and routing cut over).
+    pub shard_handoffs: u64,
+    /// Requests refused with [`Msg::WrongShard`] because the key's
+    /// token had already been handed off.
+    pub shard_nacks: u64,
 }
 
 impl ServerStats {
@@ -77,7 +105,33 @@ impl ServerStats {
         self.msgs_dropped_by_partition += other.msgs_dropped_by_partition;
         self.crashes += other.crashes;
         self.wal_records_replayed += other.wal_records_replayed;
+        self.shard_handoffs += other.shard_handoffs;
+        self.shard_nacks += other.shard_nacks;
     }
+}
+
+/// The sending side of one in-progress (or completed) shard handoff.
+///
+/// `queue` starts as a snapshot of every record the token owns and
+/// grows at the tail with writes accepted while streaming. Chunks are
+/// re-sent from `acked` on every anti-entropy tick, so delivery is
+/// at-least-once and survives partitions; the receiver applies
+/// idempotently and acks its high-water mark. `released` flips — once,
+/// irrevocably — when an ack covers the *entire* queue, which is the
+/// routing cutover point.
+#[derive(Debug)]
+struct HandoffOut {
+    /// The replica receiving the token (same cluster, different position).
+    to: NodeId,
+    /// Snapshot + late-write tail, in send order.
+    queue: Vec<(Key, SharedRecord)>,
+    /// Records in the initial snapshot (prefix of `queue`).
+    snapshot_len: u64,
+    /// Receiver's acknowledged high-water mark into `queue`.
+    acked: u64,
+    /// True once the receiver has confirmed the whole queue: requests
+    /// for the token are refused with [`Msg::WrongShard`] from then on.
+    released: bool,
 }
 
 /// A replica server.
@@ -94,6 +148,22 @@ pub struct Server {
     /// Peers still owed a crash-recovery bootstrap dump (empty except
     /// right after a restart; see [`Server::mark_restarted`]).
     recovering: Vec<NodeId>,
+    /// 2PL sync-replication gate: commit `Put`s held back until a
+    /// replication peer confirms the write, as `(log index, client,
+    /// txn, op)`. A serializable engine cannot ack a write whose only
+    /// copy sits in a WAL tail a crash may tear off — the transaction
+    /// would count as committed while a post-restart reader serializes
+    /// against state that never includes it.
+    pending_put_acks: Vec<(u64, NodeId, Timestamp, u32)>,
+    /// Outbound shard handoffs by ring token (see [`HandoffOut`]).
+    handoffs: BTreeMap<u32, HandoffOut>,
+    /// Ring tokens this server serves *despite* its ring position,
+    /// acquired through an inbound handoff.
+    tokens_acquired: BTreeSet<u32>,
+    /// Absolute replication-log index already mirrored into handoff
+    /// queues — everything the engines push past this point gets
+    /// appended to the matching in-progress handoff's tail.
+    handoff_cursor: u64,
     /// Requests served (for load accounting in experiments).
     pub requests_served: u64,
     /// Replication and group-commit counters.
@@ -143,6 +213,7 @@ impl Server {
                 repl.push(key, record);
             }
         }
+        let handoff_cursor = repl.head();
         Server {
             id,
             cluster,
@@ -154,6 +225,10 @@ impl Server {
             peers,
             engine,
             recovering: Vec::new(),
+            pending_put_acks: Vec::new(),
+            handoffs: BTreeMap::new(),
+            tokens_acquired: BTreeSet::new(),
+            handoff_cursor,
             requests_served: 0,
             stats,
             trace: TraceSink::disabled(),
@@ -275,31 +350,12 @@ impl Server {
     /// Invoked when a timer fires.
     pub fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, timer: TimerId) {
         if timer == TIMER_ANTI_ENTROPY {
-            for (i, &peer) in self.peers.clone().iter().enumerate() {
-                // A peer lagging more than the threshold (e.g. freshly
-                // healed from a long partition) gets one compacted
-                // catch-up batch instead of `lag / MAX_BATCH` rounds of
-                // per-record replay.
-                if self.repl.lag(i) > self.config.delta_catchup_threshold {
-                    let (upto, writes) = self.repl.catchup_for(i);
-                    if !writes.is_empty() {
-                        self.stats.catchup_batches += 1;
-                        self.note_replication_batch(&writes);
-                        self.trace_anti_entropy(ctx.now(), peer, &writes, true);
-                        ctx.send(peer, Msg::ReplicateDelta { upto, writes });
-                    }
-                } else {
-                    let (from_index, writes) = self.repl.batch_for(i);
-                    if !writes.is_empty() {
-                        self.note_replication_batch(&writes);
-                        self.trace_anti_entropy(ctx.now(), peer, &writes, false);
-                        ctx.send(peer, Msg::Replicate { from_index, writes });
-                    }
-                }
-            }
+            self.push_replication(ctx);
+            self.mirror_repl_to_handoffs();
             self.repl.compact(1024);
             let (engine, mut view) = self.engine_view();
             engine.on_anti_entropy_tick(&mut view, ctx);
+            self.pump_handoffs(ctx);
             ctx.set_timer(self.config.anti_entropy_interval, TIMER_ANTI_ENTROPY);
         } else if timer == TIMER_RECOVERY && !self.recovering.is_empty() {
             // A bootstrap request (or its response) may have been lost to
@@ -308,6 +364,35 @@ impl Server {
                 ctx.send(peer, Msg::RecoverReq);
             }
             ctx.set_timer(self.config.anti_entropy_interval, TIMER_RECOVERY);
+        }
+    }
+
+    /// Pushes each peer's unacknowledged replication suffix (one
+    /// anti-entropy round). Runs on every anti-entropy tick, and
+    /// immediately after a 2PL commit write so the sync-replication ack
+    /// does not wait out a full tick.
+    fn push_replication(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        for (i, &peer) in self.peers.clone().iter().enumerate() {
+            // A peer lagging more than the threshold (e.g. freshly
+            // healed from a long partition) gets one compacted
+            // catch-up batch instead of `lag / MAX_BATCH` rounds of
+            // per-record replay.
+            if self.repl.lag(i) > self.config.delta_catchup_threshold {
+                let (upto, writes) = self.repl.catchup_for(i);
+                if !writes.is_empty() {
+                    self.stats.catchup_batches += 1;
+                    self.note_replication_batch(&writes);
+                    self.trace_anti_entropy(ctx.now(), peer, &writes, true);
+                    ctx.send(peer, Msg::ReplicateDelta { upto, writes });
+                }
+            } else {
+                let (from_index, writes) = self.repl.batch_for(i);
+                if !writes.is_empty() {
+                    self.note_replication_batch(&writes);
+                    self.trace_anti_entropy(ctx.now(), peer, &writes, false);
+                    ctx.send(peer, Msg::Replicate { from_index, writes });
+                }
+            }
         }
     }
 
@@ -360,6 +445,7 @@ impl Server {
             0
         };
         self.dispatch(ctx, from, msg);
+        self.mirror_repl_to_handoffs();
         if self.trace.is_enabled() {
             let appended = self.store.wal_bytes().saturating_sub(wal_before);
             if appended > 0 {
@@ -402,6 +488,7 @@ impl Server {
                 exclusive,
             } => self.handle_lock(ctx, from, txn, op, key, exclusive),
             Msg::Unlock { txn, keys } => self.handle_unlock(ctx, txn, keys),
+            Msg::LockCheck { txn, op, key } => self.handle_lock_check(ctx, from, txn, op, key),
             Msg::Replicate { from_index, writes } => {
                 self.handle_replicate(ctx, from, from_index, writes)
             }
@@ -411,10 +498,20 @@ impl Server {
             Msg::ReplicateAck { upto } => {
                 if let Some(i) = self.peers.iter().position(|&p| p == from) {
                     self.repl.ack(i, upto);
+                    self.flush_pending_put_acks(ctx, upto);
                 }
             }
             Msg::RecoverReq => self.handle_recover_req(ctx, from),
             Msg::RecoverResp { writes } => self.handle_recover_resp(ctx, from, writes),
+            Msg::BeginHandoff { token, to } => self.begin_handoff(ctx, token, to),
+            Msg::ShardTransfer {
+                token,
+                from_seq,
+                writes,
+            } => self.handle_shard_transfer(ctx, from, token, from_seq, writes),
+            Msg::ShardTransferAck { token, upto } => {
+                self.handle_shard_transfer_ack(ctx, token, upto)
+            }
             Msg::Notify { ts, key } => self.handle_notify(ctx, from, ts, key),
             Msg::NotifySummary { ts, acks } => self.handle_notify_summary(ctx, from, ts, acks),
             // Responses are never addressed to servers.
@@ -432,6 +529,10 @@ impl Server {
         required: Timestamp,
     ) {
         self.requests_served += 1;
+        if let Some(owner) = self.redirect_for(&key) {
+            self.nack_wrong_shard(ctx, from, txn, op, key, owner);
+            return;
+        }
         let cost = self.config.service.read();
         let (engine, mut view) = self.engine_view();
         let found = engine.read(&mut view, &key, required);
@@ -449,6 +550,10 @@ impl Server {
         key: Key,
     ) {
         self.requests_served += 1;
+        if let Some(owner) = self.redirect_for(&key) {
+            self.nack_wrong_shard(ctx, from, txn, op, key, owner);
+            return;
+        }
         let cost = self.config.service.ts_read();
         let (engine, mut view) = self.engine_view();
         let ts = engine.read_ts(&mut view, &key);
@@ -550,6 +655,10 @@ impl Server {
         record: SharedRecord,
     ) {
         self.requests_served += 1;
+        if let Some(owner) = self.redirect_for(&key) {
+            self.nack_wrong_shard(ctx, from, txn, op, key, owner);
+            return;
+        }
         if !self.engine.write_admissible(txn, &key) {
             // Lock fencing (2PL): the exclusive lock backing this commit
             // write is gone — this server crashed and lost its lock
@@ -563,7 +672,45 @@ impl Server {
         let (engine, mut view) = self.engine_view();
         engine.apply_client_write(&mut view, ctx, key, record);
         let hold = self.service(ctx.now(), cost);
+        if self.config.protocol == ProtocolKind::TwoPhaseLocking && !self.peers.is_empty() {
+            // Serializable commits are acked only once a replication
+            // peer holds the write: a local WAL append can be torn off
+            // by a crash, and an acked-then-lost write turns into a
+            // lost update the lock protocol can never detect. Push the
+            // suffix now instead of waiting for the anti-entropy tick;
+            // the ack itself is sent from the `ReplicateAck` handler.
+            // (A crash drops this queue, so the client's commit round
+            // deadline turns into an indeterminate abandon — never a
+            // false commit.)
+            self.pending_put_acks
+                .push((self.repl.head(), from, txn, op));
+            self.push_replication(ctx);
+            return;
+        }
         ctx.send_after(hold, from, Msg::PutResp { txn, op });
+    }
+
+    /// Releases 2PL commit acks whose writes a peer has now confirmed
+    /// (absolute log index `<= upto`). Any single peer's confirmation
+    /// suffices: the write then survives this server's WAL tail being
+    /// torn — the restarted incarnation recovers it from that peer
+    /// before granting locks again.
+    fn flush_pending_put_acks(&mut self, ctx: &mut Ctx<'_, Msg>, upto: u64) {
+        if self.pending_put_acks.is_empty() {
+            return;
+        }
+        let mut ready = Vec::new();
+        self.pending_put_acks.retain(|&(idx, client, txn, op)| {
+            if idx <= upto {
+                ready.push((client, txn, op));
+                false
+            } else {
+                true
+            }
+        });
+        for (client, txn, op) in ready {
+            ctx.send(client, Msg::PutResp { txn, op });
+        }
     }
 
     fn handle_replicate(
@@ -606,6 +753,10 @@ impl Server {
             (self.config.service.replicate_record_us * writes.len() as f64) as u64,
         );
         for (key, record) in writes {
+            // Gossip applies bypass the local replication log (the
+            // never-re-gossip rule), so an in-progress handoff stream
+            // must pick them up here.
+            self.note_handoff_write(&key, &record);
             // The handle is shared with the sender's log and store; the
             // receiver installs the same allocation.
             let (engine, mut view) = self.engine_view();
@@ -655,6 +806,226 @@ impl Server {
         let _ = self.service(ctx.now(), cost);
     }
 
+    /// Starts handing the ring token `token` off to `to` (a replica in
+    /// this cluster at a different position). Snapshots every record the
+    /// token owns into the stream queue and sends the first chunk; the
+    /// anti-entropy timer re-sends unacknowledged chunks from there.
+    /// Ignored when this server does not currently own the token or a
+    /// handoff for it is already in flight.
+    pub fn begin_handoff(&mut self, ctx: &mut Ctx<'_, Msg>, token: u32, to: NodeId) {
+        if to == self.id || self.handoffs.contains_key(&token) || !self.owns_token(token) {
+            return;
+        }
+        let queue: Vec<(Key, SharedRecord)> = self
+            .store
+            .all_versions()
+            .into_iter()
+            .filter(|(key, _)| self.layout.ring().token_of(key) == token)
+            .collect();
+        let snapshot_len = queue.len() as u64;
+        self.trace.record(
+            ctx.now().as_micros(),
+            self.id,
+            TraceEventKind::ShardHandoffBegin {
+                token,
+                to,
+                snapshot: snapshot_len,
+            },
+        );
+        // First chunk goes out immediately — even when empty, so a token
+        // with no records still reaches the receiver (which must learn it
+        // owns the token) and elicits the ack that releases routing.
+        let writes = queue[..queue.len().min(HANDOFF_CHUNK)].to_vec();
+        ctx.send(
+            to,
+            Msg::ShardTransfer {
+                token,
+                from_seq: 0,
+                writes,
+            },
+        );
+        self.handoffs.insert(
+            token,
+            HandoffOut {
+                to,
+                queue,
+                snapshot_len,
+                acked: 0,
+                released: false,
+            },
+        );
+    }
+
+    /// True if requests for `token` should be served here: the ring says
+    /// so (and the token has not been handed off), or an inbound handoff
+    /// granted it.
+    fn owns_token(&self, token: u32) -> bool {
+        if self.handoffs.get(&token).is_some_and(|h| h.released) {
+            return false;
+        }
+        self.layout.position_of(self.id) == Some(self.layout.ring().position_of_token(token))
+            || self.tokens_acquired.contains(&token)
+    }
+
+    /// If `key`'s token has been handed off (and routing cut over),
+    /// returns the new owner to name in a [`Msg::WrongShard`] refusal.
+    /// `None` means serve locally. 2PL is exempt (see module docs).
+    fn redirect_for(&self, key: &Key) -> Option<NodeId> {
+        if self.handoffs.is_empty() || self.config.protocol == ProtocolKind::TwoPhaseLocking {
+            return None;
+        }
+        let token = self.layout.ring().token_of(key);
+        let h = self.handoffs.get(&token)?;
+        h.released.then_some(h.to)
+    }
+
+    /// Refuses an operation-starting request whose key now lives at
+    /// `owner`. Sent without a service charge: the refusal is a routing
+    /// hint, not store work.
+    fn nack_wrong_shard(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: Timestamp,
+        op: u32,
+        key: Key,
+        owner: NodeId,
+    ) {
+        self.stats.shard_nacks += 1;
+        ctx.send(
+            from,
+            Msg::WrongShard {
+                txn,
+                op,
+                key,
+                owner,
+            },
+        );
+    }
+
+    /// Inbound handoff chunk: acquire the token, install the records
+    /// through the normal replicated-write hook (idempotent, wakes any
+    /// RAMP readers parked on an exact stamp), and ack the high-water
+    /// mark so the sender's stream advances.
+    fn handle_shard_transfer(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        token: u32,
+        from_seq: u64,
+        writes: Vec<(Key, SharedRecord)>,
+    ) {
+        // A token this server handed off earlier is coming back: drop
+        // the stale outbound record so it serves again. An *unreleased*
+        // outbound entry is left alone — that is a duplicate chunk from
+        // the stream that granted us the token in the first place, and
+        // removing the entry would kill our own in-flight handoff.
+        if self.handoffs.get(&token).is_some_and(|h| h.released) {
+            self.handoffs.remove(&token);
+        }
+        self.tokens_acquired.insert(token);
+        let upto = from_seq + writes.len() as u64;
+        let cost = SimDuration::from_micros(
+            (self.config.service.replicate_record_us * writes.len() as f64) as u64,
+        );
+        for (key, record) in writes {
+            self.note_handoff_write(&key, &record);
+            let (engine, mut view) = self.engine_view();
+            engine.apply_replicated_write(&mut view, ctx, key, record);
+        }
+        let hold = self.service(ctx.now(), cost);
+        ctx.send_after(hold, from, Msg::ShardTransferAck { token, upto });
+    }
+
+    /// Ack from the handoff receiver. Routing cuts over atomically the
+    /// first time an ack covers the whole queue (snapshot *and* every
+    /// late write mirrored since): at that instant the receiver holds a
+    /// complete copy and nothing new can land here, so no read at the
+    /// new owner can miss a write the old owner accepted.
+    fn handle_shard_transfer_ack(&mut self, ctx: &mut Ctx<'_, Msg>, token: u32, upto: u64) {
+        let Some(h) = self.handoffs.get_mut(&token) else {
+            return;
+        };
+        h.acked = h.acked.max(upto.min(h.queue.len() as u64));
+        if !h.released && h.acked >= h.snapshot_len && h.acked >= h.queue.len() as u64 {
+            h.released = true;
+            let (to, streamed) = (h.to, h.queue.len() as u64);
+            // If an earlier inbound handoff granted this token, the
+            // grant is void now — it has been passed on.
+            self.tokens_acquired.remove(&token);
+            self.stats.shard_handoffs += 1;
+            self.trace.record(
+                ctx.now().as_micros(),
+                self.id,
+                TraceEventKind::ShardHandoffDone {
+                    token,
+                    to,
+                    streamed,
+                },
+            );
+        }
+    }
+
+    /// Re-sends the unacknowledged suffix of every in-flight handoff
+    /// stream (at-least-once; chunks and acks lost to a partition are
+    /// simply retried next tick). A released stream with a drained queue
+    /// sends nothing.
+    fn pump_handoffs(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.handoffs.is_empty() {
+            return;
+        }
+        self.mirror_repl_to_handoffs();
+        for (&token, h) in &self.handoffs {
+            if h.released && h.acked >= h.queue.len() as u64 {
+                continue;
+            }
+            let start = h.acked as usize;
+            let end = (start + HANDOFF_CHUNK).min(h.queue.len());
+            ctx.send(
+                h.to,
+                Msg::ShardTransfer {
+                    token,
+                    from_seq: h.acked,
+                    writes: h.queue[start..end].to_vec(),
+                },
+            );
+        }
+    }
+
+    /// Appends `key`'s record to the matching in-progress handoff
+    /// stream, if any. Called for every write installed outside the
+    /// replication log's view (gossip applies, inbound handoff chunks);
+    /// engine-pushed writes are mirrored from the log itself by
+    /// [`Server::mirror_repl_to_handoffs`].
+    fn note_handoff_write(&mut self, key: &Key, record: &SharedRecord) {
+        if self.handoffs.is_empty() {
+            return;
+        }
+        let token = self.layout.ring().token_of(key);
+        if let Some(h) = self.handoffs.get_mut(&token) {
+            h.queue.push((key.clone(), record.clone()));
+        }
+    }
+
+    /// Mirrors replication-log entries pushed since the last call into
+    /// the matching handoff streams. Runs after every dispatch (and
+    /// before log compaction), so an in-progress handoff's tail tracks
+    /// exactly what this server's gossip peers would see.
+    fn mirror_repl_to_handoffs(&mut self) {
+        let head = self.repl.head();
+        if self.handoffs.is_empty() {
+            self.handoff_cursor = head;
+            return;
+        }
+        while self.handoff_cursor < head {
+            if let Some((key, record)) = self.repl.entry(self.handoff_cursor) {
+                let (key, record) = (key.clone(), record.clone());
+                self.note_handoff_write(&key, &record);
+            }
+            self.handoff_cursor += 1;
+        }
+    }
+
     fn handle_notify(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, ts: Timestamp, key: Key) {
         let cost = SimDuration::from_micros(self.config.service.notify_us as u64);
         let _ = self.service(ctx.now(), cost);
@@ -685,33 +1056,84 @@ impl Server {
         key: Key,
         exclusive: bool,
     ) {
+        // A lock master fresh out of a crash must not grant until its
+        // peer recovery completes: the replayed WAL may be missing a
+        // torn tail, and a grant would let a new transaction read (and
+        // serialize against) state that silently excludes writes whose
+        // transactions committed. Dropping the request is safe — the
+        // client re-sends on its retry backoff and gives up at its lock
+        // timeout: 2PL trades availability, never isolation.
+        if !self.recovering.is_empty() {
+            return;
+        }
         self.requests_served += 1;
         let cost = SimDuration::from_micros(self.config.service.lock_us as u64);
         let hold = self.service(ctx.now(), cost);
-        let (engine, mut view) = self.engine_view();
-        for g in engine.on_lock(&mut view, from, txn, op, key, exclusive) {
+        let grants = {
+            let (engine, mut view) = self.engine_view();
+            engine.on_lock(&mut view, from, txn, op, key, exclusive)
+        };
+        for g in grants {
+            let floor = self.lock_floor(&g.key);
             ctx.send_after(
                 hold,
                 g.client,
                 Msg::LockResp {
                     txn: g.txn,
                     op: g.op,
+                    floor,
                 },
             );
         }
     }
 
+    /// The Lamport floor carried on a [`Msg::LockResp`]: the granted
+    /// key's current version stamp, so the committing client's clock
+    /// advances past every locked key's version — blind writes
+    /// included — before it assigns the commit stamp.
+    fn lock_floor(&self, key: &Key) -> Timestamp {
+        self.store
+            .latest(key)
+            .map(|r| r.stamp)
+            .unwrap_or(Timestamp::INITIAL)
+    }
+
+    /// 2PL commit-time lock validation: answers whether `txn` still
+    /// holds its lock on `key`. After a crash the rebuilt lock table is
+    /// empty, so every check against it fails — exactly the signal the
+    /// committing client needs to abort instead of publishing writes
+    /// whose read set may already have been overwritten.
+    fn handle_lock_check(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: Timestamp,
+        op: u32,
+        key: Key,
+    ) {
+        self.requests_served += 1;
+        let cost = SimDuration::from_micros(self.config.service.lock_us as u64);
+        let hold = self.service(ctx.now(), cost);
+        let ok = self.engine.lock_valid(txn, &key);
+        ctx.send_after(hold, from, Msg::LockCheckResp { txn, op, ok });
+    }
+
     fn handle_unlock(&mut self, ctx: &mut Ctx<'_, Msg>, txn: Timestamp, keys: Vec<Key>) {
         let cost = SimDuration::from_micros(self.config.service.lock_us as u64);
         let hold = self.service(ctx.now(), cost);
-        let (engine, mut view) = self.engine_view();
-        for g in engine.on_unlock(&mut view, txn, keys) {
+        let grants = {
+            let (engine, mut view) = self.engine_view();
+            engine.on_unlock(&mut view, txn, keys)
+        };
+        for g in grants {
+            let floor = self.lock_floor(&g.key);
             ctx.send_after(
                 hold,
                 g.client,
                 Msg::LockResp {
                     txn: g.txn,
                     op: g.op,
+                    floor,
                 },
             );
         }

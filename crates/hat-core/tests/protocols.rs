@@ -497,13 +497,22 @@ fn twopl_mid_op_abort_surfaces_and_releases_locks() {
     side_b.extend(probe.layout().clients.iter().copied());
     drop(probe);
 
+    // The partition outlives the 10s lock timeout (so the doomed
+    // transaction really aborts) and then heals: 2PL commit writes are
+    // sync-replicated, so while it holds *no* write can be acked (the
+    // master's only peer is on the far side) — the leaked-lock probe
+    // below needs a healthy network to commit.
+    let heal = SimTime::from_millis(15_000);
     let mut front = DeploymentBuilder::new(ProtocolKind::TwoPhaseLocking)
         .seed(12)
         .clusters(ClusterSpec::va_or(2))
         .sessions_per_cluster(1)
-        .partitions(PartitionSchedule::from_partitions(vec![
-            Partition::forever(SimTime::ZERO, side_a, side_b),
-        ]))
+        .partitions(PartitionSchedule::from_partitions(vec![Partition::new(
+            SimTime::ZERO,
+            heal,
+            side_a,
+            side_b,
+        )]))
         .build();
     let s0 = front.open_session(SessionOptions::default());
     let s1 = front.open_session(SessionOptions::default());
@@ -518,7 +527,8 @@ fn twopl_mid_op_abort_surfaces_and_releases_locks() {
     assert!(matches!(err, HatError::ExternalAbort { .. }), "{err}");
 
     // Key A must not be wedged by a leaked lock: another session locks
-    // it and commits promptly.
+    // it and commits promptly once the network heals.
+    front.run_for(heal.since(front.now()) + SimDuration::from_millis(1));
     front.txn(&s1, |t| t.put(&key_a, "alive"));
     let v = front.txn(&s1, |t| t.get(&key_a));
     assert_eq!(v.as_deref(), Some("alive"));

@@ -22,11 +22,11 @@ const SERVER: NodeId = 0;
 const CLIENT: NodeId = 1;
 
 fn single_replica_client(level: SessionLevel) -> Client {
-    let layout = Arc::new(ClusterLayout {
-        servers: vec![vec![SERVER]],
-        clients: vec![CLIENT],
-        client_home: vec![0],
-    });
+    let layout = Arc::new(ClusterLayout::new(
+        vec![vec![SERVER]],
+        vec![CLIENT],
+        vec![0],
+    ));
     let config = Arc::new(SystemConfig::new(ProtocolKind::Mav));
     Client::new(
         CLIENT,

@@ -1,0 +1,126 @@
+//! Property-based tests for the consistent-hash shard ring and the
+//! layout routing built on it (§6.3 data partitioning).
+//!
+//! The unit tests in `shard.rs`/`cluster.rs` pin specific sizes; these
+//! properties hold the same contracts over arbitrary cluster sizes,
+//! vnode counts and key shapes:
+//!
+//! * every key has exactly one owner, and it is a valid position;
+//! * placement is a pure function of the spec — two layouts built from
+//!   the same parameters route bit-identically (the determinism seeded
+//!   simulator runs and nemesis reruns rely on);
+//! * growing a cluster by one server remaps a bounded fraction of the
+//!   keyspace (≤ 2/N of sampled keys), and every remapped key lands on
+//!   the *new* server — existing arcs never trade keys among themselves.
+
+use hat_core::{ClusterLayout, ShardRing};
+use hat_sim::NodeId;
+use proptest::prelude::*;
+
+fn layout(clusters: usize, servers_each: usize) -> ClusterLayout {
+    let mut next = 0u32;
+    let servers: Vec<Vec<NodeId>> = (0..clusters)
+        .map(|_| {
+            (0..servers_each)
+                .map(|_| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+                .collect()
+        })
+        .collect();
+    let clients: Vec<NodeId> = vec![next, next + 1];
+    ClusterLayout::new(servers, clients, vec![0, 1 % clusters])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exactly one owner per key, always a valid position, for any ring
+    /// geometry and any key bytes.
+    #[test]
+    fn one_owner_per_key(
+        positions in 1usize..32,
+        vnodes in 1u32..32,
+        key in proptest::collection::vec(0u8..255, 0..24),
+    ) {
+        let ring = ShardRing::with_vnodes(positions, vnodes);
+        let token = ring.token_of(&key);
+        prop_assert!(token < ring.num_tokens());
+        let owner = ring.owner_position(&key);
+        prop_assert!(owner < positions as u32);
+        prop_assert_eq!(owner, ring.position_of_token(token));
+        // Owner is stable: the same key always maps to the same arc.
+        prop_assert_eq!(owner, ring.owner_position(&key));
+    }
+
+    /// Two layouts built from the same spec are bit-identical in every
+    /// routing decision — rings, replica sets and masters.
+    #[test]
+    fn same_spec_layouts_route_identically(
+        clusters in 1usize..5,
+        servers_each in 1usize..9,
+        keys in proptest::collection::vec(
+            proptest::collection::vec(0u8..255, 1..16),
+            1..32,
+        ),
+    ) {
+        let a = layout(clusters, servers_each);
+        let b = layout(clusters, servers_each);
+        prop_assert_eq!(a.ring(), b.ring());
+        for key in &keys {
+            let key = hat_storage::Key::from(key.clone());
+            prop_assert_eq!(a.replicas(&key), b.replicas(&key));
+            prop_assert_eq!(a.master(&key), b.master(&key));
+            prop_assert_eq!(a.master_cluster(&key), b.master_cluster(&key));
+        }
+    }
+
+    /// Adding one server to an N-server cluster remaps at most 2/N of
+    /// sampled keys (the consistent-hash contract; modulo placement
+    /// would remap ~all of them), and every key that moves lands on the
+    /// new server — growth never shuffles keys between existing arcs.
+    #[test]
+    fn growth_remaps_bounded_fraction_onto_the_new_server(n in 2usize..17, salt in 0u64..1000) {
+        let old = ShardRing::new(n);
+        let new = ShardRing::new(n + 1);
+        let samples = 512usize;
+        let mut moved = 0usize;
+        for i in 0..samples {
+            let key = format!("grow-{salt}-{i}");
+            let before = old.owner_position(key.as_bytes());
+            let after = new.owner_position(key.as_bytes());
+            if before != after {
+                moved += 1;
+                prop_assert_eq!(
+                    after,
+                    n as u32,
+                    "a remapped key must move to the new position, not between old arcs"
+                );
+            }
+        }
+        let bound = 2 * samples / n;
+        prop_assert!(moved <= bound, "moved {}/{} keys, bound {}", moved, samples, bound);
+    }
+
+    /// The O(1) lookup tables agree with the authoritative server lists
+    /// for every server in any layout geometry.
+    #[test]
+    fn node_lookup_tables_match_server_lists(
+        clusters in 1usize..5,
+        servers_each in 1usize..9,
+    ) {
+        let l = layout(clusters, servers_each);
+        for (c, cluster) in l.servers.iter().enumerate() {
+            for (pos, &id) in cluster.iter().enumerate() {
+                prop_assert_eq!(l.cluster_of(id), Some(c));
+                prop_assert_eq!(l.position_of(id), Some(pos as u32));
+            }
+        }
+        for &client in &l.clients {
+            prop_assert_eq!(l.cluster_of(client), None);
+            prop_assert_eq!(l.position_of(client), None);
+        }
+    }
+}

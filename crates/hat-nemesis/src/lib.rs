@@ -3,7 +3,8 @@
 //! A *nemesis* is a seeded, fully deterministic adversarial schedule —
 //! a time-ordered list of [`Fault`]s composed from rolling partitions,
 //! asymmetric (one-way) link loss, per-node clock skew, latency spikes,
-//! and crash-restart with WAL replay and torn log tails. The
+//! crash-restart with WAL replay and torn log tails, and live shard
+//! handoffs racing the workload mid-transaction. The
 //! [`runner`] drives every protocol engine through a schedule while a
 //! closed-loop workload keeps committing, then heals the deployment,
 //! waits for anti-entropy to settle, and asserts:
@@ -33,6 +34,6 @@ pub mod schedule;
 
 pub use runner::{advertised_level, converged, run, NemesisOpts, NemesisReport};
 pub use schedule::{
-    standard_catalog, Compose, CrashRestart, Fault, Flapping, LatencySpikes, Nemesis, Rolling,
-    SkewClocks,
+    standard_catalog, Compose, CrashRestart, Fault, Flapping, Handoffs, LatencySpikes, Nemesis,
+    Rolling, SkewClocks,
 };

@@ -357,6 +357,16 @@ fn apply(front: &mut SimFrontend, fault: &Fault, crashed: &mut BTreeSet<NodeId>)
                 front.restart_server(*node);
             }
         }
+        Fault::ShardHandoff { token, to_position } => {
+            trace.record(
+                now.as_micros(),
+                0,
+                TraceEventKind::FaultBegin {
+                    desc: format!("handoff token {token} -> position {to_position}"),
+                },
+            );
+            front.begin_handoff(*token, *to_position);
+        }
     }
 }
 

@@ -53,6 +53,19 @@ pub enum Fault {
         /// The server to revive.
         node: NodeId,
     },
+    /// Start a live handoff of ring token `token` to the server at
+    /// `to_position` of each cluster, while traffic keeps flowing: the
+    /// old owner streams the shard snapshot plus its replication tail,
+    /// and NACKs (`WrongShard`) new requests only once the receiver
+    /// holds a byte-complete copy. Races the cutover against in-flight
+    /// transactions by construction.
+    ShardHandoff {
+        /// The ring token to move.
+        token: u32,
+        /// Destination server position (same position in every cluster —
+        /// handoffs are positional, like replication).
+        to_position: u32,
+    },
 }
 
 /// A deterministic fault schedule generator. Implementations must be
@@ -283,6 +296,49 @@ impl Nemesis for LatencySpikes {
     }
 }
 
+/// Live shard handoffs mid-workload: every `period` the next ring
+/// token (stepping a stride so successive handoffs hit different
+/// owners) moves to another position — in every cluster at once, since
+/// handoffs are positional. Each cutover races in-flight transactions
+/// by construction; the conformance suite asserts every engine's
+/// advertised isolation survives it and that replicas still converge.
+#[derive(Debug, Clone)]
+pub struct Handoffs {
+    /// Gap between consecutive handoffs.
+    pub period: SimDuration,
+}
+
+impl Nemesis for Handoffs {
+    fn name(&self) -> String {
+        "shard-handoffs".into()
+    }
+
+    fn schedule(&self, layout: &ClusterLayout, horizon: SimDuration) -> Vec<(SimTime, Fault)> {
+        let positions = layout.shards_per_cluster() as u32;
+        if positions < 2 {
+            return Vec::new(); // a single shard has nowhere to move
+        }
+        let ring = layout.ring();
+        let tokens = ring.num_tokens();
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO + self.period;
+        let mut i = 0u32;
+        while t < SimTime::ZERO + horizon {
+            let token = i.wrapping_mul(7) % tokens;
+            let owner = ring.position_of_token(token);
+            // Any position but the token's base owner. The broadcast is
+            // ownership-agnostic (only the *current* owner acts on it),
+            // so a token that already moved may get a no-op — the next
+            // stride picks a fresh one.
+            let to_position = (owner + 1 + i % (positions - 1)) % positions;
+            out.push((t, Fault::ShardHandoff { token, to_position }));
+            t += self.period;
+            i += 1;
+        }
+        out
+    }
+}
+
 /// Runs several nemeses at once: the union of their schedules, stably
 /// sorted by fire time (ties keep constituent order). This is where the
 /// harness earns its keep — a crash *during* a partition *under* clock
@@ -319,11 +375,12 @@ impl Nemesis for Compose {
     }
 }
 
-/// The five canonical schedules every engine must survive: rolling
+/// The six canonical schedules every engine must survive: rolling
 /// partitions, a flapping one-way link, cluster-wide clock skew,
-/// crash-restart with torn WAL tails, and all of it composed at once.
-/// The conformance suite and the `exp_nemesis` experiment binary share
-/// this catalog, so a schedule added here is exercised by both.
+/// crash-restart with torn WAL tails, all of those composed at once,
+/// and live shard handoffs racing the workload. The conformance suite
+/// and the `exp_nemesis` experiment binary share this catalog, so a
+/// schedule added here is exercised by both.
 pub fn standard_catalog() -> Vec<Box<dyn Nemesis>> {
     vec![
         Box::new(Rolling {
@@ -355,6 +412,12 @@ pub fn standard_catalog() -> Vec<Box<dyn Nemesis>> {
                 factor: 6.0,
             }),
         ])),
+        // Handoffs stay un-composed with crashes: a crashed server loses
+        // its in-memory handoff state, which models a different failure
+        // (split ownership recovery) than live rebalancing under load.
+        Box::new(Handoffs {
+            period: SimDuration::from_millis(70),
+        }),
     ]
 }
 

@@ -52,6 +52,8 @@ pub struct Runtime {
     clients: Vec<NodeId>,
     started: Instant,
     trace: TraceSink,
+    router: Arc<Router>,
+    layout: Arc<ClusterLayout>,
 }
 
 /// The frontend's per-client handle into a node thread. Commands go
@@ -150,12 +152,38 @@ impl Runtime {
                 clients,
                 started,
                 trace,
+                router,
+                layout: Arc::clone(&layout),
             },
             ports,
             layout,
             sys,
             op_deadline,
         )
+    }
+
+    /// Starts a live handoff of ring token `token` to the server at
+    /// `to_position` of each cluster, mirroring
+    /// [`hat_core::SimFrontend::begin_handoff`]: the `BeginHandoff`
+    /// message is broadcast to every server and only the token's
+    /// current owner acts on it, so chained handoffs need no ownership
+    /// tracking here.
+    pub fn begin_handoff(&self, token: u32, to_position: u32) {
+        assert!(
+            (to_position as usize) < self.layout.shards_per_cluster(),
+            "position {to_position} out of range"
+        );
+        let at = Instant::now();
+        for cluster in &self.layout.servers {
+            let to = cluster[to_position as usize];
+            for &s in cluster {
+                let _ = self.router.inboxes[s as usize].send(Envelope::Net {
+                    at,
+                    from: s,
+                    msg: hat_core::Msg::BeginHandoff { token, to },
+                });
+            }
+        }
     }
 
     /// Lets the deployment run for `d` of wall-clock time.
@@ -304,6 +332,15 @@ impl RuntimeFrontend {
                 Err(_) => return Err(HatError::Unavailable { key: None }),
             }
         }
+    }
+
+    /// Starts a live handoff of ring token `token` to the server at
+    /// `to_position` of each cluster (see [`Runtime::begin_handoff`]).
+    pub fn begin_handoff(&self, token: u32, to_position: u32) {
+        self.rt
+            .as_ref()
+            .expect("runtime running")
+            .begin_handoff(token, to_position);
     }
 
     fn expect_ack(&self, idx: usize, cmd: ClientCmd) -> Result<(), HatError> {

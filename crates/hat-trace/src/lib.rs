@@ -198,6 +198,26 @@ pub enum TraceEventKind {
     FaultEnd {
         desc: String,
     },
+    /// A shard handoff started: the emitting server began streaming
+    /// `token`'s records to `to`.
+    ShardHandoffBegin {
+        token: u32,
+        to: u32,
+        snapshot: u64,
+    },
+    /// The new owner acknowledged the full snapshot; the emitting server
+    /// stopped serving the token and now NACKs requests toward `to`.
+    ShardHandoffDone {
+        token: u32,
+        to: u32,
+        streamed: u64,
+    },
+    /// A client was NACKed with `WrongShard` and re-routed the request
+    /// to the shard's new owner.
+    ShardRedirect {
+        txn: TxnId,
+        owner: u32,
+    },
 }
 
 impl TraceEventKind {
@@ -220,6 +240,8 @@ impl TraceEventKind {
                 | TraceEventKind::FaultEnd { .. }
                 | TraceEventKind::Crash
                 | TraceEventKind::Restart
+                | TraceEventKind::ShardHandoffBegin { .. }
+                | TraceEventKind::ShardHandoffDone { .. }
         )
     }
 }
@@ -556,6 +578,22 @@ fn chrome_json(events: &[TraceEvent]) -> String {
             TraceEventKind::WalReplay { records } => rows.push(instant(
                 "wal-replay".into(),
                 format!("\"records\":{records}"),
+            )),
+            TraceEventKind::ShardHandoffBegin {
+                token,
+                to,
+                snapshot,
+            } => rows.push(instant(
+                "shard-handoff-begin".into(),
+                format!("\"token\":{token},\"to\":{to},\"snapshot\":{snapshot}"),
+            )),
+            TraceEventKind::ShardHandoffDone {
+                token,
+                to,
+                streamed,
+            } => rows.push(instant(
+                "shard-handoff-done".into(),
+                format!("\"token\":{token},\"to\":{to},\"streamed\":{streamed}"),
             )),
             TraceEventKind::AntiEntropyRound {
                 peer,
