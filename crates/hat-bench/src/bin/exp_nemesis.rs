@@ -19,18 +19,22 @@
 //!   the advertised isolation.
 //!
 //! Run: `cargo run -p hat-bench --release --bin exp_nemesis [--smoke]
-//! [--schedule <substring>]` (`--smoke` is the CI configuration:
-//! shorter horizon, fewer keys; `--schedule` filters the catalog by
-//! name substring, e.g. `--schedule handoff` for the shard-smoke job).
+//! [--schedule <substring>] [--json]` (`--smoke` is the CI
+//! configuration: shorter horizon, fewer keys; `--schedule` filters the
+//! catalog by name substring, e.g. `--schedule handoff` for the
+//! shard-smoke job; `--json` emits one JSON object per pair with the
+//! per-window telemetry series and fault marks embedded, for
+//! `scripts/bench_snapshot.sh` and the CI obs-smoke validator).
 //! Exits non-zero if any pair fails its claims, so CI can gate on it.
 
 use hat_core::ProtocolKind;
-use hat_nemesis::{run, standard_catalog, NemesisOpts};
+use hat_nemesis::{run, standard_catalog, NemesisOpts, NemesisReport};
 use hat_sim::SimDuration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let filter: Option<&str> = args
         .iter()
         .position(|a| a == "--schedule")
@@ -45,22 +49,24 @@ fn main() {
         keys: if smoke { 4 } else { 6 },
         ..NemesisOpts::default()
     };
-    println!(
-        "{:48} {:16} {:>7} {:>7} {:>7} {:>6} {:>8} {:>8} {:>8} {:>7} {:>7} {:>8} {:>5}",
-        "schedule",
-        "engine",
-        "commit",
-        "unavail",
-        "abort",
-        "viol",
-        "p50 ms",
-        "p99 ms",
-        "p999 ms",
-        "dropped",
-        "crashes",
-        "replayed",
-        "ok"
-    );
+    if !json {
+        println!(
+            "{:48} {:16} {:>7} {:>7} {:>7} {:>6} {:>8} {:>8} {:>8} {:>7} {:>7} {:>8} {:>5}",
+            "schedule",
+            "engine",
+            "commit",
+            "unavail",
+            "abort",
+            "viol",
+            "p50 ms",
+            "p99 ms",
+            "p999 ms",
+            "dropped",
+            "crashes",
+            "replayed",
+            "ok"
+        );
+    }
     let mut failures = Vec::new();
     let mut ran = 0usize;
     for nemesis in &standard_catalog() {
@@ -72,22 +78,26 @@ fn main() {
         ran += 1;
         for protocol in ProtocolKind::ALL {
             let r = run(protocol, nemesis.as_ref(), &opts);
-            println!(
-                "{:48} {:16} {:>7} {:>7} {:>7} {:>6} {:>8.2} {:>8.2} {:>8.2} {:>7} {:>7} {:>8} {:>5}",
-                r.schedule,
-                format!("{protocol:?}"),
-                r.committed,
-                r.unavailable,
-                r.aborted,
-                r.violations,
-                r.commit_latency.p50,
-                r.commit_latency.p99,
-                r.commit_latency.p999,
-                r.msgs_dropped_by_partition,
-                r.crashes,
-                r.wal_records_replayed,
-                r.ok()
-            );
+            if json {
+                print_json(&r);
+            } else {
+                println!(
+                    "{:48} {:16} {:>7} {:>7} {:>7} {:>6} {:>8.2} {:>8.2} {:>8.2} {:>7} {:>7} {:>8} {:>5}",
+                    r.schedule,
+                    format!("{protocol:?}"),
+                    r.committed,
+                    r.unavailable,
+                    r.aborted,
+                    r.violations,
+                    r.commit_latency.p50,
+                    r.commit_latency.p99,
+                    r.commit_latency.p999,
+                    r.msgs_dropped_by_partition,
+                    r.crashes,
+                    r.wal_records_replayed,
+                    r.ok()
+                );
+            }
             if !r.ok() {
                 failures.push(format!(
                     "[schedule={} seed={:#x}] {protocol:?}: violations={} converged={} committed={} crashes={} replayed={}",
@@ -113,5 +123,44 @@ fn main() {
         }
         std::process::exit(1);
     }
-    println!("\nall engine x schedule pairs hold their claims");
+    if !json {
+        println!("\nall engine x schedule pairs hold their claims");
+    }
+}
+
+/// One JSON object per (schedule, engine) pair, the per-window series
+/// (`{"windows":[...],"faults":[...]}`) embedded verbatim so consumers
+/// get the availability timeline and fault marks without re-running.
+/// Deterministic field order; one line per pair, like `exp_ramp`.
+fn print_json(r: &NemesisReport) {
+    let staleness = match &r.staleness {
+        Some(p) => format!(
+            "{{\"count\":{},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"max_ms\":{:.3}}}",
+            p.count, p.p50, p.p99, p.max
+        ),
+        None => "null".to_string(),
+    };
+    println!(
+        "{{\"schedule\":\"{}\",\"engine\":\"{}\",\"seed\":{},\"committed\":{},\
+         \"unavailable\":{},\"aborted\":{},\"violations\":{},\"stream_violations\":{},\
+         \"converged\":{},\"crashes\":{},\"wal_replayed\":{},\"dropped\":{},\
+         \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"staleness\":{},\"ok\":{},\"series\":{}}}",
+        r.schedule.replace('"', "\\\""),
+        r.protocol.label(),
+        r.seed,
+        r.committed,
+        r.unavailable,
+        r.aborted,
+        r.violations,
+        r.stream_violations,
+        r.converged,
+        r.crashes,
+        r.wal_records_replayed,
+        r.msgs_dropped_by_partition,
+        r.commit_latency.p50,
+        r.commit_latency.p99,
+        staleness,
+        r.ok(),
+        r.series.to_json()
+    );
 }

@@ -25,10 +25,11 @@ use crate::protocol::ProtocolEngine;
 use crate::server::Server;
 use crate::txn::TxnRecord;
 use bytes::Bytes;
+use hat_obs::ObsSink;
 use hat_sim::{
     Engine, EngineConfig, LatencyModel, NodeId, PartitionSchedule, SimDuration, SimTime, Topology,
 };
-use hat_storage::{DurableStore, Key, MemStore, Store, SyncPolicy, Wal};
+use hat_storage::{DurableStore, Key, MemStore, Store, SyncPolicy, VersionStamp, Wal};
 use hat_trace::{DropReason, TraceEvent, TraceEventKind, TraceSink};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -176,7 +177,8 @@ impl DeploymentBuilder {
     pub fn try_build(self) -> Result<SimFrontend, HatError> {
         let engine_factory = self.engine_factory.clone();
         let durable = self.durable.clone();
-        let (engine_config, topology, actors, layout, config, trace) = self.try_build_parts()?;
+        let (engine_config, topology, actors, layout, config, trace, obs) =
+            self.try_build_parts()?;
         let mut engine = Engine::new(engine_config, topology, actors);
         if trace.is_enabled() {
             // Network-level events come from the substrate, not the
@@ -226,14 +228,16 @@ impl DeploymentBuilder {
             engine_factory,
             durable,
             trace,
+            obs,
         })
     }
 
     /// Builds the deployment pieces without an engine — used by external
     /// runtimes (e.g. `hat-runtime`'s threaded executor) that drive the
-    /// same actors themselves. The returned [`TraceSink`] is the
-    /// deployment-wide sink already installed on every actor: a no-op
-    /// handle unless [`SystemConfig::trace`] is set.
+    /// same actors themselves. The returned [`TraceSink`] and
+    /// [`ObsSink`] are the deployment-wide sinks already installed on
+    /// every actor: no-op handles unless [`SystemConfig::trace`] /
+    /// [`SystemConfig::obs`] are set.
     ///
     /// # Panics
     /// Panics on a spec [`DeploymentBuilder::try_build_parts`] rejects.
@@ -247,6 +251,7 @@ impl DeploymentBuilder {
         Arc<ClusterLayout>,
         Arc<SystemConfig>,
         TraceSink,
+        ObsSink,
     ) {
         self.try_build_parts().unwrap_or_else(|e| panic!("{e}"))
     }
@@ -267,6 +272,7 @@ impl DeploymentBuilder {
             Arc<ClusterLayout>,
             Arc<SystemConfig>,
             TraceSink,
+            ObsSink,
         ),
         HatError,
     > {
@@ -331,6 +337,11 @@ impl DeploymentBuilder {
         } else {
             TraceSink::disabled()
         };
+        let obs = if config.obs.enabled {
+            ObsSink::enabled(config.obs.options(config.protocol))
+        } else {
+            ObsSink::disabled()
+        };
 
         let mut actors: Vec<Node> = Vec::with_capacity(topology.len());
         for cluster in 0..n_clusters {
@@ -367,6 +378,7 @@ impl DeploymentBuilder {
                 c = c.with_driver(d);
             }
             c.set_trace_sink(trace.clone());
+            c.set_obs_sink(obs.clone());
             actors.push(Node::Client(c));
         }
 
@@ -381,6 +393,7 @@ impl DeploymentBuilder {
             layout,
             config,
             trace,
+            obs,
         ))
     }
 }
@@ -420,6 +433,7 @@ pub struct SimFrontend {
     engine_factory: Option<Arc<dyn Fn() -> Box<dyn ProtocolEngine> + Send + Sync>>,
     durable: Option<(PathBuf, SyncPolicy)>,
     trace: TraceSink,
+    obs: ObsSink,
 }
 
 impl SimFrontend {
@@ -459,6 +473,86 @@ impl SimFrontend {
     /// `(time, sequence)`. Empty when tracing is disabled.
     pub fn trace_events(&self) -> Vec<TraceEvent> {
         self.trace.events()
+    }
+
+    /// The deployment-wide live-telemetry sink (no-op unless the
+    /// configuration enabled [`crate::config::ObsConfig`]).
+    pub fn obs_sink(&self) -> &ObsSink {
+        &self.obs
+    }
+
+    /// Snapshot of the live time series (None when telemetry is off).
+    pub fn obs_series(&self) -> Option<hat_obs::TimeSeries> {
+        self.obs.series()
+    }
+
+    /// Snapshot of the live metrics registry with the deployment's
+    /// end-of-run exposition folded in: client metrics (per engine),
+    /// server stats, and the probe/checker-derived metrics. None when
+    /// telemetry is off.
+    pub fn obs_registry(&self) -> Option<hat_obs::MetricsRegistry> {
+        let mut reg = self.obs.registry()?;
+        let engine = self.config.protocol.label();
+        self.aggregate_metrics()
+            .export_into(&mut reg, &[("engine", engine)]);
+        self.server_stats()
+            .export_into(&mut reg, &[("engine", engine)]);
+        Some(reg)
+    }
+
+    /// Live-telemetry tick, called after every engine step while
+    /// telemetry is on: at each sample boundary it first resolves
+    /// pending t-visibility probes against the replica stores
+    /// (read-only `latest_at_or_above` lookups; crashed replicas count
+    /// as not-yet-visible), then closes the series window from a purely
+    /// observational snapshot of client/server counters. Does nothing
+    /// — not even taking the sink lock — when telemetry is off.
+    fn obs_pump(&mut self) {
+        let now_us = self.engine.now().as_micros();
+        if !self.obs.sample_due(now_us) {
+            return;
+        }
+        let engine = &self.engine;
+        self.obs.drive_probes(now_us, |key, stamp, node| {
+            if engine.is_crashed(node) {
+                return false;
+            }
+            engine
+                .actor(node)
+                .as_server()
+                .map(|s| {
+                    s.store()
+                        .latest_at_or_above(key, VersionStamp::new(stamp.0, stamp.1))
+                        .is_some()
+                })
+                .unwrap_or(false)
+        });
+        let cum = self.collect_cumulative();
+        self.obs.sample(now_us, cum);
+    }
+
+    /// Cumulative counter snapshot for one series window boundary.
+    /// Strictly read-only over engine state.
+    fn collect_cumulative(&self) -> hat_obs::Cumulative {
+        let mut c = hat_obs::Cumulative::default();
+        let mut lat = hat_obs::Histogram::for_latency_ms();
+        for &cl in &self.layout.clients {
+            let m = &self.engine.actor(cl).as_client().expect("client").metrics;
+            c.committed += m.committed;
+            c.aborted += m.aborted_external + m.aborted_internal;
+            c.retries += m.retries;
+            c.redirects += m.shard_redirects;
+            lat.merge(&m.txn_latency_ms);
+        }
+        c.commit_lat = Some(lat);
+        for &s in self.layout.servers.iter().flatten() {
+            if let Some(srv) = self.engine.actor(s).as_server() {
+                c.wal_bytes += srv.store().wal_bytes();
+                c.repl_lag = c.repl_lag.max(srv.replication_lag());
+            }
+            c.dropped += self.engine.fault_stats(s).dropped_by_partition;
+        }
+        c
     }
 
     /// Direct engine access (tests, experiments).
@@ -682,6 +776,9 @@ impl SimFrontend {
             match self.engine.peek_time() {
                 Some(t) if t <= deadline => {
                     self.engine.step();
+                    if self.obs.is_enabled() {
+                        self.obs_pump();
+                    }
                 }
                 _ => {
                     return Err(HatError::Unavailable {
@@ -820,7 +917,24 @@ impl Frontend for SimFrontend {
     }
 
     fn run_for(&mut self, d: SimDuration) {
-        self.engine.run_for(d);
+        if !self.obs.is_enabled() {
+            self.engine.run_for(d);
+            return;
+        }
+        // Step-by-step with a telemetry pump between events — the same
+        // schedule `Engine::run_for` executes (step while the next event
+        // is within the deadline, then advance the clock), so enabling
+        // telemetry cannot change what runs or when.
+        let deadline = self.engine.now() + d;
+        while let Some(t) = self.engine.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.engine.step();
+            self.obs_pump();
+        }
+        self.engine.run_until(deadline);
+        self.obs_pump();
     }
 
     fn quiesce_duration(&self) -> SimDuration {

@@ -259,6 +259,9 @@ pub struct Client {
     /// built with `SystemConfig::trace`; recording never touches the rng,
     /// so traced runs stay bit-identical to untraced ones.
     trace: TraceSink,
+    /// Live-telemetry sink (same determinism contract as `trace`):
+    /// commits feed the visibility probes and the streaming checker.
+    obs: hat_obs::ObsSink,
     /// Shard-routing overrides learnt from [`Msg::WrongShard`] NACKs:
     /// ring token → new owner *position*. A handoff moves a token's
     /// position in every cluster at once (handoffs are positional), so
@@ -298,6 +301,7 @@ impl Client {
             driver: None,
             issue_counter: 0,
             trace: TraceSink::disabled(),
+            obs: hat_obs::ObsSink::disabled(),
             shard_overrides: BTreeMap::new(),
         }
     }
@@ -306,6 +310,12 @@ impl Client {
     /// when `SystemConfig::trace` is set).
     pub fn set_trace_sink(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Installs the shared live-telemetry sink (deployment builders call
+    /// this when `SystemConfig::obs` is enabled).
+    pub fn set_obs_sink(&mut self, sink: hat_obs::ObsSink) {
+        self.obs = sink;
     }
 
     /// The transaction id the *current* (or next) transaction carries in
@@ -1557,16 +1567,19 @@ impl Client {
             }
             TxnOutcome::AbortedInternal => self.metrics.aborted_internal += 1,
         }
-        if self.config.record_history {
-            // Reads served from the write buffer were recorded with the
-            // begin-time id; rewrite them to the actual write stamp.
-            for op in &mut txn.ops_done {
-                if let OpRecord::Read { observed, .. } = op {
-                    if *observed == txn.id {
-                        *observed = stamp;
-                    }
+        // Reads served from the write buffer were recorded with the
+        // begin-time id; rewrite them to the actual write stamp.
+        for op in &mut txn.ops_done {
+            if let OpRecord::Read { observed, .. } = op {
+                if *observed == txn.id {
+                    *observed = stamp;
                 }
             }
+        }
+        if outcome == TxnOutcome::Committed && self.obs.is_enabled() {
+            self.feed_obs(ctx.now(), stamp, &txn.ops_done, tid);
+        }
+        if self.config.record_history {
             self.records.push(TxnRecord {
                 id: stamp,
                 session: self.client_idx,
@@ -1582,6 +1595,43 @@ impl Client {
         if self.driver.is_some() {
             self.current = None;
             self.drive_next(ctx);
+        }
+    }
+
+    /// Feeds a committed transaction to the live-telemetry sink: its
+    /// reads (for the streaming checker) and its writes with each key's
+    /// replica set (for the t-visibility probe). Observation only — the
+    /// sink is fed from state the commit already produced and draws
+    /// nothing from the rng. On the sink's *first* violation the PR-8
+    /// trace window around the offending transaction is dumped (once
+    /// per run).
+    fn feed_obs(&self, now: SimTime, stamp: Timestamp, ops: &[OpRecord], tid: TxnId) {
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        for op in ops {
+            match op {
+                OpRecord::Read { key, observed, .. } => {
+                    reads.push((key.to_vec(), (observed.seq, observed.writer)));
+                }
+                OpRecord::Write { key, .. } => {
+                    writes.push((key.to_vec(), self.layout.replicas(key)));
+                }
+                OpRecord::PredicateRead { .. } => {}
+            }
+        }
+        let commit = hat_obs::CommitObs {
+            at_us: now.as_micros(),
+            session: self.client_idx,
+            session_seq: self.session_seq,
+            stamp: (stamp.seq, stamp.writer),
+            reads,
+            writes,
+        };
+        if let Some(v) = self.obs.observe_commit(&commit) {
+            eprintln!(
+                "hat-obs: first streaming violation {v:?}\n{}",
+                hat_trace::format_txn_window(&self.trace.events(), tid, 5_000)
+            );
         }
     }
 

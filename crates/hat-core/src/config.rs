@@ -86,6 +86,20 @@ impl ProtocolKind {
         }
     }
 
+    /// Streaming-checker policy for this engine: only phenomena the
+    /// engine's *advertised* isolation level prohibits are checked
+    /// online, mirroring `hat-history`'s `IsolationLevel::prohibited`
+    /// sets. Read Atomic (both RAMP engines) and Serializable (2PL)
+    /// prohibit fractured reads; only Serializable prohibits
+    /// non-monotonic session reads (MAV's monotonic *view* still
+    /// permits per-key read regression, Definition 28 vs the MAV cut).
+    pub fn checker_policy(self) -> hat_obs::CheckerPolicy {
+        hat_obs::CheckerPolicy {
+            fractured: self.is_ramp() || self == ProtocolKind::TwoPhaseLocking,
+            monotonic: self == ProtocolKind::TwoPhaseLocking,
+        }
+    }
+
     /// All protocol kinds, HAT first (the order used in experiment
     /// tables).
     pub const ALL: [ProtocolKind; 7] = [
@@ -302,6 +316,52 @@ pub struct SystemConfig {
     /// schedule either way: same-seed runs are bit-identical with it on
     /// or off.
     pub trace: bool,
+    /// Live telemetry (hat-obs). Same determinism contract as `trace`:
+    /// disabled (the default) costs one branch per hook; enabled, the
+    /// sampler and probes only *read* simulation state and draw nothing
+    /// from the rng, so same-seed runs are bit-identical on or off.
+    pub obs: ObsConfig,
+}
+
+/// Live-telemetry configuration (see `hat-obs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Master switch; when false the deployment carries no-op sinks.
+    pub enabled: bool,
+    /// Time-series sampling cadence.
+    pub sample_interval: SimDuration,
+    /// Register every Nth commit as a t-visibility probe (0 = none).
+    pub probe_every: u64,
+    /// Max in-flight visibility probes.
+    pub probe_cap: usize,
+    /// Streaming-checker sliding window (recent writers kept).
+    pub checker_window: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: false,
+            sample_interval: SimDuration::from_millis(10),
+            probe_every: 4,
+            probe_cap: 64,
+            checker_window: 256,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// The hat-obs options this configuration expands to for an engine
+    /// running `protocol` (the checker policy is per-engine).
+    pub fn options(&self, protocol: ProtocolKind) -> hat_obs::ObsOptions {
+        hat_obs::ObsOptions {
+            sample_interval_us: self.sample_interval.as_micros(),
+            probe_every: self.probe_every,
+            probe_cap: self.probe_cap,
+            checker_window: self.checker_window,
+            policy: protocol.checker_policy(),
+        }
+    }
 }
 
 impl SystemConfig {
@@ -320,6 +380,7 @@ impl SystemConfig {
             commit_batch_size: 64,
             delta_catchup_threshold: crate::protocol::replication::MAX_BATCH as u64,
             trace: false,
+            obs: ObsConfig::default(),
         }
     }
 

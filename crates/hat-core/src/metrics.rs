@@ -175,6 +175,68 @@ impl ClientMetrics {
         self.lock_latency_ms.merge(&other.lock_latency_ms);
     }
 
+    /// Exports every counter and histogram into a metrics registry
+    /// under `hat_client_*`/`hat_txn_*` names with the given labels —
+    /// the client half of the unified Prometheus/JSON exposition.
+    /// Histograms are folded in losslessly ([`hat_obs::MetricsRegistry`]
+    /// bucket-merges), so exporting several clients under the same
+    /// labels aggregates exactly like [`ClientMetrics::merge`].
+    pub fn export_into(&self, reg: &mut hat_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.counter_add("hat_txn_committed_total", labels, self.committed);
+        reg.counter_add(
+            "hat_txn_aborted_external_total",
+            labels,
+            self.aborted_external,
+        );
+        reg.counter_add(
+            "hat_txn_aborted_internal_total",
+            labels,
+            self.aborted_internal,
+        );
+        reg.counter_add("hat_client_ops_completed_total", labels, self.ops_completed);
+        reg.counter_add("hat_client_retries_total", labels, self.retries);
+        reg.counter_add("hat_client_msg_rounds_total", labels, self.msg_rounds);
+        reg.counter_add("hat_client_repair_rounds_total", labels, self.repair_rounds);
+        reg.counter_add(
+            "hat_client_metadata_bytes_total",
+            labels,
+            self.metadata_bytes,
+        );
+        reg.counter_add(
+            "hat_client_unrepaired_reads_total",
+            labels,
+            self.unrepaired_reads,
+        );
+        reg.counter_add(
+            "hat_client_shard_redirects_total",
+            labels,
+            self.shard_redirects,
+        );
+        reg.counter_add(
+            "hat_client_commit_batches_total",
+            labels,
+            self.commit_batches,
+        );
+        reg.counter_add(
+            "hat_client_commit_batch_marks_total",
+            labels,
+            self.commit_batch_marks,
+        );
+        for (name, h) in [
+            ("hat_txn_latency_ms", &self.txn_latency_ms),
+            ("hat_op_latency_ms", &self.op_latency_ms),
+            ("hat_get_latency_ms", &self.get_latency_ms),
+            ("hat_get_many_latency_ms", &self.get_many_latency_ms),
+            ("hat_scan_latency_ms", &self.scan_latency_ms),
+            ("hat_put_latency_ms", &self.put_latency_ms),
+            ("hat_lock_latency_ms", &self.lock_latency_ms),
+        ] {
+            if h.count() > 0 {
+                reg.hist_merge(name, labels, h);
+            }
+        }
+    }
+
     /// Committed transactions per second over a window of `elapsed`.
     pub fn throughput_tps(&self, elapsed: SimDuration) -> f64 {
         let secs = elapsed.as_secs_f64();

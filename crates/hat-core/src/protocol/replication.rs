@@ -67,6 +67,15 @@ impl ReplicationLog {
         self.head() - self.acked[peer].max(self.base)
     }
 
+    /// The worst per-peer lag (0 with no peers) — the replication-lag
+    /// gauge the live-telemetry sampler reads.
+    pub fn max_lag(&self) -> u64 {
+        (0..self.acked.len())
+            .map(|p| self.lag(p))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Delta-compressed catch-up batch for a badly lagging `peer`: one
     /// compacted batch covering its *entire* lag window, instead of
     /// `lag / MAX_BATCH` round trips of per-record replay.

@@ -108,6 +108,59 @@ impl ServerStats {
         self.shard_handoffs += other.shard_handoffs;
         self.shard_nacks += other.shard_nacks;
     }
+
+    /// Exports every counter into a metrics registry under `hat_server_*`
+    /// names with the given labels — the server half of the unified
+    /// Prometheus/JSON exposition.
+    pub fn export_into(&self, reg: &mut hat_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.counter_add(
+            "hat_server_replication_msgs_total",
+            labels,
+            self.replication_msgs,
+        );
+        reg.counter_add(
+            "hat_server_replication_bytes_total",
+            labels,
+            self.replication_bytes,
+        );
+        reg.counter_add(
+            "hat_server_replication_records_total",
+            labels,
+            self.replication_records,
+        );
+        reg.counter_add(
+            "hat_server_catchup_batches_total",
+            labels,
+            self.catchup_batches,
+        );
+        reg.counter_add(
+            "hat_server_commit_batches_total",
+            labels,
+            self.commit_batches,
+        );
+        reg.counter_add(
+            "hat_server_commit_batch_marks_total",
+            labels,
+            self.commit_batch_size,
+        );
+        reg.counter_add(
+            "hat_server_msgs_dropped_partition_total",
+            labels,
+            self.msgs_dropped_by_partition,
+        );
+        reg.counter_add("hat_server_crashes_total", labels, self.crashes);
+        reg.counter_add(
+            "hat_server_wal_records_replayed_total",
+            labels,
+            self.wal_records_replayed,
+        );
+        reg.counter_add(
+            "hat_server_shard_handoffs_total",
+            labels,
+            self.shard_handoffs,
+        );
+        reg.counter_add("hat_server_shard_nacks_total", labels, self.shard_nacks);
+    }
 }
 
 /// The sending side of one in-progress (or completed) shard handoff.
@@ -275,6 +328,13 @@ impl Server {
     /// MAV run; 0 by definition for engines without the concept).
     pub fn mav_required_misses(&self) -> u64 {
         self.engine.required_misses()
+    }
+
+    /// Worst per-peer anti-entropy backlog (log entries a gossip peer
+    /// has not acknowledged) — the replication-lag gauge the live
+    /// sampler reads. Read-only; never perturbs the run.
+    pub fn replication_lag(&self) -> u64 {
+        self.repl.max_lag()
     }
 
     /// Rewinds the replication cursor for `peer` to the oldest retained

@@ -32,8 +32,8 @@
 pub mod runner;
 pub mod schedule;
 
-pub use runner::{advertised_level, converged, run, NemesisOpts, NemesisReport};
+pub use runner::{advertised_level, converged, run, workload_keys, NemesisOpts, NemesisReport};
 pub use schedule::{
     standard_catalog, Compose, CrashRestart, Fault, Flapping, Handoffs, LatencySpikes, Nemesis,
-    Rolling, SkewClocks,
+    Rolling, SkewClocks, SplitBrain,
 };

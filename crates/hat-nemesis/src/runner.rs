@@ -6,6 +6,7 @@ use hat_core::{
     SessionOptions, SimFrontend, SystemConfig, TraceEventKind, TxnId, TxnRecord,
 };
 use hat_history::{check, IsolationLevel};
+use hat_obs::{LatencyPercentiles as StalenessPercentiles, MetricsRegistry, ObsSink, TimeSeries};
 use hat_sim::{LatencyModel, LatencyPercentiles, NodeId, Partition, SimDuration, SimTime};
 use hat_storage::{Key, SyncPolicy, VersionStamp};
 use std::collections::{BTreeMap, BTreeSet};
@@ -73,6 +74,19 @@ pub struct NemesisReport {
     pub converged: bool,
     /// Commit-latency tail percentiles aggregated across sessions.
     pub commit_latency: LatencyPercentiles,
+    /// Per-window telemetry timeline with embedded fault marks: the
+    /// paper's availability split readable window by window.
+    pub series: TimeSeries,
+    /// End-of-run metrics registry snapshot, with the client/server
+    /// counter exposition and probe/checker metrics folded in.
+    pub registry: MetricsRegistry,
+    /// t-visibility staleness percentiles from the online probe pair
+    /// (None when no probe resolved before the run ended).
+    pub staleness: Option<StalenessPercentiles>,
+    /// Violations flagged *live* by the streaming checker. Must be 0,
+    /// like the offline `violations` — the streamed check is bounded-
+    /// memory and may miss (evicted writers), but never false-alarms.
+    pub stream_violations: u64,
     /// The full recorded history (for bit-identical same-seed checks).
     pub records: Vec<TxnRecord>,
 }
@@ -83,6 +97,7 @@ impl NemesisReport {
     /// restart served recovered state.
     pub fn ok(&self) -> bool {
         self.violations == 0
+            && self.stream_violations == 0
             && self.converged
             && self.committed > 0
             && (self.crashes == 0 || self.wal_records_replayed > 0)
@@ -104,6 +119,28 @@ pub fn advertised_level(protocol: ProtocolKind) -> IsolationLevel {
         ProtocolKind::Master => IsolationLevel::ReadUncommitted,
         ProtocolKind::TwoPhaseLocking => IsolationLevel::Serializable,
     }
+}
+
+/// Deterministic workload key names whose masters stripe round-robin
+/// across clusters: key `i`'s master lives in cluster `i % clusters`
+/// (found by probing candidate names against the layout's placement
+/// hash — a pure function of the layout, no rng). Adjacent workload
+/// pairs therefore always straddle an inter-cluster cut, which is what
+/// keeps the split-brain availability split sharp: a 2PL write must
+/// lock a master on each side of the cut, so zero writes commit inside
+/// the window, while the HAT engines keep committing against whatever
+/// replicas they can reach.
+pub fn workload_keys(layout: &hat_core::ClusterLayout, n: usize) -> Vec<String> {
+    let clusters = layout.servers.len().max(1);
+    (0..n)
+        .map(|i| {
+            let want = i % clusters;
+            (0..10_000)
+                .map(|c| format!("nk{i}-{c}"))
+                .find(|k| layout.master_cluster(&Key::from(k.clone())) == want)
+                .expect("some candidate key masters in the wanted cluster")
+        })
+        .collect()
 }
 
 /// Monotonic run counter: every run gets a private durable-store
@@ -144,6 +181,10 @@ fn run_in(
     // bit-identical), and a conformance failure can then dump the
     // fault-annotated timeline around the violating transaction.
     cfg.trace = true;
+    // Always observe: the live registry, the per-window time series
+    // with fault marks, the t-visibility probes and the streaming
+    // checker are equally rng-neutral, so telemetry is free to leave on.
+    cfg.obs.enabled = true;
     let mut front = DeploymentBuilder::new(protocol)
         .seed(opts.seed)
         .clusters(ClusterSpec::va_or(opts.servers_per_cluster))
@@ -159,22 +200,24 @@ fn run_in(
         .map(|_| front.open_session(SessionOptions::default()))
         .collect();
 
+    let keys = workload_keys(front.layout(), opts.keys);
     let schedule = nemesis.schedule(front.layout(), opts.horizon);
     let mut crashed: BTreeSet<NodeId> = BTreeSet::new();
+    let mut spiked = false;
     let mut next = 0usize;
     let (mut committed, mut unavailable, mut aborted) = (0u64, 0u64, 0u64);
     let end = SimTime::ZERO + opts.horizon;
     let mut round = 0usize;
     while front.now() < end {
         while next < schedule.len() && schedule[next].0 <= front.now() {
-            apply(&mut front, &schedule[next].1, &mut crashed);
+            apply(&mut front, &schedule[next].1, &mut crashed, &mut spiked);
             next += 1;
         }
         workload_round(
             &mut front,
             &sessions,
             round,
-            opts.keys,
+            &keys,
             &mut committed,
             &mut unavailable,
             &mut aborted,
@@ -189,12 +232,25 @@ fn run_in(
     for (_, fault) in &schedule[next..] {
         if let Fault::Restart { node } = fault {
             if crashed.remove(node) {
+                front
+                    .obs_sink()
+                    .fault_end(front.now().as_micros(), &format!("crash node {node}"));
                 front.restart_server(*node);
             }
         }
     }
     for node in std::mem::take(&mut crashed) {
+        front
+            .obs_sink()
+            .fault_end(front.now().as_micros(), &format!("crash node {node}"));
         front.restart_server(node);
+    }
+    if std::mem::take(&mut spiked) {
+        // The horizon cut mid-spike: close the mark so the exported
+        // series keeps every bounded fault paired.
+        front
+            .obs_sink()
+            .fault_end(front.now().as_micros(), "latency spike");
     }
     front.engine_mut().set_latency_factor(1.0);
     let max_cut = schedule
@@ -225,6 +281,10 @@ fn run_in(
         );
     }
     let stats = front.server_stats();
+    let series = front.obs_series().unwrap_or_default();
+    let registry = front.obs_registry().unwrap_or_default();
+    let staleness = front.obs_sink().staleness();
+    let stream_violations = front.obs_sink().violations();
     NemesisReport {
         protocol,
         schedule: nemesis.name(),
@@ -239,6 +299,10 @@ fn run_in(
         wal_records_replayed: stats.wal_records_replayed,
         converged: converged(&front),
         commit_latency: front.aggregate_metrics().commit_percentiles(),
+        series,
+        registry,
+        staleness,
+        stream_violations,
         records,
     }
 }
@@ -273,9 +337,20 @@ fn dump_violation_traces(
     }
 }
 
-fn apply(front: &mut SimFrontend, fault: &Fault, crashed: &mut BTreeSet<NodeId>) {
+fn apply(
+    front: &mut SimFrontend,
+    fault: &Fault,
+    crashed: &mut BTreeSet<NodeId>,
+    spiked: &mut bool,
+) {
     let now = front.now();
     let trace = front.trace_sink().clone();
+    // Fault marks mirror the trace records into the telemetry series.
+    // Begin/end pairs must share one label (the series validator pairs
+    // by label), so restart closes with the *crash* label and latency
+    // transitions share a constant one; clock skew and handoffs are
+    // instantaneous and stay begin-only.
+    let obs = front.obs_sink().clone();
     match fault {
         Fault::Partition {
             a,
@@ -298,8 +373,10 @@ fn apply(front: &mut SimFrontend, fault: &Fault, crashed: &mut BTreeSet<NodeId>)
             trace.record(
                 (now + *duration).as_micros(),
                 reporter,
-                TraceEventKind::FaultEnd { desc },
+                TraceEventKind::FaultEnd { desc: desc.clone() },
             );
+            obs.fault_begin(now.as_micros(), &desc);
+            obs.fault_end((now + *duration).as_micros(), &desc);
             let p = if *one_way {
                 Partition::one_way(now, now + *duration, a.iter().copied(), b.iter().copied())
             } else {
@@ -315,6 +392,10 @@ fn apply(front: &mut SimFrontend, fault: &Fault, crashed: &mut BTreeSet<NodeId>)
                     desc: format!("clock skew {offset_us}us on node {node}"),
                 },
             );
+            obs.fault_begin(
+                now.as_micros(),
+                &format!("clock skew {offset_us}us on node {node}"),
+            );
             front.engine_mut().set_clock_offset(*node, *offset_us);
         }
         Fault::LatencyScale { factor } => {
@@ -328,6 +409,13 @@ fn apply(front: &mut SimFrontend, fault: &Fault, crashed: &mut BTreeSet<NodeId>)
                 }
             };
             trace.record(now.as_micros(), 0, kind);
+            if *factor > 1.0 {
+                obs.fault_begin(now.as_micros(), "latency spike");
+                *spiked = true;
+            } else {
+                obs.fault_end(now.as_micros(), "latency spike");
+                *spiked = false;
+            }
             front.engine_mut().set_latency_factor(*factor)
         }
         Fault::Crash { node, torn_tail } => {
@@ -339,6 +427,7 @@ fn apply(front: &mut SimFrontend, fault: &Fault, crashed: &mut BTreeSet<NodeId>)
                         desc: format!("crash node {node} (torn tail {torn_tail}B)"),
                     },
                 );
+                obs.fault_begin(now.as_micros(), &format!("crash node {node}"));
                 front.crash_server(*node);
                 if *torn_tail > 0 {
                     front.tear_wal_tail(*node, *torn_tail);
@@ -354,6 +443,7 @@ fn apply(front: &mut SimFrontend, fault: &Fault, crashed: &mut BTreeSet<NodeId>)
                         desc: format!("restart node {node}"),
                     },
                 );
+                obs.fault_end(now.as_micros(), &format!("crash node {node}"));
                 front.restart_server(*node);
             }
         }
@@ -364,6 +454,10 @@ fn apply(front: &mut SimFrontend, fault: &Fault, crashed: &mut BTreeSet<NodeId>)
                 TraceEventKind::FaultBegin {
                     desc: format!("handoff token {token} -> position {to_position}"),
                 },
+            );
+            obs.fault_begin(
+                now.as_micros(),
+                &format!("handoff token {token} -> position {to_position}"),
             );
             front.begin_handoff(*token, *to_position);
         }
@@ -378,37 +472,46 @@ fn workload_round(
     front: &mut SimFrontend,
     sessions: &[Session],
     round: usize,
-    keys: usize,
+    keys: &[String],
     committed: &mut u64,
     unavailable: &mut u64,
     aborted: &mut u64,
 ) {
+    let obs = front.obs_sink().clone();
     for (ci, s) in sessions.iter().enumerate() {
-        let a = format!("nk{}", (round + ci) % keys);
-        let b = format!("nk{}", (round + ci + 1) % keys);
+        let a = keys[(round + ci) % keys.len()].clone();
+        let b = keys[(round + ci + 1) % keys.len()].clone();
         let w = front.try_txn(s, |t| {
             let _ = t.get(&a)?;
             t.put(&a, &format!("r{round}c{ci}a"))?;
             t.put(&b, &format!("r{round}c{ci}b"))
         });
-        tally(w.map(|_| ()), committed, unavailable, aborted);
+        tally(w.map(|_| ()), &obs, committed, unavailable, aborted);
         let r = front.try_txn(s, |t| {
             let _ = t.get_many(&[&a, &b])?;
             Ok(())
         });
-        tally(r, committed, unavailable, aborted);
+        tally(r, &obs, committed, unavailable, aborted);
     }
 }
 
+/// Folds one transaction outcome into the run totals. Unavailability
+/// is not a client-side counter (the client only sees an error), so
+/// the tally also feeds it to the telemetry registry, where the series
+/// sampler picks it up per window.
 fn tally(
     outcome: Result<(), HatError>,
+    obs: &ObsSink,
     committed: &mut u64,
     unavailable: &mut u64,
     aborted: &mut u64,
 ) {
     match outcome {
         Ok(()) => *committed += 1,
-        Err(HatError::Unavailable { .. }) => *unavailable += 1,
+        Err(HatError::Unavailable { .. }) => {
+            *unavailable += 1;
+            obs.counter_add("hat_txn_unavailable_total", &[], 1);
+        }
         Err(_) => *aborted += 1,
     }
 }

@@ -339,6 +339,61 @@ impl Nemesis for Handoffs {
     }
 }
 
+/// One clean inter-datacenter split: for the middle half of the
+/// horizon, every node of cluster 0 — its servers *and* its home
+/// clients — is cut both ways from everything in the other clusters.
+/// Each side stays internally healthy, so this is the paper's §6
+/// experiment in schedule form: HAT engines keep committing against
+/// their local replicas straight through the split, while 2PL (whose
+/// writes must lock every positional replica) produces exactly zero
+/// commits inside the window and recovers after the heal. The PR-10
+/// time series makes that split visible per window instead of
+/// flattening it into run totals.
+#[derive(Debug, Clone)]
+pub struct SplitBrain;
+
+impl SplitBrain {
+    /// The partition window `[begin, end)` this schedule opens for a
+    /// given horizon — `[horizon/4, 3·horizon/4)`. Exposed so tests and
+    /// the experiment binary can assert per-window behavior without
+    /// re-deriving the fractions.
+    pub fn window(horizon: SimDuration) -> (SimTime, SimTime) {
+        let quarter = SimDuration::from_micros(horizon.as_micros() / 4);
+        let begin = SimTime::ZERO + quarter;
+        (begin, begin + quarter + quarter)
+    }
+}
+
+impl Nemesis for SplitBrain {
+    fn name(&self) -> String {
+        "split-brain".into()
+    }
+
+    fn schedule(&self, layout: &ClusterLayout, horizon: SimDuration) -> Vec<(SimTime, Fault)> {
+        if layout.servers.len() < 2 {
+            return Vec::new();
+        }
+        // Each side of the cut is a whole datacenter: its servers plus
+        // the clients homed there, so intra-DC traffic keeps flowing.
+        let mut sides: Vec<Vec<NodeId>> = layout.servers.clone();
+        for (i, &c) in layout.clients.iter().enumerate() {
+            sides[layout.client_home[i]].push(c);
+        }
+        let a = sides.remove(0);
+        let b: Vec<NodeId> = sides.into_iter().flatten().collect();
+        let (begin, end) = Self::window(horizon);
+        vec![(
+            begin,
+            Fault::Partition {
+                a,
+                b,
+                duration: end.since(begin),
+                one_way: false,
+            },
+        )]
+    }
+}
+
 /// Runs several nemeses at once: the union of their schedules, stably
 /// sorted by fire time (ties keep constituent order). This is where the
 /// harness earns its keep — a crash *during* a partition *under* clock
@@ -375,14 +430,16 @@ impl Nemesis for Compose {
     }
 }
 
-/// The six canonical schedules every engine must survive: rolling
-/// partitions, a flapping one-way link, cluster-wide clock skew,
-/// crash-restart with torn WAL tails, all of those composed at once,
-/// and live shard handoffs racing the workload. The conformance suite
-/// and the `exp_nemesis` experiment binary share this catalog, so a
-/// schedule added here is exercised by both.
+/// The seven canonical schedules every engine must survive: a clean
+/// inter-DC split-brain, rolling partitions, a flapping one-way link,
+/// cluster-wide clock skew, crash-restart with torn WAL tails, the
+/// partition/skew/crash/latency faults composed at once, and live
+/// shard handoffs racing the workload. The conformance suite and the
+/// `exp_nemesis` experiment binary share this catalog, so a schedule
+/// added here is exercised by both.
 pub fn standard_catalog() -> Vec<Box<dyn Nemesis>> {
     vec![
+        Box::new(SplitBrain),
         Box::new(Rolling {
             period: SimDuration::from_millis(80),
             outage: SimDuration::from_millis(40),

@@ -15,9 +15,10 @@ use hat_sim::SimDuration;
 
 const SEED: u64 = 0xBAD_CAFE;
 
-/// The five canonical schedules (ISSUE: rolling partition, flapping
-/// link, clock skew, crash-restart with torn WAL, and all of it at
-/// once) — shared with `exp_nemesis` via [`standard_catalog`].
+/// The canonical schedules (split-brain, rolling partition, flapping
+/// link, clock skew, crash-restart with torn WAL, the composed storm,
+/// and live handoffs) — shared with `exp_nemesis` via
+/// [`standard_catalog`].
 fn schedules() -> Vec<Box<dyn hat_nemesis::Nemesis>> {
     standard_catalog()
 }
@@ -68,7 +69,11 @@ fn all_engines_hold_their_advertised_level_under_every_schedule() {
 /// operation of every transaction, not just summary counters.
 #[test]
 fn same_seed_nemesis_runs_are_bit_identical() {
-    let combined = &schedules()[4];
+    let all = schedules();
+    let combined = all
+        .iter()
+        .find(|n| n.name().contains('+'))
+        .expect("catalog has the composed schedule");
     for protocol in ProtocolKind::ALL {
         let opts = NemesisOpts {
             seed: 0x5EED_0001,

@@ -1,0 +1,471 @@
+//! Log-scaled histograms with lossless merge and per-window deltas.
+//!
+//! This is the one histogram implementation the whole workspace uses:
+//! `hat-sim` re-exports it (so `ClientMetrics`' latency fields *are*
+//! these histograms) and the metrics registry stores them directly —
+//! aggregation across clients, servers and time windows never loses a
+//! sample. Buckets are geometric, so memory stays constant for
+//! arbitrarily long runs while preserving the requested relative
+//! resolution.
+
+/// The fixed percentile set every latency report in the repo uses
+/// (paper-style tail latency: median, p90, p99, p999, max), extracted
+/// from a [`Histogram`] by [`Histogram::percentiles`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Number of samples the percentiles summarize.
+    pub count: u64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub p999: f64,
+    pub max: f64,
+}
+
+impl LatencyPercentiles {
+    /// All-zero summary of an empty sample.
+    pub fn empty() -> Self {
+        LatencyPercentiles {
+            count: 0,
+            mean: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            p999: 0.0,
+            max: 0.0,
+        }
+    }
+}
+
+/// A log-scaled histogram over positive values.
+///
+/// Buckets are geometric: bucket `i` covers `[min * g^i, min * g^(i+1))`
+/// where `g` is chosen from the requested per-bucket relative error.
+/// Merging histograms with identical configuration is lossless — the
+/// merged percentiles equal those of recording every sample into one
+/// histogram — and [`Histogram::delta_since`] subtracts an earlier
+/// snapshot bucket-by-bucket, which is how the time-series sampler
+/// reports per-window tail latency instead of run-cumulative tails.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min_value: f64,
+    growth: f64,
+    log_growth: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+    sum: f64,
+    max_seen: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[min_value, max_value]` with roughly
+    /// `rel_err` relative resolution per bucket (e.g. `0.01` for 1%).
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_value < max_value` and `rel_err > 0`.
+    pub fn new(min_value: f64, max_value: f64, rel_err: f64) -> Self {
+        assert!(min_value > 0.0 && max_value > min_value && rel_err > 0.0);
+        let growth = 1.0 + 2.0 * rel_err;
+        let buckets = ((max_value / min_value).ln() / growth.ln()).ceil() as usize + 1;
+        Histogram {
+            min_value,
+            growth,
+            log_growth: growth.ln(),
+            counts: vec![0; buckets],
+            underflow: 0,
+            total: 0,
+            sum: 0.0,
+            max_seen: 0.0,
+        }
+    }
+
+    /// A histogram suitable for latencies from 10 µs to 100 s (in ms).
+    pub fn for_latency_ms() -> Self {
+        Histogram::new(0.01, 100_000.0, 0.01)
+    }
+
+    /// Records one sample. Values below the minimum are counted in an
+    /// underflow bucket; values above the maximum clamp into the last
+    /// bucket.
+    pub fn record(&mut self, v: f64) {
+        self.total += 1;
+        self.sum += v;
+        if v > self.max_seen {
+            self.max_seen = v;
+        }
+        if v < self.min_value {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((v / self.min_value).ln() / self.log_growth) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean of recorded samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> f64 {
+        self.max_seen
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`); returns the upper edge of
+    /// the bucket containing the rank. Returns 0 if empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((self.total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= rank {
+            return self.min_value;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.min_value * self.growth.powi(i as i32 + 1);
+            }
+        }
+        self.max_seen
+    }
+
+    /// The standard tail-latency summary (p50/p90/p99/p999 + mean/max).
+    pub fn percentiles(&self) -> LatencyPercentiles {
+        if self.total == 0 {
+            return LatencyPercentiles::empty();
+        }
+        // A quantile reports its bucket's upper edge, which can sit just
+        // above the true maximum — clamp so p999 ≤ max always holds.
+        let q = |q: f64| self.quantile(q).min(self.max_seen);
+        LatencyPercentiles {
+            count: self.total,
+            mean: self.mean(),
+            p50: q(0.5),
+            p90: q(0.9),
+            p99: q(0.99),
+            p999: q(0.999),
+            max: self.max_seen,
+        }
+    }
+
+    /// Returns `(value, cumulative_fraction)` pairs describing the CDF,
+    /// one point per non-empty bucket. Suitable for plotting Figure 1.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let mut points = Vec::new();
+        if self.total == 0 {
+            return points;
+        }
+        let mut cum = self.underflow;
+        if self.underflow > 0 {
+            points.push((self.min_value, cum as f64 / self.total as f64));
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                let edge = self.min_value * self.growth.powi(i as i32 + 1);
+                points.push((edge, cum as f64 / self.total as f64));
+            }
+        }
+        points
+    }
+
+    /// Merges another histogram with identical configuration.
+    ///
+    /// # Panics
+    /// Panics if the configurations differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        assert!((self.min_value - other.min_value).abs() < f64::EPSILON);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+
+    /// The samples recorded since `prev` was snapshotted from this same
+    /// histogram: bucket-wise subtraction. `prev` must be an earlier
+    /// clone of `self` (every bucket a lower bound); the result's
+    /// quantiles describe only the window between the two snapshots.
+    ///
+    /// The window's `max` is not recoverable from bucket counts, so the
+    /// delta keeps the cumulative `max_seen` purely as a quantile clamp
+    /// — window quantiles still come out of the window's own buckets.
+    ///
+    /// # Panics
+    /// Panics if the configurations differ.
+    pub fn delta_since(&self, prev: &Histogram) -> Histogram {
+        assert_eq!(self.counts.len(), prev.counts.len());
+        assert!((self.min_value - prev.min_value).abs() < f64::EPSILON);
+        let counts = self
+            .counts
+            .iter()
+            .zip(&prev.counts)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        Histogram {
+            min_value: self.min_value,
+            growth: self.growth,
+            log_growth: self.log_growth,
+            counts,
+            underflow: self.underflow.saturating_sub(prev.underflow),
+            total: self.total.saturating_sub(prev.total),
+            sum: self.sum - prev.sum,
+            max_seen: self.max_seen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let mut h = Histogram::new(0.1, 1000.0, 0.01);
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50 {p50}");
+        let p95 = h.quantile(0.95);
+        assert!((p95 - 950.0).abs() / 950.0 < 0.05, "p95 {p95}");
+        assert!((h.mean() - 500.5).abs() < 1e-6);
+    }
+
+    /// The log-scale design bound: a quantile estimate is the upper
+    /// edge of the geometric bucket holding the rank sample, so it can
+    /// overshoot the true order statistic by at most the bucket growth
+    /// factor `g = 1 + 2·rel_err` (and never undershoot past one
+    /// bucket). Verified against exact order statistics at two
+    /// configured resolutions.
+    #[test]
+    fn quantile_error_is_bounded_by_the_configured_resolution() {
+        for rel_err in [0.01, 0.05] {
+            let g = 1.0 + 2.0 * rel_err;
+            let mut h = Histogram::new(0.1, 100_000.0, rel_err);
+            // Log-spaced samples so every quantile sits in a distinct
+            // region of the bucket ladder (adjacent samples differ by
+            // 0.4%, far below either configured resolution).
+            let vals: Vec<f64> = (0..2500).map(|i| 0.5 * 1.004f64.powi(i)).collect();
+            for &v in &vals {
+                h.record(v);
+            }
+            for q in [0.25, 0.5, 0.9, 0.99, 0.999] {
+                let exact = vals[(q * (vals.len() - 1) as f64).round() as usize];
+                let est = h.quantile(q);
+                assert!(
+                    est >= exact / (g * 1.01) && est <= exact * g * 1.01,
+                    "rel_err {rel_err}: q{q} estimate {est} strays past the                      bucket bound around exact {exact}"
+                );
+            }
+        }
+    }
+
+    /// Percentiles are a function of the merged *contents*, never of
+    /// the merge *order* — shards arriving in any order report the same
+    /// tail.
+    #[test]
+    fn merge_order_never_changes_percentiles() {
+        let mk = |vals: &[f64]| {
+            let mut h = Histogram::for_latency_ms();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let shards = [
+            mk(&[0.004, 0.3, 2.2]), // underflow sample included
+            mk(&[5.0, 5.0, 17.0, 80.0]),
+            mk(&[0.9, 450.0]),
+            mk(&[2e9, 33.0]), // clamp sample included
+        ];
+        let merged_in = |order: &[usize]| {
+            let mut h = Histogram::for_latency_ms();
+            for &i in order {
+                h.merge(&shards[i]);
+            }
+            h
+        };
+        let base = merged_in(&[0, 1, 2, 3]);
+        for order in [[3, 2, 1, 0], [2, 0, 3, 1], [1, 3, 0, 2]] {
+            let h = merged_in(&order);
+            assert_eq!(h.percentiles(), base.percentiles(), "order {order:?}");
+            assert_eq!(h.cdf(), base.cdf(), "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_underflow_and_clamp() {
+        let mut h = Histogram::new(1.0, 10.0, 0.05);
+        h.record(0.5); // underflow
+        h.record(100.0); // clamps to last bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.25), 1.0); // underflow reports min
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn cdf_monotone_and_ends_at_one() {
+        let mut h = Histogram::for_latency_ms();
+        for v in [0.2, 0.5, 1.0, 5.0, 50.0, 300.0] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::for_latency_ms();
+        for v in [0.3, 2.0, 41.5, 900.0] {
+            a.record(v);
+        }
+        let before = a.clone();
+        a.merge(&Histogram::for_latency_ms());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+        assert_eq!(a.max(), before.max());
+        assert_eq!(a.cdf(), before.cdf());
+        // Merging *into* an empty histogram reproduces the source too.
+        let mut empty = Histogram::for_latency_ms();
+        empty.merge(&before);
+        assert_eq!(empty.cdf(), before.cdf());
+        assert_eq!(empty.quantile(0.5), before.quantile(0.5));
+    }
+
+    #[test]
+    fn merge_is_associative_and_lossless() {
+        let mk = |vals: &[f64]| {
+            let mut h = Histogram::for_latency_ms();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[0.005, 0.12, 3.4]); // includes an underflow sample
+        let b = mk(&[7.7, 7.7, 250.0]);
+        let c = mk(&[1e9]); // clamps into the last bucket
+                            // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.cdf(), right.cdf());
+        assert_eq!(left.percentiles(), right.percentiles());
+        // Lossless vs recording everything into one histogram.
+        let all = mk(&[0.005, 0.12, 3.4, 7.7, 7.7, 250.0, 1e9]);
+        assert_eq!(left.cdf(), all.cdf());
+        assert_eq!(left.count(), all.count());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_preserves_bucket_boundaries() {
+        // A value landing exactly on a bucket edge must stay in the same
+        // bucket whether it was recorded before or after a merge.
+        let mut a = Histogram::new(1.0, 100.0, 0.01);
+        let edge = 1.0 * (1.0 + 2.0 * 0.01); // upper edge of bucket 0
+        a.record(edge);
+        let mut b = Histogram::new(1.0, 100.0, 0.01);
+        b.record(edge);
+        let direct_q = a.quantile(1.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.quantile(1.0), direct_q);
+        assert_eq!(a.quantile(0.5), direct_q);
+    }
+
+    #[test]
+    fn percentiles_summary_shape() {
+        assert_eq!(Histogram::for_latency_ms().percentiles().count, 0);
+        let mut h = Histogram::for_latency_ms();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let p = h.percentiles();
+        assert_eq!(p.count, 1000);
+        assert!(p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.p999);
+        assert!(p.p999 <= p.max);
+        assert!((p.p90 - 900.0).abs() / 900.0 < 0.05, "p90 {}", p.p90);
+        assert!((p.p999 - 999.0).abs() / 999.0 < 0.05, "p999 {}", p.p999);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(1.0, 100.0, 0.01);
+        let mut b = Histogram::new(1.0, 100.0, 0.01);
+        a.record(10.0);
+        b.record(20.0);
+        b.record(30.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 30.0);
+    }
+
+    #[test]
+    fn delta_since_isolates_the_window() {
+        let mut h = Histogram::for_latency_ms();
+        h.record(1.0);
+        h.record(2.0);
+        let snap = h.clone();
+        h.record(100.0);
+        h.record(100.0);
+        h.record(100.0);
+        let win = h.delta_since(&snap);
+        assert_eq!(win.count(), 3);
+        // All three window samples are 100ms; the window p50 must sit in
+        // the 100ms bucket, not be dragged down by the pre-window 1-2ms.
+        assert!((win.quantile(0.5) - 100.0).abs() / 100.0 < 0.05);
+        assert!((win.mean() - 100.0).abs() < 1e-6);
+        // Empty window: delta of identical snapshots.
+        let none = h.delta_since(&h.clone());
+        assert_eq!(none.count(), 0);
+        assert_eq!(none.percentiles(), LatencyPercentiles::empty());
+    }
+
+    #[test]
+    fn delta_since_composes_with_merge() {
+        // cumulative(t2) - cumulative(t1) over a merged stream equals
+        // recording the window directly.
+        let mut a = Histogram::for_latency_ms();
+        a.record(5.0);
+        let t1 = a.clone();
+        a.record(9.0);
+        a.record(0.002); // underflow in the window
+        let win = a.delta_since(&t1);
+        let mut direct = Histogram::for_latency_ms();
+        direct.record(9.0);
+        direct.record(0.002);
+        assert_eq!(win.count(), direct.count());
+        assert_eq!(win.quantile(0.9), direct.quantile(0.9));
+    }
+}

@@ -7,6 +7,7 @@ use hat_core::{
     ClientMetrics, ClusterLayout, DeploymentBuilder, Frontend, HatError, Node, Session,
     SessionOptions, SystemConfig, TraceEvent, TraceSink, TxnBackend, TxnRecord,
 };
+use hat_obs::ObsSink;
 use hat_sim::{LatencyModel, NodeId, SimDuration, Topology};
 use hat_storage::Key;
 use rand::rngs::StdRng;
@@ -52,6 +53,7 @@ pub struct Runtime {
     clients: Vec<NodeId>,
     started: Instant,
     trace: TraceSink,
+    obs: ObsSink,
     router: Arc<Router>,
     layout: Arc<ClusterLayout>,
 }
@@ -89,7 +91,7 @@ impl Runtime {
         Arc<SystemConfig>,
         Duration,
     ) {
-        let (_engine_cfg, topology, nodes, layout, sys, trace) = builder.build_parts();
+        let (_engine_cfg, topology, nodes, layout, sys, trace, obs) = builder.build_parts();
         let clients = layout.clients.clone();
         let n = topology.len();
 
@@ -152,6 +154,7 @@ impl Runtime {
                 clients,
                 started,
                 trace,
+                obs,
                 router,
                 layout: Arc::clone(&layout),
             },
@@ -200,6 +203,16 @@ impl Runtime {
     /// `SystemConfig::trace` was set on the builder's configuration).
     pub fn trace_sink(&self) -> &TraceSink {
         &self.trace
+    }
+
+    /// The deployment-wide observability sink (no-op unless
+    /// `SystemConfig::obs` was enabled on the builder's configuration).
+    /// The threaded runtime shares the client-fed pieces — the metrics
+    /// registry and the streaming consistency checker — with the
+    /// simulator; the time-series sampler and the visibility prober are
+    /// driven off virtual time and stay simulator-only.
+    pub fn obs_sink(&self) -> &ObsSink {
+        &self.obs
     }
 
     /// Stops all nodes and collects them. Returns `(nodes, aggregated
@@ -294,6 +307,11 @@ impl RuntimeFrontend {
     /// `(time, sequence)`. Empty when tracing is disabled.
     pub fn trace_events(&self) -> Vec<TraceEvent> {
         self.trace_sink().events()
+    }
+
+    /// The deployment-wide observability sink; see [`Runtime::obs_sink`].
+    pub fn obs_sink(&self) -> &ObsSink {
+        self.rt.as_ref().expect("runtime running").obs_sink()
     }
 
     /// Fallible [`Frontend::session_metrics`]: reports an unreachable or

@@ -13,11 +13,17 @@
 #   <name>  mean <dur>  min <dur>  (<n> samples)
 # `exp_ramp --smoke --json` prints one JSON object per (mix, engine):
 #   {"mix":...,"engine":...,"tps":...,"p50_ms":...,...,"commits":...}
-# This script merges both into a stable JSON document:
+# `exp_nemesis --smoke --json` prints one JSON object per
+# (schedule, engine) with the per-window telemetry series and fault
+# marks embedded. This script merges all three into a stable document:
 #   { "label": ...,
 #     "benches": [ { "name", "mean_ns", "min_ns", "samples" } ],
 #     "latency": [ { "mix", "engine", "tps", "p50_ms", "p95_ms",
-#                    "p99_ms", "p999_ms", "max_ms", "commits" } ] }
+#                    "p99_ms", "p999_ms", "max_ms", "commits" } ],
+#     "nemesis": [ { "schedule", "engine", "committed", "unavailable",
+#                    ..., "staleness", "series": {"windows", "faults"} } ] }
+# The nemesis rows keep only summary stats plus the fault marks and
+# window count (full per-window arrays would swamp the snapshot).
 set -euo pipefail
 
 OUT="${1:-BENCH_snapshot.json}"
@@ -25,14 +31,16 @@ LABEL="${2:-$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || 
 
 RAW="$(mktemp)"
 LAT="$(mktemp)"
-trap 'rm -f "$RAW" "$LAT"' EXIT
+NEM="$(mktemp)"
+trap 'rm -f "$RAW" "$LAT" "$NEM"' EXIT
 cargo bench -p hat-bench --bench micro 2>/dev/null >"$RAW"
 cargo run --release -p hat-bench --bin exp_ramp -- --smoke --json 2>/dev/null >"$LAT"
+cargo run --release -p hat-bench --bin exp_nemesis -- --smoke --json 2>/dev/null >"$NEM"
 
-python3 - "$OUT" "$LABEL" "$RAW" "$LAT" <<'PY'
+python3 - "$OUT" "$LABEL" "$RAW" "$LAT" "$NEM" <<'PY'
 import json, re, sys
 
-out_path, label, raw_path, lat_path = sys.argv[1:5]
+out_path, label, raw_path, lat_path, nem_path = sys.argv[1:6]
 
 UNITS = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -72,9 +80,34 @@ for line in open(lat_path):
 if not latency:
     sys.exit("no latency lines parsed from `exp_ramp --json` output")
 
-doc = {"label": label, "bench": "micro", "benches": benches, "latency": latency}
+nemesis = []
+for line in open(nem_path):
+    line = line.strip()
+    if not line.startswith("{"):
+        continue
+    r = json.loads(line)
+    series = r.pop("series")
+    ts = [w["t_us"] for w in series["windows"]]
+    assert ts == sorted(ts), f"non-monotone window timestamps: {r}"
+    r["windows"] = len(series["windows"])
+    r["faults"] = series["faults"]
+    nemesis.append(r)
+
+if not nemesis:
+    sys.exit("no nemesis lines parsed from `exp_nemesis --json` output")
+
+doc = {
+    "label": label,
+    "bench": "micro",
+    "benches": benches,
+    "latency": latency,
+    "nemesis": nemesis,
+}
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
-print(f"wrote {out_path}: {len(benches)} benchmarks, {len(latency)} latency rows")
+print(
+    f"wrote {out_path}: {len(benches)} benchmarks, {len(latency)} latency rows, "
+    f"{len(nemesis)} nemesis rows"
+)
 PY

@@ -70,6 +70,7 @@
 
 pub use hat_core as core;
 pub use hat_history as history;
+pub use hat_obs as obs;
 pub use hat_runtime as runtime;
 pub use hat_sim as sim;
 pub use hat_storage as storage;
